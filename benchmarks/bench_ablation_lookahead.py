@@ -1,0 +1,37 @@
+"""Ablation: lookahead weight ``w_l`` of the gate-based cost function (Eq. 2).
+
+DESIGN.md lists the lookahead weighting as a design choice worth ablating:
+``w_l = 0`` ignores the lookahead layer entirely, while large values let
+future gates dominate the SWAP selection.  The benchmark maps the QFT (whose
+dense all-to-all structure benefits most from lookahead) in gate-only mode
+for several weights and records the inserted SWAP count and fidelity
+decrease.
+"""
+
+import pytest
+
+from repro.evaluation import evaluate
+from repro.mapping import HybridMapper, MapperConfig
+
+from .common import architecture_and_connectivity, build_circuit, record_metrics
+
+WEIGHTS = (0.0, 0.1, 0.5, 1.0)
+
+
+def run_with_lookahead_weight(weight: float):
+    architecture, connectivity = architecture_and_connectivity("gate")
+    circuit = build_circuit("qft")
+    config = MapperConfig.gate_only(lookahead_weight=weight)
+    mapper = HybridMapper(architecture, config, connectivity=connectivity)
+    result = mapper.map(circuit)
+    return evaluate(circuit, result, architecture, connectivity=connectivity)
+
+
+@pytest.mark.benchmark(group="ablation-lookahead-weight")
+@pytest.mark.parametrize("weight", WEIGHTS)
+def test_lookahead_weight(benchmark, weight):
+    metrics = benchmark.pedantic(run_with_lookahead_weight, args=(weight,),
+                                 rounds=1, iterations=1)
+    benchmark.extra_info["lookahead_weight"] = weight
+    record_metrics(benchmark, metrics)
+    assert metrics.delta_cz == 3 * metrics.num_swaps

@@ -1,0 +1,37 @@
+"""Ablation: AOD-parallelism weight ``w_t`` of the shuttling cost (Eq. 4).
+
+``w_t`` trades the most distance-effective move against the move that shares
+an AOD batch with recent moves.  The benchmark maps the graph-state circuit
+in shuttling-only mode for several weights on the shuttling-optimised
+hardware and records the resulting move count and circuit-time overhead ΔT —
+larger weights should never increase ΔT substantially, and typically reduce
+it by packing more moves per batch.
+"""
+
+import pytest
+
+from repro.evaluation import evaluate
+from repro.mapping import HybridMapper, MapperConfig
+
+from .common import architecture_and_connectivity, build_circuit, record_metrics
+
+WEIGHTS = (0.0, 0.1, 1.0, 5.0)
+
+
+def run_with_time_weight(weight: float):
+    architecture, connectivity = architecture_and_connectivity("shuttling")
+    circuit = build_circuit("graph")
+    config = MapperConfig.shuttling_only(time_weight=weight)
+    mapper = HybridMapper(architecture, config, connectivity=connectivity)
+    result = mapper.map(circuit)
+    return evaluate(circuit, result, architecture, connectivity=connectivity)
+
+
+@pytest.mark.benchmark(group="ablation-parallelism-weight")
+@pytest.mark.parametrize("weight", WEIGHTS)
+def test_parallelism_weight(benchmark, weight):
+    metrics = benchmark.pedantic(run_with_time_weight, args=(weight,),
+                                 rounds=1, iterations=1)
+    benchmark.extra_info["time_weight"] = weight
+    record_metrics(benchmark, metrics)
+    assert metrics.delta_cz == 0

@@ -1,0 +1,29 @@
+"""Ablation: decision-ratio sweep on mixed hardware.
+
+The paper reports, for the mixed hardware block, the best decision ratio
+``α = α_g / α_s`` per circuit (0.95 ... 1.06) and notes that the optimal ratio
+depends on circuit structure.  This benchmark sweeps a ratio grid for two
+structurally different circuits (the CZ-only graph state and the
+multi-qubit-heavy ``gray`` benchmark) and records the resulting fidelity
+decrease per ratio, which is exactly the data needed to study that
+correlation.
+"""
+
+import pytest
+
+from .common import record_metrics, run_mapping
+
+HARDWARE = "mixed"
+ALPHAS = (0.05, 0.5, 1.0, 2.0, 20.0)
+
+
+@pytest.mark.benchmark(group="ablation-alpha-sweep")
+@pytest.mark.parametrize("alpha", ALPHAS)
+@pytest.mark.parametrize("circuit_name", ["graph", "gray"])
+def test_alpha_sweep(benchmark, circuit_name, alpha):
+    metrics = benchmark.pedantic(run_mapping, args=(HARDWARE, circuit_name, "hybrid"),
+                                 kwargs={"alpha": alpha}, rounds=1, iterations=1)
+    record_metrics(benchmark, metrics)
+    # Extremely shuttling-leaning ratios must degenerate to ΔCZ ~ 0.
+    if alpha == min(ALPHAS):
+        assert metrics.num_swaps <= metrics.num_moves

@@ -1,0 +1,25 @@
+"""Table 1a, hardware block (2) "Gate": gate-optimised hardware.
+
+Regenerates the second block of the paper's Table 1a on the gate-optimised
+preset (Table 1c column 2).  Expected shape: gate-based mapping and the
+hybrid mapper coincide and achieve a smaller fidelity decrease than
+shuttling-only, while shuttling-only still has ΔCZ = 0 but a far larger ΔT.
+"""
+
+import pytest
+
+from .common import MODES, PAPER_SIZES, record_metrics, run_mapping
+
+HARDWARE = "gate"
+
+
+@pytest.mark.benchmark(group="table1a-gate-hardware")
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("circuit_name", list(PAPER_SIZES))
+def test_table1_gate_hardware(benchmark, circuit_name, mode):
+    metrics = benchmark.pedantic(run_mapping, args=(HARDWARE, circuit_name, mode),
+                                 rounds=1, iterations=1)
+    record_metrics(benchmark, metrics)
+    if mode == "shuttling_only":
+        assert metrics.delta_cz == 0
+        assert metrics.num_swaps == 0

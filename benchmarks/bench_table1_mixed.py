@@ -1,0 +1,59 @@
+"""Table 1a, hardware block (3) "Mixed": near-term hardware without a clear winner.
+
+Regenerates the third block of the paper's Table 1a on the mixed preset
+(Table 1c column 3).  This is the paper's headline experiment: the hybrid
+mapper may split the circuit between SWAP insertion and shuttling and should
+never do worse than the better pure strategy; for the hybrid rows a small
+grid of decision ratios α is swept and the best is kept, mirroring the
+paper's protocol.
+"""
+
+import pytest
+
+from .common import MODES, PAPER_SIZES, record_metrics, run_mapping
+
+HARDWARE = "mixed"
+
+#: Decision ratios swept for the hybrid rows (best kept).
+ALPHA_GRID = (0.05, 1.0, 20.0)
+
+
+def run_hybrid_best_alpha(circuit_name: str):
+    best = None
+    for alpha in ALPHA_GRID:
+        metrics = run_mapping(HARDWARE, circuit_name, "hybrid", alpha=alpha)
+        if best is None or metrics.delta_fidelity < best.delta_fidelity:
+            best = metrics
+    return best
+
+
+@pytest.mark.benchmark(group="table1a-mixed-hardware")
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("circuit_name", list(PAPER_SIZES))
+def test_table1_mixed_hardware(benchmark, circuit_name, mode):
+    if mode == "hybrid":
+        metrics = benchmark.pedantic(run_hybrid_best_alpha, args=(circuit_name,),
+                                     rounds=1, iterations=1)
+    else:
+        metrics = benchmark.pedantic(run_mapping, args=(HARDWARE, circuit_name, mode),
+                                     rounds=1, iterations=1)
+    record_metrics(benchmark, metrics)
+    if mode == "shuttling_only":
+        assert metrics.delta_cz == 0
+
+
+@pytest.mark.benchmark(group="table1a-mixed-hybrid-vs-pure")
+@pytest.mark.parametrize("circuit_name", ["graph", "bn", "gray"])
+def test_hybrid_not_worse_than_best_pure_mode(benchmark, circuit_name):
+    """The paper's headline claim: hybrid ≤ min(gate-only, shuttling-only) in δF."""
+
+    def run_all():
+        shuttle = run_mapping(HARDWARE, circuit_name, "shuttling_only")
+        gate = run_mapping(HARDWARE, circuit_name, "gate_only")
+        hybrid = run_hybrid_best_alpha(circuit_name)
+        return shuttle, gate, hybrid
+
+    shuttle, gate, hybrid = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    record_metrics(benchmark, hybrid)
+    assert hybrid.delta_fidelity <= min(shuttle.delta_fidelity,
+                                        gate.delta_fidelity) + 1e-6

@@ -1,0 +1,27 @@
+"""Table 1a, hardware block (1) "Shuttling": shuttling-optimised hardware.
+
+Regenerates the first block of the paper's Table 1a: every benchmark circuit
+is mapped with the three compiler settings (A) shuttling-only, (B) gate-only
+and (C) the hybrid approach on the shuttling-optimised hardware preset
+(Table 1c column 1).  Expected shape: shuttling-only and the hybrid mapper
+coincide (ΔCZ = 0) and achieve a smaller fidelity decrease δF than gate-only.
+"""
+
+import pytest
+
+from .common import MODES, PAPER_SIZES, record_metrics, run_mapping
+
+HARDWARE = "shuttling"
+
+
+@pytest.mark.benchmark(group="table1a-shuttling-hardware")
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("circuit_name", list(PAPER_SIZES))
+def test_table1_shuttling_hardware(benchmark, circuit_name, mode):
+    metrics = benchmark.pedantic(run_mapping, args=(HARDWARE, circuit_name, mode),
+                                 rounds=1, iterations=1)
+    record_metrics(benchmark, metrics)
+    if mode == "shuttling_only":
+        assert metrics.delta_cz == 0
+    if mode == "gate_only":
+        assert metrics.num_moves == 0 or metrics.num_swaps >= 0

@@ -1,0 +1,46 @@
+"""Table 1b: benchmark circuit descriptions (n, nCZ, nC2Z, nC3Z).
+
+Regenerates the gate-count statistics of the paper's benchmark set.  At full
+scale (``REPRO_BENCH_SCALE=1``) the reversible benchmarks reproduce the
+paper's per-arity counts exactly (they are generated from those profiles);
+the algorithmic benchmarks reproduce the textbook formulas (e.g. QFT has
+``n (n-1) / 2`` controlled-phase gates).  The benchmark itself times circuit
+generation plus native-gate decomposition, which is also the preprocessing
+cost of every mapping run.
+"""
+
+import pytest
+
+from repro.circuit.library import REVERSIBLE_PROFILES
+
+from .common import BENCH_SCALE, PAPER_SIZES, build_circuit, scaled_size
+
+
+@pytest.mark.benchmark(group="table1b-benchmark-descriptions")
+@pytest.mark.parametrize("circuit_name", list(PAPER_SIZES))
+def test_table1b_descriptions(benchmark, circuit_name):
+    circuit = benchmark.pedantic(build_circuit, args=(circuit_name,),
+                                 rounds=1, iterations=1)
+    arity = circuit.count_by_arity()
+    row = {
+        "name": circuit_name,
+        "n": circuit.num_qubits,
+        "nCZ": arity.get(2, 0),
+        "nC2Z": arity.get(3, 0),
+        "nC3Z": arity.get(4, 0),
+    }
+    benchmark.extra_info.update(row)
+    print(f"\n[table1b] {row['name']:10s} n={row['n']:4d} nCZ={row['nCZ']:6d} "
+          f"nC2Z={row['nC2Z']:5d} nC3Z={row['nC3Z']:5d}")
+
+    assert circuit.num_qubits == scaled_size(circuit_name)
+    if circuit_name == "qft":
+        n = circuit.num_qubits
+        assert row["nCZ"] == n * (n - 1) // 2
+    if circuit_name in REVERSIBLE_PROFILES and abs(BENCH_SCALE - 1.0) < 1e-9:
+        _base, profile = REVERSIBLE_PROFILES[circuit_name]
+        assert row["nCZ"] == profile.get(2, 0)
+        assert row["nC2Z"] == profile.get(3, 0)
+        assert row["nC3Z"] == profile.get(4, 0)
+    if circuit_name in ("bn", "call"):
+        assert row["nC2Z"] > 0

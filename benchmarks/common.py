@@ -1,0 +1,123 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates a block of the paper's Table 1 (or an ablation of
+one of the design choices listed in DESIGN.md §4) on scaled-down instances so
+that the whole suite completes in minutes on a laptop.  The scale factor can
+be raised via the ``REPRO_BENCH_SCALE`` environment variable; ``1.0`` reruns
+the paper's original 200-qubit / 15x15 configuration (slow in pure Python).
+
+Each benchmark stores the Table-1a columns (ΔCZ, ΔT, δF, mapper runtime) in
+``benchmark.extra_info`` so that ``--benchmark-json`` output contains the full
+reproduced table, and prints a compact row so the numbers are visible in the
+console run as well.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.circuit import QuantumCircuit, decompose_mcx_to_mcz
+from repro.circuit.library import get_benchmark
+from repro.evaluation import EvaluationMetrics, evaluate
+from repro.hardware import NeutralAtomArchitecture, SiteConnectivity
+from repro.hardware.presets import preset
+from repro.mapping import HybridMapper, MapperConfig
+
+#: Fraction of the paper's register sizes the benchmarks run by default.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
+
+#: Benchmark circuits in Table-1 order with their paper sizes.
+PAPER_SIZES = {"graph": 200, "qft": 200, "qpe": 200, "bn": 48, "call": 25, "gray": 33}
+
+#: Compiler settings (A), (B), (C) of Table 1a.
+MODES = ("shuttling_only", "gate_only", "hybrid")
+
+
+def scaled_size(name: str, scale: float = BENCH_SCALE) -> int:
+    """Scaled register size for a named benchmark (minimum 8 qubits)."""
+    return max(8, round(PAPER_SIZES[name] * scale))
+
+
+def scaled_atom_count(scale: float = BENCH_SCALE) -> int:
+    return max(max(scaled_size(name, scale) for name in PAPER_SIZES),
+               round(200 * scale))
+
+
+def scaled_lattice_rows(scale: float = BENCH_SCALE) -> int:
+    atoms = scaled_atom_count(scale)
+    rows = 4
+    while rows * rows <= atoms:
+        rows += 1
+    return rows + 1
+
+
+def build_architecture(hardware: str, scale: float = BENCH_SCALE) -> NeutralAtomArchitecture:
+    return preset(hardware, lattice_rows=scaled_lattice_rows(scale),
+                  num_atoms=scaled_atom_count(scale))
+
+
+def build_circuit(name: str, scale: float = BENCH_SCALE, seed: int = 2024) -> QuantumCircuit:
+    circuit = get_benchmark(name, num_qubits=scaled_size(name, scale), seed=seed)
+    return decompose_mcx_to_mcz(circuit)
+
+
+def config_for_mode(mode: str, alpha: float = 1.0) -> MapperConfig:
+    if mode == "shuttling_only":
+        return MapperConfig.shuttling_only()
+    if mode == "gate_only":
+        return MapperConfig.gate_only()
+    if mode == "hybrid":
+        return MapperConfig.hybrid(alpha)
+    raise ValueError(f"unknown mode {mode!r}")
+
+
+_ARCHITECTURE_CACHE: Dict[str, Tuple[NeutralAtomArchitecture, SiteConnectivity]] = {}
+
+
+def architecture_and_connectivity(hardware: str) -> Tuple[NeutralAtomArchitecture,
+                                                          SiteConnectivity]:
+    """Cache architectures/connectivity across benchmarks (construction is costly)."""
+    if hardware not in _ARCHITECTURE_CACHE:
+        architecture = build_architecture(hardware)
+        _ARCHITECTURE_CACHE[hardware] = (architecture, SiteConnectivity(architecture))
+    return _ARCHITECTURE_CACHE[hardware]
+
+
+def run_mapping(hardware: str, circuit_name: str, mode: str,
+                alpha: float = 1.0) -> EvaluationMetrics:
+    """Map one benchmark circuit and return the Table-1a metrics."""
+    architecture, connectivity = architecture_and_connectivity(hardware)
+    circuit = build_circuit(circuit_name)
+    mapper = HybridMapper(architecture, config_for_mode(mode, alpha),
+                          connectivity=connectivity)
+    result = mapper.map(circuit)
+    return evaluate(circuit, result, architecture, connectivity=connectivity,
+                    alpha_ratio=alpha if mode == "hybrid" else None)
+
+
+def record_metrics(benchmark, metrics: EvaluationMetrics) -> None:
+    """Attach the reproduced Table-1a columns to the pytest-benchmark record."""
+    benchmark.extra_info.update({
+        "hardware": metrics.hardware_name,
+        "circuit": metrics.circuit_name,
+        "mode": metrics.mode,
+        "n_qubits": metrics.num_qubits,
+        "delta_cz": metrics.delta_cz,
+        "delta_t_us": round(metrics.delta_t_us, 2),
+        "delta_fidelity": round(metrics.delta_fidelity, 4),
+        "mapper_runtime_s": round(metrics.runtime_seconds, 3),
+        "num_swaps": metrics.num_swaps,
+        "num_moves": metrics.num_moves,
+        "alpha": metrics.alpha_ratio,
+    })
+    print(f"\n[{metrics.hardware_name:9s}] {metrics.circuit_name:10s} {metrics.mode:15s} "
+          f"dCZ={metrics.delta_cz:5d}  dT={metrics.delta_t_us:9.1f} us  "
+          f"dF={metrics.delta_fidelity:8.4f}  RT={metrics.runtime_seconds:6.2f} s")
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE

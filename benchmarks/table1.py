@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Standalone regeneration of the paper's Table 1.
+
+Runs the three compiler settings on every benchmark circuit for one (or all)
+hardware presets and prints the resulting Table-1a block, plus the Table-1b
+benchmark descriptions and the Table-1c hardware settings on request.
+
+Examples
+--------
+Regenerate the mixed-hardware block at 20% of the paper's scale::
+
+    python benchmarks/table1.py --hardware mixed --scale 0.2
+
+Regenerate all three blocks and write a CSV next to the console output::
+
+    python benchmarks/table1.py --hardware all --csv table1.csv
+
+Print the benchmark descriptions (Table 1b) and hardware settings (Table 1c)::
+
+    python benchmarks/table1.py --describe --hardware-table
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from typing import List
+
+from repro.evaluation.table import (
+    DEFAULT_ALPHA_GRID,
+    ExperimentSettings,
+    benchmark_description_rows,
+    format_table,
+    run_table1,
+)
+from repro.hardware.presets import PRESET_NAMES, preset
+
+
+def parse_arguments(argv: List[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--hardware", default="mixed",
+                        choices=list(PRESET_NAMES) + ["all"],
+                        help="hardware preset block of Table 1a to regenerate")
+    parser.add_argument("--scale", type=float, default=0.2,
+                        help="fraction of the paper's register sizes (1.0 = full scale)")
+    parser.add_argument("--circuits", nargs="*", default=None,
+                        help="subset of benchmark circuits (default: all six)")
+    parser.add_argument("--alphas", nargs="*", type=float, default=None,
+                        help="decision-ratio grid for the hybrid rows")
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument("--csv", default=None, help="also write the rows to this CSV file")
+    parser.add_argument("--describe", action="store_true",
+                        help="print the Table 1b benchmark descriptions")
+    parser.add_argument("--hardware-table", action="store_true",
+                        help="print the Table 1c hardware settings")
+    return parser.parse_args(argv)
+
+
+def print_hardware_table() -> None:
+    print("Table 1c — hardware settings")
+    keys = ("r_int", "F_cz", "F_1q", "F_shuttle", "shuttle_speed_um_per_us",
+            "t_act_us", "t_deact_us")
+    header = f"{'parameter':<26}" + "".join(f"{name:>12}" for name in PRESET_NAMES)
+    print(header)
+    print("-" * len(header))
+    summaries = {name: preset(name).summary() for name in PRESET_NAMES}
+    for key in keys:
+        row = f"{key:<26}" + "".join(f"{summaries[name][key]:>12}" for name in PRESET_NAMES)
+        print(row)
+    print()
+
+
+def print_descriptions(settings: ExperimentSettings) -> None:
+    print("Table 1b — benchmark descriptions")
+    print(f"{'name':<10}{'n':>6}{'nCZ':>8}{'nC2Z':>8}{'nC3Z':>8}")
+    for row in benchmark_description_rows(settings):
+        print(f"{row['name']:<10}{row['n']:>6}{row['nCZ']:>8}{row['nC2Z']:>8}{row['nC3Z']:>8}")
+    print()
+
+
+def run_block(hardware: str, args: argparse.Namespace, csv_rows: List[dict]) -> None:
+    settings = ExperimentSettings(
+        hardware=hardware,
+        circuits=tuple(args.circuits) if args.circuits else ExperimentSettings().circuits,
+        scale=args.scale,
+        alpha_grid=tuple(args.alphas) if args.alphas else DEFAULT_ALPHA_GRID,
+        seed=args.seed,
+    )
+    rows = run_table1(settings)
+    print(format_table(rows, hardware))
+    print()
+    for row in rows:
+        for mode_key, metrics in row.items():
+            csv_rows.append(metrics.as_row())
+
+
+def main(argv: List[str]) -> int:
+    args = parse_arguments(argv)
+    if args.hardware_table:
+        print_hardware_table()
+    if args.describe:
+        settings = ExperimentSettings(scale=args.scale)
+        print_descriptions(settings)
+    csv_rows: List[dict] = []
+    hardware_list = list(PRESET_NAMES) if args.hardware == "all" else [args.hardware]
+    for hardware in hardware_list:
+        run_block(hardware, args, csv_rows)
+    if args.csv and csv_rows:
+        with open(args.csv, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.DictWriter(handle, fieldnames=list(csv_rows[0]))
+            writer.writeheader()
+            writer.writerows(csv_rows)
+        print(f"wrote {len(csv_rows)} rows to {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

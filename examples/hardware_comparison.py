@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Hardware comparison: which mapping capability wins on which device?
+
+This example reproduces the qualitative message of the paper's Table 1a in
+one run: the same QFT circuit is mapped onto the three hardware presets of
+Table 1c (shuttling-optimised, gate-optimised, mixed) with all three compiler
+settings, and the per-hardware winner is reported.  On shuttling-optimised
+hardware the shuttling capability should win, on gate-optimised hardware the
+SWAP insertion should win, and on mixed hardware the hybrid mapper should be
+at least as good as both.
+
+Run with::
+
+    python examples/hardware_comparison.py [--scale 0.15] [--circuit qft]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.evaluation import run_mode_comparison
+from repro.evaluation.table import DEFAULT_ALPHA_GRID
+from repro.circuit import decompose_mcx_to_mcz
+from repro.circuit.library import default_benchmark_size, get_benchmark
+from repro.hardware.presets import PRESET_NAMES, preset
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--circuit", default="qft",
+                        choices=["graph", "qft", "qpe", "bn", "call", "gray"])
+    parser.add_argument("--scale", type=float, default=0.15,
+                        help="fraction of the paper's register size to run")
+    args = parser.parse_args()
+
+    size = max(8, round(default_benchmark_size(args.circuit) * args.scale))
+    circuit = decompose_mcx_to_mcz(get_benchmark(args.circuit, num_qubits=size))
+    atoms = max(size, round(200 * args.scale))
+    rows = 4
+    while rows * rows <= atoms:
+        rows += 1
+    rows += 1
+
+    print(f"circuit: {args.circuit} with {size} qubits "
+          f"({circuit.num_entangling_gates()} entangling gates)")
+    print(f"device:  {rows}x{rows} lattice, {atoms} atoms\n")
+
+    for hardware in PRESET_NAMES:
+        architecture = preset(hardware, lattice_rows=rows, num_atoms=atoms)
+        results = run_mode_comparison(circuit, architecture,
+                                      alpha_grid=DEFAULT_ALPHA_GRID)
+        print(f"=== hardware preset: {hardware} ===")
+        for mode in ("shuttling_only", "gate_only", "hybrid"):
+            metrics = results[mode]
+            alpha = "" if metrics.alpha_ratio is None else f"  (alpha={metrics.alpha_ratio:g})"
+            print(f"  {mode:<15} dCZ={metrics.delta_cz:5d}  dT={metrics.delta_t_us:9.1f} us"
+                  f"  dF={metrics.delta_fidelity:8.4f}{alpha}")
+        pure_winner = ("shuttling_only"
+                       if results["shuttling_only"].delta_fidelity
+                       <= results["gate_only"].delta_fidelity else "gate_only")
+        print(f"  -> best pure strategy: {pure_winner}; "
+              f"hybrid dF = {results['hybrid'].delta_fidelity:.4f}\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Shuttling internals: AOD batches, ghost spots and the Figure-1 geometry.
+
+This example works one level below the mapper and illustrates the hardware
+model of Section 2.1 of the paper:
+
+* the interaction and restriction neighbourhoods of a trap for
+  ``r_int = r_restr = 2 d`` (the content of Figure 1a),
+* a legal multi-atom AOD rearrangement in the spirit of Example 2 /
+  Figure 1b — which moves can share a batch, where the ghost spots fall, and
+  what the batch costs in time,
+* how a shuttling-only mapping of a long-range circuit turns into native AOD
+  instruction batches after scheduling.
+
+Run with::
+
+    python examples/shuttling_demo.py
+"""
+
+from __future__ import annotations
+
+from repro import HybridMapper, MapperConfig, QuantumCircuit, preset
+from repro.hardware import SiteConnectivity
+from repro.scheduling import OperationKind, Scheduler
+from repro.shuttling import (
+    ghost_spot_positions,
+    group_moves,
+    moves_compatible,
+    schedule_batch,
+)
+
+
+def print_neighbourhood(architecture, connectivity) -> None:
+    lattice = architecture.lattice
+    centre = lattice.site_at(lattice.rows // 2, lattice.cols // 2)
+    interacting = set(connectivity.interaction_neighbours(centre))
+    print(f"Figure 1a — interaction region of the centre trap "
+          f"(r_int = {architecture.interaction_radius} d):")
+    for row in range(lattice.rows):
+        line = []
+        for col in range(lattice.cols):
+            site = lattice.site_at(row, col)
+            if site == centre:
+                line.append("Q")
+            elif site in interacting:
+                line.append("x")
+            else:
+                line.append(".")
+        print("   " + " ".join(line))
+    print(f"   {len(interacting)} traps can host a gate partner for the centre atom\n")
+
+
+def demonstrate_aod_batch(architecture) -> None:
+    lattice = architecture.lattice
+    print("Example 2 — packing moves into one AOD batch:")
+    # Three atoms move in parallel rows towards the right; a fourth crosses
+    # against them and must go into its own batch.
+    def make_move(atom, src_rc, dst_rc):
+        source = lattice.site_at(*src_rc)
+        destination = lattice.site_at(*dst_rc)
+        from repro.shuttling import Move
+        return Move(atom=atom, source=source, destination=destination,
+                    source_position=lattice.position(source),
+                    destination_position=lattice.position(destination))
+
+    parallel = [make_move(0, (1, 0), (1, 4)), make_move(1, (2, 0), (2, 4)),
+                make_move(2, (3, 1), (3, 5))]
+    crossing = make_move(3, (4, 5), (4, 0))
+
+    for move in parallel:
+        assert moves_compatible(parallel[0], move) or move is parallel[0]
+    assert not moves_compatible(parallel[0], crossing)
+
+    batches = group_moves(parallel + [crossing])
+    print(f"   {len(parallel) + 1} moves -> {len(batches)} AOD batches "
+          f"(the crossing move cannot share rows/columns)")
+    for index, batch in enumerate(batches):
+        schedule = schedule_batch(batch, architecture)
+        ghosts = ghost_spot_positions(batch)
+        print(f"   batch {index}: {len(batch)} atoms, duration {schedule.duration:7.1f} us, "
+              f"{len(ghosts)} ghost spots, instructions: "
+              + " -> ".join(instr.kind for instr in schedule.instructions))
+    print()
+
+
+def demonstrate_mapped_shuttling(architecture, connectivity) -> None:
+    print("Shuttling-only mapping of a long-range circuit:")
+    circuit = QuantumCircuit(12, name="long-range")
+    circuit.cz(0, 11)
+    circuit.cz(1, 10)
+    circuit.cz(2, 9)
+    mapper = HybridMapper(architecture, MapperConfig.shuttling_only(),
+                          connectivity=connectivity)
+    result = mapper.map(circuit)
+    schedule = Scheduler(architecture, connectivity).schedule_result(result)
+    shuttles = [op for op in schedule if op.kind == OperationKind.SHUTTLE]
+    print(f"   {result.num_moves} moves emitted, scheduled as {len(shuttles)} AOD batches")
+    print(f"   total circuit time {schedule.makespan:.1f} us, "
+          f"no additional CZ gates ({result.num_swaps} SWAPs inserted)")
+    for op in shuttles:
+        print(f"   t = {op.start:8.1f} us  batch of {len(op.atoms)} atom(s), "
+              f"duration {op.duration:7.1f} us")
+
+
+def main() -> None:
+    architecture = preset("shuttling", lattice_rows=9, num_atoms=40)
+    connectivity = SiteConnectivity(architecture)
+    print_neighbourhood(architecture, connectivity)
+    demonstrate_aod_batch(architecture)
+    demonstrate_mapped_shuttling(architecture, connectivity)
+
+
+if __name__ == "__main__":
+    main()

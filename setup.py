@@ -1,0 +1,10 @@
+"""Setuptools shim so that editable installs work in offline environments.
+
+All project metadata lives in ``pyproject.toml``; this file only exists
+because the execution environment lacks the ``wheel`` package that PEP-517
+editable installs require.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""repro — Hybrid gate/shuttling circuit mapping for neutral-atom quantum computers.
+
+Pure-Python reproduction of "Hybrid Circuit Mapping: Leveraging the Full
+Spectrum of Computational Capabilities of Neutral Atom Quantum Computers"
+(Schmid, Park, Kang, Wille — DAC 2024).
+
+Public API overview
+-------------------
+* :mod:`repro.circuit` — circuit IR, benchmark library, decompositions
+* :mod:`repro.hardware` — lattice, device presets, connectivity
+* :mod:`repro.shuttling` — atom moves and AOD batch scheduling
+* :mod:`repro.mapping` — the hybrid mapper (gate-based + shuttling routing)
+* :mod:`repro.scheduling` — ASAP hardware scheduler
+* :mod:`repro.evaluation` — success-probability model and Table-1 harness
+
+Quickstart
+----------
+>>> from repro import HybridMapper, MapperConfig, get_benchmark, preset
+>>> architecture = preset("mixed", lattice_rows=8, num_atoms=40)
+>>> circuit = get_benchmark("graph", num_qubits=30)
+>>> result = HybridMapper(architecture, MapperConfig.hybrid(1.0)).map(circuit)
+>>> result.num_swaps + result.num_moves >= 0
+True
+"""
+
+from .circuit import (
+    CircuitDAG,
+    Gate,
+    GateKind,
+    QuantumCircuit,
+    decompose_mcx_to_mcz,
+    decompose_swaps_to_cz,
+    decompose_to_native,
+)
+from .circuit.library import BENCHMARK_NAMES, get_benchmark
+from .evaluation import (
+    EvaluationMetrics,
+    ExperimentSettings,
+    evaluate,
+    fidelity_decrease,
+    format_table,
+    run_mode_comparison,
+    run_table1,
+    success_probability,
+)
+from .hardware import (
+    Fidelities,
+    GateDurations,
+    NeutralAtomArchitecture,
+    SiteConnectivity,
+    SquareLattice,
+    preset,
+)
+from .mapping import (
+    HybridMapper,
+    MapperConfig,
+    MappingError,
+    MappingResult,
+    MappingState,
+)
+from .scheduling import Schedule, Scheduler
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # circuit
+    "QuantumCircuit", "Gate", "GateKind", "CircuitDAG",
+    "decompose_mcx_to_mcz", "decompose_swaps_to_cz", "decompose_to_native",
+    "get_benchmark", "BENCHMARK_NAMES",
+    # hardware
+    "NeutralAtomArchitecture", "SquareLattice", "SiteConnectivity",
+    "GateDurations", "Fidelities", "preset",
+    # mapping
+    "HybridMapper", "MapperConfig", "MappingResult", "MappingState", "MappingError",
+    # scheduling
+    "Scheduler", "Schedule",
+    # evaluation
+    "evaluate", "EvaluationMetrics", "ExperimentSettings", "run_table1",
+    "run_mode_comparison", "format_table", "success_probability", "fidelity_decrease",
+]

@@ -1,0 +1,36 @@
+"""Quantum circuit substrate: gates, circuits, DAG analysis and decompositions."""
+
+from .circuit import QuantumCircuit
+from .commutation import gates_commute
+from .dag import CircuitDAG, DAGNode
+from .decompose import (
+    decompose_mcx_to_mcz,
+    decompose_swaps_to_cz,
+    decompose_to_native,
+    swap_decomposition,
+)
+from .gate import (
+    Gate,
+    GateKind,
+    controlled_x,
+    controlled_z,
+    single_qubit_gate,
+    swap_gate,
+)
+
+__all__ = [
+    "QuantumCircuit",
+    "Gate",
+    "GateKind",
+    "CircuitDAG",
+    "DAGNode",
+    "gates_commute",
+    "single_qubit_gate",
+    "controlled_z",
+    "controlled_x",
+    "swap_gate",
+    "decompose_mcx_to_mcz",
+    "decompose_swaps_to_cz",
+    "decompose_to_native",
+    "swap_decomposition",
+]

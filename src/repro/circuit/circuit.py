@@ -1,0 +1,286 @@
+"""Quantum circuit container.
+
+:class:`QuantumCircuit` is a thin, ordered list of :class:`~repro.circuit.gate.Gate`
+objects plus convenience builders for the standard gates the benchmarks use.
+It deliberately does not simulate state vectors — the reproduction is a
+compilation study, so the circuit is a purely structural object.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .gate import (
+    Gate,
+    GateKind,
+    barrier as _barrier,
+    controlled_x,
+    controlled_z,
+    measurement,
+    single_qubit_gate,
+    swap_gate,
+)
+
+__all__ = ["QuantumCircuit"]
+
+
+class QuantumCircuit:
+    """An ordered sequence of gates on ``num_qubits`` circuit qubits.
+
+    Parameters
+    ----------
+    num_qubits:
+        Number of circuit qubits ``n``.  Qubit indices are ``0 .. n-1``.
+    name:
+        Optional human-readable name (used in reports and QASM headers).
+    """
+
+    def __init__(self, num_qubits: int, name: str = "circuit") -> None:
+        if num_qubits <= 0:
+            raise ValueError("a circuit needs at least one qubit")
+        self.num_qubits = int(num_qubits)
+        self.name = name
+        self._gates: List[Gate] = []
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __getitem__(self, index):
+        return self._gates[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantumCircuit):
+            return NotImplemented
+        return self.num_qubits == other.num_qubits and self._gates == other._gates
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"QuantumCircuit(name={self.name!r}, num_qubits={self.num_qubits}, "
+                f"num_gates={len(self._gates)})")
+
+    @property
+    def gates(self) -> Tuple[Gate, ...]:
+        """Immutable view of the gate list."""
+        return tuple(self._gates)
+
+    # ------------------------------------------------------------------
+    # Gate builders
+    # ------------------------------------------------------------------
+    def append(self, gate: Gate) -> "QuantumCircuit":
+        """Append an already-constructed gate after validating its qubits."""
+        for qubit in gate.qubits:
+            if not 0 <= qubit < self.num_qubits:
+                raise ValueError(
+                    f"gate {gate.name} addresses qubit {qubit} outside the "
+                    f"{self.num_qubits}-qubit register")
+        self._gates.append(gate)
+        return self
+
+    def extend(self, gates: Iterable[Gate]) -> "QuantumCircuit":
+        for gate in gates:
+            self.append(gate)
+        return self
+
+    # Named single-qubit gates -----------------------------------------
+    def h(self, qubit: int) -> "QuantumCircuit":
+        return self.append(single_qubit_gate("h", qubit))
+
+    def x(self, qubit: int) -> "QuantumCircuit":
+        return self.append(single_qubit_gate("x", qubit))
+
+    def y(self, qubit: int) -> "QuantumCircuit":
+        return self.append(single_qubit_gate("y", qubit))
+
+    def z(self, qubit: int) -> "QuantumCircuit":
+        return self.append(single_qubit_gate("z", qubit))
+
+    def s(self, qubit: int) -> "QuantumCircuit":
+        return self.append(single_qubit_gate("s", qubit))
+
+    def sdg(self, qubit: int) -> "QuantumCircuit":
+        return self.append(single_qubit_gate("sdg", qubit))
+
+    def t(self, qubit: int) -> "QuantumCircuit":
+        return self.append(single_qubit_gate("t", qubit))
+
+    def tdg(self, qubit: int) -> "QuantumCircuit":
+        return self.append(single_qubit_gate("tdg", qubit))
+
+    def rx(self, theta: float, qubit: int) -> "QuantumCircuit":
+        return self.append(single_qubit_gate("rx", qubit, theta))
+
+    def ry(self, theta: float, qubit: int) -> "QuantumCircuit":
+        return self.append(single_qubit_gate("ry", qubit, theta))
+
+    def rz(self, phi: float, qubit: int) -> "QuantumCircuit":
+        return self.append(single_qubit_gate("rz", qubit, phi))
+
+    def p(self, phi: float, qubit: int) -> "QuantumCircuit":
+        return self.append(single_qubit_gate("p", qubit, phi))
+
+    def u3(self, theta: float, phi: float, lam: float, qubit: int) -> "QuantumCircuit":
+        return self.append(single_qubit_gate("u3", qubit, theta, phi, lam))
+
+    # Entangling gates ---------------------------------------------------
+    def cz(self, *qubits: int) -> "QuantumCircuit":
+        """Append a ``C^{m-1}Z`` gate on ``qubits`` (any ``m >= 2``)."""
+        return self.append(controlled_z(qubits))
+
+    def ccz(self, a: int, b: int, c: int) -> "QuantumCircuit":
+        return self.append(controlled_z((a, b, c)))
+
+    def cccz(self, a: int, b: int, c: int, d: int) -> "QuantumCircuit":
+        return self.append(controlled_z((a, b, c, d)))
+
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        return self.append(controlled_x((control,), target))
+
+    def ccx(self, c1: int, c2: int, target: int) -> "QuantumCircuit":
+        return self.append(controlled_x((c1, c2), target))
+
+    def mcx(self, controls: Sequence[int], target: int) -> "QuantumCircuit":
+        """Append a multi-controlled X with arbitrary control count."""
+        return self.append(controlled_x(controls, target))
+
+    def mcz(self, qubits: Sequence[int]) -> "QuantumCircuit":
+        return self.append(controlled_z(qubits))
+
+    def cp(self, phi: float, control: int, target: int) -> "QuantumCircuit":
+        """Controlled phase rotation.
+
+        Mapping-wise a controlled phase behaves exactly like a CZ (two-qubit
+        diagonal entangling gate); we keep the angle so QASM round-trips.
+        """
+        return self.append(Gate("cp", (int(control), int(target)), (float(phi),),
+                                GateKind.CONTROLLED_Z))
+
+    def swap(self, a: int, b: int) -> "QuantumCircuit":
+        return self.append(swap_gate(a, b))
+
+    def barrier(self, qubits: Optional[Iterable[int]] = None) -> "QuantumCircuit":
+        if qubits is None:
+            qubits = range(self.num_qubits)
+        return self.append(_barrier(qubits))
+
+    def measure(self, qubit: int) -> "QuantumCircuit":
+        return self.append(measurement(qubit))
+
+    def measure_all(self) -> "QuantumCircuit":
+        for qubit in range(self.num_qubits):
+            self.measure(qubit)
+        return self
+
+    # ------------------------------------------------------------------
+    # Analysis helpers
+    # ------------------------------------------------------------------
+    def count_ops(self) -> Dict[str, int]:
+        """Histogram of gate names."""
+        counts: Dict[str, int] = {}
+        for gate in self._gates:
+            counts[gate.name] = counts.get(gate.name, 0) + 1
+        return counts
+
+    def count_by_arity(self) -> Dict[int, int]:
+        """Histogram of entangling-gate arities (``{2: nCZ, 3: nC2Z, ...}``).
+
+        Single-qubit gates, barriers and measurements are excluded; this is
+        the statistic reported in the paper's Table 1b.
+        """
+        counts: Dict[int, int] = {}
+        for gate in self._gates:
+            if gate.is_entangling:
+                counts[gate.num_qubits] = counts.get(gate.num_qubits, 0) + 1
+        return counts
+
+    def num_entangling_gates(self) -> int:
+        return sum(1 for gate in self._gates if gate.is_entangling)
+
+    def num_single_qubit_gates(self) -> int:
+        return sum(1 for gate in self._gates if gate.is_single_qubit)
+
+    def used_qubits(self) -> frozenset:
+        """Set of qubit indices that appear in at least one gate."""
+        used = set()
+        for gate in self._gates:
+            used.update(gate.qubits)
+        return frozenset(used)
+
+    def depth(self) -> int:
+        """Circuit depth counting every gate (including single-qubit gates)."""
+        level: List[int] = [0] * self.num_qubits
+        depth = 0
+        for gate in self._gates:
+            if gate.kind == GateKind.BARRIER:
+                if gate.qubits:
+                    fence = max(level[q] for q in gate.qubits)
+                    for q in gate.qubits:
+                        level[q] = fence
+                continue
+            start = max(level[q] for q in gate.qubits)
+            for q in gate.qubits:
+                level[q] = start + 1
+            depth = max(depth, start + 1)
+        return depth
+
+    def entangling_depth(self) -> int:
+        """Circuit depth counting only entangling gates."""
+        level: List[int] = [0] * self.num_qubits
+        depth = 0
+        for gate in self._gates:
+            if not gate.is_entangling:
+                continue
+            start = max(level[q] for q in gate.qubits)
+            for q in gate.qubits:
+                level[q] = start + 1
+            depth = max(depth, start + 1)
+        return depth
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "QuantumCircuit":
+        other = QuantumCircuit(self.num_qubits, name or self.name)
+        other._gates = list(self._gates)
+        return other
+
+    def remapped(self, mapping: Dict[int, int],
+                 num_qubits: Optional[int] = None) -> "QuantumCircuit":
+        """Return a copy with qubit indices translated by ``mapping``."""
+        target_size = num_qubits if num_qubits is not None else self.num_qubits
+        other = QuantumCircuit(target_size, self.name)
+        for gate in self._gates:
+            other.append(gate.remapped(mapping))
+        return other
+
+    def filtered(self, predicate: Callable[[Gate], bool]) -> "QuantumCircuit":
+        """Return a copy containing only gates for which ``predicate`` is true."""
+        other = QuantumCircuit(self.num_qubits, self.name)
+        other._gates = [g for g in self._gates if predicate(g)]
+        return other
+
+    def without_trivial_ops(self) -> "QuantumCircuit":
+        """Return a copy with barriers and measurements stripped.
+
+        The mapper treats measurements as terminal and barriers purely as
+        layer fences in the DAG, so benchmarks normalise circuits this way
+        before comparing gate counts.
+        """
+        return self.filtered(lambda g: g.kind not in (GateKind.BARRIER, GateKind.MEASURE))
+
+    def compose(self, other: "QuantumCircuit",
+                qubit_offset: int = 0) -> "QuantumCircuit":
+        """Append ``other``'s gates (shifted by ``qubit_offset``) to a copy of self."""
+        needed = qubit_offset + other.num_qubits
+        if needed > self.num_qubits:
+            raise ValueError(
+                f"composition needs {needed} qubits but circuit has {self.num_qubits}")
+        result = self.copy()
+        mapping = {q: q + qubit_offset for q in range(other.num_qubits)}
+        for gate in other:
+            result.append(gate.remapped(mapping))
+        return result

@@ -1,0 +1,80 @@
+"""Commutation rules between gates.
+
+The layer creation step of the hybrid mapper (Section 3.2, block (1)) builds a
+front layer "taking into account commutation rules": a gate may enter the
+front layer even if an earlier gate on one of its qubits has not executed yet,
+as long as the two gates commute.  The practically relevant rules for the NA
+gate set are:
+
+* gates with disjoint qubit supports always commute;
+* diagonal gates (``Z``-type rotations, ``CZ``, ``CCZ``, ...) mutually
+  commute, even when they share qubits;
+* a ``C^{m-1}X`` commutes with a diagonal gate that only touches its
+  *control* qubits (the controls remain in the computational basis);
+* two ``C^{m-1}X`` gates commute if each one's target lies outside the
+  other's support or both targets coincide and the shared qubits are
+  otherwise controls on both sides (the standard CNOT commutation rules
+  generalised to multiple controls);
+* barriers and measurements never commute with anything that shares a qubit.
+"""
+
+from __future__ import annotations
+
+from .gate import Gate, GateKind
+
+__all__ = ["gates_commute"]
+
+
+def _diagonal(gate: Gate) -> bool:
+    return gate.is_diagonal
+
+
+def gates_commute(first: Gate, second: Gate) -> bool:
+    """Return True if ``first`` and ``second`` commute as operators.
+
+    The check is conservative: when in doubt it returns False, which only
+    shrinks the front layer and never produces an incorrect mapping.
+    """
+    shared = first.qubit_set() & second.qubit_set()
+    if not shared:
+        return True
+
+    # Barriers and measurements are hard fences.
+    for gate in (first, second):
+        if gate.kind in (GateKind.BARRIER, GateKind.MEASURE):
+            return False
+
+    # Diagonal gates commute with each other regardless of shared qubits.
+    if _diagonal(first) and _diagonal(second):
+        return True
+
+    # A controlled-X commutes with a diagonal gate acting only on its controls.
+    for cx_gate, other in ((first, second), (second, first)):
+        if cx_gate.kind == GateKind.CONTROLLED_X and _diagonal(other):
+            if cx_gate.target not in other.qubit_set():
+                return True
+
+    # Two controlled-X gates.
+    if first.kind == GateKind.CONTROLLED_X and second.kind == GateKind.CONTROLLED_X:
+        first_controls = set(first.controls)
+        second_controls = set(second.controls)
+        target_clash = (first.target in second.qubit_set()) or (
+            second.target in first.qubit_set())
+        if not target_clash:
+            # shared qubits are controls on both sides
+            return True
+        if first.target == second.target:
+            # shared target, remaining shared qubits must be controls on both
+            overlap = shared - {first.target}
+            if overlap <= (first_controls & second_controls):
+                return True
+        return False
+
+    # X gates on the same wire commute with CX targets on that wire.
+    for x_gate, other in ((first, second), (second, first)):
+        if (x_gate.kind == GateKind.SINGLE and x_gate.name == "x"
+                and other.kind == GateKind.CONTROLLED_X
+                and x_gate.qubits[0] == other.target):
+            return True
+
+    return False

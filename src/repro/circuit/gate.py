@@ -1,0 +1,270 @@
+"""Gate model for the reproduction's quantum circuit IR.
+
+The hybrid mapper only needs a structural view of gates: which qubits a gate
+acts on, whether the gate is a single-qubit operation, a two-qubit entangling
+gate, or an ``m``-qubit multi-controlled phase gate, and whether two gates
+commute.  Nevertheless the gate model carries enough semantic information
+(names, parameters, matrices for the small standard gates) to support
+round-tripping through OpenQASM and to implement exact decomposition passes.
+
+The native gate set assumed by the paper (Section 2.1 and Table 1c) is:
+
+* arbitrary single-qubit rotations (``U3`` and friends), executed with laser
+  pulses on individually addressed atoms,
+* the multi-controlled phase gates ``CZ``, ``CCZ``, ``CCCZ`` (``C^{m-1}Z``)
+  realised via the Rydberg blockade,
+* and, for circuit input convenience, the multi-controlled ``C^{m-1}X`` gates
+  produced by reversible-logic synthesis, which are decomposed to ``C^{m-1}Z``
+  conjugated by Hadamards before mapping (Section 4.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Tuple
+
+__all__ = [
+    "Gate",
+    "GateKind",
+    "single_qubit_gate",
+    "controlled_z",
+    "controlled_x",
+    "swap_gate",
+    "barrier",
+    "measurement",
+    "STANDARD_SINGLE_QUBIT_NAMES",
+    "DIAGONAL_SINGLE_QUBIT_NAMES",
+]
+
+
+#: Names of single-qubit gates understood by the QASM reader/writer and the
+#: decomposition passes.
+STANDARD_SINGLE_QUBIT_NAMES = frozenset(
+    {"id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "sxdg",
+     "rx", "ry", "rz", "p", "u1", "u2", "u3", "u"}
+)
+
+#: Single-qubit gates that are diagonal in the computational basis.  These
+#: commute with any other diagonal gate (in particular with CZ-type gates)
+#: acting on the same qubit, which the commutation analysis exploits.
+DIAGONAL_SINGLE_QUBIT_NAMES = frozenset({"id", "z", "s", "sdg", "t", "tdg", "rz", "p", "u1"})
+
+
+class GateKind:
+    """Coarse classification of gates used throughout the mapper."""
+
+    SINGLE = "single"
+    CONTROLLED_Z = "cz"            # C^{m-1}Z for any m >= 2
+    CONTROLLED_X = "cx"            # C^{m-1}X for any m >= 2
+    SWAP = "swap"
+    BARRIER = "barrier"
+    MEASURE = "measure"
+
+    ALL = (SINGLE, CONTROLLED_Z, CONTROLLED_X, SWAP, BARRIER, MEASURE)
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A single circuit operation.
+
+    Attributes
+    ----------
+    name:
+        Lower-case gate mnemonic (``"h"``, ``"cz"``, ``"ccz"``, ``"ccx"``,
+        ``"swap"``, ...).
+    qubits:
+        Tuple of circuit-qubit indices the gate acts on.  For controlled
+        gates the last qubit is the target and the preceding qubits are
+        controls; for the symmetric ``C^{m-1}Z`` family the distinction is
+        irrelevant for mapping but preserved for QASM output.
+    params:
+        Tuple of real parameters (rotation angles) for parameterised gates.
+    kind:
+        One of :class:`GateKind`.
+    """
+
+    name: str
+    qubits: Tuple[int, ...]
+    params: Tuple[float, ...] = field(default_factory=tuple)
+    kind: str = GateKind.SINGLE
+
+    def __post_init__(self) -> None:
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"gate {self.name} acts on duplicate qubits {self.qubits}")
+        if self.kind not in GateKind.ALL:
+            raise ValueError(f"unknown gate kind {self.kind!r}")
+        if self.kind == GateKind.SINGLE and len(self.qubits) != 1:
+            raise ValueError(f"single-qubit gate {self.name} got qubits {self.qubits}")
+        if self.kind in (GateKind.CONTROLLED_Z, GateKind.CONTROLLED_X) and len(self.qubits) < 2:
+            raise ValueError(f"controlled gate {self.name} needs at least two qubits")
+        if self.kind == GateKind.SWAP and len(self.qubits) != 2:
+            raise ValueError("swap gate acts on exactly two qubits")
+
+    # ------------------------------------------------------------------
+    # Structural queries used by the mapper
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits this gate acts on."""
+        return len(self.qubits)
+
+    @property
+    def is_single_qubit(self) -> bool:
+        return self.kind == GateKind.SINGLE
+
+    @property
+    def is_entangling(self) -> bool:
+        """True for gates that require qubits to be within the interaction radius."""
+        return self.kind in (GateKind.CONTROLLED_Z, GateKind.CONTROLLED_X, GateKind.SWAP)
+
+    @property
+    def is_multi_qubit(self) -> bool:
+        """True for gates on three or more qubits (``m >= 3``)."""
+        return self.is_entangling and self.num_qubits >= 3
+
+    @property
+    def is_diagonal(self) -> bool:
+        """True if the gate is diagonal in the computational basis.
+
+        Diagonal gates mutually commute, which the layer construction uses to
+        enlarge the front layer (Section 3.2, block (1)).
+        """
+        if self.kind == GateKind.CONTROLLED_Z:
+            return True
+        if self.kind == GateKind.SINGLE:
+            return self.name in DIAGONAL_SINGLE_QUBIT_NAMES
+        return False
+
+    @property
+    def controls(self) -> Tuple[int, ...]:
+        """Control qubits of a controlled gate (empty otherwise)."""
+        if self.kind in (GateKind.CONTROLLED_Z, GateKind.CONTROLLED_X):
+            return self.qubits[:-1]
+        return ()
+
+    @property
+    def target(self) -> Optional[int]:
+        """Target qubit of a controlled gate, or the single qubit, or ``None``."""
+        if self.kind in (GateKind.CONTROLLED_Z, GateKind.CONTROLLED_X, GateKind.SINGLE):
+            return self.qubits[-1]
+        return None
+
+    def qubit_set(self) -> frozenset:
+        return frozenset(self.qubits)
+
+    def overlaps(self, other: "Gate") -> bool:
+        """True if the two gates share at least one qubit."""
+        return bool(self.qubit_set() & other.qubit_set())
+
+    def remapped(self, mapping: dict) -> "Gate":
+        """Return a copy of the gate with qubit indices translated by ``mapping``."""
+        return Gate(
+            name=self.name,
+            qubits=tuple(mapping[q] for q in self.qubits),
+            params=self.params,
+            kind=self.kind,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.params:
+            angles = ",".join(f"{p:.4g}" for p in self.params)
+            return f"{self.name}({angles}) {list(self.qubits)}"
+        return f"{self.name} {list(self.qubits)}"
+
+
+# ----------------------------------------------------------------------
+# Constructors
+# ----------------------------------------------------------------------
+def single_qubit_gate(name: str, qubit: int, *params: float) -> Gate:
+    """Create a named single-qubit gate.
+
+    ``name`` must be one of :data:`STANDARD_SINGLE_QUBIT_NAMES`.
+    """
+    lowered = name.lower()
+    if lowered not in STANDARD_SINGLE_QUBIT_NAMES:
+        raise ValueError(f"unknown single-qubit gate {name!r}")
+    return Gate(lowered, (qubit,), tuple(float(p) for p in params), GateKind.SINGLE)
+
+
+def controlled_z(qubits: Sequence[int]) -> Gate:
+    """Create a ``C^{m-1}Z`` gate on ``qubits`` (``m = len(qubits) >= 2``)."""
+    qubits = tuple(int(q) for q in qubits)
+    if len(qubits) < 2:
+        raise ValueError("controlled_z needs at least two qubits")
+    name = "c" * (len(qubits) - 1) + "z"
+    return Gate(name, qubits, (), GateKind.CONTROLLED_Z)
+
+
+def controlled_x(controls: Sequence[int], target: int) -> Gate:
+    """Create a ``C^{m-1}X`` gate with the given controls and target."""
+    controls = tuple(int(q) for q in controls)
+    if not controls:
+        raise ValueError("controlled_x needs at least one control")
+    name = "c" * len(controls) + "x"
+    return Gate(name, controls + (int(target),), (), GateKind.CONTROLLED_X)
+
+
+def swap_gate(qubit_a: int, qubit_b: int) -> Gate:
+    """Create a SWAP gate."""
+    return Gate("swap", (int(qubit_a), int(qubit_b)), (), GateKind.SWAP)
+
+
+def barrier(qubits: Iterable[int]) -> Gate:
+    """Create a barrier over ``qubits`` (scheduling/commutation fence)."""
+    return Gate("barrier", tuple(int(q) for q in qubits), (), GateKind.BARRIER)
+
+
+def measurement(qubit: int) -> Gate:
+    """Create a terminal measurement on ``qubit``."""
+    return Gate("measure", (int(qubit),), (), GateKind.MEASURE)
+
+
+def gate_arity_name(num_qubits: int, base: str) -> str:
+    """Return the canonical mnemonic of an ``num_qubits``-qubit controlled gate.
+
+    ``gate_arity_name(3, "z") == "ccz"``.
+    """
+    if num_qubits < 2:
+        raise ValueError("controlled gates act on at least two qubits")
+    return "c" * (num_qubits - 1) + base
+
+
+def euler_angles_of(gate: Gate) -> Tuple[float, float, float]:
+    """Return ``(theta, phi, lambda)`` U3 angles for a standard single-qubit gate.
+
+    Used by the scheduler to treat every single-qubit gate as one U3 pulse of
+    duration ``t_U3`` (Table 1c).  Parameterised gates pass their own angles
+    through; named Cliffords map onto their textbook angles.
+    """
+    if not gate.is_single_qubit:
+        raise ValueError("euler_angles_of expects a single-qubit gate")
+    name = gate.name
+    p = gate.params
+    pi = math.pi
+    table = {
+        "id": (0.0, 0.0, 0.0),
+        "x": (pi, 0.0, pi),
+        "y": (pi, pi / 2, pi / 2),
+        "z": (0.0, 0.0, pi),
+        "h": (pi / 2, 0.0, pi),
+        "s": (0.0, 0.0, pi / 2),
+        "sdg": (0.0, 0.0, -pi / 2),
+        "t": (0.0, 0.0, pi / 4),
+        "tdg": (0.0, 0.0, -pi / 4),
+        "sx": (pi / 2, -pi / 2, pi / 2),
+        "sxdg": (pi / 2, pi / 2, -pi / 2),
+    }
+    if name in table:
+        return table[name]
+    if name == "rx":
+        return (p[0], -pi / 2, pi / 2)
+    if name == "ry":
+        return (p[0], 0.0, 0.0)
+    if name in ("rz", "p", "u1"):
+        return (0.0, 0.0, p[0])
+    if name == "u2":
+        return (pi / 2, p[0], p[1])
+    if name in ("u3", "u"):
+        return (p[0], p[1], p[2])
+    raise ValueError(f"cannot derive U3 angles for gate {name!r}")

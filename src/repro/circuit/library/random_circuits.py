@@ -1,0 +1,119 @@
+"""Randomised workload generators for stress tests and scaling studies.
+
+The paper's evaluation uses six fixed benchmarks; scaling studies and fuzz
+tests additionally need parameterised workloads whose structure can be dialed
+between the two extremes the hybrid mapper cares about: local, highly
+parallel circuits (shuttling-friendly once gathered) and long-range,
+sequential circuits (SWAP-friendly on large-radius hardware).  All generators
+are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from ..circuit import QuantumCircuit
+
+__all__ = ["random_layered_circuit", "qaoa_maxcut_circuit", "local_window_circuit"]
+
+
+def random_layered_circuit(num_qubits: int, num_layers: int, *,
+                           multi_qubit_fraction: float = 0.0, seed: int = 7,
+                           name: str = "random_layered") -> QuantumCircuit:
+    """Brick-wall style random circuit.
+
+    Each layer pairs up a random permutation of the qubits and applies a CZ to
+    every pair (plus a random single-qubit rotation per qubit); a fraction of
+    the layers' pairs is promoted to CCZ gates by absorbing a third qubit.
+
+    Parameters
+    ----------
+    num_qubits / num_layers:
+        Register size and number of entangling layers.
+    multi_qubit_fraction:
+        Fraction (0..1) of entangling gates widened to three qubits.
+    seed:
+        Seed of the deterministic construction.
+    """
+    if num_qubits < 2:
+        raise ValueError("need at least two qubits")
+    if not 0.0 <= multi_qubit_fraction <= 1.0:
+        raise ValueError("multi_qubit_fraction must lie in [0, 1]")
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"{name}_{num_qubits}x{num_layers}")
+    for _layer in range(num_layers):
+        for qubit in range(num_qubits):
+            circuit.rz(rng.uniform(0, 3.14159), qubit)
+        order = list(range(num_qubits))
+        rng.shuffle(order)
+        index = 0
+        while index + 1 < len(order):
+            a, b = order[index], order[index + 1]
+            if (multi_qubit_fraction > 0 and index + 2 < len(order)
+                    and rng.random() < multi_qubit_fraction):
+                circuit.ccz(a, b, order[index + 2])
+                index += 3
+            else:
+                circuit.cz(a, b)
+                index += 2
+    return circuit
+
+
+def qaoa_maxcut_circuit(num_qubits: int, *, edge_probability: float = 0.3,
+                        rounds: int = 1, seed: int = 7,
+                        name: str = "qaoa") -> QuantumCircuit:
+    """QAOA MaxCut ansatz on an Erdős–Rényi graph.
+
+    Per round: one ``CZ``-sandwiched ``RZ`` phase-separator per graph edge
+    (compiled directly as ``CP``, which routes identically to ``CZ``) and one
+    ``RX`` mixer per qubit.  The workload is interaction-graph-structured and
+    therefore a natural study case for the layout strategies in
+    :mod:`repro.mapping.initial_layout`.
+    """
+    if num_qubits < 2:
+        raise ValueError("need at least two qubits")
+    if not 0.0 < edge_probability <= 1.0:
+        raise ValueError("edge probability must lie in (0, 1]")
+    rng = random.Random(seed)
+    edges = [(a, b) for a in range(num_qubits) for b in range(a + 1, num_qubits)
+             if rng.random() < edge_probability]
+    if not edges:
+        edges = [(0, 1)]
+    circuit = QuantumCircuit(num_qubits, name=f"{name}_{num_qubits}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for _round in range(rounds):
+        gamma = rng.uniform(0, 3.14159)
+        beta = rng.uniform(0, 3.14159)
+        for a, b in edges:
+            circuit.cp(2 * gamma, a, b)
+        for qubit in range(num_qubits):
+            circuit.rx(2 * beta, qubit)
+    return circuit
+
+
+def local_window_circuit(num_qubits: int, num_gates: int, *, window: int = 3,
+                         seed: int = 7, name: str = "local") -> QuantumCircuit:
+    """Circuit whose two-qubit gates only couple qubits within a sliding window.
+
+    With the identity layout these gates are already (nearly) executable, so
+    the workload isolates the mapper's overhead on well-localised circuits —
+    the opposite extreme of :func:`qaoa_maxcut_circuit` on a dense graph.
+    """
+    if num_qubits < 2:
+        raise ValueError("need at least two qubits")
+    if window < 1:
+        raise ValueError("window must be positive")
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"{name}_{num_qubits}")
+    for _ in range(num_gates):
+        a = rng.randrange(num_qubits)
+        offset = rng.randint(1, window)
+        b = min(a + offset, num_qubits - 1)
+        if a == b:
+            b = max(a - offset, 0)
+        if a == b:
+            continue
+        circuit.cz(a, b)
+    return circuit

@@ -1,0 +1,158 @@
+"""Reversible-function benchmark circuits (``bn``, ``call``, ``gray``).
+
+The paper's multi-qubit benchmarks are classical reversible functions
+synthesised by the SyReC synthesiser [Adarsh et al. 2022] into multi-controlled
+Toffoli (``C^m X``, ``m <= 4``) networks.  The original ``.real``/SyReC inputs
+are not redistributable here, so this module synthesises reversible circuits
+with the *same structural profile* as Table 1b:
+
+=========  ====  =====  ======  ======
+benchmark   n    nCZ    nC2Z    nC3Z
+=========  ====  =====  ======  ======
+bn          48    133     87      0
+call        25      0    192     56
+gray        33      0     62      0
+=========  ====  =====  ======  ======
+
+(The counts are of the decomposed ``C^{m-1}Z`` gates; before decomposition the
+circuits consist of ``CX``/``CCX``/``CCCX`` gates plus a handful of NOTs.)
+
+Two layers are provided:
+
+* :func:`synthesize_reversible` — a deterministic pseudo-random Toffoli-network
+  synthesiser parameterised by the per-arity gate counts, qubit count and a
+  seed.  It emulates the output statistics of ESOP/transformation-based
+  synthesis: controls and targets are drawn with locality bias (neighbouring
+  lines are more likely to interact, as in synthesised arithmetic), and no two
+  consecutive gates are identical (they would cancel).
+* :func:`bn`, :func:`call`, :func:`gray` — the named benchmarks with the
+  Table 1b profiles, scalable to other qubit counts while preserving the
+  relative gate-count mix.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuit import QuantumCircuit
+
+__all__ = ["synthesize_reversible", "bn", "call", "gray", "REVERSIBLE_PROFILES"]
+
+
+#: Structural profiles from Table 1b: (num_qubits, {arity: count}) where the
+#: arity counts the total gate width of the C^{m-1}X gate (2 = CX, 3 = CCX, 4 = CCCX).
+REVERSIBLE_PROFILES: Dict[str, Tuple[int, Dict[int, int]]] = {
+    "bn": (48, {2: 133, 3: 87}),
+    "call": (25, {3: 192, 4: 56}),
+    "gray": (33, {3: 62}),
+}
+
+
+def synthesize_reversible(num_qubits: int, arity_counts: Dict[int, int], *,
+                          seed: int = 2024, locality: float = 0.7,
+                          name: str = "reversible") -> QuantumCircuit:
+    """Create a deterministic Toffoli network with the requested gate mix.
+
+    Parameters
+    ----------
+    num_qubits:
+        Number of circuit lines.
+    arity_counts:
+        Mapping ``{gate width: count}``; width 2 is a CX, width 3 a CCX, and
+        so on (width ``m`` means ``m - 1`` controls).
+    seed:
+        Seed of the deterministic pseudo-random construction.
+    locality:
+        Probability that each successive control is drawn from the immediate
+        neighbourhood of the previous qubit rather than uniformly, mimicking
+        the locality of synthesised arithmetic netlists.
+    name:
+        Circuit name.
+    """
+    max_width = max(arity_counts) if arity_counts else 2
+    if num_qubits < max_width:
+        raise ValueError(
+            f"need at least {max_width} qubits for width-{max_width} gates, got {num_qubits}")
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"{name}_{num_qubits}")
+
+    # A few line initialisations, as transformation-based synthesis emits.
+    for qubit in range(0, num_qubits, max(1, num_qubits // 6)):
+        circuit.x(qubit)
+
+    # Interleave the different arities deterministically so the circuit does
+    # not consist of arity-sorted blocks (which would be unrealistically easy
+    # to route).
+    schedule: List[int] = []
+    remaining = dict(arity_counts)
+    while any(count > 0 for count in remaining.values()):
+        for width in sorted(remaining):
+            if remaining[width] > 0:
+                schedule.append(width)
+                remaining[width] -= 1
+    rng.shuffle(schedule)
+
+    previous_support: Optional[frozenset] = None
+    for width in schedule:
+        support = _draw_support(rng, num_qubits, width, locality, previous_support)
+        qubits = sorted(support)
+        target = qubits[rng.randrange(len(qubits))]
+        controls = [q for q in qubits if q != target]
+        circuit.mcx(controls, target)
+        previous_support = frozenset(support)
+    return circuit
+
+
+def _draw_support(rng: random.Random, num_qubits: int, width: int,
+                  locality: float, previous: Optional[frozenset]) -> List[int]:
+    """Draw ``width`` distinct qubits with locality bias, avoiding an exact repeat."""
+    for _ in range(64):
+        anchor = rng.randrange(num_qubits)
+        support = {anchor}
+        while len(support) < width:
+            if rng.random() < locality:
+                # Neighbourhood draw around the most recent member.
+                base = next(iter(support)) if len(support) == 1 else rng.choice(sorted(support))
+                offset = rng.choice([-3, -2, -1, 1, 2, 3])
+                candidate = min(max(base + offset, 0), num_qubits - 1)
+            else:
+                candidate = rng.randrange(num_qubits)
+            support.add(candidate)
+        if previous is None or frozenset(support) != previous:
+            return list(support)
+    # Extremely small registers may force a repeat; allow it rather than loop forever.
+    return list(support)
+
+
+def _scaled_profile(profile: Dict[int, int], base_qubits: int,
+                    num_qubits: int) -> Dict[int, int]:
+    """Scale per-arity gate counts proportionally to a different register size."""
+    if num_qubits == base_qubits:
+        return dict(profile)
+    scale = num_qubits / base_qubits
+    return {width: max(1, round(count * scale)) for width, count in profile.items()}
+
+
+def bn(num_qubits: Optional[int] = None, seed: int = 2024) -> QuantumCircuit:
+    """``bn`` benchmark: 48 lines, mixed CX / CCX network (Table 1b profile)."""
+    base_qubits, profile = REVERSIBLE_PROFILES["bn"]
+    qubits = num_qubits or base_qubits
+    return synthesize_reversible(qubits, _scaled_profile(profile, base_qubits, qubits),
+                                 seed=seed, name="bn")
+
+
+def call(num_qubits: Optional[int] = None, seed: int = 2024) -> QuantumCircuit:
+    """``call`` benchmark: 25 lines, CCX/CCCX-dominated network (Table 1b profile)."""
+    base_qubits, profile = REVERSIBLE_PROFILES["call"]
+    qubits = num_qubits or base_qubits
+    return synthesize_reversible(qubits, _scaled_profile(profile, base_qubits, qubits),
+                                 seed=seed, name="call")
+
+
+def gray(num_qubits: Optional[int] = None, seed: int = 2024) -> QuantumCircuit:
+    """``gray`` benchmark: 33 lines, pure CCX network (Table 1b profile)."""
+    base_qubits, profile = REVERSIBLE_PROFILES["gray"]
+    qubits = num_qubits or base_qubits
+    return synthesize_reversible(qubits, _scaled_profile(profile, base_qubits, qubits),
+                                 seed=seed, name="gray")

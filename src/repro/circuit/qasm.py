@@ -1,0 +1,250 @@
+"""Minimal OpenQASM 2 subset reader and writer.
+
+The reproduction does not depend on qiskit, so this module provides just
+enough QASM support to import MQT-Bench-style benchmark files and to export
+mapped circuits for inspection.  Supported statements:
+
+* ``OPENQASM 2.0;`` header and ``include "qelib1.inc";`` (ignored)
+* a single quantum register ``qreg q[n];`` (multiple registers are
+  concatenated in declaration order)
+* classical registers ``creg c[n];`` (parsed, otherwise ignored)
+* gate applications from the standard library understood by
+  :mod:`repro.circuit.gate` — single-qubit gates with optional parameters,
+  ``cz``/``ccz``/``cccz``, ``cx``/``ccx``/``c3x``/``c4x``, ``cp``/``cu1``,
+  ``swap``, ``barrier``, ``measure``
+* comments (``//``) and blank lines
+
+Parameter expressions may use ``pi``, numeric literals, and the operators
+``+ - * /`` (evaluated with a tiny safe evaluator, no ``eval``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Sequence, Tuple
+
+from .circuit import QuantumCircuit
+from .gate import Gate, GateKind, controlled_x, controlled_z, single_qubit_gate
+
+__all__ = ["loads", "dumps", "load", "dump", "QasmError"]
+
+
+class QasmError(ValueError):
+    """Raised when a QASM document cannot be parsed."""
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:((?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?)|(pi)|([+\-*/()]))")
+
+
+def _evaluate_parameter(expr: str) -> float:
+    """Evaluate a QASM parameter expression (numbers, pi, + - * / and parens)."""
+    tokens: List[str] = []
+    pos = 0
+    expr = expr.strip()
+    while pos < len(expr):
+        match = _TOKEN_RE.match(expr, pos)
+        if not match:
+            raise QasmError(f"cannot parse parameter expression {expr!r}")
+        number, pi_token, operator = match.groups()
+        if number is not None:
+            tokens.append(number)
+        elif pi_token is not None:
+            tokens.append("pi")
+        else:
+            tokens.append(operator)
+        pos = match.end()
+
+    # Recursive-descent evaluation: expr := term (("+"|"-") term)*
+    index = 0
+
+    def parse_expression() -> float:
+        nonlocal index
+        value = parse_term()
+        while index < len(tokens) and tokens[index] in "+-":
+            operator = tokens[index]
+            index += 1
+            rhs = parse_term()
+            value = value + rhs if operator == "+" else value - rhs
+        return value
+
+    def parse_term() -> float:
+        nonlocal index
+        value = parse_factor()
+        while index < len(tokens) and tokens[index] in "*/":
+            operator = tokens[index]
+            index += 1
+            rhs = parse_factor()
+            if operator == "*":
+                value *= rhs
+            else:
+                value /= rhs
+        return value
+
+    def parse_factor() -> float:
+        nonlocal index
+        if index >= len(tokens):
+            raise QasmError(f"unexpected end of expression in {expr!r}")
+        token = tokens[index]
+        if token == "-":
+            index += 1
+            return -parse_factor()
+        if token == "+":
+            index += 1
+            return parse_factor()
+        if token == "(":
+            index += 1
+            value = parse_expression()
+            if index >= len(tokens) or tokens[index] != ")":
+                raise QasmError(f"unbalanced parentheses in {expr!r}")
+            index += 1
+            return value
+        index += 1
+        if token == "pi":
+            return math.pi
+        return float(token)
+
+    result = parse_expression()
+    if index != len(tokens):
+        raise QasmError(f"trailing tokens in parameter expression {expr!r}")
+    return result
+
+
+_QREG_RE = re.compile(r"qreg\s+([A-Za-z_][\w]*)\s*\[\s*(\d+)\s*\]")
+_CREG_RE = re.compile(r"creg\s+([A-Za-z_][\w]*)\s*\[\s*(\d+)\s*\]")
+_GATE_RE = re.compile(
+    r"([A-Za-z_][\w]*)\s*(?:\((.*)\))?\s+(.+)")
+_OPERAND_RE = re.compile(r"([A-Za-z_][\w]*)\s*\[\s*(\d+)\s*\]")
+
+# Mapping from QASM controlled-X spellings to the number of controls.
+_MCX_NAMES = {"cx": 1, "ccx": 2, "c3x": 3, "c4x": 4, "mcx": None}
+_MCZ_NAMES = {"cz": 2, "ccz": 3, "cccz": 4, "c3z": 4, "c4z": 5}
+
+
+def loads(text: str, name: str = "qasm") -> QuantumCircuit:
+    """Parse an OpenQASM 2 document into a :class:`QuantumCircuit`."""
+    register_offsets: Dict[str, int] = {}
+    total_qubits = 0
+    gates: List[Tuple[str, List[float], List[Tuple[str, int]]]] = []
+
+    statements = _split_statements(text)
+    for statement in statements:
+        if not statement:
+            continue
+        lowered = statement.lower()
+        if lowered.startswith("openqasm") or lowered.startswith("include"):
+            continue
+        qreg_match = _QREG_RE.match(statement)
+        if qreg_match:
+            reg_name, size = qreg_match.group(1), int(qreg_match.group(2))
+            register_offsets[reg_name] = total_qubits
+            total_qubits += size
+            continue
+        if _CREG_RE.match(statement):
+            continue
+        if lowered.startswith("measure"):
+            operands = _OPERAND_RE.findall(statement)
+            if operands:
+                gates.append(("measure", [], [(operands[0][0], int(operands[0][1]))]))
+            continue
+        if lowered.startswith("barrier"):
+            operands = _OPERAND_RE.findall(statement)
+            gates.append(("barrier", [], [(reg, int(idx)) for reg, idx in operands]))
+            continue
+        gate_match = _GATE_RE.match(statement)
+        if not gate_match:
+            raise QasmError(f"cannot parse statement {statement!r}")
+        gate_name = gate_match.group(1).lower()
+        param_text = gate_match.group(2)
+        params = ([_evaluate_parameter(p) for p in param_text.split(",")]
+                  if param_text else [])
+        operands = [(reg, int(idx)) for reg, idx in _OPERAND_RE.findall(gate_match.group(3))]
+        if not operands:
+            raise QasmError(f"gate {gate_name} without operands in {statement!r}")
+        gates.append((gate_name, params, operands))
+
+    if total_qubits == 0:
+        raise QasmError("no qreg declaration found")
+
+    circuit = QuantumCircuit(total_qubits, name)
+
+    def resolve(operand: Tuple[str, int]) -> int:
+        reg, idx = operand
+        if reg not in register_offsets:
+            raise QasmError(f"unknown register {reg!r}")
+        return register_offsets[reg] + idx
+
+    for gate_name, params, operands in gates:
+        qubits = [resolve(op) for op in operands]
+        circuit.append(_build_gate(gate_name, params, qubits))
+    return circuit
+
+
+def _build_gate(name: str, params: Sequence[float], qubits: Sequence[int]) -> Gate:
+    if name == "measure":
+        return Gate("measure", tuple(qubits), (), GateKind.MEASURE)
+    if name == "barrier":
+        return Gate("barrier", tuple(qubits), (), GateKind.BARRIER)
+    if name == "swap":
+        return Gate("swap", tuple(qubits), (), GateKind.SWAP)
+    if name in _MCZ_NAMES:
+        return controlled_z(qubits)
+    if name in ("cp", "cu1"):
+        return Gate("cp", tuple(qubits), tuple(params), GateKind.CONTROLLED_Z)
+    if name in _MCX_NAMES:
+        return controlled_x(qubits[:-1], qubits[-1])
+    if len(qubits) == 1:
+        return single_qubit_gate(name, qubits[0], *params)
+    raise QasmError(f"unsupported gate {name!r} on {len(qubits)} qubits")
+
+
+def _split_statements(text: str) -> List[str]:
+    cleaned_lines = []
+    for line in text.splitlines():
+        comment = line.find("//")
+        if comment >= 0:
+            line = line[:comment]
+        cleaned_lines.append(line)
+    joined = "\n".join(cleaned_lines)
+    return [statement.strip() for statement in joined.split(";")]
+
+
+def dumps(circuit: QuantumCircuit) -> str:
+    """Serialise a circuit to OpenQASM 2."""
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+        f"creg c[{circuit.num_qubits}];",
+    ]
+    for gate in circuit:
+        lines.append(_gate_to_qasm(gate))
+    return "\n".join(lines) + "\n"
+
+
+def _gate_to_qasm(gate: Gate) -> str:
+    operands = ",".join(f"q[{q}]" for q in gate.qubits)
+    if gate.kind == GateKind.MEASURE:
+        return f"measure q[{gate.qubits[0]}] -> c[{gate.qubits[0]}];"
+    if gate.kind == GateKind.BARRIER:
+        return f"barrier {operands};"
+    name = gate.name
+    if gate.kind == GateKind.CONTROLLED_X and gate.num_qubits >= 4:
+        name = f"c{gate.num_qubits - 1}x"
+    if gate.params:
+        params = ",".join(repr(p) for p in gate.params)
+        return f"{name}({params}) {operands};"
+    return f"{name} {operands};"
+
+
+def load(path: str) -> QuantumCircuit:
+    """Read a circuit from a QASM file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read(), name=path)
+
+
+def dump(circuit: QuantumCircuit, path: str) -> None:
+    """Write a circuit to a QASM file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(circuit))

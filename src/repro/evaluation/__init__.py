@@ -1,0 +1,36 @@
+"""Evaluation: success-probability model, Table-1 metrics and experiment harness."""
+
+from .fidelity import (
+    FidelityBreakdown,
+    analyse,
+    fidelity_decrease,
+    log_success_probability,
+    success_probability,
+)
+from .metrics import EvaluationMetrics, evaluate
+from .table import (
+    DEFAULT_ALPHA_GRID,
+    ExperimentSettings,
+    benchmark_description_rows,
+    format_table,
+    run_mode_comparison,
+    run_single,
+    run_table1,
+)
+
+__all__ = [
+    "FidelityBreakdown",
+    "analyse",
+    "success_probability",
+    "log_success_probability",
+    "fidelity_decrease",
+    "EvaluationMetrics",
+    "evaluate",
+    "ExperimentSettings",
+    "run_single",
+    "run_mode_comparison",
+    "run_table1",
+    "benchmark_description_rows",
+    "format_table",
+    "DEFAULT_ALPHA_GRID",
+]

@@ -1,0 +1,25 @@
+"""Neutral-atom hardware model: lattice geometry, device parameters, connectivity."""
+
+from .architecture import Fidelities, GateDurations, NeutralAtomArchitecture
+from .connectivity import SiteConnectivity
+from .lattice import SquareLattice
+from .presets import (
+    PRESET_NAMES,
+    gate_optimised,
+    mixed,
+    preset,
+    shuttling_optimised,
+)
+
+__all__ = [
+    "SquareLattice",
+    "NeutralAtomArchitecture",
+    "GateDurations",
+    "Fidelities",
+    "SiteConnectivity",
+    "preset",
+    "shuttling_optimised",
+    "gate_optimised",
+    "mixed",
+    "PRESET_NAMES",
+]

@@ -1,0 +1,189 @@
+"""Connectivity graph over trap sites.
+
+For a fixed atom mapping, the paper defines the connectivity graph
+``G = (P, E)`` over the *physical qubits*; two atoms are connected when their
+Euclidean distance is at most the interaction radius.  Because atoms move
+(shuttling) and swap logical assignments (SWAP gates), the reproduction keeps
+the *site-level* adjacency — which never changes — in this module and derives
+the atom-level graph from the current occupancy in
+:mod:`repro.mapping.state`.
+
+:class:`SiteConnectivity` precomputes, for every trap site, the neighbouring
+sites within the interaction radius and within the restriction radius, plus an
+all-pairs hop-distance table on the site graph.  The hop distance between the
+sites of two atoms minus one is the textbook lower bound on the number of
+SWAPs required to make them adjacent, which both cost functions use.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from .architecture import NeutralAtomArchitecture
+
+__all__ = ["SiteConnectivity"]
+
+
+class SiteConnectivity:
+    """Precomputed geometric adjacency of the trap lattice.
+
+    Parameters
+    ----------
+    architecture:
+        The device description supplying the lattice and both radii.
+    """
+
+    def __init__(self, architecture: NeutralAtomArchitecture) -> None:
+        self.architecture = architecture
+        lattice = architecture.lattice
+        self.num_sites = lattice.num_sites
+
+        self._interaction_neighbours: List[Tuple[int, ...]] = []
+        self._restriction_neighbours: List[Tuple[int, ...]] = []
+        for site in range(self.num_sites):
+            self._interaction_neighbours.append(
+                tuple(lattice.sites_within(site, architecture.interaction_radius_um)))
+            self._restriction_neighbours.append(
+                tuple(lattice.sites_within(site, architecture.restriction_radius_um)))
+
+        self._hop_distance: Optional[List[List[int]]] = None
+
+    # ------------------------------------------------------------------
+    # Adjacency queries
+    # ------------------------------------------------------------------
+    def interaction_neighbours(self, site: int) -> Tuple[int, ...]:
+        """Sites whose atoms could take part in a gate with an atom at ``site``."""
+        return self._interaction_neighbours[site]
+
+    def restriction_neighbours(self, site: int) -> Tuple[int, ...]:
+        """Sites whose atoms are blocked by a gate executing at ``site``."""
+        return self._restriction_neighbours[site]
+
+    def are_adjacent(self, site_a: int, site_b: int) -> bool:
+        """True if the two sites are within the interaction radius."""
+        return site_b in self._interaction_neighbours[site_a]
+
+    def coordination_number(self, site: int) -> int:
+        """``K_{r_int}`` of the given site."""
+        return len(self._interaction_neighbours[site])
+
+    def sites_mutually_interacting(self, sites: Sequence[int]) -> bool:
+        """True if *every pair* of the given sites is within the interaction radius.
+
+        This is the executability condition for an ``m``-qubit gate
+        (Section 2.1): all participating qubits must lie within ``r_int`` of
+        each other.
+        """
+        site_list = list(sites)
+        for i, site_a in enumerate(site_list):
+            for site_b in site_list[i + 1:]:
+                if site_a == site_b:
+                    return False
+                if not self.are_adjacent(site_a, site_b):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def hop_distance(self, site_a: int, site_b: int) -> int:
+        """Hop distance between two sites on the full site graph.
+
+        Computed lazily with one BFS per source and cached.  A value of
+        ``num_sites`` (unreachable) is only possible for degenerate radii.
+        """
+        if self._hop_distance is None:
+            self._hop_distance = [[-1] * self.num_sites for _ in range(self.num_sites)]
+        row = self._hop_distance[site_a]
+        if row[site_b] < 0:
+            self._bfs_fill(site_a)
+        return self._hop_distance[site_a][site_b]
+
+    def _bfs_fill(self, source: int) -> None:
+        assert self._hop_distance is not None
+        distances = [self.num_sites] * self.num_sites
+        distances[source] = 0
+        queue = deque([source])
+        while queue:
+            current = queue.popleft()
+            for neighbour in self._interaction_neighbours[current]:
+                if distances[neighbour] > distances[current] + 1:
+                    distances[neighbour] = distances[current] + 1
+                    queue.append(neighbour)
+        self._hop_distance[source] = distances
+
+    def bfs_distances_from(self, source: int,
+                           allowed: Optional[Set[int]] = None) -> Dict[int, int]:
+        """BFS hop distances from ``source``.
+
+        If ``allowed`` is given, the search only traverses sites contained in
+        it (the source is always traversable).  This is the primitive used to
+        compute SWAP distances over *occupied* sites only.
+        """
+        distances = {source: 0}
+        queue = deque([source])
+        while queue:
+            current = queue.popleft()
+            for neighbour in self._interaction_neighbours[current]:
+                if neighbour in distances:
+                    continue
+                if allowed is not None and neighbour not in allowed:
+                    continue
+                distances[neighbour] = distances[current] + 1
+                queue.append(neighbour)
+        return distances
+
+    def shortest_path(self, site_a: int, site_b: int,
+                      allowed: Optional[Set[int]] = None) -> Optional[List[int]]:
+        """Shortest site path from ``site_a`` to ``site_b`` (inclusive), or ``None``.
+
+        Traversal is restricted to ``allowed`` sites if given (the endpoints
+        are always traversable).
+        """
+        if site_a == site_b:
+            return [site_a]
+        parents: Dict[int, int] = {site_a: site_a}
+        queue = deque([site_a])
+        while queue:
+            current = queue.popleft()
+            for neighbour in self._interaction_neighbours[current]:
+                if neighbour in parents:
+                    continue
+                if allowed is not None and neighbour not in allowed and neighbour != site_b:
+                    continue
+                parents[neighbour] = current
+                if neighbour == site_b:
+                    path = [site_b]
+                    while path[-1] != site_a:
+                        path.append(parents[path[-1]])
+                    path.reverse()
+                    return path
+                queue.append(neighbour)
+        return None
+
+    # ------------------------------------------------------------------
+    # Graph exports
+    # ------------------------------------------------------------------
+    def site_graph(self) -> nx.Graph:
+        """The full site-level interaction graph as a networkx graph."""
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.num_sites))
+        for site in range(self.num_sites):
+            for neighbour in self._interaction_neighbours[site]:
+                if neighbour > site:
+                    graph.add_edge(site, neighbour)
+        return graph
+
+    def occupied_subgraph(self, occupied_sites: Iterable[int]) -> nx.Graph:
+        """Atom-level connectivity graph ``G`` induced by the occupied sites."""
+        occupied = set(occupied_sites)
+        graph = nx.Graph()
+        graph.add_nodes_from(occupied)
+        for site in occupied:
+            for neighbour in self._interaction_neighbours[site]:
+                if neighbour in occupied and neighbour > site:
+                    graph.add_edge(site, neighbour)
+        return graph

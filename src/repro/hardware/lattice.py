@@ -1,0 +1,181 @@
+"""Square-lattice trap geometry.
+
+The paper assumes the static SLM traps form a regular ``l x l`` square lattice
+with lattice constant ``d`` (Section 2.1).  :class:`SquareLattice` enumerates
+the trap coordinates ``C = {C_alpha}``, converts between coordinate indices and
+physical positions, and answers the geometric queries the mapper needs:
+Euclidean distance, neighbourhood within a radius, and Manhattan-style
+rectangular shuttling distance (AOD moves travel along x then y, so the time
+cost of a move is proportional to the rectangular distance, cf. ``s(M)`` in
+the shuttling cost function).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["SquareLattice"]
+
+Position = Tuple[float, float]
+
+
+class SquareLattice:
+    """Regular ``rows x cols`` grid of optical traps with spacing ``d``.
+
+    Coordinate indices run row-major: index ``alpha`` sits at row
+    ``alpha // cols`` and column ``alpha % cols``, i.e. at physical position
+    ``(col * d, row * d)`` in micrometres.
+    """
+
+    def __init__(self, rows: int, cols: Optional[int] = None, spacing: float = 3.0) -> None:
+        if rows <= 0:
+            raise ValueError("lattice needs at least one row")
+        cols = cols if cols is not None else rows
+        if cols <= 0:
+            raise ValueError("lattice needs at least one column")
+        if spacing <= 0:
+            raise ValueError("lattice spacing must be positive")
+        self.rows = int(rows)
+        self.cols = int(cols)
+        self.spacing = float(spacing)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_sites(self) -> int:
+        """Total number of trap coordinates ``|C|``."""
+        return self.rows * self.cols
+
+    def __len__(self) -> int:
+        return self.num_sites
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.num_sites))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SquareLattice({self.rows}x{self.cols}, d={self.spacing} um)"
+
+    # ------------------------------------------------------------------
+    # Index <-> geometry conversions
+    # ------------------------------------------------------------------
+    def row_col(self, site: int) -> Tuple[int, int]:
+        """Return the ``(row, col)`` grid coordinates of a site index."""
+        self._check_site(site)
+        return divmod(site, self.cols)
+
+    def site_at(self, row: int, col: int) -> int:
+        """Return the site index at grid coordinates ``(row, col)``."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ValueError(f"grid coordinates ({row}, {col}) outside "
+                             f"{self.rows}x{self.cols} lattice")
+        return row * self.cols + col
+
+    def position(self, site: int) -> Position:
+        """Physical ``(x, y)`` position of a site in micrometres."""
+        row, col = self.row_col(site)
+        return (col * self.spacing, row * self.spacing)
+
+    def positions(self) -> List[Position]:
+        """Positions of all sites in index order."""
+        return [self.position(site) for site in range(self.num_sites)]
+
+    def site_near(self, x: float, y: float) -> int:
+        """Site index closest to the physical position ``(x, y)``."""
+        col = min(max(round(x / self.spacing), 0), self.cols - 1)
+        row = min(max(round(y / self.spacing), 0), self.rows - 1)
+        return self.site_at(int(row), int(col))
+
+    def _check_site(self, site: int) -> None:
+        if not 0 <= site < self.num_sites:
+            raise ValueError(f"site {site} outside lattice with {self.num_sites} sites")
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def euclidean_distance(self, site_a: int, site_b: int) -> float:
+        """Euclidean distance between two sites in micrometres."""
+        xa, ya = self.position(site_a)
+        xb, yb = self.position(site_b)
+        return math.hypot(xa - xb, ya - yb)
+
+    def rectangular_distance(self, site_a: int, site_b: int) -> float:
+        """Manhattan (x-then-y) travel distance between two sites in micrometres.
+
+        AOD moves displace the activated row and column independently, so the
+        shuttling time of a single move is governed by this rectangular
+        distance ``s(M)``.
+        """
+        xa, ya = self.position(site_a)
+        xb, yb = self.position(site_b)
+        return abs(xa - xb) + abs(ya - yb)
+
+    def grid_distance(self, site_a: int, site_b: int) -> int:
+        """Chebyshev distance in lattice units (number of king moves)."""
+        ra, ca = self.row_col(site_a)
+        rb, cb = self.row_col(site_b)
+        return max(abs(ra - rb), abs(ca - cb))
+
+    # ------------------------------------------------------------------
+    # Neighbourhoods
+    # ------------------------------------------------------------------
+    def sites_within(self, site: int, radius: float) -> List[int]:
+        """All sites (excluding ``site`` itself) within Euclidean ``radius``.
+
+        ``radius`` is in micrometres.  The scan is restricted to the bounding
+        box of the radius, so the cost is ``O((radius/d)^2)`` rather than the
+        full lattice.
+        """
+        self._check_site(site)
+        if radius <= 0:
+            return []
+        row, col = self.row_col(site)
+        reach = int(math.floor(radius / self.spacing + 1e-9))
+        found: List[int] = []
+        for dr in range(-reach, reach + 1):
+            for dc in range(-reach, reach + 1):
+                if dr == 0 and dc == 0:
+                    continue
+                r, c = row + dr, col + dc
+                if not (0 <= r < self.rows and 0 <= c < self.cols):
+                    continue
+                distance = math.hypot(dr, dc) * self.spacing
+                if distance <= radius + 1e-9:
+                    found.append(self.site_at(r, c))
+        return found
+
+    def neighbourhood_size(self, radius: float) -> int:
+        """Coordination number ``K_r`` of a bulk site for the given radius."""
+        if radius <= 0:
+            return 0
+        reach = int(math.floor(radius / self.spacing + 1e-9))
+        count = 0
+        for dr in range(-reach, reach + 1):
+            for dc in range(-reach, reach + 1):
+                if dr == 0 and dc == 0:
+                    continue
+                if math.hypot(dr, dc) * self.spacing <= radius + 1e-9:
+                    count += 1
+        return count
+
+    def all_pairs_within(self, radius: float) -> Iterator[Tuple[int, int]]:
+        """Yield every unordered site pair within Euclidean ``radius``."""
+        for site in range(self.num_sites):
+            for other in self.sites_within(site, radius):
+                if other > site:
+                    yield (site, other)
+
+    def boundary_sites(self) -> List[int]:
+        """Sites on the outer rim of the lattice."""
+        rim = []
+        for site in range(self.num_sites):
+            row, col = self.row_col(site)
+            if row in (0, self.rows - 1) or col in (0, self.cols - 1):
+                rim.append(site)
+        return rim
+
+    def interior_sites(self) -> List[int]:
+        """Sites not on the outer rim."""
+        boundary = set(self.boundary_sites())
+        return [site for site in range(self.num_sites) if site not in boundary]

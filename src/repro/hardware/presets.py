@@ -1,0 +1,100 @@
+"""Hardware presets reproducing Table 1c of the paper.
+
+Three configurations are evaluated in the paper, all on a 15 x 15 lattice
+with ``d = 3 um`` and ``N = 200`` atoms:
+
+=====================  ==========  ======  ======
+parameter              Shuttling   Gate    Mixed
+=====================  ==========  ======  ======
+``r_int = r_restr``    2           4.5     2.5
+``F_CZ``               0.994       0.9995  0.995
+``F_H``                0.995       0.9999  0.999
+``F_Shuttling``        1           0.999   0.9999
+``v`` [um/us]          0.55        0.2     0.3
+``t_act/deact`` [us]   20          50      40
+=====================  ==========  ======  ======
+
+Shared parameters: ``t_U3 = 0.5 us``, ``t_CZ = 0.2 us``, ``t_CCZ = 0.4 us``,
+``t_CCCZ = 0.6 us``, ``T1 = 1e8 us``, ``T2 = 1.5e6 us``.
+
+The factory functions accept ``lattice_rows`` / ``num_atoms`` overrides so
+that the benchmark harness can run scaled-down instances with the same
+relative characteristics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .architecture import Fidelities, GateDurations, NeutralAtomArchitecture
+from .lattice import SquareLattice
+
+__all__ = [
+    "shuttling_optimised",
+    "gate_optimised",
+    "mixed",
+    "preset",
+    "PRESET_NAMES",
+]
+
+PRESET_NAMES = ("shuttling", "gate", "mixed")
+
+_SHARED_DURATIONS = dict(single_qubit=0.5, cz=0.2, ccz=0.4, cccz=0.6)
+_SHARED_COHERENCE = dict(t1=100_000_000.0, t2=1_500_000.0)
+
+
+def _build(name: str, *, r_int: float, f_cz: float, f_1q: float, f_shuttle: float,
+           speed: float, t_act: float, lattice_rows: int, spacing: float,
+           num_atoms: Optional[int]) -> NeutralAtomArchitecture:
+    lattice = SquareLattice(lattice_rows, lattice_rows, spacing)
+    atoms = num_atoms if num_atoms is not None else min(200, lattice.num_sites - 1)
+    return NeutralAtomArchitecture(
+        name=name,
+        lattice=lattice,
+        num_atoms=atoms,
+        interaction_radius=r_int,
+        restriction_radius=r_int,
+        fidelities=Fidelities(cz=f_cz, single_qubit=f_1q, shuttling=f_shuttle),
+        durations=GateDurations(aod_activation=t_act, aod_deactivation=t_act,
+                                **_SHARED_DURATIONS),
+        shuttling_speed=speed,
+        **_SHARED_COHERENCE,
+    )
+
+
+def shuttling_optimised(lattice_rows: int = 15, spacing: float = 3.0,
+                        num_atoms: Optional[int] = None) -> NeutralAtomArchitecture:
+    """Table 1c column (1): short-range gates, fast and lossless shuttling."""
+    return _build("shuttling", r_int=2.0, f_cz=0.994, f_1q=0.995, f_shuttle=1.0,
+                  speed=0.55, t_act=20.0, lattice_rows=lattice_rows, spacing=spacing,
+                  num_atoms=num_atoms)
+
+
+def gate_optimised(lattice_rows: int = 15, spacing: float = 3.0,
+                   num_atoms: Optional[int] = None) -> NeutralAtomArchitecture:
+    """Table 1c column (2): long-range high-fidelity gates, slow lossy shuttling."""
+    return _build("gate", r_int=4.5, f_cz=0.9995, f_1q=0.9999, f_shuttle=0.999,
+                  speed=0.2, t_act=50.0, lattice_rows=lattice_rows, spacing=spacing,
+                  num_atoms=num_atoms)
+
+
+def mixed(lattice_rows: int = 15, spacing: float = 3.0,
+          num_atoms: Optional[int] = None) -> NeutralAtomArchitecture:
+    """Table 1c column (3): near-term device without a clearly preferred capability."""
+    return _build("mixed", r_int=2.5, f_cz=0.995, f_1q=0.999, f_shuttle=0.9999,
+                  speed=0.3, t_act=40.0, lattice_rows=lattice_rows, spacing=spacing,
+                  num_atoms=num_atoms)
+
+
+def preset(name: str, lattice_rows: int = 15, spacing: float = 3.0,
+           num_atoms: Optional[int] = None) -> NeutralAtomArchitecture:
+    """Instantiate a preset by name (``"shuttling"``, ``"gate"`` or ``"mixed"``)."""
+    factories = {
+        "shuttling": shuttling_optimised,
+        "gate": gate_optimised,
+        "mixed": mixed,
+    }
+    lowered = name.lower()
+    if lowered not in factories:
+        raise ValueError(f"unknown hardware preset {name!r}; choose from {PRESET_NAMES}")
+    return factories[lowered](lattice_rows=lattice_rows, spacing=spacing, num_atoms=num_atoms)

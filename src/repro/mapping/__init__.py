@@ -1,0 +1,50 @@
+"""Hybrid gate/shuttling circuit mapping — the paper's primary contribution."""
+
+from .config import MapperConfig
+from .decision import CapabilityDecider, CapabilityDecision, GateCostEstimate
+from .gate_router import GateRouter, SwapCandidate
+from .hybrid_mapper import HybridMapper, MappingError
+from .initial_layout import (
+    LAYOUT_STRATEGIES,
+    compact_layout,
+    create_initial_state,
+    identity_layout,
+    interaction_graph_layout,
+)
+from .layers import LayerManager
+from .multiqubit import GatePosition, find_gate_position
+from .result import (
+    CircuitGateOp,
+    MappedOperation,
+    MappingResult,
+    ShuttleOp,
+    SwapOp,
+)
+from .shuttling_router import ShuttlingRouter
+from .state import MappingState
+
+__all__ = [
+    "HybridMapper",
+    "MapperConfig",
+    "MappingError",
+    "MappingState",
+    "MappingResult",
+    "MappedOperation",
+    "CircuitGateOp",
+    "SwapOp",
+    "ShuttleOp",
+    "LayerManager",
+    "CapabilityDecider",
+    "CapabilityDecision",
+    "GateCostEstimate",
+    "GateRouter",
+    "SwapCandidate",
+    "ShuttlingRouter",
+    "GatePosition",
+    "find_gate_position",
+    "identity_layout",
+    "compact_layout",
+    "interaction_graph_layout",
+    "create_initial_state",
+    "LAYOUT_STRATEGIES",
+]

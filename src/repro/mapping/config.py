@@ -1,0 +1,110 @@
+"""Mapper configuration.
+
+Collects every tunable of the hybrid mapping process in one place.  The
+defaults reproduce the parameter set of the paper's evaluation (Section 4.1):
+``lambda_t = 0``, ``w_l = 0.1``, ``w_t = 0.1``, history/recency window
+``t = 4`` and a lookahead depth of one layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+__all__ = ["MapperConfig"]
+
+
+@dataclass(frozen=True)
+class MapperConfig:
+    """Parameters of the hybrid mapping process.
+
+    Attributes
+    ----------
+    alpha_gate / alpha_shuttling:
+        Decision weights ``alpha_g`` and ``alpha_s``.  ``alpha_shuttling = 0``
+        gives the gate-only mode (A of Table 1a is shuttling-only, B is
+        gate-only, C is the hybrid); ``alpha_gate = 0`` gives shuttling-only.
+    lookahead_depth:
+        Number of DAG release steps included in the lookahead layer.
+    lookahead_weight:
+        ``w_l`` — weighting of the lookahead layer in both cost functions.
+    decay_rate:
+        ``lambda_t`` — recency damping of the gate-based cost function.
+    time_weight:
+        ``w_t`` — weighting of the AOD-parallelism term of the shuttling cost.
+    history_window:
+        ``t`` — number of recent operations considered for the recency score
+        and the parallelism term.
+    use_commutation:
+        Whether layer creation may exploit gate commutation rules.
+    stall_threshold:
+        Number of consecutive routing operations without executing a gate
+        after which the mapper switches to deterministic fallback routing.
+        ``None`` derives a threshold from the lattice diameter.
+    max_routing_steps:
+        Hard safety bound on the total number of routing operations; mapping
+        aborts with an error beyond it (should never trigger in practice).
+    """
+
+    alpha_gate: float = 1.0
+    alpha_shuttling: float = 1.0
+    lookahead_depth: int = 1
+    lookahead_weight: float = 0.1
+    decay_rate: float = 0.0
+    time_weight: float = 0.1
+    history_window: int = 4
+    use_commutation: bool = True
+    stall_threshold: Optional[int] = None
+    max_routing_steps: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.alpha_gate < 0 or self.alpha_shuttling < 0:
+            raise ValueError("alpha weights must be non-negative")
+        if self.alpha_gate == 0 and self.alpha_shuttling == 0:
+            raise ValueError("at least one capability must remain enabled")
+        if self.lookahead_depth < 0:
+            raise ValueError("lookahead depth cannot be negative")
+        if self.lookahead_weight < 0 or self.time_weight < 0 or self.decay_rate < 0:
+            raise ValueError("cost weights must be non-negative")
+        if self.history_window < 0:
+            raise ValueError("history window cannot be negative")
+
+    # ------------------------------------------------------------------
+    # Mode helpers
+    # ------------------------------------------------------------------
+    @property
+    def mode(self) -> str:
+        """Human-readable mode name: ``gate_only``, ``shuttling_only`` or ``hybrid``."""
+        if self.alpha_shuttling == 0:
+            return "gate_only"
+        if self.alpha_gate == 0:
+            return "shuttling_only"
+        return "hybrid"
+
+    @property
+    def alpha_ratio(self) -> float:
+        """The decision ratio ``alpha = alpha_g / alpha_s`` (``inf`` for gate-only)."""
+        if self.alpha_shuttling == 0:
+            return float("inf")
+        return self.alpha_gate / self.alpha_shuttling
+
+    @classmethod
+    def gate_only(cls, **kwargs) -> "MapperConfig":
+        """Configuration for pure SWAP-insertion mapping (mode (B))."""
+        return cls(alpha_gate=1.0, alpha_shuttling=0.0, **kwargs)
+
+    @classmethod
+    def shuttling_only(cls, **kwargs) -> "MapperConfig":
+        """Configuration for pure shuttling mapping (mode (A))."""
+        return cls(alpha_gate=0.0, alpha_shuttling=1.0, **kwargs)
+
+    @classmethod
+    def hybrid(cls, alpha_ratio: float = 1.0, **kwargs) -> "MapperConfig":
+        """Hybrid configuration with the given decision ratio ``alpha_g / alpha_s``."""
+        if alpha_ratio <= 0:
+            raise ValueError("alpha ratio must be positive for hybrid mapping")
+        return cls(alpha_gate=alpha_ratio, alpha_shuttling=1.0, **kwargs)
+
+    def with_overrides(self, **kwargs) -> "MapperConfig":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)

@@ -1,0 +1,190 @@
+"""Capability decision (process block (2)).
+
+For every gate in the front (and lookahead) layer the mapper estimates how
+many SWAPs gate-based routing would need and how many shuttling moves
+shuttling-based routing would need, converts both estimates into approximate
+success probabilities ``P_g`` and ``P_s`` following the fidelity model of
+Eq. (1), weighs them with the user-chosen factors ``alpha_g`` and ``alpha_s``,
+and assigns the gate to the capability with the larger weighted outcome.
+
+The estimates are deliberately cheap — they are recomputed for every front
+layer — and only need to rank the two capabilities correctly, not predict the
+absolute fidelity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..circuit.gate import Gate
+from ..hardware.architecture import NeutralAtomArchitecture
+from .state import MappingState
+
+__all__ = ["CapabilityDecision", "GateCostEstimate", "CapabilityDecider"]
+
+
+@dataclass(frozen=True)
+class GateCostEstimate:
+    """Cheap per-gate estimate backing the capability decision."""
+
+    gate_index: int
+    estimated_swaps: int
+    estimated_moves: int
+    estimated_move_distance_um: float
+    success_gate_based: float
+    success_shuttling_based: float
+
+
+@dataclass(frozen=True)
+class CapabilityDecision:
+    """Outcome of the decision step for one gate."""
+
+    gate_index: int
+    use_gate_based: bool
+    estimate: GateCostEstimate
+
+
+class CapabilityDecider:
+    """Computes per-gate capability decisions.
+
+    Parameters
+    ----------
+    architecture:
+        Target device (supplies fidelities, durations and coherence times).
+    alpha_gate / alpha_shuttling:
+        The weighting factors ``alpha_g`` and ``alpha_s``.  Setting one of
+        them to zero forces the corresponding capability off, reproducing the
+        paper's gate-only and shuttling-only modes.
+    """
+
+    def __init__(self, architecture: NeutralAtomArchitecture,
+                 alpha_gate: float = 1.0, alpha_shuttling: float = 1.0) -> None:
+        if alpha_gate < 0 or alpha_shuttling < 0:
+            raise ValueError("alpha weights must be non-negative")
+        if alpha_gate == 0 and alpha_shuttling == 0:
+            raise ValueError("at least one of alpha_g, alpha_s must be positive")
+        self.architecture = architecture
+        self.alpha_gate = alpha_gate
+        self.alpha_shuttling = alpha_shuttling
+
+    # ------------------------------------------------------------------
+    # Estimates
+    # ------------------------------------------------------------------
+    def estimate(self, state: MappingState, gate: Gate, gate_index: int) -> GateCostEstimate:
+        """Estimate routing effort and success probability for both capabilities."""
+        arch = self.architecture
+        lattice = arch.lattice
+        qubits = list(gate.qubits)
+
+        # --- gate-based: SWAPs needed to bring all qubits together ---------
+        estimated_swaps = self._estimate_swaps(state, qubits)
+
+        # --- shuttling-based: moves needed to gather the qubits ------------
+        estimated_moves, move_distance = self._estimate_moves(state, qubits)
+
+        # --- convert to approximate success probabilities ------------------
+        t_eff = arch.effective_decoherence_time
+        idle_qubits = max(state.num_circuit_qubits - len(qubits), 1)
+
+        swap_fidelity = (arch.fidelities.cz ** 3) * (arch.fidelities.single_qubit ** 6)
+        swap_duration = 3 * arch.durations.cz + 6 * arch.durations.single_qubit
+        gate_success = (swap_fidelity ** estimated_swaps) * math.exp(
+            -(estimated_swaps * swap_duration * idle_qubits) / t_eff)
+
+        move_duration = (arch.durations.aod_activation + arch.durations.aod_deactivation
+                         + arch.shuttle_move_duration(
+                             move_distance / estimated_moves if estimated_moves else 0.0))
+        shuttle_success = (arch.fidelities.shuttling ** estimated_moves) * math.exp(
+            -(estimated_moves * move_duration * idle_qubits) / t_eff)
+
+        return GateCostEstimate(
+            gate_index=gate_index,
+            estimated_swaps=estimated_swaps,
+            estimated_moves=estimated_moves,
+            estimated_move_distance_um=move_distance,
+            success_gate_based=gate_success,
+            success_shuttling_based=shuttle_success,
+        )
+
+    def _estimate_swaps(self, state: MappingState, qubits: Sequence[int]) -> int:
+        """Estimated SWAP count: hops to gather all qubits around the most central one."""
+        if len(qubits) == 2:
+            return state.swap_distance(qubits[0], qubits[1])
+        # For multi-qubit gates gather everyone around the qubit with the
+        # smallest summed distance to the others.
+        best_total = None
+        for anchor in qubits:
+            total = 0
+            for other in qubits:
+                if other == anchor:
+                    continue
+                total += state.swap_distance(anchor, other)
+            if best_total is None or total < best_total:
+                best_total = total
+        return best_total or 0
+
+    def _estimate_moves(self, state: MappingState,
+                        qubits: Sequence[int]) -> Tuple[int, float]:
+        """Estimated move count and summed rectangular travel distance.
+
+        Every gate qubit that is not already within the interaction radius of
+        the chosen anchor needs one direct move; if the anchor's vicinity has
+        fewer free sites than moving qubits, the missing ones additionally
+        need a move-away (two moves per qubit).
+        """
+        arch = self.architecture
+        lattice = arch.lattice
+        best: Optional[Tuple[int, float]] = None
+        for anchor in qubits:
+            anchor_site = state.site_of_qubit(anchor)
+            moving = []
+            for other in qubits:
+                if other == anchor:
+                    continue
+                if not state.qubits_adjacent(anchor, other):
+                    moving.append(other)
+            free_nearby = len(state.free_sites_near(anchor_site))
+            move_aways = max(len(moving) - free_nearby, 0)
+            moves = len(moving) + move_aways
+            distance = sum(
+                lattice.rectangular_distance(state.site_of_qubit(other), anchor_site)
+                for other in moving)
+            distance += move_aways * lattice.spacing  # each move-away travels ~ one site
+            if best is None or moves < best[0] or (moves == best[0] and distance < best[1]):
+                best = (moves, distance)
+        return best if best is not None else (0, 0.0)
+
+    # ------------------------------------------------------------------
+    # Decision
+    # ------------------------------------------------------------------
+    def decide(self, state: MappingState, gate: Gate, gate_index: int) -> CapabilityDecision:
+        """Assign one gate to gate-based or shuttling-based mapping."""
+        estimate = self.estimate(state, gate, gate_index)
+        if self.alpha_shuttling == 0:
+            return CapabilityDecision(gate_index, True, estimate)
+        if self.alpha_gate == 0:
+            return CapabilityDecision(gate_index, False, estimate)
+        weighted_gate = self.alpha_gate * estimate.success_gate_based
+        weighted_shuttle = self.alpha_shuttling * estimate.success_shuttling_based
+        return CapabilityDecision(gate_index, weighted_gate >= weighted_shuttle, estimate)
+
+    def split_layers(self, state: MappingState, nodes: Sequence,
+                     ) -> Tuple[List, List, List[CapabilityDecision]]:
+        """Split DAG nodes into gate-based and shuttling-based sublayers.
+
+        Returns ``(gate_based_nodes, shuttling_nodes, decisions)`` preserving
+        the input order.
+        """
+        gate_nodes: List = []
+        shuttle_nodes: List = []
+        decisions: List[CapabilityDecision] = []
+        for node in nodes:
+            decision = self.decide(state, node.gate, node.index)
+            decisions.append(decision)
+            if decision.use_gate_based:
+                gate_nodes.append(node)
+            else:
+                shuttle_nodes.append(node)
+        return gate_nodes, shuttle_nodes, decisions

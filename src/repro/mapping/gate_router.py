@@ -1,0 +1,314 @@
+"""Gate-based routing (process block (3), Section 3.3.1).
+
+The gate-based router inserts SWAP gates to modify the qubit mapping until at
+least one front-layer gate becomes executable.  Candidate SWAPs are all swaps
+between a front-layer gate qubit and an atom within its interaction radius.
+Each candidate is scored with the cost function of Eq. (2)/(3):
+
+``C_g(S) = exp(-lambda_t * t(S)) * [ C_f(S) + w_l * C_l(S) ]``
+
+where ``C_f``/``C_l`` aggregate, over the gate-based front and lookahead
+layers, the routing distance that remains after hypothetically applying the
+SWAP ``S`` (two-qubit gates measure the distance between their qubits;
+multi-qubit gates measure the distance of every gate qubit to its assigned
+site in the precomputed :class:`~repro.mapping.multiqubit.GatePosition`).
+
+``t(S)`` is a recency score: SWAPs whose qubits took part in one of the last
+``recency_window`` routing operations (including qubits merely *restricted*
+by them, the NA-specific extension the paper describes) receive a larger
+``t(S)``, and with ``lambda_t > 0`` the exponential factor damps their score,
+steering the router towards SWAPs on fresh qubits and therefore towards more
+parallelism.  The paper's evaluation uses ``lambda_t = 0`` where the factor
+is exactly 1.
+
+Interpretation note: Eq. (3) is stated in terms of the *difference* in SWAP
+count caused by ``S``.  Because every candidate is compared on the same layer
+set, ranking by remaining distance and ranking by difference are equivalent;
+the implementation uses the remaining distance so that the cost is
+non-negative and the exponential damping acts in the intended direction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..circuit.gate import Gate
+from ..hardware.architecture import NeutralAtomArchitecture
+from .multiqubit import GatePosition
+from .state import MappingState
+
+__all__ = ["SwapCandidate", "GateRouter"]
+
+
+@dataclass(frozen=True)
+class SwapCandidate:
+    """A candidate SWAP between the atoms at two adjacent sites.
+
+    ``qubit_a`` is always a circuit qubit of a front-layer gate; ``qubit_b``
+    is the circuit qubit held by the partner atom or ``None`` when the
+    partner is an auxiliary (unassigned) atom.
+    """
+
+    qubit_a: int
+    qubit_b: Optional[int]
+    atom_a: int
+    atom_b: int
+    site_a: int
+    site_b: int
+
+    def key(self) -> Tuple[int, int]:
+        """Canonical identity used for deduplication."""
+        return (min(self.site_a, self.site_b), max(self.site_a, self.site_b))
+
+
+class GateRouter:
+    """SWAP-insertion router with lookahead and recency damping."""
+
+    def __init__(self, architecture: NeutralAtomArchitecture, *,
+                 lookahead_weight: float = 0.1, decay_rate: float = 0.0,
+                 recency_window: int = 4) -> None:
+        if lookahead_weight < 0:
+            raise ValueError("lookahead weight must be non-negative")
+        if decay_rate < 0:
+            raise ValueError("decay rate must be non-negative")
+        if recency_window < 0:
+            raise ValueError("recency window must be non-negative")
+        self.architecture = architecture
+        self.lookahead_weight = lookahead_weight
+        self.decay_rate = decay_rate
+        self.recency_window = recency_window
+        self._step = 0
+        self._last_used: Dict[int, int] = {}
+        self._last_swap_key: Optional[Tuple[int, int]] = None
+
+    # ------------------------------------------------------------------
+    # Recency bookkeeping
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self._step = 0
+        self._last_used.clear()
+        self._last_swap_key = None
+
+    def note_swap_applied(self, state: MappingState, candidate: SwapCandidate) -> None:
+        """Record a SWAP execution for the recency score.
+
+        Besides the two swapped qubits, every qubit within the restriction
+        radius of the SWAP is recorded as "used": those atoms cannot take part
+        in a parallel gate anyway, so preferring other qubits next increases
+        parallelism (the NA-specific extension of the Li et al. decay).
+        """
+        self._step += 1
+        self._last_swap_key = candidate.key()
+        for site in (candidate.site_a, candidate.site_b):
+            atom = state.atom_at_site(site)
+            if atom is not None:
+                qubit = state.qubit_of_atom(atom)
+                if qubit is not None:
+                    self._last_used[qubit] = self._step
+            for neighbour in state.connectivity.restriction_neighbours(site):
+                neighbour_atom = state.atom_at_site(neighbour)
+                if neighbour_atom is None:
+                    continue
+                neighbour_qubit = state.qubit_of_atom(neighbour_atom)
+                if neighbour_qubit is not None:
+                    self._last_used.setdefault(neighbour_qubit, self._step)
+
+    def recency(self, candidate: SwapCandidate) -> int:
+        """Recency score ``t(S)`` in ``[0, recency_window]`` (0 = long unused)."""
+        score = 0
+        for qubit in (candidate.qubit_a, candidate.qubit_b):
+            if qubit is None or qubit not in self._last_used:
+                continue
+            age = self._step - self._last_used[qubit]
+            score = max(score, max(self.recency_window - age, 0))
+        return score
+
+    # ------------------------------------------------------------------
+    # Candidate generation
+    # ------------------------------------------------------------------
+    def candidate_swaps(self, state: MappingState,
+                        front_nodes: Sequence) -> List[SwapCandidate]:
+        """All SWAPs acting on a front-layer gate qubit and an adjacent atom."""
+        seen: Set[Tuple[int, int]] = set()
+        candidates: List[SwapCandidate] = []
+        for node in front_nodes:
+            for qubit in node.gate.qubits:
+                atom_a = state.atom_of_qubit(qubit)
+                site_a = state.site_of_atom(atom_a)
+                for site_b in state.connectivity.interaction_neighbours(site_a):
+                    atom_b = state.atom_at_site(site_b)
+                    if atom_b is None:
+                        continue
+                    key = (min(site_a, site_b), max(site_a, site_b))
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    candidates.append(SwapCandidate(
+                        qubit_a=qubit,
+                        qubit_b=state.qubit_of_atom(atom_b),
+                        atom_a=atom_a,
+                        atom_b=atom_b,
+                        site_a=site_a,
+                        site_b=site_b,
+                    ))
+        return candidates
+
+    # ------------------------------------------------------------------
+    # Cost evaluation
+    # ------------------------------------------------------------------
+    def _effective_site(self, state: MappingState, qubit: int,
+                        candidate: SwapCandidate) -> int:
+        """Site of ``qubit`` after hypothetically applying ``candidate``."""
+        if qubit == candidate.qubit_a:
+            return candidate.site_b
+        if candidate.qubit_b is not None and qubit == candidate.qubit_b:
+            return candidate.site_a
+        return state.site_of_qubit(qubit)
+
+    def _gate_distance(self, state: MappingState, gate: Gate,
+                       candidate: Optional[SwapCandidate],
+                       position: Optional[GatePosition]) -> int:
+        """Remaining routing distance of one gate, optionally after a SWAP."""
+        connectivity = state.connectivity
+
+        def site_of(qubit: int) -> int:
+            if candidate is None:
+                return state.site_of_qubit(qubit)
+            return self._effective_site(state, qubit, candidate)
+
+        if position is not None:
+            total = 0
+            for qubit, target in position.assignment.items():
+                origin = site_of(qubit)
+                if origin != target:
+                    total += connectivity.hop_distance(origin, target)
+            return total
+
+        qubits = gate.qubits
+        total = 0
+        for i, qubit_a in enumerate(qubits):
+            site_a = site_of(qubit_a)
+            for qubit_b in qubits[i + 1:]:
+                site_b = site_of(qubit_b)
+                if site_a == site_b or connectivity.are_adjacent(site_a, site_b):
+                    continue
+                total += max(connectivity.hop_distance(site_a, site_b) - 1, 0)
+        return total
+
+    def layer_distance(self, state: MappingState, nodes: Sequence,
+                       positions: Dict[int, GatePosition],
+                       candidate: Optional[SwapCandidate] = None) -> int:
+        """Summed remaining routing distance of a layer (front or lookahead)."""
+        total = 0
+        for node in nodes:
+            position = positions.get(node.index)
+            total += self._gate_distance(state, node.gate, candidate, position)
+        return total
+
+    def swap_cost(self, state: MappingState, candidate: SwapCandidate,
+                  front_nodes: Sequence, lookahead_nodes: Sequence,
+                  positions: Dict[int, GatePosition]) -> float:
+        """Cost of one SWAP candidate according to Eq. (2)/(3)."""
+        front_cost = self.layer_distance(state, front_nodes, positions, candidate)
+        lookahead_cost = self.layer_distance(state, lookahead_nodes, positions, candidate)
+        base = front_cost + self.lookahead_weight * lookahead_cost
+        if self.decay_rate == 0.0:
+            return base
+        return base * math.exp(self.decay_rate * self.recency(candidate))
+
+    def best_swap(self, state: MappingState, front_nodes: Sequence,
+                  lookahead_nodes: Sequence,
+                  positions: Dict[int, GatePosition]) -> Optional[SwapCandidate]:
+        """Return the lowest-cost SWAP candidate (ties broken deterministically).
+
+        The exact inverse of the most recently applied SWAP is excluded (as
+        long as another candidate exists): with ``lambda_t = 0`` a cost tie
+        between doing and undoing a SWAP would otherwise ping-pong forever.
+        """
+        candidates = self.candidate_swaps(state, front_nodes)
+        if not candidates:
+            return None
+        if self._last_swap_key is not None and len(candidates) > 1:
+            filtered = [c for c in candidates if c.key() != self._last_swap_key]
+            if filtered:
+                candidates = filtered
+        best_candidate = None
+        best_key: Optional[Tuple[float, Tuple[int, int]]] = None
+        for candidate in candidates:
+            cost = self.swap_cost(state, candidate, front_nodes, lookahead_nodes, positions)
+            key = (cost, candidate.key())
+            if best_key is None or key < best_key:
+                best_key = key
+                best_candidate = candidate
+        return best_candidate
+
+    # ------------------------------------------------------------------
+    # Deterministic fallback routing
+    # ------------------------------------------------------------------
+    def forced_route_swaps(self, state: MappingState, gate: Gate,
+                           position: Optional[GatePosition] = None,
+                           max_iterations: Optional[int] = None
+                           ) -> List[SwapCandidate]:
+        """Route one gate to executability along explicit shortest paths.
+
+        Used as a safety valve when greedy cost minimisation stalls (the best
+        SWAP oscillates without ever executing a gate).  The returned SWAP
+        sequence is *already applied* to ``state``; the caller only has to
+        record the candidates in the output stream and update the recency
+        bookkeeping.  The routine is guaranteed to terminate: every SWAP moves
+        one unsatisfied qubit one hop closer to its destination along a path
+        over occupied sites, and paths avoid displacing already-satisfied
+        gate qubits whenever possible.
+        """
+        connectivity = state.connectivity
+        applied: List[SwapCandidate] = []
+        if max_iterations is None:
+            max_iterations = 4 * (state.architecture.lattice.rows
+                                  + state.architecture.lattice.cols) * gate.num_qubits + 20
+
+        def targets() -> List:
+            if position is not None:
+                return [(qubit, site) for qubit, site in position.assignment.items()
+                        if state.site_of_qubit(qubit) != site]
+            qubit_a, qubit_b = gate.qubits[0], gate.qubits[-1]
+            if state.qubits_adjacent(qubit_a, qubit_b):
+                return []
+            return [(qubit_a, state.site_of_qubit(qubit_b))]
+
+        iterations = 0
+        while not state.gate_executable(gate):
+            pending = targets()
+            if not pending:
+                break
+            qubit, destination = pending[0]
+            origin = state.site_of_qubit(qubit)
+            occupied = state.occupied_sites()
+            # Prefer paths that do not pass through other gate qubits' sites so
+            # that routing one qubit does not undo another one's placement.
+            protected = {state.site_of_qubit(q) for q in gate.qubits if q != qubit}
+            path = connectivity.shortest_path(origin, destination,
+                                              allowed=occupied - protected)
+            if path is None or len(path) < 2:
+                path = connectivity.shortest_path(origin, destination, allowed=occupied)
+            if path is None or len(path) < 2:
+                break
+            next_site = path[1]
+            partner_atom = state.atom_at_site(next_site)
+            if partner_atom is None:
+                break
+            candidate = SwapCandidate(
+                qubit_a=qubit,
+                qubit_b=state.qubit_of_atom(partner_atom),
+                atom_a=state.atom_of_qubit(qubit),
+                atom_b=partner_atom,
+                site_a=origin,
+                site_b=next_site,
+            )
+            state.apply_swap_with_atom(candidate.qubit_a, candidate.atom_b)
+            applied.append(candidate)
+            iterations += 1
+            if iterations > max_iterations:
+                break
+        return applied

@@ -1,0 +1,97 @@
+"""Layer creation (process block (1)).
+
+The :class:`LayerManager` wraps the commutation-aware circuit DAG and exposes
+exactly the two layers the hybrid mapper operates on:
+
+* the **front layer** ``f`` of entangling gates whose dependencies are all
+  satisfied, and
+* the **lookahead layer** ``l`` of entangling gates that follow the front
+  layer within a configurable depth.
+
+Non-entangling gates (single-qubit gates, barriers, measurements) never need
+routing; the manager drains them from the DAG automatically and reports them
+so the mapper can forward them to the output stream in order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.dag import CircuitDAG, DAGNode
+
+__all__ = ["LayerManager"]
+
+
+class LayerManager:
+    """Maintains the front and lookahead layers of entangling gates.
+
+    Parameters
+    ----------
+    circuit:
+        Circuit to map.
+    lookahead_depth:
+        How many release steps behind the front layer the lookahead extends.
+    use_commutation:
+        Forwarded to :class:`~repro.circuit.dag.CircuitDAG`.
+    """
+
+    def __init__(self, circuit: QuantumCircuit, lookahead_depth: int = 1,
+                 use_commutation: bool = True) -> None:
+        if lookahead_depth < 0:
+            raise ValueError("lookahead depth cannot be negative")
+        self.circuit = circuit
+        self.lookahead_depth = lookahead_depth
+        self.dag = CircuitDAG(circuit, use_commutation=use_commutation)
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    def is_finished(self) -> bool:
+        return self.dag.is_finished()
+
+    @property
+    def num_remaining(self) -> int:
+        return self.dag.num_gates - self.dag.num_executed
+
+    # ------------------------------------------------------------------
+    # Layers
+    # ------------------------------------------------------------------
+    def drain_trivial_gates(self) -> List[DAGNode]:
+        """Execute and return all currently available non-entangling gates.
+
+        Draining repeats until the front layer contains only entangling gates,
+        because executing a single-qubit gate may release further
+        single-qubit gates.
+        """
+        drained: List[DAGNode] = []
+        while True:
+            trivial = self.dag.executable_trivially()
+            if not trivial:
+                return drained
+            for node in trivial:
+                self.dag.execute(node.index)
+                drained.append(node)
+
+    def front_layer(self) -> List[DAGNode]:
+        """Entangling gates currently ready for routing."""
+        return self.dag.entangling_front()
+
+    def lookahead_layer(self) -> List[DAGNode]:
+        """Entangling gates within the lookahead horizon."""
+        if self.lookahead_depth == 0:
+            return []
+        return [node for node in self.dag.lookahead_layer(self.lookahead_depth)
+                if node.gate.is_entangling]
+
+    def layers(self) -> Tuple[List[DAGNode], List[DAGNode]]:
+        """Return ``(front, lookahead)`` after draining trivial gates."""
+        self.drain_trivial_gates()
+        return self.front_layer(), self.lookahead_layer()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, node: DAGNode) -> None:
+        """Mark a front-layer gate as executed."""
+        self.dag.execute(node.index)

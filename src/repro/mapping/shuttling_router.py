@@ -1,0 +1,398 @@
+"""Shuttling-based routing (process block (4), Section 3.3.2).
+
+The shuttling router gathers the qubits of a front-layer gate by physically
+moving atoms.  Because considering every possible rearrangement is infeasible
+(Section 3.1.1), only two kinds of moves are generated:
+
+* a **direct move** ``M`` of a gate qubit onto a free site in the target
+  region, or
+* a **move-away combination** ``(M_away, M)`` that first relocates a blocking
+  atom to a nearby free site and then performs the direct move onto the freed
+  site.
+
+The moves for one gate form a *move chain* bounded by ``2 (m - 1)`` moves.
+Chains are built per anchor qubit — the gate qubit the others gather around —
+and evaluated with the cost function of Eq. (4)/(5):
+
+``C_s(M) = C_f_s(M) + w_l * C_l_s(M) + w_t * C_t_parallel(M)``
+
+summed over all moves of the chain.  ``C_f_s``/``C_l_s`` measure the change
+in routing distance of the front and lookahead shuttling layers caused by the
+move, and ``C_t_parallel`` charges the extra time a move costs on top of the
+last ``history_window`` moves depending on whether it can share their AOD
+batch (parallel loading and shuttling), only their activation window
+(parallel loading), or nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..circuit.gate import Gate
+from ..hardware.architecture import NeutralAtomArchitecture
+from ..shuttling.aod import moves_compatible
+from ..shuttling.moves import Move, MoveChain
+from .state import MappingState
+
+__all__ = ["ShuttlingRouter"]
+
+_EPSILON = 1e-9
+
+
+@dataclass
+class _ChainProposal:
+    """A move chain together with the gate it serves and its cost."""
+
+    chain: MoveChain
+    gate_index: int
+    cost: float
+
+
+class ShuttlingRouter:
+    """Move-chain router with lookahead and AOD-parallelism awareness."""
+
+    def __init__(self, architecture: NeutralAtomArchitecture, *,
+                 lookahead_weight: float = 0.1, time_weight: float = 0.1,
+                 history_window: int = 4) -> None:
+        if lookahead_weight < 0 or time_weight < 0:
+            raise ValueError("cost weights must be non-negative")
+        if history_window < 0:
+            raise ValueError("history window must be non-negative")
+        self.architecture = architecture
+        self.lookahead_weight = lookahead_weight
+        self.time_weight = time_weight
+        self.history_window = history_window
+        self._recent_moves: List[Move] = []
+
+    # ------------------------------------------------------------------
+    # History bookkeeping
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self._recent_moves.clear()
+
+    def note_moves_applied(self, moves: Sequence[Move]) -> None:
+        """Record executed moves for the parallelism term of the cost function."""
+        self._recent_moves.extend(moves)
+        if self.history_window and len(self._recent_moves) > self.history_window:
+            self._recent_moves = self._recent_moves[-self.history_window:]
+
+    # ------------------------------------------------------------------
+    # Chain construction
+    # ------------------------------------------------------------------
+    def candidate_chains(self, state: MappingState, node) -> List[MoveChain]:
+        """Move chains that make the gate of ``node`` executable.
+
+        One chain is proposed per anchor qubit; chains are sorted by length
+        so that minimal-length chains are preferred, following the intuition
+        that two moves are unlikely to beat one direct move even when they
+        can be shuttled in parallel.
+        """
+        gate: Gate = node.gate
+        chains: List[MoveChain] = []
+        for anchor in gate.qubits:
+            chain = self._build_chain(state, gate, anchor, node.index)
+            if chain is not None:
+                chain.validate(max_gate_width=gate.num_qubits)
+                chains.append(chain)
+        chains.sort(key=len)
+        if chains:
+            shortest = len(chains[0])
+            chains = [chain for chain in chains if len(chain) <= shortest + 1]
+        return chains
+
+    def _build_chain(self, state: MappingState, gate: Gate, anchor: int,
+                     gate_index: int) -> Optional[MoveChain]:
+        """Gather all gate qubits around ``anchor`` with direct/move-away moves."""
+        connectivity = state.connectivity
+        lattice = self.architecture.lattice
+        anchor_site = state.site_of_qubit(anchor)
+
+        # Locally simulated occupancy so consecutive moves in the chain see
+        # the effects of earlier ones.
+        occupied: Set[int] = set(state.occupied_sites())
+        kept_sites: List[int] = [anchor_site]
+        moves: List[Move] = []
+        gate_atom_sites = {state.site_of_qubit(q) for q in gate.qubits}
+
+        # Gather the remaining qubits, nearest to the anchor first, so that
+        # already-adjacent qubits claim their sites before far ones move in.
+        others = sorted(
+            (q for q in gate.qubits if q != anchor),
+            key=lambda q: lattice.euclidean_distance(state.site_of_qubit(q), anchor_site))
+
+        for qubit in others:
+            current_site = state.site_of_qubit(qubit)
+            if self._site_fits(connectivity, current_site, kept_sites):
+                kept_sites.append(current_site)
+                continue
+
+            # Candidate destination sites: must interact with every kept site.
+            zone = self._target_zone(connectivity, kept_sites)
+            zone.discard(current_site)
+            zone -= set(kept_sites)
+            if not zone:
+                return None
+
+            free_candidates = sorted(
+                (site for site in zone if site not in occupied),
+                key=lambda site: (lattice.rectangular_distance(current_site, site), site))
+            if free_candidates:
+                destination = free_candidates[0]
+                moves.append(self._make_move(state, qubit, current_site, destination,
+                                             lattice, is_move_away=False))
+                occupied.discard(current_site)
+                occupied.add(destination)
+                kept_sites.append(destination)
+                continue
+
+            # No free site in the zone: free one with a move-away first.
+            blocked_candidates = sorted(
+                (site for site in zone
+                 if site in occupied and site not in gate_atom_sites),
+                key=lambda site: (lattice.rectangular_distance(current_site, site), site))
+            move_away = None
+            freed_site = None
+            for blocked in blocked_candidates:
+                blocking_atom = state.atom_at_site(blocked)
+                if blocking_atom is None:
+                    continue
+                away_destination = self._nearest_free_site(
+                    state, connectivity, lattice, blocked, occupied,
+                    forbidden=set(kept_sites) | {current_site})
+                if away_destination is None:
+                    continue
+                move_away = Move(
+                    atom=blocking_atom,
+                    source=blocked,
+                    destination=away_destination,
+                    source_position=lattice.position(blocked),
+                    destination_position=lattice.position(away_destination),
+                    is_move_away=True,
+                )
+                freed_site = blocked
+                break
+            if move_away is None or freed_site is None:
+                return None
+            moves.append(move_away)
+            occupied.discard(freed_site)
+            occupied.add(move_away.destination)
+            moves.append(self._make_move(state, qubit, current_site, freed_site,
+                                         lattice, is_move_away=False))
+            occupied.discard(current_site)
+            occupied.add(freed_site)
+            kept_sites.append(freed_site)
+
+        if not moves:
+            return None
+        return MoveChain(moves=moves, gate_index=gate_index)
+
+    @staticmethod
+    def _site_fits(connectivity, site: int, kept_sites: Sequence[int]) -> bool:
+        """True if ``site`` interacts with every already-kept site."""
+        return all(connectivity.are_adjacent(site, kept) for kept in kept_sites)
+
+    @staticmethod
+    def _target_zone(connectivity, kept_sites: Sequence[int]) -> Set[int]:
+        """Sites within the interaction radius of *all* kept sites."""
+        zone: Optional[Set[int]] = None
+        for kept in kept_sites:
+            neighbours = set(connectivity.interaction_neighbours(kept))
+            zone = neighbours if zone is None else (zone & neighbours)
+            if not zone:
+                return set()
+        return zone or set()
+
+    @staticmethod
+    def _nearest_free_site(state: MappingState, connectivity, lattice, origin: int,
+                           occupied: Set[int], forbidden: Set[int],
+                           max_radius: int = 4) -> Optional[int]:
+        """Closest free site to ``origin`` outside ``forbidden`` (for move-aways)."""
+        best = None
+        best_distance = None
+        for radius in range(1, max_radius + 1):
+            for site in lattice.sites_within(origin, radius * lattice.spacing + _EPSILON):
+                if site in occupied or site in forbidden:
+                    continue
+                distance = lattice.rectangular_distance(origin, site)
+                if best_distance is None or (distance, site) < (best_distance, best):
+                    best = site
+                    best_distance = distance
+            if best is not None:
+                return best
+        return best
+
+    @staticmethod
+    def _make_move(state: MappingState, qubit: int, source: int, destination: int,
+                   lattice, *, is_move_away: bool) -> Move:
+        return Move(
+            atom=state.atom_of_qubit(qubit),
+            source=source,
+            destination=destination,
+            source_position=lattice.position(source),
+            destination_position=lattice.position(destination),
+            is_move_away=is_move_away,
+        )
+
+    # ------------------------------------------------------------------
+    # Cost evaluation
+    # ------------------------------------------------------------------
+    def move_time_penalty(self, move: Move) -> float:
+        """``C_t_parallel`` contribution of one move against the recent-move history."""
+        durations = self.architecture.durations
+        if not self._recent_moves:
+            return 0.0
+        penalty = 0.0
+        for recent in self._recent_moves:
+            if moves_compatible(move, recent):
+                # Parallel loading & shuttling: shares the whole AOD batch.
+                continue
+            same_row = abs(move.source_position[1] - recent.source_position[1]) < _EPSILON
+            same_column = abs(move.source_position[0] - recent.source_position[0]) < _EPSILON
+            if same_row or same_column:
+                # Parallel loading only: the activation window is shared, but
+                # the shuttle itself needs its own deactivation/activation.
+                penalty += durations.aod_activation + durations.aod_deactivation
+            else:
+                penalty += (durations.aod_activation
+                            + self.architecture.shuttle_move_duration(move.rectangular_distance)
+                            + durations.aod_deactivation)
+        return penalty
+
+    def _distance_change(self, state: MappingState, move: Move, nodes: Sequence) -> float:
+        """Summed change in gate distance over ``nodes`` caused by ``move``.
+
+        Only gates involving the moved atom's circuit qubit can change their
+        direct distance; the (rarer) indirect conflicts of Example 6 are
+        handled by re-validating cached positions in the mapper rather than
+        inside this per-move cost.
+        """
+        moved_qubit = state.qubit_of_atom(move.atom)
+        lattice = self.architecture.lattice
+        change = 0.0
+        for node in nodes:
+            gate = node.gate
+            if moved_qubit is None or moved_qubit not in gate.qubits:
+                continue
+            before = 0.0
+            after = 0.0
+            for other in gate.qubits:
+                if other == moved_qubit:
+                    continue
+                other_site = state.site_of_qubit(other)
+                before += lattice.euclidean_distance(move.source, other_site)
+                after += lattice.euclidean_distance(move.destination, other_site)
+            change += after - before
+        return change / max(lattice.spacing, _EPSILON)
+
+    def chain_cost(self, state: MappingState, chain: MoveChain,
+                   front_nodes: Sequence, lookahead_nodes: Sequence) -> float:
+        """Total cost of a chain according to Eq. (4)/(5)."""
+        total = 0.0
+        for move in chain:
+            front_term = self._distance_change(state, move, front_nodes)
+            lookahead_term = self._distance_change(state, move, lookahead_nodes)
+            time_term = self.move_time_penalty(move)
+            total += front_term + self.lookahead_weight * lookahead_term \
+                + self.time_weight * time_term
+        # Move-aways carry no distance benefit of their own; penalise longer
+        # chains slightly so that, all else equal, minimal chains win.
+        total += 0.25 * chain.num_move_aways
+        return total
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def best_chain(self, state: MappingState, front_nodes: Sequence,
+                   lookahead_nodes: Sequence) -> Optional[MoveChain]:
+        """Best move chain over all front-layer shuttling gates."""
+        best: Optional[_ChainProposal] = None
+        for node in front_nodes:
+            for chain in self.candidate_chains(state, node):
+                cost = self.chain_cost(state, chain, front_nodes, lookahead_nodes)
+                proposal = _ChainProposal(chain=chain, gate_index=node.index, cost=cost)
+                if best is None or (proposal.cost, len(proposal.chain)) < (best.cost, len(best.chain)):
+                    best = proposal
+        return best.chain if best is not None else None
+
+    # ------------------------------------------------------------------
+    # Deterministic fallback
+    # ------------------------------------------------------------------
+    def forced_chain(self, state: MappingState, node) -> Optional[MoveChain]:
+        """Exhaustive fallback chain used when greedy chain construction fails.
+
+        The method picks an explicit target cluster — the anchor's site plus
+        the nearest sites forming a mutually interacting set of the gate's
+        width — and moves every gate qubit that is not already on a cluster
+        site onto it, clearing occupied cluster sites with move-aways whose
+        destination may be anywhere on the lattice.  The resulting chain can
+        exceed the ``2 (m - 1)`` bound (it is only used as a safety valve) but
+        always exists as long as a single free trap remains.
+        """
+        gate: Gate = node.gate
+        connectivity = state.connectivity
+        lattice = self.architecture.lattice
+
+        for anchor in gate.qubits:
+            anchor_site = state.site_of_qubit(anchor)
+            cluster = self._find_target_cluster(state, anchor_site, gate.num_qubits)
+            if cluster is None:
+                continue
+            occupied: Set[int] = set(state.occupied_sites())
+            gate_sites = {state.site_of_qubit(q) for q in gate.qubits}
+            moves: List[Move] = []
+
+            # Qubits already sitting on cluster sites keep their place.
+            free_cluster_sites = [site for site in cluster if site not in gate_sites]
+            movers = [q for q in gate.qubits
+                      if state.site_of_qubit(q) not in cluster]
+            if len(movers) > len(free_cluster_sites):
+                continue
+
+            feasible = True
+            for qubit, target in zip(movers, free_cluster_sites):
+                source = state.site_of_qubit(qubit)
+                if target in occupied:
+                    blocking_atom = state.atom_at_site(target)
+                    if blocking_atom is None:
+                        feasible = False
+                        break
+                    away = self._nearest_free_site(
+                        state, connectivity, lattice, target, occupied,
+                        forbidden=set(cluster) | gate_sites,
+                        max_radius=max(lattice.rows, lattice.cols))
+                    if away is None:
+                        feasible = False
+                        break
+                    moves.append(Move(
+                        atom=blocking_atom, source=target, destination=away,
+                        source_position=lattice.position(target),
+                        destination_position=lattice.position(away),
+                        is_move_away=True))
+                    occupied.discard(target)
+                    occupied.add(away)
+                moves.append(self._make_move(state, qubit, source, target, lattice,
+                                             is_move_away=False))
+                occupied.discard(source)
+                occupied.add(target)
+            if feasible and moves:
+                return MoveChain(moves=moves, gate_index=node.index)
+        return None
+
+    def _find_target_cluster(self, state: MappingState, anchor_site: int,
+                             size: int) -> Optional[List[int]]:
+        """Sites forming a mutually interacting set of ``size`` containing the anchor."""
+        connectivity = state.connectivity
+        lattice = self.architecture.lattice
+        cluster = [anchor_site]
+        candidates = sorted(
+            connectivity.interaction_neighbours(anchor_site),
+            key=lambda site: (lattice.euclidean_distance(anchor_site, site), site))
+        for site in candidates:
+            if len(cluster) == size:
+                break
+            if all(connectivity.are_adjacent(site, kept) for kept in cluster):
+                cluster.append(site)
+        if len(cluster) < size:
+            return None
+        return cluster

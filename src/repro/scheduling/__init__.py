@@ -1,0 +1,6 @@
+"""Hardware-operation scheduling: timed lowering of mapped circuits."""
+
+from .schedule import OperationKind, Schedule, ScheduledOperation
+from .scheduler import Scheduler
+
+__all__ = ["Scheduler", "Schedule", "ScheduledOperation", "OperationKind"]

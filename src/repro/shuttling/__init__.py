@@ -1,0 +1,24 @@
+"""Shuttling substrate: atom moves, move chains, and AOD batch scheduling."""
+
+from .aod import (
+    AODBatchSchedule,
+    AODInstruction,
+    ghost_spot_positions,
+    group_moves,
+    moves_compatible,
+    schedule_batch,
+    schedule_moves,
+)
+from .moves import Move, MoveChain
+
+__all__ = [
+    "Move",
+    "MoveChain",
+    "AODInstruction",
+    "AODBatchSchedule",
+    "moves_compatible",
+    "group_moves",
+    "schedule_batch",
+    "schedule_moves",
+    "ghost_spot_positions",
+]

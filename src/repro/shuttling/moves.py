@@ -1,0 +1,134 @@
+"""Shuttling move primitives.
+
+A :class:`Move` relocates one physical atom from its current trap site to a
+free destination site.  The shuttling-based router (Section 3.3.2) works in
+terms of *move chains*: an ordered list of moves that, once executed, makes a
+particular gate executable.  A chain contains at most ``2 (m - 1)`` moves for
+an ``m``-qubit gate — in the worst case every non-anchor gate qubit needs a
+preceding *move-away* of a blocking atom plus its own direct move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["Move", "MoveChain"]
+
+
+@dataclass(frozen=True)
+class Move:
+    """Relocation of one atom between two trap sites.
+
+    Attributes
+    ----------
+    atom:
+        Physical-qubit (atom) index being moved.
+    source:
+        Trap-site index the atom starts from.
+    destination:
+        Trap-site index the atom is placed into (must be free when executed).
+    source_position / destination_position:
+        Physical ``(x, y)`` coordinates in micrometres, cached for AOD
+        scheduling so the lattice does not need to be consulted again.
+    is_move_away:
+        True if this move only clears a site for a subsequent move in the
+        same chain (the "move-away" case of Example 5).
+    """
+
+    atom: int
+    source: int
+    destination: int
+    source_position: Tuple[float, float]
+    destination_position: Tuple[float, float]
+    is_move_away: bool = False
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise ValueError("a move must change the trap site")
+
+    @property
+    def displacement(self) -> Tuple[float, float]:
+        """``(dx, dy)`` displacement in micrometres."""
+        return (self.destination_position[0] - self.source_position[0],
+                self.destination_position[1] - self.source_position[1])
+
+    @property
+    def rectangular_distance(self) -> float:
+        """Manhattan travel distance ``s(M)`` in micrometres."""
+        dx, dy = self.displacement
+        return abs(dx) + abs(dy)
+
+    @property
+    def euclidean_distance(self) -> float:
+        dx, dy = self.displacement
+        return (dx * dx + dy * dy) ** 0.5
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        flavour = "move-away" if self.is_move_away else "move"
+        return f"{flavour}(atom {self.atom}: site {self.source} -> {self.destination})"
+
+
+@dataclass
+class MoveChain:
+    """Ordered list of moves that makes one gate executable.
+
+    Attributes
+    ----------
+    moves:
+        The moves in execution order (move-aways precede the direct move that
+        needs the freed site).
+    gate_index:
+        Index of the gate (in the circuit DAG) this chain serves, if known.
+    """
+
+    moves: List[Move] = field(default_factory=list)
+    gate_index: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self.moves)
+
+    def __iter__(self):
+        return iter(self.moves)
+
+    def __bool__(self) -> bool:
+        return bool(self.moves)
+
+    @property
+    def total_rectangular_distance(self) -> float:
+        """Sum of the rectangular travel distances of all moves."""
+        return sum(move.rectangular_distance for move in self.moves)
+
+    @property
+    def num_move_aways(self) -> int:
+        return sum(1 for move in self.moves if move.is_move_away)
+
+    def atoms(self) -> List[int]:
+        """Atoms touched by the chain, in move order."""
+        return [move.atom for move in self.moves]
+
+    def validate(self, max_gate_width: Optional[int] = None) -> None:
+        """Check the structural invariants of a chain.
+
+        * no atom is moved twice within the chain,
+        * a move's destination is not the source of an *earlier* move (that
+          site was only freed afterwards) unless the earlier move freed it,
+        * the chain length respects the ``2 (m - 1)`` bound if the gate width
+          is supplied.
+        """
+        seen_atoms = set()
+        freed_sites = set()
+        occupied_destinations = set()
+        for move in self.moves:
+            if move.atom in seen_atoms:
+                raise ValueError(f"atom {move.atom} moved twice in one chain")
+            seen_atoms.add(move.atom)
+            if move.destination in occupied_destinations:
+                raise ValueError(f"two moves target site {move.destination}")
+            occupied_destinations.add(move.destination)
+            freed_sites.add(move.source)
+        if max_gate_width is not None:
+            bound = 2 * (max_gate_width - 1)
+            if len(self.moves) > bound:
+                raise ValueError(
+                    f"chain of length {len(self.moves)} exceeds the 2(m-1) = {bound} bound")

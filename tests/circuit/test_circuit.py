@@ -1,0 +1,170 @@
+"""Unit tests for the QuantumCircuit container."""
+
+import pytest
+
+from repro.circuit import Gate, GateKind, QuantumCircuit
+from repro.circuit.gate import controlled_z
+
+
+class TestBuilders:
+    def test_empty_circuit(self):
+        circuit = QuantumCircuit(3)
+        assert len(circuit) == 0
+        assert circuit.num_qubits == 3
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(0)
+
+    def test_named_single_qubit_builders(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).x(1).y(0).z(1).s(0).sdg(1).t(0).tdg(1)
+        assert len(circuit) == 8
+        assert all(g.is_single_qubit for g in circuit)
+
+    def test_rotation_builders(self):
+        circuit = QuantumCircuit(1)
+        circuit.rx(0.1, 0).ry(0.2, 0).rz(0.3, 0).p(0.4, 0).u3(0.5, 0.6, 0.7, 0)
+        assert [g.params for g in circuit] == [(0.1,), (0.2,), (0.3,), (0.4,),
+                                               (0.5, 0.6, 0.7)]
+
+    def test_entangling_builders(self):
+        circuit = QuantumCircuit(5)
+        circuit.cz(0, 1).ccz(0, 1, 2).cccz(0, 1, 2, 3)
+        circuit.cx(0, 4).ccx(0, 1, 4).mcx([0, 1, 2], 4).mcz([1, 2, 3, 4])
+        widths = [g.num_qubits for g in circuit]
+        assert widths == [2, 3, 4, 2, 3, 4, 4]
+
+    def test_cp_behaves_like_cz_for_mapping(self):
+        circuit = QuantumCircuit(2)
+        circuit.cp(0.5, 0, 1)
+        gate = circuit[0]
+        assert gate.kind == GateKind.CONTROLLED_Z
+        assert gate.is_diagonal
+        assert gate.params == (0.5,)
+
+    def test_out_of_range_qubit_rejected(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(ValueError):
+            circuit.cz(0, 2)
+
+    def test_barrier_defaults_to_all_qubits(self):
+        circuit = QuantumCircuit(3)
+        circuit.barrier()
+        assert circuit[0].qubits == (0, 1, 2)
+
+    def test_measure_all(self):
+        circuit = QuantumCircuit(3)
+        circuit.measure_all()
+        assert len(circuit) == 3
+        assert all(g.kind == GateKind.MEASURE for g in circuit)
+
+    def test_extend_and_append_validation(self):
+        circuit = QuantumCircuit(3)
+        circuit.extend([controlled_z((0, 1)), controlled_z((1, 2))])
+        assert len(circuit) == 2
+        with pytest.raises(ValueError):
+            circuit.append(controlled_z((2, 5)))
+
+
+class TestAnalysis:
+    def test_count_ops(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).h(1).cz(0, 1).cz(1, 2)
+        assert circuit.count_ops() == {"h": 2, "cz": 2}
+
+    def test_count_by_arity(self):
+        circuit = QuantumCircuit(4)
+        circuit.h(0).cz(0, 1).ccz(0, 1, 2).cccz(0, 1, 2, 3).cz(2, 3)
+        assert circuit.count_by_arity() == {2: 2, 3: 1, 4: 1}
+
+    def test_entangling_and_single_counts(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).h(1).cz(0, 1).measure(2)
+        assert circuit.num_entangling_gates() == 1
+        assert circuit.num_single_qubit_gates() == 2
+
+    def test_used_qubits(self):
+        circuit = QuantumCircuit(6)
+        circuit.cz(1, 4)
+        assert circuit.used_qubits() == frozenset({1, 4})
+
+    def test_depth_sequential_gates(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).h(0).h(0)
+        assert circuit.depth() == 3
+
+    def test_depth_parallel_gates(self):
+        circuit = QuantumCircuit(4)
+        circuit.cz(0, 1).cz(2, 3)
+        assert circuit.depth() == 1
+
+    def test_depth_with_barrier_fence(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).barrier().h(1)
+        # The barrier forces qubit 1's gate to start after qubit 0's gate.
+        assert circuit.depth() == 2
+
+    def test_entangling_depth_ignores_single_qubit_gates(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).h(0).cz(0, 1).cz(1, 2)
+        assert circuit.entangling_depth() == 2
+        assert circuit.depth() == 4
+
+
+class TestTransformations:
+    def test_copy_is_independent(self):
+        circuit = QuantumCircuit(2)
+        circuit.cz(0, 1)
+        clone = circuit.copy()
+        clone.h(0)
+        assert len(circuit) == 1
+        assert len(clone) == 2
+
+    def test_remapped(self):
+        circuit = QuantumCircuit(3)
+        circuit.cz(0, 2)
+        remapped = circuit.remapped({0: 2, 1: 1, 2: 0})
+        assert remapped[0].qubits == (2, 0)
+
+    def test_remapped_to_larger_register(self):
+        circuit = QuantumCircuit(2)
+        circuit.cz(0, 1)
+        bigger = circuit.remapped({0: 7, 1: 9}, num_qubits=10)
+        assert bigger.num_qubits == 10
+        assert bigger[0].qubits == (7, 9)
+
+    def test_filtered(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cz(0, 1).h(1)
+        only_entangling = circuit.filtered(lambda g: g.is_entangling)
+        assert len(only_entangling) == 1
+
+    def test_without_trivial_ops(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).barrier().cz(0, 1).measure_all()
+        cleaned = circuit.without_trivial_ops()
+        assert [g.name for g in cleaned] == ["h", "cz"]
+
+    def test_compose(self):
+        base = QuantumCircuit(4)
+        base.h(0)
+        other = QuantumCircuit(2)
+        other.cz(0, 1)
+        combined = base.compose(other, qubit_offset=2)
+        assert combined[1].qubits == (2, 3)
+
+    def test_compose_rejects_overflow(self):
+        base = QuantumCircuit(2)
+        other = QuantumCircuit(3)
+        with pytest.raises(ValueError):
+            base.compose(other)
+
+    def test_equality(self):
+        a = QuantumCircuit(2)
+        a.cz(0, 1)
+        b = QuantumCircuit(2)
+        b.cz(0, 1)
+        assert a == b
+        b.h(0)
+        assert a != b

@@ -1,0 +1,101 @@
+"""Unit tests for the commutation rules."""
+
+import pytest
+
+from repro.circuit.commutation import gates_commute
+from repro.circuit.gate import (
+    barrier,
+    controlled_x,
+    controlled_z,
+    measurement,
+    single_qubit_gate,
+    swap_gate,
+)
+
+
+class TestDisjointSupports:
+    def test_disjoint_gates_commute(self):
+        assert gates_commute(controlled_z((0, 1)), controlled_z((2, 3)))
+
+    def test_disjoint_cx_gates_commute(self):
+        assert gates_commute(controlled_x((0,), 1), controlled_x((2,), 3))
+
+    def test_disjoint_single_qubit_gates_commute(self):
+        assert gates_commute(single_qubit_gate("h", 0), single_qubit_gate("x", 1))
+
+
+class TestDiagonalGates:
+    def test_cz_gates_sharing_a_qubit_commute(self):
+        assert gates_commute(controlled_z((0, 1)), controlled_z((1, 2)))
+
+    def test_cz_and_ccz_sharing_qubits_commute(self):
+        assert gates_commute(controlled_z((0, 1)), controlled_z((0, 1, 2)))
+
+    def test_rz_commutes_with_cz_on_same_qubit(self):
+        assert gates_commute(single_qubit_gate("rz", 1, 0.4), controlled_z((0, 1)))
+
+    def test_t_commutes_with_cz(self):
+        assert gates_commute(single_qubit_gate("t", 0), controlled_z((0, 1)))
+
+    def test_h_does_not_commute_with_cz_on_same_qubit(self):
+        assert not gates_commute(single_qubit_gate("h", 0), controlled_z((0, 1)))
+
+    def test_x_does_not_commute_with_cz_on_same_qubit(self):
+        assert not gates_commute(single_qubit_gate("x", 0), controlled_z((0, 1)))
+
+
+class TestControlledX:
+    def test_cx_commutes_with_diagonal_on_control(self):
+        cx = controlled_x((0,), 1)
+        assert gates_commute(cx, single_qubit_gate("rz", 0, 0.2))
+        assert gates_commute(cx, controlled_z((0, 2)))
+
+    def test_cx_does_not_commute_with_diagonal_on_target(self):
+        cx = controlled_x((0,), 1)
+        assert not gates_commute(cx, single_qubit_gate("rz", 1, 0.2))
+        assert not gates_commute(cx, controlled_z((1, 2)))
+
+    def test_cx_gates_sharing_only_controls_commute(self):
+        assert gates_commute(controlled_x((0,), 1), controlled_x((0,), 2))
+
+    def test_cx_gates_sharing_target_commute(self):
+        assert gates_commute(controlled_x((0,), 2), controlled_x((1,), 2))
+
+    def test_cx_gates_control_target_clash_do_not_commute(self):
+        assert not gates_commute(controlled_x((0,), 1), controlled_x((1,), 2))
+
+    def test_ccx_commutes_with_diagonal_on_controls(self):
+        ccx = controlled_x((0, 1), 2)
+        assert gates_commute(ccx, controlled_z((0, 1)))
+
+    def test_x_commutes_with_cx_target(self):
+        assert gates_commute(single_qubit_gate("x", 1), controlled_x((0,), 1))
+
+    def test_x_does_not_commute_with_cx_control(self):
+        assert not gates_commute(single_qubit_gate("x", 0), controlled_x((0,), 1))
+
+
+class TestFences:
+    def test_barrier_blocks_everything(self):
+        fence = barrier([0, 1])
+        assert not gates_commute(fence, controlled_z((0, 2)))
+        assert not gates_commute(controlled_z((0, 2)), fence)
+
+    def test_measurement_blocks_shared_qubit(self):
+        meas = measurement(0)
+        assert not gates_commute(meas, controlled_z((0, 1)))
+        assert gates_commute(meas, controlled_z((1, 2)))
+
+    def test_swap_conservatively_blocks(self):
+        assert not gates_commute(swap_gate(0, 1), controlled_z((0, 2)))
+
+
+class TestSymmetry:
+    @pytest.mark.parametrize("a,b", [
+        (controlled_z((0, 1)), controlled_z((1, 2))),
+        (controlled_x((0,), 1), single_qubit_gate("rz", 0, 0.1)),
+        (controlled_x((0,), 1), controlled_x((1,), 2)),
+        (single_qubit_gate("h", 0), controlled_z((0, 1))),
+    ])
+    def test_commutation_is_symmetric(self, a, b):
+        assert gates_commute(a, b) == gates_commute(b, a)

@@ -1,0 +1,104 @@
+"""Unit tests for the decomposition passes."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.circuit.decompose import (
+    cx_decomposition,
+    decompose_mcx_to_mcz,
+    decompose_swaps_to_cz,
+    decompose_to_native,
+    mcx_decomposition,
+    swap_decomposition,
+)
+from repro.circuit.gate import GateKind, controlled_x, controlled_z
+
+
+class TestCxDecomposition:
+    def test_cx_becomes_h_cz_h(self):
+        gates = cx_decomposition(0, 1)
+        assert [g.name for g in gates] == ["h", "cz", "h"]
+        assert gates[0].qubits == (1,)
+        assert gates[1].qubits == (0, 1)
+
+    def test_mcx_keeps_all_controls(self):
+        gate = controlled_x((0, 1, 2), 3)
+        gates = mcx_decomposition(gate)
+        assert gates[1].qubits == (0, 1, 2, 3)
+        assert gates[1].kind == GateKind.CONTROLLED_Z
+        assert gates[0].qubits == gates[2].qubits == (3,)
+
+    def test_mcx_decomposition_rejects_non_cx(self):
+        with pytest.raises(ValueError):
+            mcx_decomposition(controlled_z((0, 1)))
+
+
+class TestSwapDecomposition:
+    def test_swap_has_three_cz(self):
+        gates = swap_decomposition(0, 1)
+        cz_count = sum(1 for g in gates if g.kind == GateKind.CONTROLLED_Z)
+        assert cz_count == 3
+
+    def test_circuit_level_swap_decomposition_counts(self):
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1)
+        native = decompose_swaps_to_cz(circuit)
+        arity = native.count_by_arity()
+        assert arity == {2: 3}
+        # Canonical form: 3 CZ + 6 Hadamards.
+        assert native.num_single_qubit_gates() == 6
+
+    def test_unoptimised_swap_decomposition(self):
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1)
+        native = decompose_swaps_to_cz(circuit, optimised=False)
+        assert native.count_by_arity() == {2: 3}
+        assert native.num_single_qubit_gates() == 6
+
+    def test_non_swap_gates_pass_through(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cz(0, 1).swap(1, 2).cz(0, 2)
+        native = decompose_swaps_to_cz(circuit)
+        assert native.count_by_arity()[2] == 2 + 3
+        assert not any(g.kind == GateKind.SWAP for g in native)
+
+
+class TestMcxToMcz:
+    def test_counts_match_table_1b_convention(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1)
+        circuit.ccx(0, 1, 2)
+        circuit.mcx([0, 1, 2], 3)
+        native = decompose_mcx_to_mcz(circuit)
+        assert native.count_by_arity() == {2: 1, 3: 1, 4: 1}
+        assert not any(g.kind == GateKind.CONTROLLED_X for g in native)
+
+    def test_hadamard_pair_surrounds_target(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        native = decompose_mcx_to_mcz(circuit)
+        assert [g.name for g in native] == ["h", "cz", "h"]
+
+    def test_existing_cz_untouched(self):
+        circuit = QuantumCircuit(3)
+        circuit.ccz(0, 1, 2)
+        native = decompose_mcx_to_mcz(circuit)
+        assert len(native) == 1
+        assert native[0].name == "ccz"
+
+
+class TestNativeDecomposition:
+    def test_native_gate_set_only(self):
+        circuit = QuantumCircuit(4)
+        circuit.h(0).cx(0, 1).swap(1, 2).ccx(0, 1, 3).measure(3)
+        native = decompose_to_native(circuit)
+        for gate in native:
+            assert gate.kind in (GateKind.SINGLE, GateKind.CONTROLLED_Z,
+                                 GateKind.MEASURE, GateKind.BARRIER)
+
+    def test_entangling_count_preserved_up_to_swaps(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1).ccx(1, 2, 3).swap(0, 3)
+        native = decompose_to_native(circuit)
+        # cx -> 1 CZ, ccx -> 1 CCZ, swap -> 3 CZ
+        assert native.count_by_arity() == {2: 4, 3: 1}

@@ -1,0 +1,158 @@
+"""Unit tests for the gate model."""
+
+import math
+
+import pytest
+
+from repro.circuit.gate import (
+    DIAGONAL_SINGLE_QUBIT_NAMES,
+    Gate,
+    GateKind,
+    barrier,
+    controlled_x,
+    controlled_z,
+    euler_angles_of,
+    gate_arity_name,
+    measurement,
+    single_qubit_gate,
+    swap_gate,
+)
+
+
+class TestGateConstruction:
+    def test_single_qubit_gate_basic(self):
+        gate = single_qubit_gate("h", 3)
+        assert gate.name == "h"
+        assert gate.qubits == (3,)
+        assert gate.kind == GateKind.SINGLE
+        assert gate.is_single_qubit
+        assert not gate.is_entangling
+
+    def test_single_qubit_gate_with_params(self):
+        gate = single_qubit_gate("rz", 0, math.pi / 4)
+        assert gate.params == (math.pi / 4,)
+
+    def test_single_qubit_gate_unknown_name(self):
+        with pytest.raises(ValueError):
+            single_qubit_gate("foo", 0)
+
+    def test_controlled_z_two_qubits(self):
+        gate = controlled_z((2, 5))
+        assert gate.name == "cz"
+        assert gate.kind == GateKind.CONTROLLED_Z
+        assert gate.num_qubits == 2
+        assert not gate.is_multi_qubit
+
+    def test_controlled_z_names_scale_with_width(self):
+        assert controlled_z((0, 1, 2)).name == "ccz"
+        assert controlled_z((0, 1, 2, 3)).name == "cccz"
+
+    def test_controlled_z_needs_two_qubits(self):
+        with pytest.raises(ValueError):
+            controlled_z((1,))
+
+    def test_controlled_x_controls_and_target(self):
+        gate = controlled_x((1, 2), 7)
+        assert gate.name == "ccx"
+        assert gate.controls == (1, 2)
+        assert gate.target == 7
+        assert gate.kind == GateKind.CONTROLLED_X
+
+    def test_controlled_x_needs_controls(self):
+        with pytest.raises(ValueError):
+            controlled_x((), 3)
+
+    def test_swap_gate(self):
+        gate = swap_gate(1, 2)
+        assert gate.kind == GateKind.SWAP
+        assert gate.is_entangling
+        assert gate.num_qubits == 2
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("cz", (1, 1), (), GateKind.CONTROLLED_Z)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("weird", (0,), (), "weird-kind")
+
+    def test_single_kind_with_two_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("h", (0, 1), (), GateKind.SINGLE)
+
+    def test_barrier_and_measurement(self):
+        fence = barrier([0, 1, 2])
+        assert fence.kind == GateKind.BARRIER
+        meas = measurement(4)
+        assert meas.kind == GateKind.MEASURE
+        assert not meas.is_entangling
+
+
+class TestGateProperties:
+    def test_multi_qubit_flag(self):
+        assert controlled_z((0, 1, 2)).is_multi_qubit
+        assert not controlled_z((0, 1)).is_multi_qubit
+        assert not single_qubit_gate("x", 0).is_multi_qubit
+
+    def test_cz_is_diagonal(self):
+        assert controlled_z((0, 1)).is_diagonal
+        assert controlled_z((0, 1, 2, 3)).is_diagonal
+
+    def test_cx_is_not_diagonal(self):
+        assert not controlled_x((0,), 1).is_diagonal
+
+    def test_diagonal_single_qubit_gates(self):
+        for name in DIAGONAL_SINGLE_QUBIT_NAMES:
+            if name in ("rz", "p", "u1"):
+                gate = single_qubit_gate(name, 0, 0.3)
+            else:
+                gate = single_qubit_gate(name, 0)
+            assert gate.is_diagonal, name
+        assert not single_qubit_gate("h", 0).is_diagonal
+
+    def test_overlaps(self):
+        a = controlled_z((0, 1))
+        b = controlled_z((1, 2))
+        c = controlled_z((3, 4))
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_remapped(self):
+        gate = controlled_x((0, 1), 2)
+        remapped = gate.remapped({0: 5, 1: 6, 2: 7})
+        assert remapped.qubits == (5, 6, 7)
+        assert remapped.name == gate.name
+        assert remapped.kind == gate.kind
+
+    def test_qubit_set(self):
+        assert controlled_z((3, 1)).qubit_set() == frozenset({1, 3})
+
+    def test_target_of_single(self):
+        assert single_qubit_gate("x", 4).target == 4
+
+    def test_gate_arity_name(self):
+        assert gate_arity_name(2, "z") == "cz"
+        assert gate_arity_name(4, "x") == "cccx"
+        with pytest.raises(ValueError):
+            gate_arity_name(1, "z")
+
+
+class TestEulerAngles:
+    @pytest.mark.parametrize("name", ["id", "x", "y", "z", "h", "s", "sdg", "t", "tdg",
+                                      "sx", "sxdg"])
+    def test_named_cliffords_have_angles(self, name):
+        theta, phi, lam = euler_angles_of(single_qubit_gate(name, 0))
+        assert all(isinstance(v, float) for v in (theta, phi, lam))
+
+    def test_rotation_gates_pass_angle_through(self):
+        assert euler_angles_of(single_qubit_gate("rz", 0, 0.7))[2] == pytest.approx(0.7)
+        assert euler_angles_of(single_qubit_gate("ry", 0, 0.7))[0] == pytest.approx(0.7)
+        assert euler_angles_of(single_qubit_gate("rx", 0, 0.7))[0] == pytest.approx(0.7)
+
+    def test_u3_passthrough(self):
+        gate = single_qubit_gate("u3", 0, 0.1, 0.2, 0.3)
+        assert euler_angles_of(gate) == (0.1, 0.2, 0.3)
+
+    def test_entangling_gate_rejected(self):
+        with pytest.raises(ValueError):
+            euler_angles_of(controlled_z((0, 1)))

@@ -1,0 +1,150 @@
+"""Unit tests for the benchmark circuit library (Table 1b workloads)."""
+
+import pytest
+
+from repro.circuit.library import (
+    BENCHMARK_NAMES,
+    REVERSIBLE_PROFILES,
+    benchmark_graph,
+    bn,
+    call,
+    default_benchmark_size,
+    get_benchmark,
+    graph_state,
+    graph_state_from_edges,
+    gray,
+    qft,
+    qpe,
+    synthesize_reversible,
+)
+from repro.circuit.decompose import decompose_mcx_to_mcz
+from repro.circuit.gate import GateKind
+
+
+class TestQft:
+    def test_gate_count_formula(self):
+        for n in (2, 5, 10):
+            circuit = qft(n)
+            assert circuit.count_by_arity().get(2, 0) == n * (n - 1) // 2
+            assert circuit.count_ops()["h"] == n
+
+    def test_approximate_qft_drops_long_range_rotations(self):
+        full = qft(12)
+        approx = qft(12, max_distance=3)
+        assert approx.count_by_arity()[2] < full.count_by_arity()[2]
+        expected = sum(min(12 - 1 - i, 3) for i in range(12))
+        assert approx.count_by_arity()[2] == expected
+
+    def test_with_swaps_adds_reversal_network(self):
+        swapped = qft(6, with_swaps=True)
+        assert any(g.kind == GateKind.SWAP for g in swapped)
+        assert sum(1 for g in swapped if g.kind == GateKind.SWAP) == 3
+
+    def test_rejects_empty_register(self):
+        with pytest.raises(ValueError):
+            qft(0)
+
+
+class TestQpe:
+    def test_structure(self):
+        circuit = qpe(6)
+        assert circuit.num_qubits == 6
+        # one X (eigenstate prep), n-1 Hadamards up front, n-1 at the end of iQFT
+        assert circuit.count_ops()["x"] == 1
+        assert circuit.count_ops()["h"] == 2 * (6 - 1)
+
+    def test_two_qubit_count_exceeds_qft_of_same_width(self):
+        n = 10
+        assert qpe(n).count_by_arity()[2] > qft(n - 1).count_by_arity()[2]
+
+    def test_rejects_single_qubit(self):
+        with pytest.raises(ValueError):
+            qpe(1)
+
+    def test_all_entangling_gates_are_two_qubit(self):
+        assert set(qpe(8).count_by_arity()) == {2}
+
+
+class TestGraphState:
+    def test_one_cz_per_edge(self):
+        edges = [(0, 1), (1, 2), (2, 3)]
+        circuit = graph_state_from_edges(4, edges)
+        assert circuit.count_by_arity() == {2: 3}
+        assert circuit.count_ops()["h"] == 4
+
+    def test_duplicate_edges_collapse(self):
+        circuit = graph_state_from_edges(3, [(0, 1), (1, 0)])
+        assert circuit.count_by_arity() == {2: 1}
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            graph_state_from_edges(3, [(1, 1)])
+
+    def test_deterministic_given_seed(self):
+        a = graph_state(20, seed=3)
+        b = graph_state(20, seed=3)
+        assert a == b
+
+    def test_benchmark_graph_edge_count_profile(self):
+        graph = benchmark_graph(200)
+        assert abs(graph.number_of_edges() - 215) <= 5
+
+    def test_regular_graph_variant(self):
+        graph = benchmark_graph(20, degree=3, seed=1)
+        assert all(d == 3 for _n, d in graph.degree())
+
+
+class TestReversible:
+    def test_profiles_match_table_1b(self):
+        assert REVERSIBLE_PROFILES["bn"] == (48, {2: 133, 3: 87})
+        assert REVERSIBLE_PROFILES["call"] == (25, {3: 192, 4: 56})
+        assert REVERSIBLE_PROFILES["gray"] == (33, {3: 62})
+
+    @pytest.mark.parametrize("factory,name", [(bn, "bn"), (call, "call"), (gray, "gray")])
+    def test_default_sizes_and_arities(self, factory, name):
+        base_qubits, profile = REVERSIBLE_PROFILES[name]
+        circuit = factory()
+        assert circuit.num_qubits == base_qubits
+        decomposed = decompose_mcx_to_mcz(circuit)
+        arity = decomposed.count_by_arity()
+        for width, count in profile.items():
+            assert arity.get(width, 0) == count
+
+    def test_scaling_preserves_mix(self):
+        circuit = bn(num_qubits=24)
+        assert circuit.num_qubits == 24
+        arity = circuit.count_by_arity()
+        assert arity[2] > arity[3] > 0
+
+    def test_synthesize_rejects_too_few_qubits(self):
+        with pytest.raises(ValueError):
+            synthesize_reversible(2, {4: 3})
+
+    def test_no_adjacent_identical_gates(self):
+        circuit = synthesize_reversible(12, {3: 40}, seed=5)
+        entangling = [g for g in circuit if g.is_entangling]
+        for first, second in zip(entangling, entangling[1:]):
+            assert first.qubit_set() != second.qubit_set() or first.target != second.target
+
+    def test_deterministic_given_seed(self):
+        assert call(seed=9) == call(seed=9)
+        assert call(seed=9) != call(seed=10)
+
+
+class TestRegistry:
+    def test_all_names_resolve(self):
+        for name in BENCHMARK_NAMES:
+            circuit = get_benchmark(name, num_qubits=max(8, default_benchmark_size(name) // 10))
+            assert len(circuit) > 0
+
+    def test_default_sizes_match_paper(self):
+        assert default_benchmark_size("qft") == 200
+        assert default_benchmark_size("bn") == 48
+        assert default_benchmark_size("call") == 25
+        assert default_benchmark_size("gray") == 33
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ValueError):
+            get_benchmark("does-not-exist")
+        with pytest.raises(ValueError):
+            default_benchmark_size("nope")

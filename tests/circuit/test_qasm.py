@@ -1,0 +1,114 @@
+"""Unit tests for the OpenQASM 2 subset reader/writer."""
+
+import math
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.circuit.gate import GateKind
+from repro.circuit.qasm import QasmError, dumps, load, loads, dump
+
+
+SAMPLE = """
+OPENQASM 2.0;
+include "qelib1.inc";
+// a comment line
+qreg q[4];
+creg c[4];
+h q[0];
+rz(pi/4) q[1];
+cx q[0],q[1];
+cz q[1],q[2];
+ccz q[0],q[1],q[2];
+ccx q[0], q[1], q[3];
+cp(pi/8) q[2],q[3];
+u3(0.1,0.2,0.3) q[2];
+swap q[0],q[3];
+barrier q[0],q[1];
+measure q[3] -> c[3];
+"""
+
+
+class TestLoads:
+    def test_parses_all_statements(self):
+        circuit = loads(SAMPLE)
+        assert circuit.num_qubits == 4
+        names = [g.name for g in circuit]
+        assert names == ["h", "rz", "cx", "cz", "ccz", "ccx", "cp", "u3", "swap",
+                         "barrier", "measure"]
+
+    def test_parameter_expressions(self):
+        circuit = loads(SAMPLE)
+        rz = circuit[1]
+        assert rz.params[0] == pytest.approx(math.pi / 4)
+        cp = circuit[6]
+        assert cp.params[0] == pytest.approx(math.pi / 8)
+
+    def test_negative_and_nested_parameters(self):
+        circuit = loads("qreg q[1]; rz(-pi/2) q[0]; rz(2*(pi+1)) q[0];")
+        assert circuit[0].params[0] == pytest.approx(-math.pi / 2)
+        assert circuit[1].params[0] == pytest.approx(2 * (math.pi + 1))
+
+    def test_multiple_registers_are_concatenated(self):
+        text = "qreg a[2]; qreg b[2]; cz a[1],b[0];"
+        circuit = loads(text)
+        assert circuit.num_qubits == 4
+        assert circuit[0].qubits == (1, 2)
+
+    def test_missing_qreg_raises(self):
+        with pytest.raises(QasmError):
+            loads("h q[0];")
+
+    def test_unknown_register_raises(self):
+        with pytest.raises(QasmError):
+            loads("qreg q[2]; h r[0];")
+
+    def test_unsupported_gate_raises(self):
+        with pytest.raises(QasmError):
+            loads("qreg q[3]; rxx(0.1) q[0],q[1];")
+
+    def test_malformed_parameter_raises(self):
+        with pytest.raises(QasmError):
+            loads("qreg q[1]; rz(pi//2) q[0];")
+
+    def test_kinds_are_assigned(self):
+        circuit = loads(SAMPLE)
+        kinds = {g.name: g.kind for g in circuit}
+        assert kinds["cx"] == GateKind.CONTROLLED_X
+        assert kinds["cz"] == GateKind.CONTROLLED_Z
+        assert kinds["cp"] == GateKind.CONTROLLED_Z
+        assert kinds["swap"] == GateKind.SWAP
+        assert kinds["barrier"] == GateKind.BARRIER
+        assert kinds["measure"] == GateKind.MEASURE
+
+
+class TestRoundTrip:
+    def test_dump_load_round_trip_structure(self):
+        original = loads(SAMPLE)
+        text = dumps(original)
+        reparsed = loads(text)
+        assert [g.name for g in reparsed] == [g.name for g in original]
+        assert [g.qubits for g in reparsed] == [g.qubits for g in original]
+
+    def test_round_trip_preserves_parameters(self):
+        circuit = QuantumCircuit(2)
+        circuit.rz(0.12345, 0).cp(0.5, 0, 1)
+        reparsed = loads(dumps(circuit))
+        assert reparsed[0].params[0] == pytest.approx(0.12345)
+        assert reparsed[1].params[0] == pytest.approx(0.5)
+
+    def test_wide_mcx_round_trip(self):
+        circuit = QuantumCircuit(5)
+        circuit.mcx([0, 1, 2], 4)
+        reparsed = loads(dumps(circuit))
+        assert reparsed[0].num_qubits == 4
+        assert reparsed[0].kind == GateKind.CONTROLLED_X
+
+    def test_file_io(self, tmp_path):
+        circuit = QuantumCircuit(3, name="file-io")
+        circuit.h(0).cz(0, 2).measure_all()
+        path = tmp_path / "circuit.qasm"
+        dump(circuit, str(path))
+        loaded = load(str(path))
+        assert len(loaded) == len(circuit)
+        assert loaded.num_qubits == 3

@@ -1,0 +1,79 @@
+"""Unit tests for the randomised workload generators."""
+
+import pytest
+
+from repro.circuit.library import (
+    local_window_circuit,
+    qaoa_maxcut_circuit,
+    random_layered_circuit,
+)
+from repro.hardware.presets import mixed
+from repro.mapping import HybridMapper, MapperConfig
+
+
+class TestRandomLayered:
+    def test_deterministic_given_seed(self):
+        assert random_layered_circuit(8, 3, seed=1) == random_layered_circuit(8, 3, seed=1)
+        assert random_layered_circuit(8, 3, seed=1) != random_layered_circuit(8, 3, seed=2)
+
+    def test_layer_structure(self):
+        circuit = random_layered_circuit(10, 4)
+        # Each layer applies one rz per qubit and floor(n/2) CZ gates.
+        assert circuit.count_ops()["rz"] == 40
+        assert circuit.count_by_arity()[2] == 4 * 5
+
+    def test_multi_qubit_fraction_produces_ccz(self):
+        circuit = random_layered_circuit(12, 6, multi_qubit_fraction=0.8, seed=3)
+        arity = circuit.count_by_arity()
+        assert arity.get(3, 0) > 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            random_layered_circuit(1, 2)
+        with pytest.raises(ValueError):
+            random_layered_circuit(4, 2, multi_qubit_fraction=1.5)
+
+
+class TestQaoa:
+    def test_structure(self):
+        circuit = qaoa_maxcut_circuit(10, edge_probability=0.4, rounds=2, seed=5)
+        assert circuit.count_ops()["h"] == 10
+        assert circuit.count_ops()["rx"] == 20
+        assert circuit.count_by_arity()[2] % 2 == 0  # same edge set per round
+
+    def test_at_least_one_edge(self):
+        circuit = qaoa_maxcut_circuit(5, edge_probability=0.01, seed=1)
+        assert circuit.num_entangling_gates() >= 1
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            qaoa_maxcut_circuit(1)
+        with pytest.raises(ValueError):
+            qaoa_maxcut_circuit(5, edge_probability=0.0)
+
+
+class TestLocalWindow:
+    def test_gates_stay_within_window(self):
+        window = 2
+        circuit = local_window_circuit(20, 50, window=window, seed=9)
+        for gate in circuit:
+            if gate.is_entangling:
+                a, b = gate.qubits
+                assert abs(a - b) <= window
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            local_window_circuit(1, 5)
+        with pytest.raises(ValueError):
+            local_window_circuit(5, 5, window=0)
+
+
+class TestMappability:
+    def test_random_workloads_map_end_to_end(self):
+        architecture = mixed(lattice_rows=7, num_atoms=24)
+        mapper = HybridMapper(architecture, MapperConfig.hybrid(1.0))
+        for circuit in (random_layered_circuit(12, 2, multi_qubit_fraction=0.3, seed=4),
+                        qaoa_maxcut_circuit(12, edge_probability=0.3, seed=4),
+                        local_window_circuit(12, 20, seed=4)):
+            result = mapper.map(circuit)
+            result.verify_complete()

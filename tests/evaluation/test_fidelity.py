@@ -1,0 +1,103 @@
+"""Unit tests for the approximate success-probability model (Eq. 1)."""
+
+import math
+
+import pytest
+
+from repro.evaluation.fidelity import (
+    analyse,
+    fidelity_decrease,
+    log_success_probability,
+    success_probability,
+)
+from repro.scheduling import OperationKind, Schedule, ScheduledOperation
+
+
+def schedule_with(ops, num_qubits=2):
+    schedule = Schedule(num_circuit_qubits=num_qubits)
+    for operation in ops:
+        schedule.append(operation)
+    return schedule
+
+
+def gate_op(start, duration, atoms, fidelity, kind=OperationKind.ENTANGLING, name="cz"):
+    return ScheduledOperation(kind=kind, name=name, start=start, duration=duration,
+                              atoms=atoms, fidelity=fidelity)
+
+
+class TestSuccessProbability:
+    def test_empty_schedule_has_unit_probability(self, small_architecture):
+        schedule = Schedule(num_circuit_qubits=2)
+        assert success_probability(schedule, small_architecture) == pytest.approx(1.0)
+
+    def test_single_operation_probability(self, small_architecture):
+        schedule = schedule_with([gate_op(0.0, 0.2, (0, 1), 0.99)])
+        breakdown = analyse(schedule, small_architecture)
+        # idle time = 2 * 0.2 - 0.2 = 0.2 us
+        expected_log = math.log(0.99) - 0.2 / small_architecture.effective_decoherence_time
+        assert breakdown.log_success_probability == pytest.approx(expected_log)
+        assert success_probability(schedule, small_architecture) == pytest.approx(
+            math.exp(expected_log))
+
+    def test_operation_fidelities_multiply(self, small_architecture):
+        schedule = schedule_with([
+            gate_op(0.0, 0.2, (0, 1), 0.99),
+            gate_op(0.2, 0.2, (0, 1), 0.98),
+        ])
+        breakdown = analyse(schedule, small_architecture)
+        assert breakdown.log_operation_fidelity == pytest.approx(
+            math.log(0.99) + math.log(0.98))
+
+    def test_idle_factor_uses_effective_decoherence_time(self, small_architecture):
+        long_idle = schedule_with([
+            gate_op(0.0, 0.5, (0,), 0.999, kind=OperationKind.SINGLE_QUBIT, name="h"),
+            gate_op(1000.0, 0.5, (0,), 0.999, kind=OperationKind.SINGLE_QUBIT, name="h"),
+        ])
+        breakdown = analyse(long_idle, small_architecture)
+        expected_idle = 2 * long_idle.makespan - 1.0
+        assert breakdown.idle_time_us == pytest.approx(expected_idle)
+        assert breakdown.log_idle_factor == pytest.approx(
+            -expected_idle / small_architecture.effective_decoherence_time)
+
+    def test_log_and_linear_scales_agree(self, small_architecture):
+        schedule = schedule_with([gate_op(0.0, 0.2, (0, 1), 0.97)])
+        assert math.log(success_probability(schedule, small_architecture)) == pytest.approx(
+            log_success_probability(schedule, small_architecture))
+
+    def test_breakdown_counts_operations(self, small_architecture):
+        schedule = schedule_with([gate_op(0.0, 0.2, (0, 1), 0.99)] * 3)
+        assert analyse(schedule, small_architecture).num_operations == 3
+
+
+class TestFidelityDecrease:
+    def test_identical_schedules_have_zero_decrease(self, small_architecture):
+        schedule = schedule_with([gate_op(0.0, 0.2, (0, 1), 0.99)])
+        assert fidelity_decrease(schedule, schedule, small_architecture) == pytest.approx(0.0)
+
+    def test_extra_operations_increase_delta_f(self, small_architecture):
+        original = schedule_with([gate_op(0.0, 0.2, (0, 1), 0.99)])
+        mapped = schedule_with([
+            gate_op(0.0, 0.2, (0, 1), 0.99),
+            gate_op(0.2, 0.2, (0, 1), 0.99),
+        ])
+        assert fidelity_decrease(mapped, original, small_architecture) > 0
+
+    def test_delta_f_is_additive_in_log_space(self, small_architecture):
+        original = schedule_with([gate_op(0.0, 0.2, (0, 1), 0.99)])
+        one_extra = schedule_with([gate_op(0.0, 0.2, (0, 1), 0.99),
+                                   gate_op(0.2, 0.2, (0, 1), 0.95)])
+        two_extra = schedule_with([gate_op(0.0, 0.2, (0, 1), 0.99),
+                                   gate_op(0.2, 0.2, (0, 1), 0.95),
+                                   gate_op(0.4, 0.2, (0, 1), 0.95)])
+        d1 = fidelity_decrease(one_extra, original, small_architecture)
+        d2 = fidelity_decrease(two_extra, original, small_architecture)
+        assert d2 > d1
+        # Each identical extra gate contributes the same log penalty (up to idle time).
+        assert d2 - d1 == pytest.approx(d1 - 0.0, rel=0.05)
+
+    def test_no_underflow_for_large_schedules(self, small_architecture):
+        many = schedule_with([gate_op(0.2 * i, 0.2, (0, 1), 0.99) for i in range(20000)])
+        base = schedule_with([gate_op(0.0, 0.2, (0, 1), 0.99)])
+        delta = fidelity_decrease(many, base, small_architecture)
+        assert math.isfinite(delta)
+        assert delta > 100

@@ -1,0 +1,72 @@
+"""Unit tests for the Table-1a metric evaluation."""
+
+import pytest
+
+from repro.evaluation import evaluate
+from repro.mapping import HybridMapper, MapperConfig
+
+
+class TestEvaluate:
+    def test_shuttling_only_has_zero_delta_cz(self, small_architecture,
+                                              long_range_circuit):
+        result = HybridMapper(small_architecture,
+                              MapperConfig.shuttling_only()).map(long_range_circuit)
+        metrics = evaluate(long_range_circuit, result, small_architecture)
+        assert metrics.delta_cz == 0
+        assert metrics.num_moves > 0
+        assert metrics.delta_t_us > 0
+
+    def test_gate_only_delta_cz_is_three_per_swap(self, small_architecture,
+                                                  long_range_circuit):
+        result = HybridMapper(small_architecture,
+                              MapperConfig.gate_only()).map(long_range_circuit)
+        metrics = evaluate(long_range_circuit, result, small_architecture)
+        assert metrics.delta_cz == 3 * result.num_swaps
+        assert metrics.delta_cz > 0
+
+    def test_gate_only_is_faster_than_shuttling_only(self, small_architecture,
+                                                     long_range_circuit):
+        gate_result = HybridMapper(small_architecture,
+                                   MapperConfig.gate_only()).map(long_range_circuit)
+        shuttle_result = HybridMapper(small_architecture,
+                                      MapperConfig.shuttling_only()).map(long_range_circuit)
+        gate_metrics = evaluate(long_range_circuit, gate_result, small_architecture)
+        shuttle_metrics = evaluate(long_range_circuit, shuttle_result, small_architecture)
+        assert gate_metrics.delta_t_us < shuttle_metrics.delta_t_us
+
+    def test_delta_fidelity_non_negative_for_routed_circuits(self, small_architecture,
+                                                             long_range_circuit):
+        result = HybridMapper(small_architecture).map(long_range_circuit)
+        metrics = evaluate(long_range_circuit, result, small_architecture)
+        assert metrics.delta_fidelity >= 0
+
+    def test_trivial_circuit_has_zero_overheads(self, small_architecture, bell_circuit):
+        result = HybridMapper(small_architecture).map(bell_circuit)
+        metrics = evaluate(bell_circuit, result, small_architecture)
+        assert metrics.delta_cz == 0
+        assert metrics.delta_t_us == pytest.approx(0.0)
+        assert metrics.delta_fidelity == pytest.approx(0.0, abs=1e-9)
+
+    def test_metrics_record_run_metadata(self, small_architecture, long_range_circuit):
+        result = HybridMapper(small_architecture, MapperConfig.hybrid(1.5)).map(
+            long_range_circuit)
+        metrics = evaluate(long_range_circuit, result, small_architecture,
+                           alpha_ratio=1.5)
+        assert metrics.circuit_name == long_range_circuit.name
+        assert metrics.mode == "hybrid"
+        assert metrics.hardware_name == small_architecture.name
+        assert metrics.alpha_ratio == pytest.approx(1.5)
+        assert metrics.num_qubits == long_range_circuit.num_qubits
+
+    def test_as_row_is_flat_and_rounded(self, small_architecture, long_range_circuit):
+        result = HybridMapper(small_architecture).map(long_range_circuit)
+        row = evaluate(long_range_circuit, result, small_architecture).as_row()
+        for key in ("hardware", "circuit", "mode", "delta_cz", "delta_t_us",
+                    "delta_fidelity", "runtime_s"):
+            assert key in row
+
+    def test_multiqubit_circuit_evaluation(self, mixed_architecture, multiqubit_circuit):
+        result = HybridMapper(mixed_architecture).map(multiqubit_circuit)
+        metrics = evaluate(multiqubit_circuit, result, mixed_architecture)
+        assert metrics.mapped_makespan_us >= metrics.original_makespan_us
+        assert metrics.mapped_log_success <= metrics.original_log_success + 1e-9

@@ -1,0 +1,103 @@
+"""Unit tests for the Table-1 experiment harness."""
+
+import pytest
+
+from repro.evaluation.table import (
+    DEFAULT_ALPHA_GRID,
+    ExperimentSettings,
+    benchmark_description_rows,
+    format_table,
+    run_mode_comparison,
+    run_single,
+    run_table1,
+)
+from repro.circuit.library import BENCHMARK_NAMES, get_benchmark
+from repro.hardware.presets import mixed
+from repro.mapping import MapperConfig
+
+
+class TestExperimentSettings:
+    def test_default_settings_cover_all_benchmarks(self):
+        settings = ExperimentSettings()
+        assert tuple(settings.circuits) == BENCHMARK_NAMES
+
+    def test_scaled_sizes_are_proportional(self):
+        settings = ExperimentSettings(scale=0.1)
+        assert settings.circuit_size("qft") == 20
+        assert settings.circuit_size("call") == 4  # floor of 2.5 clamped to >= 4
+
+    def test_architecture_fits_all_atoms(self):
+        settings = ExperimentSettings(scale=0.15)
+        architecture = settings.build_architecture()
+        assert architecture.num_atoms >= max(
+            settings.circuit_size(name) for name in settings.circuits)
+        assert architecture.num_atoms < architecture.lattice.num_sites
+
+    def test_hardware_presets_resolved_by_name(self):
+        for hardware in ("shuttling", "gate", "mixed"):
+            settings = ExperimentSettings(hardware=hardware, scale=0.1)
+            assert settings.build_architecture().name == hardware
+
+
+class TestBenchmarkDescriptions:
+    def test_rows_match_table_1b_columns(self):
+        settings = ExperimentSettings(scale=0.1, circuits=("graph", "bn", "gray"))
+        rows = benchmark_description_rows(settings)
+        assert [row["name"] for row in rows] == ["graph", "bn", "gray"]
+        for row in rows:
+            assert set(row) == {"name", "n", "nCZ", "nC2Z", "nC3Z"}
+            assert row["nCZ"] + row["nC2Z"] + row["nC3Z"] > 0
+
+    def test_full_scale_counts_match_paper_profile(self):
+        settings = ExperimentSettings(scale=1.0, circuits=("bn",))
+        row = benchmark_description_rows(settings)[0]
+        assert row["n"] == 48
+        assert row["nCZ"] == 133
+        assert row["nC2Z"] == 87
+        assert row["nC3Z"] == 0
+
+
+class TestRunners:
+    def test_run_single_produces_metrics(self):
+        architecture = mixed(lattice_rows=7, num_atoms=24)
+        circuit = get_benchmark("graph", num_qubits=16, seed=5)
+        metrics = run_single(circuit, architecture, MapperConfig.shuttling_only())
+        assert metrics.delta_cz == 0
+        assert metrics.hardware_name == "mixed"
+
+    def test_run_mode_comparison_contains_three_modes(self):
+        architecture = mixed(lattice_rows=7, num_atoms=24)
+        circuit = get_benchmark("graph", num_qubits=16, seed=5)
+        results = run_mode_comparison(circuit, architecture, alpha_grid=(1.0,))
+        assert set(results) == {"shuttling_only", "gate_only", "hybrid"}
+        assert results["shuttling_only"].delta_cz == 0
+        assert results["gate_only"].delta_cz > 0 or results["gate_only"].num_swaps == 0
+        assert results["hybrid"].alpha_ratio == pytest.approx(1.0)
+
+    def test_hybrid_keeps_best_alpha(self):
+        architecture = mixed(lattice_rows=7, num_atoms=24)
+        circuit = get_benchmark("graph", num_qubits=14, seed=5)
+        results = run_mode_comparison(circuit, architecture, alpha_grid=(0.05, 20.0))
+        hybrid = results["hybrid"]
+        assert hybrid.delta_fidelity <= min(results["shuttling_only"].delta_fidelity,
+                                            results["gate_only"].delta_fidelity) + 1e-6
+
+    def test_run_table1_row_per_circuit(self):
+        settings = ExperimentSettings(hardware="mixed", circuits=("graph", "gray"),
+                                      scale=0.12, alpha_grid=(1.0,))
+        rows = run_table1(settings)
+        assert len(rows) == 2
+        for row in rows:
+            assert set(row) == {"shuttling_only", "gate_only", "hybrid"}
+
+    def test_format_table_renders_all_rows(self):
+        settings = ExperimentSettings(hardware="mixed", circuits=("graph",),
+                                      scale=0.1, alpha_grid=(1.0,))
+        rows = run_table1(settings)
+        text = format_table(rows, "mixed")
+        assert "graph" in text
+        assert "shuttling_only" in text and "gate_only" in text and "hybrid" in text
+        assert "dCZ" in text
+
+    def test_default_alpha_grid_brackets_unity(self):
+        assert min(DEFAULT_ALPHA_GRID) < 1.0 < max(DEFAULT_ALPHA_GRID)

@@ -1,0 +1,112 @@
+"""Unit tests for the architecture description."""
+
+import pytest
+
+from repro.hardware import (
+    Fidelities,
+    GateDurations,
+    NeutralAtomArchitecture,
+    SquareLattice,
+)
+
+
+class TestGateDurations:
+    def test_entangling_durations_from_table(self):
+        durations = GateDurations()
+        assert durations.entangling(2) == pytest.approx(0.2)
+        assert durations.entangling(3) == pytest.approx(0.4)
+        assert durations.entangling(4) == pytest.approx(0.6)
+
+    def test_wider_gates_extrapolate_linearly(self):
+        durations = GateDurations()
+        assert durations.entangling(5) == pytest.approx(0.8)
+        assert durations.entangling(6) == pytest.approx(1.0)
+
+    def test_single_qubit_width_rejected(self):
+        with pytest.raises(ValueError):
+            GateDurations().entangling(1)
+
+
+class TestFidelities:
+    def test_entangling_fidelity_scales_per_pair(self):
+        fid = Fidelities(cz=0.99)
+        assert fid.entangling(2) == pytest.approx(0.99)
+        assert fid.entangling(3) == pytest.approx(0.99 ** 2)
+        assert fid.entangling(4) == pytest.approx(0.99 ** 3)
+
+    def test_out_of_range_fidelity_rejected(self):
+        with pytest.raises(ValueError):
+            Fidelities(cz=0.0)
+        with pytest.raises(ValueError):
+            Fidelities(single_qubit=1.5)
+
+    def test_entangling_requires_two_qubits(self):
+        with pytest.raises(ValueError):
+            Fidelities().entangling(1)
+
+
+class TestArchitecture:
+    def test_default_construction(self):
+        arch = NeutralAtomArchitecture()
+        assert arch.lattice.num_sites == 225
+        assert arch.num_atoms == 200
+        assert arch.interaction_radius_um == pytest.approx(2.5 * 3.0)
+
+    def test_validation_errors(self):
+        lattice = SquareLattice(4, 4, 3.0)
+        with pytest.raises(ValueError):
+            NeutralAtomArchitecture(lattice=lattice, num_atoms=16)  # no free trap
+        with pytest.raises(ValueError):
+            NeutralAtomArchitecture(lattice=lattice, num_atoms=0)
+        with pytest.raises(ValueError):
+            NeutralAtomArchitecture(lattice=lattice, num_atoms=10,
+                                    interaction_radius=2.0, restriction_radius=1.0)
+        with pytest.raises(ValueError):
+            NeutralAtomArchitecture(lattice=lattice, num_atoms=10, shuttling_speed=0.0)
+        with pytest.raises(ValueError):
+            NeutralAtomArchitecture(lattice=lattice, num_atoms=10, t1=-1.0)
+
+    def test_effective_decoherence_time(self):
+        arch = NeutralAtomArchitecture(t1=100.0, t2=50.0,
+                                       lattice=SquareLattice(5, 5, 3.0), num_atoms=10)
+        assert arch.effective_decoherence_time == pytest.approx(100 * 50 / 150)
+
+    def test_coordination_number(self, small_architecture):
+        # r_int = 2d on a square lattice -> 12 sites within reach of a bulk site
+        assert small_architecture.coordination_number == 12
+
+    def test_can_interact_and_restriction(self, small_architecture):
+        lattice = small_architecture.lattice
+        a = lattice.site_at(2, 2)
+        b = lattice.site_at(2, 4)
+        c = lattice.site_at(5, 5)
+        assert small_architecture.can_interact(a, b)
+        assert not small_architecture.can_interact(a, c)
+        assert small_architecture.within_restriction(a, b)
+
+    def test_gate_duration_and_fidelity_dispatch(self, small_architecture):
+        assert small_architecture.gate_duration(1) == pytest.approx(0.5)
+        assert small_architecture.gate_duration(3) == pytest.approx(0.4)
+        assert small_architecture.gate_fidelity(1) == pytest.approx(0.999)
+        assert small_architecture.gate_fidelity(2) == pytest.approx(0.995)
+
+    def test_shuttle_durations(self, small_architecture):
+        travel_only = small_architecture.shuttle_duration(
+            30.0, include_activation=False, include_deactivation=False)
+        assert travel_only == pytest.approx(100.0)
+        full = small_architecture.shuttle_duration(30.0)
+        assert full == pytest.approx(100.0 + 40.0 + 40.0)
+
+    def test_with_overrides(self, small_architecture):
+        changed = small_architecture.with_overrides(num_atoms=10, name="changed")
+        assert changed.num_atoms == 10
+        assert changed.name == "changed"
+        assert small_architecture.num_atoms == 20  # original untouched
+
+    def test_summary_contains_all_headline_parameters(self, small_architecture):
+        summary = small_architecture.summary()
+        for key in ("r_int", "F_cz", "F_shuttle", "t_cz_us", "T1_us", "num_atoms"):
+            assert key in summary
+
+    def test_swap_cz_cost(self, small_architecture):
+        assert small_architecture.swap_cz_cost() == 3

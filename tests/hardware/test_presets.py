@@ -1,0 +1,74 @@
+"""Unit tests for the Table 1c hardware presets."""
+
+import pytest
+
+from repro.hardware.presets import (
+    PRESET_NAMES,
+    gate_optimised,
+    mixed,
+    preset,
+    shuttling_optimised,
+)
+
+
+class TestTable1cValues:
+    def test_shuttling_preset_matches_table(self):
+        arch = shuttling_optimised()
+        assert arch.interaction_radius == pytest.approx(2.0)
+        assert arch.restriction_radius == pytest.approx(2.0)
+        assert arch.fidelities.cz == pytest.approx(0.994)
+        assert arch.fidelities.single_qubit == pytest.approx(0.995)
+        assert arch.fidelities.shuttling == pytest.approx(1.0)
+        assert arch.shuttling_speed == pytest.approx(0.55)
+        assert arch.durations.aod_activation == pytest.approx(20.0)
+
+    def test_gate_preset_matches_table(self):
+        arch = gate_optimised()
+        assert arch.interaction_radius == pytest.approx(4.5)
+        assert arch.fidelities.cz == pytest.approx(0.9995)
+        assert arch.fidelities.single_qubit == pytest.approx(0.9999)
+        assert arch.fidelities.shuttling == pytest.approx(0.999)
+        assert arch.shuttling_speed == pytest.approx(0.2)
+        assert arch.durations.aod_activation == pytest.approx(50.0)
+
+    def test_mixed_preset_matches_table(self):
+        arch = mixed()
+        assert arch.interaction_radius == pytest.approx(2.5)
+        assert arch.fidelities.cz == pytest.approx(0.995)
+        assert arch.fidelities.single_qubit == pytest.approx(0.999)
+        assert arch.fidelities.shuttling == pytest.approx(0.9999)
+        assert arch.shuttling_speed == pytest.approx(0.3)
+        assert arch.durations.aod_activation == pytest.approx(40.0)
+
+    @pytest.mark.parametrize("factory", [shuttling_optimised, gate_optimised, mixed])
+    def test_shared_parameters(self, factory):
+        arch = factory()
+        assert arch.lattice.rows == arch.lattice.cols == 15
+        assert arch.lattice.spacing == pytest.approx(3.0)
+        assert arch.num_atoms == 200
+        assert arch.durations.single_qubit == pytest.approx(0.5)
+        assert arch.durations.cz == pytest.approx(0.2)
+        assert arch.durations.ccz == pytest.approx(0.4)
+        assert arch.durations.cccz == pytest.approx(0.6)
+        assert arch.t1 == pytest.approx(1e8)
+        assert arch.t2 == pytest.approx(1.5e6)
+
+
+class TestFactory:
+    def test_preset_by_name(self):
+        for name in PRESET_NAMES:
+            arch = preset(name)
+            assert arch.name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            preset("unknown")
+
+    def test_scaled_down_instances(self):
+        arch = preset("mixed", lattice_rows=8, num_atoms=40)
+        assert arch.lattice.rows == 8
+        assert arch.num_atoms == 40
+
+    def test_default_atom_count_never_exceeds_sites(self):
+        arch = preset("gate", lattice_rows=6)
+        assert arch.num_atoms < arch.lattice.num_sites

@@ -1,0 +1,77 @@
+"""Unit tests for the capability decision (process block (2))."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.circuit.gate import controlled_z
+from repro.mapping import CapabilityDecider, LayerManager, MappingState
+
+
+@pytest.fixture()
+def decider(small_architecture):
+    return CapabilityDecider(small_architecture, alpha_gate=1.0, alpha_shuttling=1.0)
+
+
+class TestEstimates:
+    def test_adjacent_gate_has_zero_cost(self, decider, small_state):
+        estimate = decider.estimate(small_state, controlled_z((0, 1)), 0)
+        assert estimate.estimated_swaps == 0
+        assert estimate.estimated_moves == 0
+        assert estimate.success_gate_based == pytest.approx(1.0)
+        assert estimate.success_shuttling_based == pytest.approx(1.0)
+
+    def test_distant_gate_costs_grow_with_separation(self, decider, small_state):
+        near = decider.estimate(small_state, controlled_z((0, 3)), 0)
+        far = decider.estimate(small_state, controlled_z((0, 11)), 1)
+        assert far.estimated_swaps >= near.estimated_swaps
+        assert far.success_gate_based <= near.success_gate_based
+
+    def test_success_probabilities_within_unit_interval(self, decider, small_state):
+        for gate in [controlled_z((0, 5)), controlled_z((0, 5, 11)), controlled_z((2, 9))]:
+            estimate = decider.estimate(small_state, gate, 0)
+            assert 0.0 < estimate.success_gate_based <= 1.0
+            assert 0.0 < estimate.success_shuttling_based <= 1.0
+
+    def test_multi_qubit_estimates_use_best_anchor(self, decider, small_state):
+        estimate = decider.estimate(small_state, controlled_z((0, 1, 11)), 0)
+        # Gathering around qubit 0 or 1 needs to move only qubit 11.
+        assert estimate.estimated_moves >= 1
+        assert estimate.estimated_move_distance_um > 0
+
+
+class TestDecisions:
+    def test_alpha_shuttling_zero_forces_gate_based(self, small_architecture, small_state):
+        decider = CapabilityDecider(small_architecture, alpha_gate=1.0, alpha_shuttling=0.0)
+        decision = decider.decide(small_state, controlled_z((0, 11)), 3)
+        assert decision.use_gate_based
+
+    def test_alpha_gate_zero_forces_shuttling(self, small_architecture, small_state):
+        decider = CapabilityDecider(small_architecture, alpha_gate=0.0, alpha_shuttling=1.0)
+        decision = decider.decide(small_state, controlled_z((0, 11)), 3)
+        assert not decision.use_gate_based
+
+    def test_invalid_weights_rejected(self, small_architecture):
+        with pytest.raises(ValueError):
+            CapabilityDecider(small_architecture, alpha_gate=0.0, alpha_shuttling=0.0)
+        with pytest.raises(ValueError):
+            CapabilityDecider(small_architecture, alpha_gate=-1.0)
+
+    def test_extreme_alpha_overrides_estimates(self, small_architecture, small_state):
+        gate = controlled_z((0, 11))
+        gate_leaning = CapabilityDecider(small_architecture, alpha_gate=1e6,
+                                         alpha_shuttling=1.0)
+        shuttle_leaning = CapabilityDecider(small_architecture, alpha_gate=1e-6,
+                                            alpha_shuttling=1.0)
+        assert gate_leaning.decide(small_state, gate, 0).use_gate_based
+        assert not shuttle_leaning.decide(small_state, gate, 0).use_gate_based
+
+    def test_split_layers_preserves_all_nodes(self, decider, small_state):
+        circuit = QuantumCircuit(12)
+        circuit.cz(0, 11).cz(1, 2).cz(3, 9)
+        manager = LayerManager(circuit)
+        front, _ = manager.layers()
+        gate_nodes, shuttle_nodes, decisions = decider.split_layers(small_state, front)
+        assert len(gate_nodes) + len(shuttle_nodes) == len(front)
+        assert len(decisions) == len(front)
+        decided_indices = {d.gate_index for d in decisions}
+        assert decided_indices == {node.index for node in front}

@@ -1,0 +1,163 @@
+"""Unit tests for the gate-based SWAP router (Section 3.3.1)."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.mapping import GateRouter, LayerManager, MappingState, find_gate_position
+
+
+@pytest.fixture()
+def router(small_architecture):
+    return GateRouter(small_architecture, lookahead_weight=0.1, decay_rate=0.0,
+                      recency_window=4)
+
+
+def front_for(circuit, state):
+    manager = LayerManager(circuit)
+    front, lookahead = manager.layers()
+    return manager, front, lookahead
+
+
+class TestCandidates:
+    def test_candidates_touch_front_gate_qubits(self, router, small_state):
+        circuit = QuantumCircuit(12)
+        circuit.cz(0, 11)
+        _, front, _ = front_for(circuit, small_state)
+        candidates = router.candidate_swaps(small_state, front)
+        assert candidates
+        front_qubits = {0, 11}
+        for candidate in candidates:
+            assert candidate.qubit_a in front_qubits
+            assert small_state.connectivity.are_adjacent(candidate.site_a, candidate.site_b)
+
+    def test_candidates_deduplicated(self, router, small_state):
+        circuit = QuantumCircuit(12)
+        circuit.cz(0, 1)   # adjacent qubits: their neighbourhoods overlap
+        _, front, _ = front_for(circuit, small_state)
+        candidates = router.candidate_swaps(small_state, front)
+        keys = [c.key() for c in candidates]
+        assert len(keys) == len(set(keys))
+
+    def test_no_candidates_without_front_gates(self, router, small_state):
+        assert router.candidate_swaps(small_state, []) == []
+
+
+class TestCost:
+    def test_distance_reducing_swap_preferred(self, router, small_state):
+        circuit = QuantumCircuit(12)
+        circuit.cz(0, 11)
+        _, front, lookahead = front_for(circuit, small_state)
+        best = router.best_swap(small_state, front, lookahead, {})
+        assert best is not None
+        before = router.layer_distance(small_state, front, {})
+        after = router.layer_distance(small_state, front, {}, best)
+        assert after <= before
+
+    def test_layer_distance_zero_when_all_gates_satisfied(self, router, small_state):
+        circuit = QuantumCircuit(12)
+        circuit.cz(0, 1).cz(2, 3)
+        _, front, _ = front_for(circuit, small_state)
+        assert router.layer_distance(small_state, front, {}) == 0
+
+    def test_cost_includes_lookahead_with_weight(self, small_architecture, small_state):
+        eager = GateRouter(small_architecture, lookahead_weight=1.0)
+        lazy = GateRouter(small_architecture, lookahead_weight=0.0)
+        circuit = QuantumCircuit(12)
+        circuit.cz(0, 11).cz(0, 9)
+        manager = LayerManager(circuit)
+        front, lookahead = manager.layers()
+        candidate = eager.candidate_swaps(small_state, front)[0]
+        cost_eager = eager.swap_cost(small_state, candidate, front, lookahead, {})
+        cost_lazy = lazy.swap_cost(small_state, candidate, front, lookahead, {})
+        if lookahead:
+            assert cost_eager != cost_lazy
+
+    def test_position_distance_used_for_multiqubit_gates(self, router, small_state):
+        circuit = QuantumCircuit(12)
+        circuit.ccz(0, 5, 11)
+        manager = LayerManager(circuit)
+        front, lookahead = manager.layers()
+        node = front[0]
+        position = find_gate_position(small_state, node.gate)
+        assert position is not None
+        distance = router.layer_distance(small_state, front, {node.index: position})
+        assert distance >= 0
+
+    def test_invalid_parameters_rejected(self, small_architecture):
+        with pytest.raises(ValueError):
+            GateRouter(small_architecture, lookahead_weight=-1)
+        with pytest.raises(ValueError):
+            GateRouter(small_architecture, decay_rate=-1)
+        with pytest.raises(ValueError):
+            GateRouter(small_architecture, recency_window=-1)
+
+
+class TestRecency:
+    def test_recency_score_decays_with_age(self, router, small_state):
+        circuit = QuantumCircuit(12)
+        circuit.cz(0, 11)
+        _, front, _ = front_for(circuit, small_state)
+        candidate = router.candidate_swaps(small_state, front)[0]
+        assert router.recency(candidate) == 0
+        router.note_swap_applied(small_state, candidate)
+        assert router.recency(candidate) > 0
+
+    def test_decay_rate_damps_recently_used_swaps(self, small_architecture, small_state):
+        router = GateRouter(small_architecture, decay_rate=0.5, recency_window=4)
+        circuit = QuantumCircuit(12)
+        circuit.cz(0, 11)
+        _, front, lookahead = front_for(circuit, small_state)
+        candidate = router.candidate_swaps(small_state, front)[0]
+        fresh_cost = router.swap_cost(small_state, candidate, front, lookahead, {})
+        router.note_swap_applied(small_state, candidate)
+        damped_cost = router.swap_cost(small_state, candidate, front, lookahead, {})
+        assert damped_cost >= fresh_cost
+
+    def test_reset_clears_history(self, router, small_state):
+        circuit = QuantumCircuit(12)
+        circuit.cz(0, 11)
+        _, front, _ = front_for(circuit, small_state)
+        candidate = router.candidate_swaps(small_state, front)[0]
+        router.note_swap_applied(small_state, candidate)
+        router.reset()
+        assert router.recency(candidate) == 0
+
+    def test_inverse_of_last_swap_is_avoided(self, router, small_state):
+        circuit = QuantumCircuit(12)
+        circuit.cz(0, 11)
+        _, front, lookahead = front_for(circuit, small_state)
+        first = router.best_swap(small_state, front, lookahead, {})
+        assert first is not None
+        router.note_swap_applied(small_state, first)
+        second = router.best_swap(small_state, front, lookahead, {})
+        if second is not None:
+            assert second.key() != first.key()
+
+
+class TestForcedRouting:
+    def test_forced_route_makes_gate_executable(self, router, small_architecture,
+                                                small_connectivity):
+        state = MappingState(small_architecture, 12, connectivity=small_connectivity)
+        circuit = QuantumCircuit(12)
+        circuit.cz(0, 11)
+        gate = circuit[0]
+        assert not state.gate_executable(gate)
+        applied = router.forced_route_swaps(state, gate)
+        assert applied
+        assert state.gate_executable(gate)
+
+    def test_forced_route_for_multiqubit_gate(self, router, small_architecture,
+                                              small_connectivity):
+        state = MappingState(small_architecture, 12, connectivity=small_connectivity)
+        circuit = QuantumCircuit(12)
+        circuit.ccz(0, 6, 11)
+        gate = circuit[0]
+        position = find_gate_position(state, gate)
+        assert position is not None
+        router.forced_route_swaps(state, gate, position)
+        assert state.gate_executable(gate)
+
+    def test_forced_route_on_executable_gate_is_a_no_op(self, router, small_state):
+        circuit = QuantumCircuit(12)
+        circuit.cz(0, 1)
+        assert router.forced_route_swaps(small_state, circuit[0]) == []

@@ -1,0 +1,178 @@
+"""Integration-style unit tests for the full hybrid mapping process (Figure 4)."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit, decompose_mcx_to_mcz
+from repro.mapping import HybridMapper, MapperConfig, MappingResult
+from repro.mapping.result import CircuitGateOp, ShuttleOp, SwapOp
+
+
+def assert_valid_result(result: MappingResult, circuit: QuantumCircuit) -> None:
+    """Common structural checks every mapping result must satisfy."""
+    result.verify_complete()
+    # Every emitted circuit gate preserves its gate identity.
+    for op in result.circuit_gate_ops():
+        assert op.gate is circuit[op.gate_index]
+        assert len(op.atoms) == op.gate.num_qubits
+        assert len(set(op.sites)) == len(op.sites)
+
+
+class TestBasicMapping:
+    def test_trivially_executable_circuit_needs_no_routing(self, small_architecture,
+                                                           bell_circuit):
+        mapper = HybridMapper(small_architecture, MapperConfig())
+        result = mapper.map(bell_circuit)
+        assert result.num_swaps == 0
+        assert result.num_moves == 0
+        assert result.num_trivially_executable == 1
+        assert_valid_result(result, bell_circuit)
+
+    def test_single_qubit_only_circuit(self, small_architecture):
+        circuit = QuantumCircuit(5)
+        for q in range(5):
+            circuit.h(q).rz(0.3, q)
+        result = HybridMapper(small_architecture).map(circuit)
+        assert len(result.operations) == len(circuit)
+        assert result.num_swaps == 0 and result.num_moves == 0
+
+    def test_circuit_larger_than_atom_count_rejected(self, small_architecture):
+        circuit = QuantumCircuit(small_architecture.num_atoms + 1)
+        circuit.h(0)
+        with pytest.raises(ValueError):
+            HybridMapper(small_architecture).map(circuit)
+
+    def test_mapping_records_initial_and_final_maps(self, small_architecture,
+                                                    long_range_circuit):
+        result = HybridMapper(small_architecture).map(long_range_circuit)
+        assert set(result.initial_qubit_map) == set(range(long_range_circuit.num_qubits))
+        assert set(result.final_qubit_map) == set(range(long_range_circuit.num_qubits))
+        assert result.runtime_seconds > 0
+
+
+class TestModes:
+    def test_shuttling_only_never_inserts_swaps(self, small_architecture,
+                                                long_range_circuit):
+        result = HybridMapper(small_architecture,
+                              MapperConfig.shuttling_only()).map(long_range_circuit)
+        assert result.num_swaps == 0
+        assert result.num_moves > 0
+        assert result.mode == "shuttling_only"
+        assert_valid_result(result, long_range_circuit)
+
+    def test_gate_only_never_moves_atoms_for_two_qubit_circuits(self, small_architecture,
+                                                                long_range_circuit):
+        result = HybridMapper(small_architecture,
+                              MapperConfig.gate_only()).map(long_range_circuit)
+        assert result.num_moves == 0
+        assert result.num_swaps > 0
+        assert result.mode == "gate_only"
+        assert_valid_result(result, long_range_circuit)
+
+    def test_hybrid_routes_every_gate(self, small_architecture, long_range_circuit):
+        result = HybridMapper(small_architecture,
+                              MapperConfig.hybrid(1.0)).map(long_range_circuit)
+        assert result.num_swaps + result.num_moves > 0
+        assert_valid_result(result, long_range_circuit)
+
+    def test_routed_gate_attribution_sums_to_entangling_count(self, small_architecture,
+                                                              long_range_circuit):
+        result = HybridMapper(small_architecture).map(long_range_circuit)
+        routed = (result.num_gate_routed + result.num_shuttle_routed
+                  + result.num_trivially_executable)
+        assert routed == long_range_circuit.num_entangling_gates()
+
+
+class TestEmittedStreams:
+    def test_gates_emitted_at_interacting_sites(self, small_architecture,
+                                                long_range_circuit, small_connectivity):
+        result = HybridMapper(small_architecture).map(long_range_circuit)
+        for op in result.circuit_gate_ops():
+            if op.gate.is_entangling:
+                assert small_connectivity.sites_mutually_interacting(op.sites)
+
+    def test_swap_ops_connect_adjacent_sites(self, small_architecture,
+                                             long_range_circuit, small_connectivity):
+        result = HybridMapper(small_architecture,
+                              MapperConfig.gate_only()).map(long_range_circuit)
+        for op in result.swap_ops():
+            assert small_connectivity.are_adjacent(op.site_a, op.site_b)
+
+    def test_shuttle_ops_replay_onto_free_sites(self, small_architecture,
+                                                long_range_circuit):
+        """Replaying the operation stream never moves an atom onto an occupied trap."""
+        from repro.mapping import MappingState
+        result = HybridMapper(small_architecture,
+                              MapperConfig.shuttling_only()).map(long_range_circuit)
+        state = MappingState(small_architecture, long_range_circuit.num_qubits)
+        for op in result.operations:
+            if isinstance(op, ShuttleOp):
+                assert state.site_is_free(op.move.destination)
+                state.apply_move(op.move)
+            elif isinstance(op, SwapOp):
+                state.apply_swap_with_atom(op.qubit_a, op.atom_b)
+            elif isinstance(op, CircuitGateOp) and op.gate.is_entangling:
+                assert state.gate_executable(op.gate)
+
+    def test_gate_order_respects_dependencies(self, small_architecture, small_qft_circuit):
+        result = HybridMapper(small_architecture).map(small_qft_circuit)
+        from repro.circuit import CircuitDAG
+        dag = CircuitDAG(small_qft_circuit)
+        emitted_order = {op.gate_index: position
+                         for position, op in enumerate(result.circuit_gate_ops())}
+        for node in dag.nodes:
+            for predecessor in node.predecessors:
+                assert emitted_order[predecessor] < emitted_order[node.index]
+
+
+class TestMultiQubitGates:
+    @pytest.mark.parametrize("mode", ["gate_only", "shuttling_only", "hybrid"])
+    def test_multiqubit_circuit_maps_in_every_mode(self, small_architecture,
+                                                   multiqubit_circuit, mode):
+        config = {"gate_only": MapperConfig.gate_only(),
+                  "shuttling_only": MapperConfig.shuttling_only(),
+                  "hybrid": MapperConfig.hybrid(1.0)}[mode]
+        result = HybridMapper(small_architecture, config).map(multiqubit_circuit)
+        assert_valid_result(result, multiqubit_circuit)
+
+    def test_reversible_benchmark_maps(self, mixed_architecture):
+        from repro.circuit.library import call
+        circuit = decompose_mcx_to_mcz(call(num_qubits=12, seed=3))
+        result = HybridMapper(mixed_architecture, MapperConfig.hybrid(1.0)).map(circuit)
+        assert_valid_result(result, circuit)
+
+    def test_gate_only_falls_back_when_no_position_exists(self):
+        """Unplaceable multi-qubit gates re-route via shuttling even in gate-only mode.
+
+        All atoms start on the first lattice row; with ``r_int = 1.5 d`` no
+        three *occupied* sites are mutually interacting, so the CCZ has no
+        gate-based position and must be realised by moving atoms off the row.
+        """
+        from repro.hardware import NeutralAtomArchitecture, SquareLattice
+        from repro.mapping import MappingState
+        architecture = NeutralAtomArchitecture(
+            name="single-row", lattice=SquareLattice(8, 8, 3.0), num_atoms=8,
+            interaction_radius=1.5, restriction_radius=1.5)
+        initial = MappingState(architecture, 6, initial_sites=list(range(8)))
+        circuit = QuantumCircuit(6)
+        circuit.ccz(0, 2, 4)
+        result = HybridMapper(architecture, MapperConfig.gate_only()).map(
+            circuit, initial_state=initial)
+        assert result.num_fallback_reroutes >= 1
+        assert result.num_moves > 0
+        assert_valid_result(result, circuit)
+
+
+class TestBenchmarks:
+    def test_small_graph_state_all_modes_agree_on_gate_count(self, mixed_architecture,
+                                                             small_graph_circuit):
+        for config in (MapperConfig.gate_only(), MapperConfig.shuttling_only(),
+                       MapperConfig.hybrid(1.0)):
+            result = HybridMapper(mixed_architecture, config).map(small_graph_circuit)
+            assert len(result.circuit_gate_ops()) == len(small_graph_circuit)
+
+    def test_qft_maps_on_all_three_presets(self, shuttling_architecture,
+                                           gate_architecture, mixed_architecture,
+                                           small_qft_circuit):
+        for architecture in (shuttling_architecture, gate_architecture, mixed_architecture):
+            result = HybridMapper(architecture, MapperConfig.hybrid(1.0)).map(small_qft_circuit)
+            assert_valid_result(result, small_qft_circuit)

@@ -1,0 +1,109 @@
+"""Unit tests for the initial layout strategies."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.mapping import (
+    HybridMapper,
+    LAYOUT_STRATEGIES,
+    MapperConfig,
+    compact_layout,
+    create_initial_state,
+    identity_layout,
+    interaction_graph_layout,
+)
+
+
+def star_circuit(num_qubits=10, hub=0):
+    """A star-shaped interaction graph: the hub couples to every other qubit."""
+    circuit = QuantumCircuit(num_qubits, name="star")
+    for qubit in range(num_qubits):
+        if qubit != hub:
+            circuit.cz(hub, qubit)
+    return circuit
+
+
+class TestIdentityLayout:
+    def test_matches_paper_default(self, small_architecture, small_connectivity):
+        state = identity_layout(small_architecture, 8, small_connectivity)
+        for qubit in range(8):
+            assert state.atom_of_qubit(qubit) == qubit
+            assert state.site_of_qubit(qubit) == qubit
+        state.consistency_check()
+
+
+class TestCompactLayout:
+    def test_atoms_form_a_centred_block(self, small_architecture, small_connectivity):
+        state = compact_layout(small_architecture, 8, small_connectivity)
+        state.consistency_check()
+        lattice = small_architecture.lattice
+        centre = ((lattice.rows - 1) / 2.0, (lattice.cols - 1) / 2.0)
+        occupied = state.occupied_sites()
+        free = state.free_sites()
+
+        def distance(site):
+            row, col = lattice.row_col(site)
+            return (row - centre[0]) ** 2 + (col - centre[1]) ** 2
+
+        # Every occupied site is at least as close to the centre as every free site.
+        assert max(distance(site) for site in occupied) <= min(
+            distance(site) for site in free) + 1e-9
+
+    def test_compact_layout_reduces_initial_gate_distance(self, small_architecture,
+                                                          small_connectivity):
+        circuit = star_circuit(12, hub=0)
+        identity = identity_layout(small_architecture, 12, small_connectivity)
+        compact = compact_layout(small_architecture, 12, small_connectivity)
+        identity_distance = sum(identity.gate_swap_distance(g) for g in circuit
+                                if g.is_entangling)
+        compact_distance = sum(compact.gate_swap_distance(g) for g in circuit
+                               if g.is_entangling)
+        assert compact_distance <= identity_distance
+
+
+class TestInteractionGraphLayout:
+    def test_hub_qubit_sits_closest_to_centre(self, small_architecture,
+                                              small_connectivity):
+        circuit = star_circuit(10, hub=3)
+        state = interaction_graph_layout(small_architecture, circuit, small_connectivity)
+        state.consistency_check()
+        lattice = small_architecture.lattice
+        centre = ((lattice.rows - 1) / 2.0, (lattice.cols - 1) / 2.0)
+
+        def distance(site):
+            row, col = lattice.row_col(site)
+            return (row - centre[0]) ** 2 + (col - centre[1]) ** 2
+
+        hub_distance = distance(state.site_of_qubit(3))
+        assert all(distance(state.site_of_qubit(q)) >= hub_distance - 1e-9
+                   for q in range(10))
+
+    def test_rejects_oversized_circuits(self, small_architecture):
+        circuit = QuantumCircuit(small_architecture.num_atoms + 1)
+        with pytest.raises(ValueError):
+            interaction_graph_layout(small_architecture, circuit)
+
+
+class TestRegistry:
+    def test_all_strategies_resolve(self, small_architecture, small_connectivity):
+        circuit = star_circuit(8)
+        for strategy in LAYOUT_STRATEGIES:
+            state = create_initial_state(strategy, small_architecture, circuit,
+                                         small_connectivity)
+            state.consistency_check()
+            assert state.num_circuit_qubits == 8
+
+    def test_unknown_strategy_rejected(self, small_architecture):
+        with pytest.raises(ValueError):
+            create_initial_state("best-effort", small_architecture, QuantumCircuit(2))
+
+    def test_mapper_accepts_custom_initial_state(self, small_architecture,
+                                                 small_connectivity):
+        circuit = star_circuit(10)
+        initial = create_initial_state("interaction_graph", small_architecture, circuit,
+                                       small_connectivity)
+        mapper = HybridMapper(small_architecture, MapperConfig.hybrid(1.0),
+                              connectivity=small_connectivity)
+        result = mapper.map(circuit, initial_state=initial)
+        result.verify_complete()
+        assert set(result.initial_qubit_map) == set(range(10))

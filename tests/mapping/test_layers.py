@@ -1,0 +1,87 @@
+"""Unit tests for the layer manager (process block (1))."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.mapping import LayerManager
+
+
+class TestDraining:
+    def test_trivial_gates_are_drained(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).h(1).cz(0, 1).h(2)
+        manager = LayerManager(circuit)
+        drained = manager.drain_trivial_gates()
+        assert {node.index for node in drained} == {0, 1, 3}
+        assert {node.index for node in manager.front_layer()} == {2}
+
+    def test_draining_cascades(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).x(0).h(0)
+        manager = LayerManager(circuit)
+        drained = manager.drain_trivial_gates()
+        assert len(drained) == 3
+        assert manager.is_finished()
+
+    def test_drained_gates_preserve_order_per_qubit(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).x(0).z(0)
+        manager = LayerManager(circuit)
+        drained = manager.drain_trivial_gates()
+        assert [node.index for node in drained] == [0, 1, 2]
+
+
+class TestLayers:
+    def test_front_layer_contains_only_entangling_gates(self, multiqubit_circuit):
+        manager = LayerManager(multiqubit_circuit)
+        front, lookahead = manager.layers()
+        assert all(node.gate.is_entangling for node in front)
+        assert all(node.gate.is_entangling for node in lookahead)
+
+    def test_lookahead_depth_zero(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1).cx(1, 2)
+        manager = LayerManager(circuit, lookahead_depth=0)
+        front, lookahead = manager.layers()
+        assert lookahead == []
+        assert len(front) == 1
+
+    def test_lookahead_depth_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LayerManager(QuantumCircuit(1), lookahead_depth=-1)
+
+    def test_execute_advances_the_front(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1).cx(1, 2)
+        manager = LayerManager(circuit)
+        front, _ = manager.layers()
+        manager.execute(front[0])
+        new_front, _ = manager.layers()
+        assert {node.index for node in new_front} == {1}
+
+    def test_num_remaining_tracks_execution(self, line_circuit):
+        manager = LayerManager(line_circuit)
+        total = len(line_circuit)
+        assert manager.num_remaining == total
+        front, _ = manager.layers()
+        manager.execute(front[0])
+        assert manager.num_remaining == total - 1
+
+    def test_commutation_enlarges_front_layer(self, small_qft_circuit):
+        with_commutation = LayerManager(small_qft_circuit, use_commutation=True)
+        without_commutation = LayerManager(small_qft_circuit, use_commutation=False)
+        front_with, _ = with_commutation.layers()
+        front_without, _ = without_commutation.layers()
+        assert len(front_with) >= len(front_without)
+
+    def test_full_drain_execute_cycle_terminates(self, multiqubit_circuit):
+        manager = LayerManager(multiqubit_circuit)
+        executed = 0
+        while not manager.is_finished():
+            front, _ = manager.layers()
+            if not front:
+                break
+            manager.execute(front[0])
+            executed += 1
+        assert manager.is_finished()
+        assert executed == multiqubit_circuit.num_entangling_gates()

@@ -1,0 +1,80 @@
+"""Unit tests for multi-qubit gate position finding (Section 3.1.3, Example 7)."""
+
+import pytest
+
+from repro.circuit.gate import controlled_z
+from repro.hardware import NeutralAtomArchitecture, SiteConnectivity, SquareLattice
+from repro.mapping import MappingState, find_gate_position
+
+
+class TestPositionFinding:
+    def test_two_qubit_gate_rejected(self, small_state):
+        with pytest.raises(ValueError):
+            find_gate_position(small_state, controlled_z((0, 1)))
+
+    def test_already_satisfied_gate_has_zero_cost_position(self, small_state):
+        # Qubits 0, 1, 2 on the first row are mutually within r_int = 2d.
+        position = find_gate_position(small_state, controlled_z((0, 1, 2)))
+        assert position is not None
+        assert position.estimated_swaps == 0
+        assert set(position.assignment.keys()) == {0, 1, 2}
+
+    def test_position_sites_are_mutually_interacting_and_occupied(self, small_state):
+        gate = controlled_z((0, 5, 11))
+        position = find_gate_position(small_state, gate)
+        assert position is not None
+        assert small_state.connectivity.sites_mutually_interacting(position.sites)
+        assert all(not small_state.site_is_free(site) for site in position.sites)
+        assert len(position.sites) == 3
+
+    def test_assignment_is_a_bijection_onto_position_sites(self, small_state):
+        gate = controlled_z((0, 5, 11, 7))
+        position = find_gate_position(small_state, gate)
+        assert position is not None
+        assert sorted(position.assignment.keys()) == sorted(gate.qubits)
+        assert sorted(position.assignment.values()) == sorted(position.sites)
+
+    def test_far_apart_qubits_get_higher_estimate(self, small_state):
+        near = find_gate_position(small_state, controlled_z((0, 1, 2)))
+        far = find_gate_position(small_state, controlled_z((0, 6, 11)))
+        assert near is not None and far is not None
+        assert far.estimated_swaps >= near.estimated_swaps
+
+    def test_example7_small_radius_needs_rectangular_arrangement(self):
+        """For r_int = sqrt(2) d, three qubits in a row cannot interact mutually.
+
+        The position finder must return a bent (L-shaped / rectangular)
+        arrangement instead of a straight line — the situation of Example 7.
+        """
+        architecture = NeutralAtomArchitecture(
+            name="example7", lattice=SquareLattice(5, 5, 3.0), num_atoms=20,
+            interaction_radius=1.5, restriction_radius=1.5)
+        state = MappingState(architecture, 15)
+        gate = controlled_z((0, 1, 2))  # first-row neighbours: 0-2 are 2d apart
+        assert not state.gate_executable(gate)
+        position = find_gate_position(state, gate)
+        assert position is not None
+        rows = {architecture.lattice.row_col(site)[0] for site in position.sites}
+        cols = {architecture.lattice.row_col(site)[1] for site in position.sites}
+        # A mutually interacting triple at this radius cannot be a straight line.
+        assert len(rows) > 1 and len(cols) > 1
+
+    def test_no_position_when_radius_too_small_for_width(self):
+        """With r_int = d a 2x2 block is not a clique, so no 4-qubit position exists."""
+        architecture = NeutralAtomArchitecture(
+            name="tiny-radius", lattice=SquareLattice(5, 5, 3.0), num_atoms=12,
+            interaction_radius=1.0, restriction_radius=1.0)
+        state = MappingState(architecture, 8)
+        gate = controlled_z((0, 1, 2, 3))
+        assert find_gate_position(state, gate) is None
+
+    def test_sparse_occupancy_positions_only_on_occupied_sites(self):
+        architecture = NeutralAtomArchitecture(
+            name="sparse", lattice=SquareLattice(6, 6, 3.0), num_atoms=6,
+            interaction_radius=2.0, restriction_radius=2.0)
+        # Cluster the six atoms in two corners.
+        sites = [0, 1, 6, 28, 34, 35]
+        state = MappingState(architecture, 4, initial_sites=sites)
+        position = find_gate_position(state, controlled_z((0, 1, 2)))
+        if position is not None:
+            assert all(site in sites for site in position.sites)

@@ -1,0 +1,101 @@
+"""Unit tests for the mapping result container."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.circuit.gate import GateKind, controlled_z
+from repro.mapping.result import CircuitGateOp, MappingResult, ShuttleOp, SwapOp
+from repro.shuttling import Move
+
+
+def make_result():
+    circuit = QuantumCircuit(3, name="tiny")
+    circuit.h(0)
+    circuit.cz(0, 2)
+    result = MappingResult(circuit=circuit, mode="hybrid")
+    result.append(CircuitGateOp(gate=circuit[0], gate_index=0, atoms=(0,), sites=(0,)))
+    result.append(SwapOp(qubit_a=2, qubit_b=1, atom_a=2, atom_b=1, site_a=2, site_b=1))
+    result.append(ShuttleOp(move=Move(atom=1, source=1, destination=5,
+                                      source_position=(3.0, 0.0),
+                                      destination_position=(6.0, 3.0))))
+    result.append(CircuitGateOp(gate=circuit[1], gate_index=1, atoms=(0, 1), sites=(0, 1)))
+    return circuit, result
+
+
+class TestCounters:
+    def test_append_updates_counts(self):
+        _, result = make_result()
+        assert result.num_swaps == 1
+        assert result.num_moves == 1
+        assert len(result.operations) == 4
+
+    def test_additional_cz_is_three_per_swap(self):
+        _, result = make_result()
+        assert result.additional_cz_count() == 3
+
+    def test_total_move_distance(self):
+        _, result = make_result()
+        assert result.total_move_distance() == pytest.approx(6.0)
+
+    def test_accessors_filter_by_type(self):
+        _, result = make_result()
+        assert len(result.circuit_gate_ops()) == 2
+        assert len(result.swap_ops()) == 1
+        assert len(result.shuttle_ops()) == 1
+        assert len(result.moves()) == 1
+
+    def test_summary_keys(self):
+        _, result = make_result()
+        summary = result.summary()
+        for key in ("num_swaps", "num_moves", "additional_cz", "mode", "circuit"):
+            assert key in summary
+
+
+class TestVerification:
+    def test_verify_complete_passes_for_full_stream(self):
+        _, result = make_result()
+        result.verify_complete()
+
+    def test_verify_complete_detects_missing_gate(self):
+        circuit = QuantumCircuit(2)
+        circuit.cz(0, 1)
+        circuit.h(0)
+        result = MappingResult(circuit=circuit)
+        result.append(CircuitGateOp(gate=circuit[0], gate_index=0, atoms=(0, 1),
+                                    sites=(0, 1)))
+        with pytest.raises(AssertionError):
+            result.verify_complete()
+
+    def test_barriers_are_exempt_from_verification(self):
+        circuit = QuantumCircuit(2)
+        circuit.barrier()
+        circuit.cz(0, 1)
+        result = MappingResult(circuit=circuit)
+        result.append(CircuitGateOp(gate=circuit[1], gate_index=1, atoms=(0, 1),
+                                    sites=(0, 1)))
+        result.verify_complete()
+
+
+class TestPhysicalCircuit:
+    def test_physical_circuit_uses_atom_indices(self):
+        circuit = QuantumCircuit(2, name="remap")
+        circuit.cz(0, 1)
+        result = MappingResult(circuit=circuit)
+        result.append(CircuitGateOp(gate=circuit[0], gate_index=0, atoms=(4, 7),
+                                    sites=(4, 7)))
+        physical = result.to_physical_circuit()
+        assert physical[0].qubits == (4, 7)
+        assert physical.num_qubits >= 8
+
+    def test_swaps_appear_and_can_be_decomposed(self):
+        _, result = make_result()
+        physical = result.to_physical_circuit()
+        assert any(g.kind == GateKind.SWAP for g in physical)
+        native = result.to_physical_circuit(decompose_swaps=True)
+        assert not any(g.kind == GateKind.SWAP for g in native)
+        assert native.count_by_arity()[2] >= 3
+
+    def test_shuttle_ops_have_no_circuit_representation(self):
+        _, result = make_result()
+        physical = result.to_physical_circuit()
+        assert len(physical) == 3  # two circuit gates + one swap

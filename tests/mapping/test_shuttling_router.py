@@ -1,0 +1,161 @@
+"""Unit tests for the shuttling-based router (Section 3.3.2)."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.mapping import LayerManager, MappingState, ShuttlingRouter
+
+
+@pytest.fixture()
+def router(small_architecture):
+    return ShuttlingRouter(small_architecture, lookahead_weight=0.1, time_weight=0.1,
+                           history_window=4)
+
+
+def layered(circuit):
+    manager = LayerManager(circuit)
+    front, lookahead = manager.layers()
+    return manager, front, lookahead
+
+
+class TestChainConstruction:
+    def test_chain_makes_two_qubit_gate_executable(self, router, small_architecture,
+                                                   small_connectivity):
+        state = MappingState(small_architecture, 12, connectivity=small_connectivity)
+        circuit = QuantumCircuit(12)
+        circuit.cz(0, 11)
+        _, front, _ = layered(circuit)
+        chains = router.candidate_chains(state, front[0])
+        assert chains
+        chain = chains[0]
+        for move in chain:
+            state.apply_move(move)
+        assert state.gate_executable(circuit[0])
+
+    def test_chain_length_respects_bound(self, router, small_state):
+        circuit = QuantumCircuit(12)
+        circuit.ccz(0, 6, 11)
+        _, front, _ = layered(circuit)
+        for chain in router.candidate_chains(small_state, front[0]):
+            assert len(chain) <= 2 * (3 - 1)
+
+    def test_chain_moves_target_free_sites(self, router, small_state):
+        circuit = QuantumCircuit(12)
+        circuit.cz(0, 11)
+        _, front, _ = layered(circuit)
+        chain = router.candidate_chains(small_state, front[0])[0]
+        # Destination of the first move must be free in the current state.
+        assert small_state.site_is_free(chain.moves[0].destination)
+
+    def test_executable_gate_produces_no_chain(self, router, small_state):
+        circuit = QuantumCircuit(12)
+        circuit.cz(0, 1)
+        _, front, _ = layered(circuit)
+        assert router.candidate_chains(small_state, front[0]) == []
+
+    def test_move_away_emitted_when_vicinity_is_full(self):
+        """With every site near both gate qubits occupied, a move-away is required."""
+        from repro.hardware import NeutralAtomArchitecture, SquareLattice
+        architecture = NeutralAtomArchitecture(
+            name="dense", lattice=SquareLattice(5, 5, 3.0), num_atoms=24,
+            interaction_radius=2.0, restriction_radius=2.0)
+        router = ShuttlingRouter(architecture)
+        # Sites 0..23 occupied, only the far corner (4,4) = site 24 stays free.
+        state = MappingState(architecture, 24)
+        circuit = QuantumCircuit(24)
+        circuit.cz(0, 12)   # (0,0) and (2,2): not adjacent, vicinities fully occupied
+        _, front, _ = layered(circuit)
+        chains = router.candidate_chains(state, front[0])
+        assert chains
+        assert all(chain.num_move_aways > 0 for chain in chains)
+        # Applying the best chain makes the gate executable.
+        chain = chains[0]
+        for move in chain:
+            state.apply_move(move)
+        assert state.gate_executable(circuit[0])
+
+    def test_invalid_parameters_rejected(self, small_architecture):
+        with pytest.raises(ValueError):
+            ShuttlingRouter(small_architecture, lookahead_weight=-1)
+        with pytest.raises(ValueError):
+            ShuttlingRouter(small_architecture, history_window=-1)
+
+
+class TestCost:
+    def test_distance_reducing_chain_has_negative_cost(self, router, small_state):
+        circuit = QuantumCircuit(12)
+        circuit.cz(0, 11)
+        _, front, lookahead = layered(circuit)
+        chain = router.candidate_chains(small_state, front[0])[0]
+        cost = router.chain_cost(small_state, chain, front, lookahead)
+        assert cost < 0
+
+    def test_parallel_compatible_history_is_cheaper(self, small_architecture, small_state):
+        router_with_history = ShuttlingRouter(small_architecture, time_weight=1.0)
+        circuit = QuantumCircuit(12)
+        circuit.cz(0, 11)
+        _, front, lookahead = layered(circuit)
+        chain = router_with_history.candidate_chains(small_state, front[0])[0]
+        base_cost = router_with_history.chain_cost(small_state, chain, front, lookahead)
+        # Record an incompatible move (opposite direction crossing) in history.
+        blocker = small_state.make_move(19, sorted(small_state.free_sites())[-1])
+        router_with_history.note_moves_applied([blocker])
+        cost_with_history = router_with_history.chain_cost(small_state, chain, front,
+                                                           lookahead)
+        assert cost_with_history >= base_cost
+
+    def test_history_window_is_bounded(self, router, small_state):
+        moves = [small_state.make_move(atom, site)
+                 for atom, site in zip(range(10, 16), sorted(small_state.free_sites()))]
+        router.note_moves_applied(moves)
+        assert len(router._recent_moves) <= router.history_window
+
+    def test_reset_clears_history(self, router, small_state):
+        move = small_state.make_move(10, sorted(small_state.free_sites())[0])
+        router.note_moves_applied([move])
+        router.reset()
+        assert router.move_time_penalty(move) == 0.0
+
+
+class TestSelection:
+    def test_best_chain_selects_lowest_cost(self, router, small_state):
+        circuit = QuantumCircuit(12)
+        circuit.cz(0, 11).cz(1, 2)
+        _, front, lookahead = layered(circuit)
+        best = router.best_chain(small_state, front, lookahead)
+        assert best is not None
+        # The chain must serve the non-executable gate.
+        assert best.gate_index == 0
+
+    def test_best_chain_none_when_everything_executable(self, router, small_state):
+        circuit = QuantumCircuit(12)
+        circuit.cz(0, 1)
+        _, front, lookahead = layered(circuit)
+        assert router.best_chain(small_state, front, lookahead) is None
+
+
+class TestForcedChain:
+    def test_forced_chain_gathers_multiqubit_gate(self, router, small_architecture,
+                                                  small_connectivity):
+        state = MappingState(small_architecture, 12, connectivity=small_connectivity)
+        circuit = QuantumCircuit(12)
+        circuit.ccz(0, 6, 11)
+        _, front, _ = layered(circuit)
+        chain = router.forced_chain(state, front[0])
+        assert chain is not None
+        for move in chain:
+            state.apply_move(move)
+        assert state.gate_executable(circuit[0])
+
+    def test_forced_chain_handles_fully_occupied_cluster(self, small_architecture,
+                                                         small_connectivity):
+        router = ShuttlingRouter(small_architecture)
+        state = MappingState(small_architecture, 20, connectivity=small_connectivity)
+        circuit = QuantumCircuit(20)
+        circuit.ccz(0, 13, 19)
+        _, front, _ = layered(circuit)
+        chain = router.forced_chain(state, front[0])
+        assert chain is not None
+        for move in chain:
+            state.apply_move(move)
+        assert state.gate_executable(circuit[0])

@@ -1,0 +1,89 @@
+"""Property-based tests for the AOD move compatibility and batching rules."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware import SquareLattice
+from repro.shuttling import Move, group_moves, moves_compatible, schedule_batch
+from repro.hardware.presets import mixed
+
+
+LATTICE = SquareLattice(8, 8, 3.0)
+
+
+@st.composite
+def random_moves(draw, max_moves=8):
+    """Distinct atoms moving between distinct sites of an 8x8 lattice."""
+    num_moves = draw(st.integers(1, max_moves))
+    sources = draw(st.lists(st.integers(0, LATTICE.num_sites - 1), min_size=num_moves,
+                            max_size=num_moves, unique=True))
+    destinations = draw(st.lists(st.integers(0, LATTICE.num_sites - 1),
+                                 min_size=num_moves, max_size=num_moves, unique=True))
+    moves = []
+    for atom, (source, destination) in enumerate(zip(sources, destinations)):
+        if source == destination:
+            destination = (destination + 1) % LATTICE.num_sites
+            if destination in sources or destination in destinations:
+                continue
+        moves.append(Move(atom=atom, source=source, destination=destination,
+                          source_position=LATTICE.position(source),
+                          destination_position=LATTICE.position(destination)))
+    if not moves:
+        source, destination = 0, 1
+        moves.append(Move(atom=0, source=source, destination=destination,
+                          source_position=LATTICE.position(source),
+                          destination_position=LATTICE.position(destination)))
+    return moves
+
+
+class TestCompatibilityProperties:
+    @given(random_moves(max_moves=4))
+    @settings(max_examples=100, deadline=None)
+    def test_compatibility_is_symmetric(self, moves):
+        for a in moves:
+            for b in moves:
+                if a is b:
+                    continue
+                assert moves_compatible(a, b) == moves_compatible(b, a)
+
+    @given(random_moves())
+    @settings(max_examples=100, deadline=None)
+    def test_compatible_moves_preserve_ordering(self, moves):
+        """If two moves are compatible, their x and y orderings never invert."""
+        for a in moves:
+            for b in moves:
+                if a is b or not moves_compatible(a, b):
+                    continue
+                for axis in (0, 1):
+                    start = a.source_position[axis] - b.source_position[axis]
+                    end = a.destination_position[axis] - b.destination_position[axis]
+                    assert not (start > 1e-9 and end < -1e-9)
+                    assert not (start < -1e-9 and end > 1e-9)
+
+
+class TestBatchingProperties:
+    @given(random_moves())
+    @settings(max_examples=80, deadline=None)
+    def test_batches_partition_the_moves(self, moves):
+        batches = group_moves(moves)
+        flattened = [m for batch in batches for m in batch]
+        assert sorted(m.atom for m in flattened) == sorted(m.atom for m in moves)
+
+    @given(random_moves())
+    @settings(max_examples=80, deadline=None)
+    def test_every_batch_is_internally_compatible(self, moves):
+        for batch in group_moves(moves):
+            for i, a in enumerate(batch):
+                for b in batch[i + 1:]:
+                    assert moves_compatible(a, b)
+
+    @given(random_moves())
+    @settings(max_examples=60, deadline=None)
+    def test_batch_duration_dominated_by_slowest_move(self, moves):
+        architecture = mixed(lattice_rows=8, num_atoms=40)
+        for batch in group_moves(moves):
+            schedule = schedule_batch(batch, architecture)
+            slowest = max(m.rectangular_distance for m in batch)
+            minimum = (architecture.durations.aod_activation
+                       + architecture.shuttle_move_duration(slowest)
+                       + architecture.durations.aod_deactivation)
+            assert schedule.duration >= minimum - 1e-9

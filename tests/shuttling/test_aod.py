@@ -1,0 +1,156 @@
+"""Unit tests for the AOD compatibility rules and batch scheduling."""
+
+import pytest
+
+from repro.shuttling import (
+    Move,
+    ghost_spot_positions,
+    group_moves,
+    moves_compatible,
+    schedule_batch,
+    schedule_moves,
+)
+
+
+def move(atom, src_xy, dst_xy, source=None, destination=None):
+    """Helper building moves directly from physical coordinates (3 um grid)."""
+    if source is None:
+        source = int(src_xy[1] / 3.0) * 100 + int(src_xy[0] / 3.0)
+    if destination is None:
+        destination = int(dst_xy[1] / 3.0) * 100 + int(dst_xy[0] / 3.0) + 10_000
+    return Move(atom=atom, source=source, destination=destination,
+                source_position=src_xy, destination_position=dst_xy)
+
+
+class TestCompatibility:
+    def test_parallel_translation_is_compatible(self):
+        a = move(0, (0.0, 0.0), (6.0, 0.0))
+        b = move(1, (0.0, 3.0), (6.0, 3.0))
+        assert moves_compatible(a, b)
+
+    def test_crossing_in_x_is_incompatible(self):
+        a = move(0, (0.0, 0.0), (9.0, 0.0))
+        b = move(1, (6.0, 3.0), (3.0, 3.0))
+        # a starts left of b but ends right of b's end -> columns would cross
+        assert not moves_compatible(a, b)
+
+    def test_crossing_in_y_is_incompatible(self):
+        a = move(0, (0.0, 0.0), (0.0, 9.0))
+        b = move(1, (3.0, 6.0), (3.0, 3.0))
+        assert not moves_compatible(a, b)
+
+    def test_merge_and_split_are_allowed(self):
+        a = move(0, (0.0, 0.0), (3.0, 3.0))
+        b = move(1, (6.0, 0.0), (3.0, 6.0))   # both end on x = 3 (merge in x)
+        assert moves_compatible(a, b)
+
+    def test_same_atom_incompatible(self):
+        a = move(0, (0.0, 0.0), (3.0, 0.0))
+        b = move(0, (3.0, 3.0), (6.0, 3.0))
+        assert not moves_compatible(a, b)
+
+    def test_same_destination_incompatible(self):
+        a = move(0, (0.0, 0.0), (6.0, 6.0), destination=42)
+        b = move(1, (3.0, 0.0), (6.0, 6.0), destination=42)
+        assert not moves_compatible(a, b)
+
+    def test_chained_source_destination_incompatible(self):
+        a = move(0, (0.0, 0.0), (3.0, 0.0), source=1, destination=2)
+        b = move(1, (3.0, 0.0), (6.0, 0.0), source=2, destination=3)
+        assert not moves_compatible(a, b)
+
+    def test_compatibility_is_symmetric(self):
+        a = move(0, (0.0, 0.0), (6.0, 0.0))
+        b = move(1, (0.0, 3.0), (6.0, 3.0))
+        c = move(2, (6.0, 6.0), (0.0, 6.0))
+        assert moves_compatible(a, b) == moves_compatible(b, a)
+        assert moves_compatible(a, c) == moves_compatible(c, a)
+
+
+class TestGrouping:
+    def test_compatible_moves_share_a_batch(self):
+        moves = [move(0, (0.0, 0.0), (6.0, 0.0)), move(1, (0.0, 3.0), (6.0, 3.0)),
+                 move(2, (0.0, 6.0), (6.0, 6.0))]
+        batches = group_moves(moves)
+        assert len(batches) == 1
+        assert len(batches[0]) == 3
+
+    def test_incompatible_moves_split_batches(self):
+        moves = [move(0, (0.0, 0.0), (9.0, 0.0)), move(1, (6.0, 3.0), (3.0, 3.0))]
+        batches = group_moves(moves)
+        assert len(batches) == 2
+
+    def test_empty_input(self):
+        assert group_moves([]) == []
+
+    def test_every_move_appears_exactly_once(self):
+        moves = [move(i, (3.0 * i, 0.0), (3.0 * i, 6.0 + 3.0 * (i % 2))) for i in range(6)]
+        batches = group_moves(moves)
+        flattened = [m.atom for batch in batches for m in batch]
+        assert sorted(flattened) == list(range(6))
+
+
+class TestBatchScheduling:
+    def test_single_move_duration_model(self, small_architecture):
+        single = move(0, (0.0, 0.0), (6.0, 3.0))
+        batch = schedule_batch([single], small_architecture)
+        expected = 40.0 + (6.0 + 3.0) / 0.3 + 40.0
+        assert batch.duration == pytest.approx(expected)
+        assert [instr.kind for instr in batch.instructions] == ["activate", "shift",
+                                                                "deactivate"]
+
+    def test_batch_duration_uses_longest_move(self, small_architecture):
+        moves = [move(0, (0.0, 0.0), (3.0, 0.0)), move(1, (0.0, 3.0), (12.0, 3.0))]
+        batch = schedule_batch(moves, small_architecture)
+        travel = 12.0 / 0.3
+        assert batch.duration >= 40.0 + travel + 40.0
+
+    def test_multi_row_loading_costs_extra_activation(self, small_architecture):
+        same_row = [move(0, (0.0, 0.0), (0.0, 6.0)), move(1, (3.0, 0.0), (3.0, 6.0))]
+        two_rows = [move(0, (0.0, 0.0), (0.0, 9.0)), move(1, (3.0, 3.0), (3.0, 9.0 + 3.0))]
+        same_row_duration = schedule_batch(same_row, small_architecture).duration
+        two_row_duration = schedule_batch(two_rows, small_architecture).duration
+        # identical travel distances (6 um vs 9 um differ) -- compare only the
+        # activation portion by rebuilding with equal travel
+        assert schedule_batch(two_rows, small_architecture).instructions[0].duration > \
+            schedule_batch(same_row, small_architecture).instructions[0].duration
+
+    def test_incompatible_batch_rejected(self, small_architecture):
+        moves = [move(0, (0.0, 0.0), (9.0, 0.0)), move(1, (6.0, 3.0), (3.0, 3.0))]
+        with pytest.raises(ValueError):
+            schedule_batch(moves, small_architecture)
+
+    def test_empty_batch(self, small_architecture):
+        batch = schedule_batch([], small_architecture)
+        assert batch.duration == 0.0
+        assert batch.instructions == []
+
+    def test_schedule_moves_partitions_everything(self, small_architecture):
+        moves = [move(i, (3.0 * i, 0.0), (3.0 * i, 9.0)) for i in range(4)]
+        moves.append(move(9, (0.0, 12.0), (9.0, 3.0)))
+        batches = schedule_moves(moves, small_architecture)
+        total = sum(len(b.moves) for b in batches)
+        assert total == 5
+        assert all(b.duration > 0 for b in batches)
+
+
+class TestGhostSpots:
+    def test_ghost_spots_are_unoccupied_intersections(self):
+        moves = [move(0, (0.0, 0.0), (6.0, 0.0)), move(1, (3.0, 3.0), (9.0, 3.0))]
+        ghosts = ghost_spot_positions(moves)
+        assert (3.0, 0.0) in ghosts
+        assert (0.0, 3.0) in ghosts
+        assert (0.0, 0.0) not in ghosts
+        assert (3.0, 3.0) not in ghosts
+
+    def test_single_move_has_no_ghost_spots(self):
+        assert ghost_spot_positions([move(0, (0.0, 0.0), (3.0, 0.0))]) == set()
+
+    def test_example2_scenario(self):
+        # Example 2 of the paper: q0 in one row, q3/q4 in another row.
+        q0 = move(0, (6.0, 3.0), (3.0, 6.0))
+        q3 = move(3, (3.0, 9.0), (9.0, 6.0))
+        q4 = move(4, (15.0, 9.0), (15.0, 6.0))
+        ghosts = ghost_spot_positions([q0, q3, q4])
+        occupied = {(6.0, 3.0), (3.0, 9.0), (15.0, 9.0)}
+        assert ghosts.isdisjoint(occupied)

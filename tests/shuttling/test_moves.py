@@ -1,0 +1,80 @@
+"""Unit tests for move primitives and move chains."""
+
+import pytest
+
+from repro.shuttling import Move, MoveChain
+
+
+def make_move(atom=0, source=0, destination=1, src_pos=(0.0, 0.0), dst_pos=(3.0, 0.0),
+              is_move_away=False):
+    return Move(atom=atom, source=source, destination=destination,
+                source_position=src_pos, destination_position=dst_pos,
+                is_move_away=is_move_away)
+
+
+class TestMove:
+    def test_displacement_and_distances(self):
+        move = make_move(dst_pos=(3.0, 4.0))
+        assert move.displacement == (3.0, 4.0)
+        assert move.rectangular_distance == pytest.approx(7.0)
+        assert move.euclidean_distance == pytest.approx(5.0)
+
+    def test_move_must_change_site(self):
+        with pytest.raises(ValueError):
+            make_move(source=3, destination=3)
+
+    def test_move_away_flag(self):
+        assert make_move(is_move_away=True).is_move_away
+        assert not make_move().is_move_away
+
+    def test_string_representation_mentions_flavour(self):
+        assert "move-away" in str(make_move(is_move_away=True))
+        assert "move-away" not in str(make_move())
+
+
+class TestMoveChain:
+    def test_container_protocol(self):
+        chain = MoveChain([make_move(atom=0), make_move(atom=1, source=5, destination=6)])
+        assert len(chain) == 2
+        assert bool(chain)
+        assert [m.atom for m in chain] == [0, 1]
+        assert not MoveChain([])
+
+    def test_total_distance_and_move_away_count(self):
+        chain = MoveChain([
+            make_move(atom=0, dst_pos=(3.0, 0.0), is_move_away=True),
+            make_move(atom=1, source=2, destination=3, dst_pos=(0.0, 6.0)),
+        ])
+        assert chain.total_rectangular_distance == pytest.approx(9.0)
+        assert chain.num_move_aways == 1
+        assert chain.atoms() == [0, 1]
+
+    def test_validate_accepts_well_formed_chain(self):
+        chain = MoveChain([
+            make_move(atom=0, source=0, destination=9),
+            make_move(atom=1, source=4, destination=0),
+        ])
+        chain.validate(max_gate_width=3)
+
+    def test_validate_rejects_atom_moved_twice(self):
+        chain = MoveChain([
+            make_move(atom=0, source=0, destination=1),
+            make_move(atom=0, source=1, destination=2),
+        ])
+        with pytest.raises(ValueError):
+            chain.validate()
+
+    def test_validate_rejects_duplicate_destination(self):
+        chain = MoveChain([
+            make_move(atom=0, source=0, destination=5),
+            make_move(atom=1, source=2, destination=5),
+        ])
+        with pytest.raises(ValueError):
+            chain.validate()
+
+    def test_validate_enforces_length_bound(self):
+        moves = [make_move(atom=i, source=i, destination=10 + i) for i in range(5)]
+        chain = MoveChain(moves)
+        with pytest.raises(ValueError):
+            chain.validate(max_gate_width=2)   # bound 2(m-1) = 2
+        chain.validate(max_gate_width=4)       # bound 6 is fine
