@@ -1,0 +1,61 @@
+"""Scaling benchmark: per-stage ``run_mapping`` wall time, emitting BENCH_scaling.json.
+
+Runs the hybrid mapper on the ``qft``/``graph`` benchmarks over all three
+hardware presets at ``REPRO_BENCH_SCALE`` and records where the time goes
+(execute / decide / gate_route / shuttle_route), plus the swap/move counts
+that must stay bit-identical across perf PRs.  After the matrix has run, the
+accumulated cases are written to ``BENCH_scaling.json`` (override the path
+with ``REPRO_BENCH_REPORT``) in the ``repro-bench-scaling/v1`` schema of
+:mod:`benchmarks.perf_report`, so every benchmark run leaves a machine-readable
+perf trace behind.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+import pytest
+
+from .common import BENCH_SCALE
+from .perf_report import (DEFAULT_CIRCUITS, DEFAULT_HARDWARE, collect_report,
+                          run_case, write_report)
+
+_CASES: List[Dict] = []
+
+
+def _report_path() -> str:
+    return os.environ.get("REPRO_BENCH_REPORT", "BENCH_scaling.json")
+
+
+@pytest.mark.benchmark(group="scaling")
+@pytest.mark.parametrize("circuit_name", DEFAULT_CIRCUITS)
+@pytest.mark.parametrize("hardware", DEFAULT_HARDWARE)
+def test_scaling_case(benchmark, hardware, circuit_name):
+    case = benchmark.pedantic(run_case, args=(hardware, circuit_name, "hybrid",
+                                              BENCH_SCALE),
+                              rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info.update(
+        {key: value for key, value in case.items() if key != "stage_seconds"})
+    benchmark.extra_info.update(
+        {f"stage_{stage}_s": seconds
+         for stage, seconds in case["stage_seconds"].items()})
+    _CASES.append(case)
+    assert set(case["stage_seconds"]) == {"execute", "decide",
+                                          "gate_route", "shuttle_route"}
+    # At tiny smoke scales a case may need no routing at all, so only sanity
+    # is asserted, not a positive operation count.
+    assert case["num_swaps"] >= 0 and case["num_moves"] >= 0
+    assert case["mapper_seconds"] >= 0
+    print(f"\n[{case['hardware']:9s}] {case['circuit']:10s} "
+          f"wall={case['wall_seconds']:7.2f}s "
+          f"stages={case['stage_seconds']} "
+          f"swaps={case['num_swaps']} moves={case['num_moves']}")
+
+
+def test_emit_scaling_report():
+    """Write the accumulated cases (or a fresh matrix) to BENCH_scaling.json."""
+    report = collect_report(BENCH_SCALE, cases=_CASES or None)
+    write_report(report, _report_path())
+    assert os.path.exists(_report_path())
+    assert report["cases"], "scaling report must contain at least one case"

@@ -1,0 +1,185 @@
+"""Perf-report helper: track ``run_mapping`` wall time per stage across scales.
+
+Emits ``BENCH_scaling.json`` so the performance trajectory of the mapper is
+recorded from PR 1 onward (schema ``repro-bench-scaling/v1``):
+
+.. code-block:: json
+
+    {
+      "schema": "repro-bench-scaling/v1",
+      "created_unix": 1753000000.0,
+      "scale": 0.3,
+      "cases": [
+        {
+          "hardware": "gate", "circuit": "qft", "mode": "hybrid",
+          "scale": 0.3, "num_qubits": 60,
+          "wall_seconds": 1.22,      // full run: build + map + evaluate
+          "mapper_seconds": 1.19,    // HybridMapper.map wall time (RT column)
+          "stage_seconds": {         // accumulated inside the routing loop
+            "execute": 0.05, "decide": 0.11,
+            "gate_route": 0.98, "shuttle_route": 0.0
+          },
+          "num_swaps": 46, "num_moves": 0,
+          "delta_cz": 138, "delta_t_us": 1234.5,
+          "speedup_vs_baseline": 11.5   // present only with --baseline
+        }
+      ]
+    }
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_report.py --scale 0.3 \
+        --out BENCH_scaling.json [--baseline benchmarks/BENCH_seed_baseline.json]
+
+``--baseline`` points at a previous report (e.g. the committed seed
+baseline); matching cases gain a ``speedup_vs_baseline`` field computed from
+``wall_seconds``.  The pytest entry point is ``benchmarks/bench_scaling.py``,
+which runs the same matrix and emits the same file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+if __package__:
+    from .common import (PAPER_SIZES, build_architecture, build_circuit,
+                         config_for_mode, scaled_size)
+else:  # executed as a plain script: python benchmarks/perf_report.py
+    _HERE = Path(__file__).resolve().parent
+    for entry in (str(_HERE), str(_HERE.parent / "src")):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+    from common import (PAPER_SIZES, build_architecture, build_circuit,
+                        config_for_mode, scaled_size)
+
+from repro.evaluation import evaluate
+from repro.hardware import SiteConnectivity
+from repro.mapping import HybridMapper
+
+SCHEMA = "repro-bench-scaling/v1"
+DEFAULT_CIRCUITS: Tuple[str, ...] = ("qft", "graph")
+DEFAULT_HARDWARE: Tuple[str, ...] = ("gate", "mixed", "shuttling")
+DEFAULT_MODES: Tuple[str, ...] = ("hybrid",)
+
+#: (hardware, scale) -> (architecture, connectivity); construction is costly.
+_ARCH_CACHE: Dict[Tuple[str, float], tuple] = {}
+
+
+def _architecture(hardware: str, scale: float):
+    key = (hardware, scale)
+    if key not in _ARCH_CACHE:
+        architecture = build_architecture(hardware, scale)
+        _ARCH_CACHE[key] = (architecture, SiteConnectivity(architecture))
+    return _ARCH_CACHE[key]
+
+
+def run_case(hardware: str, circuit_name: str, mode: str, scale: float,
+             *, alpha: float = 1.0) -> Dict:
+    """Run one benchmark configuration and return its report case."""
+    architecture, connectivity = _architecture(hardware, scale)
+    circuit = build_circuit(circuit_name, scale)
+    mapper = HybridMapper(architecture, config_for_mode(mode, alpha),
+                          connectivity=connectivity)
+    start = time.perf_counter()
+    result = mapper.map(circuit)
+    metrics = evaluate(circuit, result, architecture, connectivity=connectivity,
+                       alpha_ratio=alpha if mode == "hybrid" else None)
+    wall = time.perf_counter() - start
+    return {
+        "hardware": hardware,
+        "circuit": circuit_name,
+        "mode": mode,
+        "scale": scale,
+        "num_qubits": scaled_size(circuit_name, scale),
+        "wall_seconds": round(wall, 4),
+        "mapper_seconds": round(result.runtime_seconds, 4),
+        "stage_seconds": {stage: round(seconds, 4)
+                          for stage, seconds in result.stage_seconds.items()},
+        "num_swaps": result.num_swaps,
+        "num_moves": result.num_moves,
+        "delta_cz": metrics.delta_cz,
+        "delta_t_us": round(metrics.delta_t_us, 2),
+    }
+
+
+def collect_report(scale: float,
+                   circuits: Sequence[str] = DEFAULT_CIRCUITS,
+                   hardware_presets: Sequence[str] = DEFAULT_HARDWARE,
+                   modes: Sequence[str] = DEFAULT_MODES,
+                   cases: Optional[Iterable[Dict]] = None) -> Dict:
+    """Assemble a full report, running the matrix unless ``cases`` is given."""
+    if cases is None:
+        cases = [run_case(hardware, circuit, mode, scale)
+                 for hardware in hardware_presets
+                 for circuit in circuits
+                 for mode in modes]
+    return {
+        "schema": SCHEMA,
+        "created_unix": time.time(),
+        "scale": scale,
+        "cases": list(cases),
+    }
+
+
+def _case_key(case: Dict) -> Tuple:
+    return (case.get("hardware"), case.get("circuit"), case.get("mode"),
+            case.get("scale"))
+
+
+def attach_baseline(report: Dict, baseline: Dict) -> None:
+    """Add ``speedup_vs_baseline`` to cases with a matching baseline case."""
+    reference = {_case_key(case): case for case in baseline.get("cases", [])}
+    for case in report["cases"]:
+        matched = reference.get(_case_key(case))
+        if matched and matched.get("wall_seconds", 0) > 0 and case["wall_seconds"] > 0:
+            case["speedup_vs_baseline"] = round(
+                matched["wall_seconds"] / case["wall_seconds"], 2)
+
+
+def write_report(report: Dict, path) -> None:
+    Path(path).write_text(json.dumps(report, indent=2) + "\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.3,
+                        help="fraction of the paper's register sizes (default 0.3)")
+    parser.add_argument("--out", default="BENCH_scaling.json",
+                        help="output path (default BENCH_scaling.json)")
+    parser.add_argument("--baseline", default=None,
+                        help="previous report to compute speedups against")
+    parser.add_argument("--circuits", nargs="*", default=list(DEFAULT_CIRCUITS))
+    parser.add_argument("--hardware", nargs="*", default=list(DEFAULT_HARDWARE))
+    parser.add_argument("--modes", nargs="*", default=list(DEFAULT_MODES))
+    args = parser.parse_args(argv)
+
+    unknown = [name for name in args.circuits if name not in PAPER_SIZES]
+    if unknown:
+        parser.error(f"unknown circuit(s) {unknown}; "
+                     f"choose from {sorted(PAPER_SIZES)}")
+    if args.scale <= 0:
+        parser.error("--scale must be positive")
+    if args.baseline and not Path(args.baseline).exists():
+        parser.error(f"baseline report not found: {args.baseline}")
+
+    report = collect_report(args.scale, args.circuits, args.hardware, args.modes)
+    if args.baseline:
+        attach_baseline(report, json.loads(Path(args.baseline).read_text()))
+    write_report(report, args.out)
+    for case in report["cases"]:
+        speedup = case.get("speedup_vs_baseline")
+        speedup_text = f"  speedup={speedup:5.1f}x" if speedup is not None else ""
+        print(f"[{case['hardware']:9s}] {case['circuit']:10s} {case['mode']:9s} "
+              f"wall={case['wall_seconds']:7.2f}s swaps={case['num_swaps']:5d} "
+              f"moves={case['num_moves']:5d}{speedup_text}")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

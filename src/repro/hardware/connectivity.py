@@ -13,6 +13,28 @@ sites within the interaction radius and within the restriction radius, plus an
 all-pairs hop-distance table on the site graph.  The hop distance between the
 sites of two atoms minus one is the textbook lower bound on the number of
 SWAPs required to make them adjacent, which both cost functions use.
+
+Cost-engine caches
+------------------
+Because the trap lattice is immutable, every cache in this module is
+write-once and never invalidated:
+
+* ``are_adjacent`` is O(1) via a dense boolean adjacency matrix (one
+  ``bytearray`` row per site) instead of scanning the neighbour tuple;
+* ``interaction_set`` exposes each neighbourhood as a ``frozenset`` for O(1)
+  membership tests and fast set intersections (used by the shuttling router's
+  target-zone computation);
+* the all-pairs hop-distance table is a preallocated list of per-source rows,
+  each filled by a single BFS on first use (``hop_row``) and then shared by
+  the gate-based router, the shuttling router, and the multi-qubit position
+  finder.  Hot loops fetch a whole row once and index it directly rather than
+  calling :meth:`hop_distance` per pair.
+
+Only the *site-level* structure is cached here; anything that depends on the
+mutable atom occupancy (BFS over occupied sites, shortest paths with an
+``allowed`` set) is recomputed per query against the caller-supplied
+occupancy view maintained incrementally by
+:class:`~repro.mapping.state.MappingState`.
 """
 
 from __future__ import annotations
@@ -49,7 +71,20 @@ class SiteConnectivity:
             self._restriction_neighbours.append(
                 tuple(lattice.sites_within(site, architecture.restriction_radius_um)))
 
-        self._hop_distance: Optional[List[List[int]]] = None
+        # O(1) adjacency: a dense boolean matrix (bytearray rows) plus the
+        # neighbourhoods as frozensets for set algebra.
+        self._interaction_sets: List[FrozenSet[int]] = [
+            frozenset(neighbours) for neighbours in self._interaction_neighbours]
+        self._adjacent_rows: List[bytearray] = []
+        for site in range(self.num_sites):
+            row = bytearray(self.num_sites)
+            for neighbour in self._interaction_neighbours[site]:
+                row[neighbour] = 1
+            self._adjacent_rows.append(row)
+
+        # Preallocated all-pairs hop-distance table; each row is filled by a
+        # single BFS on first use (see hop_row) and reused forever after.
+        self._hop_rows: List[Optional[List[int]]] = [None] * self.num_sites
 
     # ------------------------------------------------------------------
     # Adjacency queries
@@ -62,9 +97,20 @@ class SiteConnectivity:
         """Sites whose atoms are blocked by a gate executing at ``site``."""
         return self._restriction_neighbours[site]
 
+    def interaction_set(self, site: int) -> FrozenSet[int]:
+        """The interaction neighbourhood of ``site`` as a frozenset."""
+        return self._interaction_sets[site]
+
+    def adjacency_row(self, site: int) -> bytearray:
+        """Dense boolean adjacency row of ``site`` (index by partner site).
+
+        Returned by reference for hot loops; callers must not mutate it.
+        """
+        return self._adjacent_rows[site]
+
     def are_adjacent(self, site_a: int, site_b: int) -> bool:
-        """True if the two sites are within the interaction radius."""
-        return site_b in self._interaction_neighbours[site_a]
+        """True if the two sites are within the interaction radius (O(1))."""
+        return self._adjacent_rows[site_a][site_b] != 0
 
     def coordination_number(self, site: int) -> int:
         """``K_{r_int}`` of the given site."""
@@ -78,11 +124,11 @@ class SiteConnectivity:
         each other.
         """
         site_list = list(sites)
+        adjacent_rows = self._adjacent_rows
         for i, site_a in enumerate(site_list):
+            row = adjacent_rows[site_a]
             for site_b in site_list[i + 1:]:
-                if site_a == site_b:
-                    return False
-                if not self.are_adjacent(site_a, site_b):
+                if site_a == site_b or not row[site_b]:
                     return False
         return True
 
@@ -95,15 +141,24 @@ class SiteConnectivity:
         Computed lazily with one BFS per source and cached.  A value of
         ``num_sites`` (unreachable) is only possible for degenerate radii.
         """
-        if self._hop_distance is None:
-            self._hop_distance = [[-1] * self.num_sites for _ in range(self.num_sites)]
-        row = self._hop_distance[site_a]
-        if row[site_b] < 0:
-            self._bfs_fill(site_a)
-        return self._hop_distance[site_a][site_b]
+        row = self._hop_rows[site_a]
+        if row is None:
+            row = self._bfs_row(site_a)
+        return row[site_b]
 
-    def _bfs_fill(self, source: int) -> None:
-        assert self._hop_distance is not None
+    def hop_row(self, source: int) -> List[int]:
+        """Full hop-distance row of ``source`` (index by target site).
+
+        Shared by both routers; returned by reference, so callers must treat
+        it as read-only.  Fetching the row once and indexing it directly
+        avoids a method call per site pair in the routing hot loops.
+        """
+        row = self._hop_rows[source]
+        if row is None:
+            row = self._bfs_row(source)
+        return row
+
+    def _bfs_row(self, source: int) -> List[int]:
         distances = [self.num_sites] * self.num_sites
         distances[source] = 0
         queue = deque([source])
@@ -113,7 +168,8 @@ class SiteConnectivity:
                 if distances[neighbour] > distances[current] + 1:
                     distances[neighbour] = distances[current] + 1
                     queue.append(neighbour)
-        self._hop_distance[source] = distances
+        self._hop_rows[source] = distances
+        return distances
 
     def bfs_distances_from(self, source: int,
                            allowed: Optional[Set[int]] = None) -> Dict[int, int]:

@@ -39,6 +39,17 @@ class SquareLattice:
         self.rows = int(rows)
         self.cols = int(cols)
         self.spacing = float(spacing)
+        self._num_sites = self.rows * self.cols
+        # Geometry caches.  Site positions never change, so they are computed
+        # once; radius neighbourhoods are memoised per (site, radius) because
+        # the routers query the same few radii over and over.
+        self._positions: List[Position] = [
+            ((site % self.cols) * self.spacing, (site // self.cols) * self.spacing)
+            for site in range(self._num_sites)
+        ]
+        self._sites_within_cache: Dict[Tuple[int, float], List[int]] = {}
+        self._euclidean_rows: List[Optional[List[float]]] = [None] * self._num_sites
+        self._rectangular_rows: List[Optional[List[float]]] = [None] * self._num_sites
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -46,7 +57,7 @@ class SquareLattice:
     @property
     def num_sites(self) -> int:
         """Total number of trap coordinates ``|C|``."""
-        return self.rows * self.cols
+        return self._num_sites
 
     def __len__(self) -> int:
         return self.num_sites
@@ -74,12 +85,12 @@ class SquareLattice:
 
     def position(self, site: int) -> Position:
         """Physical ``(x, y)`` position of a site in micrometres."""
-        row, col = self.row_col(site)
-        return (col * self.spacing, row * self.spacing)
+        self._check_site(site)
+        return self._positions[site]
 
     def positions(self) -> List[Position]:
         """Positions of all sites in index order."""
-        return [self.position(site) for site in range(self.num_sites)]
+        return list(self._positions)
 
     def site_near(self, x: float, y: float) -> int:
         """Site index closest to the physical position ``(x, y)``."""
@@ -88,16 +99,19 @@ class SquareLattice:
         return self.site_at(int(row), int(col))
 
     def _check_site(self, site: int) -> None:
-        if not 0 <= site < self.num_sites:
-            raise ValueError(f"site {site} outside lattice with {self.num_sites} sites")
+        if not 0 <= site < self._num_sites:
+            raise ValueError(f"site {site} outside lattice with {self._num_sites} sites")
 
     # ------------------------------------------------------------------
     # Distances
     # ------------------------------------------------------------------
     def euclidean_distance(self, site_a: int, site_b: int) -> float:
         """Euclidean distance between two sites in micrometres."""
-        xa, ya = self.position(site_a)
-        xb, yb = self.position(site_b)
+        if site_a < 0 or site_b < 0:  # list indexing would silently wrap
+            self._check_site(site_a)
+            self._check_site(site_b)
+        xa, ya = self._positions[site_a]
+        xb, yb = self._positions[site_b]
         return math.hypot(xa - xb, ya - yb)
 
     def rectangular_distance(self, site_a: int, site_b: int) -> float:
@@ -107,9 +121,37 @@ class SquareLattice:
         shuttling time of a single move is governed by this rectangular
         distance ``s(M)``.
         """
-        xa, ya = self.position(site_a)
-        xb, yb = self.position(site_b)
+        if site_a < 0 or site_b < 0:  # list indexing would silently wrap
+            self._check_site(site_a)
+            self._check_site(site_b)
+        xa, ya = self._positions[site_a]
+        xb, yb = self._positions[site_b]
         return abs(xa - xb) + abs(ya - yb)
+
+    def euclidean_row(self, site: int) -> List[float]:
+        """Euclidean distances from ``site`` to every site (lazily cached row).
+
+        Returned by reference for hot loops (the shuttling cost function
+        evaluates millions of point distances); callers must not mutate it.
+        The values are bit-identical to :meth:`euclidean_distance`.
+        """
+        self._check_site(site)
+        row = self._euclidean_rows[site]
+        if row is None:
+            x, y = self._positions[site]
+            row = [math.hypot(x - px, y - py) for px, py in self._positions]
+            self._euclidean_rows[site] = row
+        return row
+
+    def rectangular_row(self, site: int) -> List[float]:
+        """Rectangular (Manhattan) distances from ``site`` to every site (cached)."""
+        self._check_site(site)
+        row = self._rectangular_rows[site]
+        if row is None:
+            x, y = self._positions[site]
+            row = [abs(x - px) + abs(y - py) for px, py in self._positions]
+            self._rectangular_rows[site] = row
+        return row
 
     def grid_distance(self, site_a: int, site_b: int) -> int:
         """Chebyshev distance in lattice units (number of king moves)."""
@@ -125,11 +167,15 @@ class SquareLattice:
 
         ``radius`` is in micrometres.  The scan is restricted to the bounding
         box of the radius, so the cost is ``O((radius/d)^2)`` rather than the
-        full lattice.
+        full lattice; results are memoised per ``(site, radius)`` because the
+        routers probe the same few radii millions of times.
         """
         self._check_site(site)
         if radius <= 0:
             return []
+        cached = self._sites_within_cache.get((site, radius))
+        if cached is not None:
+            return list(cached)
         row, col = self.row_col(site)
         reach = int(math.floor(radius / self.spacing + 1e-9))
         found: List[int] = []
@@ -143,7 +189,8 @@ class SquareLattice:
                 distance = math.hypot(dr, dc) * self.spacing
                 if distance <= radius + 1e-9:
                     found.append(self.site_at(r, c))
-        return found
+        self._sites_within_cache[(site, radius)] = found
+        return list(found)
 
     def neighbourhood_size(self, radius: float) -> int:
         """Coordination number ``K_r`` of a bulk site for the given radius."""

@@ -2,7 +2,7 @@
 
 from .config import MapperConfig
 from .decision import CapabilityDecider, CapabilityDecision, GateCostEstimate
-from .gate_router import GateRouter, SwapCandidate
+from .gate_router import GateRouter, SwapCandidate, SwapCostCache
 from .hybrid_mapper import HybridMapper, MappingError
 from .initial_layout import (
     LAYOUT_STRATEGIES,
@@ -39,6 +39,7 @@ __all__ = [
     "GateCostEstimate",
     "GateRouter",
     "SwapCandidate",
+    "SwapCostCache",
     "ShuttlingRouter",
     "GatePosition",
     "find_gate_position",

@@ -26,6 +26,28 @@ count caused by ``S``.  Because every candidate is compared on the same layer
 set, ranking by remaining distance and ranking by difference are equivalent;
 the implementation uses the remaining distance so that the cost is
 non-negative and the exponential damping acts in the intended direction.
+
+Incremental cost engine
+-----------------------
+Scoring a candidate naively walks the whole front + lookahead layer, although
+a SWAP only changes the sites of ``qubit_a`` and ``qubit_b``.
+:class:`SwapCostCache` therefore computes each layer's baseline distance
+*once per routing round* and scores every candidate as ``baseline +
+delta(candidate)``, where the delta re-evaluates only the gates touching the
+two swapped qubits — found through the qubit → node inverted index that
+:class:`~repro.mapping.layers.LayerManager` maintains (or one built on the
+fly from the node lists).  All per-gate distances are integers, so
+``baseline + delta`` is *bit-identical* to the full recomputation; the final
+weighting ``C_f + w_l * C_l`` uses the exact same float expression as
+:meth:`GateRouter.swap_cost`, which is kept as the naive reference
+implementation (and is what the property tests compare against).
+
+Cache invalidation: a :class:`SwapCostCache` is valid for one routing round
+only — it snapshots per-node baseline distances against the current mapping
+state and the current ``positions`` dict, and is discarded after the round's
+SWAP is chosen.  The site-level adjacency and hop-distance tables it leans on
+live in :class:`~repro.hardware.connectivity.SiteConnectivity` and are
+immutable.
 """
 
 from __future__ import annotations
@@ -36,10 +58,11 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..circuit.gate import Gate
 from ..hardware.architecture import NeutralAtomArchitecture
+from .layers import build_qubit_node_index
 from .multiqubit import GatePosition
 from .state import MappingState
 
-__all__ = ["SwapCandidate", "GateRouter"]
+__all__ = ["SwapCandidate", "SwapCostCache", "GateRouter"]
 
 
 @dataclass(frozen=True)
@@ -63,12 +86,108 @@ class SwapCandidate:
         return (min(self.site_a, self.site_b), max(self.site_a, self.site_b))
 
 
+class SwapCostCache:
+    """One routing round's incremental scorer for SWAP candidates.
+
+    Snapshots the per-gate baseline distances of the front and lookahead
+    layers against the current state, then scores each candidate as
+    ``baseline + delta``, re-evaluating only the gates that touch the two
+    swapped qubits.  Valid for a single routing round: discard after the
+    round's SWAP has been applied (the state, layers, or positions may have
+    changed).
+
+    ``qubit_index`` may be the (possibly larger) inverted index maintained by
+    :class:`~repro.mapping.layers.LayerManager`; nodes it lists that are not
+    part of the given layers are ignored.  Without it, an index over the
+    given nodes is built on the fly.
+    """
+
+    __slots__ = ("_router", "_state", "_positions", "_nodes", "_base", "_slots",
+                 "_qubit_index", "baseline_front", "baseline_lookahead", "exact")
+
+    def __init__(self, router: "GateRouter", state: MappingState,
+                 front_nodes: Sequence, lookahead_nodes: Sequence,
+                 positions: Dict[int, GatePosition],
+                 qubit_index: Optional[Dict[int, Sequence]] = None) -> None:
+        self._router = router
+        self._state = state
+        self._positions = positions
+        self._nodes: Dict[int, object] = {}
+        self._base: Dict[int, int] = {}
+        self._slots: Dict[int, int] = {}
+        # The delta formulation attributes every node's distance exactly once;
+        # a node listed twice (possible only with hand-crafted layer inputs,
+        # never with LayerManager) voids that, and best_swap falls back to the
+        # naive scorer.
+        self.exact = True
+        baseline_front = 0
+        baseline_lookahead = 0
+        gate_distance = router._gate_distance
+        for slot, nodes in ((0, front_nodes), (1, lookahead_nodes)):
+            for node in nodes:
+                index = node.index
+                if index in self._nodes:
+                    self.exact = False
+                distance = gate_distance(state, node.gate, None, positions.get(index))
+                if slot == 0:
+                    baseline_front += distance
+                else:
+                    baseline_lookahead += distance
+                self._nodes[index] = node
+                self._base[index] = distance
+                self._slots[index] = slot
+        self.baseline_front = baseline_front
+        self.baseline_lookahead = baseline_lookahead
+        # Without an externally maintained index, build one over the given
+        # layers; either way lookups are filtered against the known nodes
+        # (the LayerManager index may list shuttle-assigned nodes too).
+        self._qubit_index = (qubit_index if qubit_index is not None
+                             else build_qubit_node_index(front_nodes,
+                                                         lookahead_nodes))
+
+    def _touched_indices(self, qubit: int) -> Sequence[int]:
+        known = self._nodes
+        return [node.index for node in self._qubit_index.get(qubit, ())
+                if node.index in known]
+
+    def cost(self, candidate: SwapCandidate) -> float:
+        """Cost of ``candidate``, bit-identical to :meth:`GateRouter.swap_cost`."""
+        touched = set(self._touched_indices(candidate.qubit_a))
+        if candidate.qubit_b is not None:
+            touched.update(self._touched_indices(candidate.qubit_b))
+        delta_front = 0
+        delta_lookahead = 0
+        router = self._router
+        state = self._state
+        positions = self._positions
+        gate_distance = router._gate_distance
+        for index in touched:
+            node = self._nodes[index]
+            distance = gate_distance(state, node.gate, candidate, positions.get(index))
+            if self._slots[index] == 0:
+                delta_front += distance - self._base[index]
+            else:
+                delta_lookahead += distance - self._base[index]
+        front_cost = self.baseline_front + delta_front
+        lookahead_cost = self.baseline_lookahead + delta_lookahead
+        base = front_cost + router.lookahead_weight * lookahead_cost
+        if router.decay_rate == 0.0:
+            return base
+        return base * math.exp(router.decay_rate * router.recency(candidate))
+
+
 class GateRouter:
-    """SWAP-insertion router with lookahead and recency damping."""
+    """SWAP-insertion router with lookahead and recency damping.
+
+    ``incremental`` selects the delta-cost engine (:class:`SwapCostCache`)
+    for candidate scoring in :meth:`best_swap`; disabling it restores the
+    naive full-layer recomputation (same selections, only slower — kept as
+    the reference implementation for the equivalence tests).
+    """
 
     def __init__(self, architecture: NeutralAtomArchitecture, *,
                  lookahead_weight: float = 0.1, decay_rate: float = 0.0,
-                 recency_window: int = 4) -> None:
+                 recency_window: int = 4, incremental: bool = True) -> None:
         if lookahead_weight < 0:
             raise ValueError("lookahead weight must be non-negative")
         if decay_rate < 0:
@@ -79,6 +198,7 @@ class GateRouter:
         self.lookahead_weight = lookahead_weight
         self.decay_rate = decay_rate
         self.recency_window = recency_window
+        self.incremental = incremental
         self._step = 0
         self._last_used: Dict[int, int] = {}
         self._last_swap_key: Optional[Tuple[int, int]] = None
@@ -113,7 +233,11 @@ class GateRouter:
                     continue
                 neighbour_qubit = state.qubit_of_atom(neighbour_atom)
                 if neighbour_qubit is not None:
-                    self._last_used.setdefault(neighbour_qubit, self._step)
+                    # Always record the newer step: with setdefault a
+                    # previously-seen qubit would never refresh its last-used
+                    # step and the decay damping would silently weaken over
+                    # long runs.
+                    self._last_used[neighbour_qubit] = self._step
 
     def recency(self, candidate: SwapCandidate) -> int:
         """Recency score ``t(S)`` in ``[0, recency_window]`` (0 = long unused)."""
@@ -172,29 +296,66 @@ class GateRouter:
                        position: Optional[GatePosition]) -> int:
         """Remaining routing distance of one gate, optionally after a SWAP."""
         connectivity = state.connectivity
-
-        def site_of(qubit: int) -> int:
-            if candidate is None:
-                return state.site_of_qubit(qubit)
-            return self._effective_site(state, qubit, candidate)
+        site_of_qubit = state.site_of_qubit
+        if candidate is None:
+            swapped_a = swapped_b = None
+            swap_site_a = swap_site_b = -1
+        else:
+            swapped_a = candidate.qubit_a
+            swapped_b = candidate.qubit_b
+            swap_site_a = candidate.site_a
+            swap_site_b = candidate.site_b
 
         if position is not None:
             total = 0
+            hop_row = connectivity.hop_row
             for qubit, target in position.assignment.items():
-                origin = site_of(qubit)
+                if qubit == swapped_a:
+                    origin = swap_site_b
+                elif swapped_b is not None and qubit == swapped_b:
+                    origin = swap_site_a
+                else:
+                    origin = site_of_qubit(qubit)
                 if origin != target:
-                    total += connectivity.hop_distance(origin, target)
+                    total += hop_row(origin)[target]
             return total
 
         qubits = gate.qubits
+        if len(qubits) == 2:
+            qubit_a, qubit_b = qubits
+            if qubit_a == swapped_a:
+                site_a = swap_site_b
+            elif swapped_b is not None and qubit_a == swapped_b:
+                site_a = swap_site_a
+            else:
+                site_a = site_of_qubit(qubit_a)
+            if qubit_b == swapped_a:
+                site_b = swap_site_b
+            elif swapped_b is not None and qubit_b == swapped_b:
+                site_b = swap_site_a
+            else:
+                site_b = site_of_qubit(qubit_b)
+            if site_a == site_b or connectivity.adjacency_row(site_a)[site_b]:
+                return 0
+            return max(connectivity.hop_row(site_a)[site_b] - 1, 0)
+
+        sites = []
+        for qubit in qubits:
+            if qubit == swapped_a:
+                sites.append(swap_site_b)
+            elif swapped_b is not None and qubit == swapped_b:
+                sites.append(swap_site_a)
+            else:
+                sites.append(site_of_qubit(qubit))
         total = 0
-        for i, qubit_a in enumerate(qubits):
-            site_a = site_of(qubit_a)
-            for qubit_b in qubits[i + 1:]:
-                site_b = site_of(qubit_b)
-                if site_a == site_b or connectivity.are_adjacent(site_a, site_b):
+        hop_row = connectivity.hop_row
+        adjacency_row = connectivity.adjacency_row
+        for i, site_a in enumerate(sites):
+            adjacent = adjacency_row(site_a)
+            for site_b in sites[i + 1:]:
+                if site_a == site_b or adjacent[site_b]:
                     continue
-                total += max(connectivity.hop_distance(site_a, site_b) - 1, 0)
+                total += max(hop_row(site_a)[site_b] - 1, 0)
         return total
 
     def layer_distance(self, state: MappingState, nodes: Sequence,
@@ -210,7 +371,12 @@ class GateRouter:
     def swap_cost(self, state: MappingState, candidate: SwapCandidate,
                   front_nodes: Sequence, lookahead_nodes: Sequence,
                   positions: Dict[int, GatePosition]) -> float:
-        """Cost of one SWAP candidate according to Eq. (2)/(3)."""
+        """Cost of one SWAP candidate according to Eq. (2)/(3).
+
+        This is the naive reference implementation: it re-walks both layers
+        in full.  :meth:`best_swap` scores candidates through the incremental
+        :class:`SwapCostCache`, whose results are bit-identical.
+        """
         front_cost = self.layer_distance(state, front_nodes, positions, candidate)
         lookahead_cost = self.layer_distance(state, lookahead_nodes, positions, candidate)
         base = front_cost + self.lookahead_weight * lookahead_cost
@@ -218,14 +384,29 @@ class GateRouter:
             return base
         return base * math.exp(self.decay_rate * self.recency(candidate))
 
+    def cost_cache(self, state: MappingState, front_nodes: Sequence,
+                   lookahead_nodes: Sequence,
+                   positions: Dict[int, GatePosition],
+                   qubit_index: Optional[Dict[int, Sequence]] = None
+                   ) -> SwapCostCache:
+        """Build this round's incremental scorer (see :class:`SwapCostCache`)."""
+        return SwapCostCache(self, state, front_nodes, lookahead_nodes,
+                             positions, qubit_index)
+
     def best_swap(self, state: MappingState, front_nodes: Sequence,
                   lookahead_nodes: Sequence,
-                  positions: Dict[int, GatePosition]) -> Optional[SwapCandidate]:
+                  positions: Dict[int, GatePosition], *,
+                  qubit_index: Optional[Dict[int, Sequence]] = None
+                  ) -> Optional[SwapCandidate]:
         """Return the lowest-cost SWAP candidate (ties broken deterministically).
 
         The exact inverse of the most recently applied SWAP is excluded (as
         long as another candidate exists): with ``lambda_t = 0`` a cost tie
         between doing and undoing a SWAP would otherwise ping-pong forever.
+
+        ``qubit_index`` is the optional qubit → node inverted index from
+        :meth:`~repro.mapping.layers.LayerManager.qubit_node_index`; it lets
+        the cost engine skip building its own per-round index.
         """
         candidates = self.candidate_swaps(state, front_nodes)
         if not candidates:
@@ -234,10 +415,20 @@ class GateRouter:
             filtered = [c for c in candidates if c.key() != self._last_swap_key]
             if filtered:
                 candidates = filtered
+        cache: Optional[SwapCostCache] = None
+        if self.incremental:
+            cache = self.cost_cache(state, front_nodes, lookahead_nodes,
+                                    positions, qubit_index)
+            if not cache.exact:
+                cache = None
         best_candidate = None
         best_key: Optional[Tuple[float, Tuple[int, int]]] = None
         for candidate in candidates:
-            cost = self.swap_cost(state, candidate, front_nodes, lookahead_nodes, positions)
+            if cache is not None:
+                cost = cache.cost(candidate)
+            else:
+                cost = self.swap_cost(state, candidate, front_nodes,
+                                      lookahead_nodes, positions)
             key = (cost, candidate.key())
             if best_key is None or key < best_key:
                 best_key = key

@@ -124,16 +124,21 @@ class HybridMapper:
         max_steps = self._max_routing_steps(circuit)
         routing_steps = 0
         steps_since_execution = 0
+        stage_seconds = {"execute": 0.0, "decide": 0.0,
+                         "gate_route": 0.0, "shuttle_route": 0.0}
 
         while not layers.is_finished():
+            tick = time.perf_counter()
             # (1) Forward gates that need no routing.
             for node in layers.drain_trivial_gates():
                 self._emit_circuit_gate(result, state, node)
             if layers.is_finished():
+                stage_seconds["execute"] += time.perf_counter() - tick
                 break
 
             front = layers.front_layer()
             if not front:
+                stage_seconds["execute"] += time.perf_counter() - tick
                 continue
 
             # Execute every front gate that is already satisfied.
@@ -151,10 +156,12 @@ class HybridMapper:
                     else:
                         result.num_trivially_executable += 1
                     executed_any = True
+            stage_seconds["execute"] += time.perf_counter() - tick
             if executed_any:
                 steps_since_execution = 0
                 continue
 
+            tick = time.perf_counter()
             lookahead = layers.lookahead_layer()
 
             # (2) Decide the mapping capability per gate.
@@ -171,14 +178,18 @@ class HybridMapper:
                 routed_by.setdefault(node.index, "gate")
             for node in shuttle_nodes:
                 routed_by[node.index] = "shuttle"
+            stage_seconds["decide"] += time.perf_counter() - tick
 
             forced = steps_since_execution >= stall_threshold
 
             # (3) Gate-based mapping has priority; (4) shuttling runs only when
             # the gate-based front layer is empty.
             if gate_nodes:
+                tick = time.perf_counter()
                 progressed = self._gate_based_step(
-                    result, state, gate_nodes, gate_lookahead, positions, forced)
+                    result, state, gate_nodes, gate_lookahead, positions, forced,
+                    qubit_index=layers.qubit_node_index())
+                stage_seconds["gate_route"] += time.perf_counter() - tick
                 if not progressed:
                     # No SWAP candidate at all (isolated atom): re-route the
                     # offending gates via shuttling on the next iteration.
@@ -186,8 +197,10 @@ class HybridMapper:
                         shuttle_forced.add(node.index)
                         result.num_fallback_reroutes += 1
             elif shuttle_nodes:
+                tick = time.perf_counter()
                 progressed = self._shuttling_step(
                     result, state, shuttle_nodes, shuttle_lookahead, forced)
+                stage_seconds["shuttle_route"] += time.perf_counter() - tick
                 if not progressed:
                     raise MappingError(
                         "shuttling router could not construct any move chain; "
@@ -205,6 +218,7 @@ class HybridMapper:
         result.verify_complete()
         result.final_qubit_map = state.qubit_mapping()
         result.final_atom_map = state.atom_mapping()
+        result.stage_seconds = stage_seconds
         result.runtime_seconds = time.perf_counter() - start_time
         return result
 
@@ -264,13 +278,12 @@ class HybridMapper:
                 remaining_gate_nodes.append(node)
                 continue
             positions.pop(node.index, None)
-            if self.config.alpha_shuttling > 0 or True:
-                # Even in gate-only mode an unplaceable multi-qubit gate must
-                # fall back to shuttling — the paper prescribes exactly this
-                # (Section 3.1.3); it is counted as a fallback re-route.
-                shuttle_forced.add(node.index)
-                shuttle_nodes = shuttle_nodes + [node]
-                result.num_fallback_reroutes += 1
+            # Even in gate-only mode an unplaceable multi-qubit gate must
+            # fall back to shuttling — the paper prescribes exactly this
+            # (Section 3.1.3); it is counted as a fallback re-route.
+            shuttle_forced.add(node.index)
+            shuttle_nodes = shuttle_nodes + [node]
+            result.num_fallback_reroutes += 1
         return remaining_gate_nodes, shuttle_nodes
 
     # ------------------------------------------------------------------
@@ -280,10 +293,14 @@ class HybridMapper:
                          gate_nodes: Sequence[DAGNode],
                          lookahead_nodes: Sequence[DAGNode],
                          positions: Dict[int, GatePosition],
-                         forced: bool) -> bool:
+                         forced: bool, *,
+                         qubit_index: Optional[Dict[int, List[DAGNode]]] = None
+                         ) -> bool:
         """Insert one SWAP (or, when forced, a whole deterministic SWAP path).
 
-        Returns False if no candidate exists at all.
+        ``qubit_index`` is the layer manager's qubit → node inverted index,
+        forwarded to the router's incremental cost engine.  Returns False if
+        no candidate exists at all.
         """
         if forced:
             oldest = min(gate_nodes, key=lambda node: node.index)
@@ -295,7 +312,7 @@ class HybridMapper:
                     self._record_swap(result, candidate)
                 return True
         candidate = self.gate_router.best_swap(
-            state, gate_nodes, lookahead_nodes, positions)
+            state, gate_nodes, lookahead_nodes, positions, qubit_index=qubit_index)
         if candidate is None:
             return False
         state.apply_swap_with_atom(candidate.qubit_a, candidate.atom_b)

@@ -76,6 +76,11 @@ class MappingResult:
         ``num_trivially_executable``).
     runtime_seconds:
         Wall-clock time of the mapping process (the RT column of Table 1a).
+    stage_seconds:
+        Wall-clock time per mapping stage (``execute``, ``decide``,
+        ``gate_route``, ``shuttle_route``), accumulated over all routing
+        rounds.  Consumed by the perf harness (``benchmarks/perf_report.py``)
+        to track where mapping time goes as the system scales.
     initial_qubit_map / final_qubit_map:
         The qubit mapping before and after the run.
     initial_atom_map / final_atom_map:
@@ -91,6 +96,7 @@ class MappingResult:
     num_trivially_executable: int = 0
     num_fallback_reroutes: int = 0
     runtime_seconds: float = 0.0
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
     initial_qubit_map: Dict[int, int] = field(default_factory=dict)
     final_qubit_map: Dict[int, int] = field(default_factory=dict)
     initial_atom_map: Dict[int, int] = field(default_factory=dict)

@@ -22,6 +22,19 @@ move, and ``C_t_parallel`` charges the extra time a move costs on top of the
 last ``history_window`` moves depending on whether it can share their AOD
 batch (parallel loading and shuttling), only their activation window
 (parallel loading), or nothing.
+
+Incremental cost evaluation: only gates acting on the moved atom's circuit
+qubit can change their distance, so :meth:`ShuttlingRouter.best_chain` builds
+a qubit → node index over the layers once per routing round and the per-move
+distance terms walk just the touched gates.  The parallelism penalty of a
+move depends only on the move itself and the recent-move history, so it is
+memoised per ``(atom, source, destination)`` and the cache is dropped
+whenever the history changes (``note_moves_applied``/``reset``).  Both
+tweaks are pure caching — chain selection is unchanged.  Site geometry
+(neighbourhood rings, hop-distance rows) comes from the shared
+:class:`~repro.hardware.connectivity.SiteConnectivity` /
+:class:`~repro.hardware.lattice.SquareLattice` caches, which the gate-based
+router uses as well.
 """
 
 from __future__ import annotations
@@ -33,6 +46,7 @@ from ..circuit.gate import Gate
 from ..hardware.architecture import NeutralAtomArchitecture
 from ..shuttling.aod import moves_compatible
 from ..shuttling.moves import Move, MoveChain
+from .layers import build_qubit_node_index
 from .state import MappingState
 
 __all__ = ["ShuttlingRouter"]
@@ -50,11 +64,18 @@ class _ChainProposal:
 
 
 class ShuttlingRouter:
-    """Move-chain router with lookahead and AOD-parallelism awareness."""
+    """Move-chain router with lookahead and AOD-parallelism awareness.
+
+    ``incremental`` enables the qubit → node index walk and the per-round /
+    per-history memos in :meth:`best_chain` and :meth:`move_time_penalty`;
+    disabling it restores the naive full recomputation (identical chain
+    selections, only slower — kept as the reference implementation for the
+    equivalence tests).
+    """
 
     def __init__(self, architecture: NeutralAtomArchitecture, *,
                  lookahead_weight: float = 0.1, time_weight: float = 0.1,
-                 history_window: int = 4) -> None:
+                 history_window: int = 4, incremental: bool = True) -> None:
         if lookahead_weight < 0 or time_weight < 0:
             raise ValueError("cost weights must be non-negative")
         if history_window < 0:
@@ -63,19 +84,27 @@ class ShuttlingRouter:
         self.lookahead_weight = lookahead_weight
         self.time_weight = time_weight
         self.history_window = history_window
+        self.incremental = incremental
         self._recent_moves: List[Move] = []
+        # move_time_penalty depends only on the move and the recent-move
+        # history; memoised per move identity until the history changes.
+        self._penalty_cache: Dict[Tuple[int, int, int], float] = {}
 
     # ------------------------------------------------------------------
     # History bookkeeping
     # ------------------------------------------------------------------
     def reset(self) -> None:
         self._recent_moves.clear()
+        self._penalty_cache.clear()
 
     def note_moves_applied(self, moves: Sequence[Move]) -> None:
         """Record executed moves for the parallelism term of the cost function."""
+        if not moves:
+            return
         self._recent_moves.extend(moves)
         if self.history_window and len(self._recent_moves) > self.history_window:
             self._recent_moves = self._recent_moves[-self.history_window:]
+        self._penalty_cache.clear()
 
     # ------------------------------------------------------------------
     # Chain construction
@@ -109,17 +138,22 @@ class ShuttlingRouter:
         anchor_site = state.site_of_qubit(anchor)
 
         # Locally simulated occupancy so consecutive moves in the chain see
-        # the effects of earlier ones.
-        occupied: Set[int] = set(state.occupied_sites())
+        # the effects of earlier ones.  Copy-on-write: most candidate chains
+        # are rejected (or keep every qubit in place) before any simulated
+        # move, so the live occupancy view is only copied once the first
+        # move is recorded.
+        occupied: Set[int] = state.occupied_sites()
+        owns_occupied = False
         kept_sites: List[int] = [anchor_site]
         moves: List[Move] = []
         gate_atom_sites = {state.site_of_qubit(q) for q in gate.qubits}
 
         # Gather the remaining qubits, nearest to the anchor first, so that
         # already-adjacent qubits claim their sites before far ones move in.
+        anchor_row = lattice.euclidean_row(anchor_site)
         others = sorted(
             (q for q in gate.qubits if q != anchor),
-            key=lambda q: lattice.euclidean_distance(state.site_of_qubit(q), anchor_site))
+            key=lambda q: anchor_row[state.site_of_qubit(q)])
 
         for qubit in others:
             current_site = state.site_of_qubit(qubit)
@@ -134,13 +168,17 @@ class ShuttlingRouter:
             if not zone:
                 return None
 
+            current_row = lattice.rectangular_row(current_site)
             free_candidates = sorted(
                 (site for site in zone if site not in occupied),
-                key=lambda site: (lattice.rectangular_distance(current_site, site), site))
+                key=lambda site: (current_row[site], site))
             if free_candidates:
                 destination = free_candidates[0]
                 moves.append(self._make_move(state, qubit, current_site, destination,
                                              lattice, is_move_away=False))
+                if not owns_occupied:
+                    occupied = set(occupied)
+                    owns_occupied = True
                 occupied.discard(current_site)
                 occupied.add(destination)
                 kept_sites.append(destination)
@@ -150,7 +188,7 @@ class ShuttlingRouter:
             blocked_candidates = sorted(
                 (site for site in zone
                  if site in occupied and site not in gate_atom_sites),
-                key=lambda site: (lattice.rectangular_distance(current_site, site), site))
+                key=lambda site: (current_row[site], site))
             move_away = None
             freed_site = None
             for blocked in blocked_candidates:
@@ -175,6 +213,9 @@ class ShuttlingRouter:
             if move_away is None or freed_site is None:
                 return None
             moves.append(move_away)
+            if not owns_occupied:
+                occupied = set(occupied)
+                owns_occupied = True
             occupied.discard(freed_site)
             occupied.add(move_away.destination)
             moves.append(self._make_move(state, qubit, current_site, freed_site,
@@ -197,8 +238,8 @@ class ShuttlingRouter:
         """Sites within the interaction radius of *all* kept sites."""
         zone: Optional[Set[int]] = None
         for kept in kept_sites:
-            neighbours = set(connectivity.interaction_neighbours(kept))
-            zone = neighbours if zone is None else (zone & neighbours)
+            neighbours = connectivity.interaction_set(kept)
+            zone = set(neighbours) if zone is None else (zone & neighbours)
             if not zone:
                 return set()
         return zone or set()
@@ -210,11 +251,12 @@ class ShuttlingRouter:
         """Closest free site to ``origin`` outside ``forbidden`` (for move-aways)."""
         best = None
         best_distance = None
+        origin_row = lattice.rectangular_row(origin)
         for radius in range(1, max_radius + 1):
             for site in lattice.sites_within(origin, radius * lattice.spacing + _EPSILON):
                 if site in occupied or site in forbidden:
                     continue
-                distance = lattice.rectangular_distance(origin, site)
+                distance = origin_row[site]
                 if best_distance is None or (distance, site) < (best_distance, best):
                     best = site
                     best_distance = distance
@@ -238,10 +280,26 @@ class ShuttlingRouter:
     # Cost evaluation
     # ------------------------------------------------------------------
     def move_time_penalty(self, move: Move) -> float:
-        """``C_t_parallel`` contribution of one move against the recent-move history."""
-        durations = self.architecture.durations
+        """``C_t_parallel`` contribution of one move against the recent-move history.
+
+        Memoised per ``(atom, source, destination)``: the same physical move
+        shows up in many candidate chains within one routing round, and the
+        penalty only changes when the recent-move history does.
+        """
         if not self._recent_moves:
             return 0.0
+        if not self.incremental:
+            return self._compute_time_penalty(move)
+        key = (move.atom, move.source, move.destination)
+        cached = self._penalty_cache.get(key)
+        if cached is not None:
+            return cached
+        penalty = self._compute_time_penalty(move)
+        self._penalty_cache[key] = penalty
+        return penalty
+
+    def _compute_time_penalty(self, move: Move) -> float:
+        durations = self.architecture.durations
         penalty = 0.0
         for recent in self._recent_moves:
             if moves_compatible(move, recent):
@@ -259,42 +317,67 @@ class ShuttlingRouter:
                             + durations.aod_deactivation)
         return penalty
 
-    def _distance_change(self, state: MappingState, move: Move, nodes: Sequence) -> float:
+    def _distance_change(self, state: MappingState, move: Move, nodes: Sequence,
+                         node_index: Optional[Dict[int, Sequence]] = None) -> float:
         """Summed change in gate distance over ``nodes`` caused by ``move``.
 
         Only gates involving the moved atom's circuit qubit can change their
         direct distance; the (rarer) indirect conflicts of Example 6 are
         handled by re-validating cached positions in the mapper rather than
-        inside this per-move cost.
+        inside this per-move cost.  ``node_index`` (qubit → nodes, in node
+        order) lets the walk skip straight to the touched gates.
         """
         moved_qubit = state.qubit_of_atom(move.atom)
+        if moved_qubit is None:
+            return 0.0
         lattice = self.architecture.lattice
+        if node_index is not None:
+            nodes = node_index.get(moved_qubit, ())
+        source_row = lattice.euclidean_row(move.source)
+        destination_row = lattice.euclidean_row(move.destination)
+        site_of_qubit = state.site_of_qubit
         change = 0.0
         for node in nodes:
             gate = node.gate
-            if moved_qubit is None or moved_qubit not in gate.qubits:
+            if moved_qubit not in gate.qubits:
                 continue
             before = 0.0
             after = 0.0
             for other in gate.qubits:
                 if other == moved_qubit:
                     continue
-                other_site = state.site_of_qubit(other)
-                before += lattice.euclidean_distance(move.source, other_site)
-                after += lattice.euclidean_distance(move.destination, other_site)
+                other_site = site_of_qubit(other)
+                before += source_row[other_site]
+                after += destination_row[other_site]
             change += after - before
         return change / max(lattice.spacing, _EPSILON)
 
     def chain_cost(self, state: MappingState, chain: MoveChain,
-                   front_nodes: Sequence, lookahead_nodes: Sequence) -> float:
-        """Total cost of a chain according to Eq. (4)/(5)."""
+                   front_nodes: Sequence, lookahead_nodes: Sequence,
+                   front_index: Optional[Dict[int, Sequence]] = None,
+                   lookahead_index: Optional[Dict[int, Sequence]] = None,
+                   change_cache: Optional[Dict[Tuple[int, int, int],
+                                               Tuple[float, float]]] = None) -> float:
+        """Total cost of a chain according to Eq. (4)/(5).
+
+        The optional qubit → node indices restrict the distance terms to the
+        gates a move can actually affect, and ``change_cache`` memoises the
+        per-move distance terms across chains of one routing round (keyed by
+        ``(atom, source, destination)``); the cost is identical either way.
+        """
         total = 0.0
         for move in chain:
-            front_term = self._distance_change(state, move, front_nodes)
-            lookahead_term = self._distance_change(state, move, lookahead_nodes)
-            time_term = self.move_time_penalty(move)
-            total += front_term + self.lookahead_weight * lookahead_term \
-                + self.time_weight * time_term
+            terms = None
+            if change_cache is not None:
+                terms = change_cache.get((move.atom, move.source, move.destination))
+            if terms is None:
+                terms = (self._distance_change(state, move, front_nodes, front_index),
+                         self._distance_change(state, move, lookahead_nodes,
+                                               lookahead_index))
+                if change_cache is not None:
+                    change_cache[(move.atom, move.source, move.destination)] = terms
+            total += terms[0] + self.lookahead_weight * terms[1] \
+                + self.time_weight * self.move_time_penalty(move)
         # Move-aways carry no distance benefit of their own; penalise longer
         # chains slightly so that, all else equal, minimal chains win.
         total += 0.25 * chain.num_move_aways
@@ -305,11 +388,25 @@ class ShuttlingRouter:
     # ------------------------------------------------------------------
     def best_chain(self, state: MappingState, front_nodes: Sequence,
                    lookahead_nodes: Sequence) -> Optional[MoveChain]:
-        """Best move chain over all front-layer shuttling gates."""
+        """Best move chain over all front-layer shuttling gates.
+
+        Equivalent to ranking every candidate chain by :meth:`chain_cost`;
+        the qubit → node indices and the per-move distance-term memo (the
+        same physical move appears in many candidate chains within one
+        round) only avoid recomputation.
+        """
         best: Optional[_ChainProposal] = None
+        if self.incremental:
+            front_index = build_qubit_node_index(front_nodes)
+            lookahead_index = build_qubit_node_index(lookahead_nodes)
+            change_cache: Optional[Dict[Tuple[int, int, int],
+                                        Tuple[float, float]]] = {}
+        else:
+            front_index = lookahead_index = change_cache = None
         for node in front_nodes:
             for chain in self.candidate_chains(state, node):
-                cost = self.chain_cost(state, chain, front_nodes, lookahead_nodes)
+                cost = self.chain_cost(state, chain, front_nodes, lookahead_nodes,
+                                       front_index, lookahead_index, change_cache)
                 proposal = _ChainProposal(chain=chain, gate_index=node.index, cost=cost)
                 if best is None or (proposal.cost, len(proposal.chain)) < (best.cost, len(best.chain)):
                     best = proposal
@@ -385,9 +482,10 @@ class ShuttlingRouter:
         connectivity = state.connectivity
         lattice = self.architecture.lattice
         cluster = [anchor_site]
+        anchor_row = lattice.euclidean_row(anchor_site)
         candidates = sorted(
             connectivity.interaction_neighbours(anchor_site),
-            key=lambda site: (lattice.euclidean_distance(anchor_site, site), site))
+            key=lambda site: (anchor_row[site], site))
         for site in candidates:
             if len(cluster) == size:
                 break

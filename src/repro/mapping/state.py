@@ -82,6 +82,13 @@ class MappingState:
         for atom, site in enumerate(initial_sites):
             self._site_to_atom[site] = atom
 
+        # Occupancy sets maintained incrementally by move_atom (SWAPs do not
+        # change occupancy).  Exposed as live read-only views so the routing
+        # loops never pay an O(num_sites) rebuild.
+        self._occupied: Set[int] = set(initial_sites)
+        self._free: Set[int] = {site for site in range(self.num_sites)
+                                if site not in self._occupied}
+
         # Qubit mapping f_q: circuit qubit -> atom, and the inverse.
         if initial_qubit_map is None:
             initial_qubit_map = list(range(num_circuit_qubits))
@@ -131,11 +138,17 @@ class MappingState:
         return self._site_to_atom[site] == _UNOCCUPIED
 
     def occupied_sites(self) -> Set[int]:
-        """Set of all sites currently holding an atom."""
-        return {site for site, atom in enumerate(self._site_to_atom) if atom != _UNOCCUPIED}
+        """Set of all sites currently holding an atom.
+
+        Maintained incrementally (O(1) per move) and returned as a live
+        view: callers must not mutate it.  Derive modified sets with set
+        operators (``occupied - protected``), which copy.
+        """
+        return self._occupied
 
     def free_sites(self) -> Set[int]:
-        return {site for site, atom in enumerate(self._site_to_atom) if atom == _UNOCCUPIED}
+        """Set of all empty trap sites (live read-only view, see above)."""
+        return self._free
 
     def qubit_mapping(self) -> Dict[int, int]:
         """Copy of the qubit mapping ``f_q`` (circuit qubit -> atom)."""
@@ -269,6 +282,10 @@ class MappingState:
         self._site_to_atom[source] = _UNOCCUPIED
         self._site_to_atom[destination] = atom
         self._atom_to_site[atom] = destination
+        self._occupied.discard(source)
+        self._occupied.add(destination)
+        self._free.discard(destination)
+        self._free.add(source)
         self.num_moves_applied += 1
 
     def make_move(self, atom: int, destination: int, *, is_move_away: bool = False) -> Move:
@@ -308,6 +325,12 @@ class MappingState:
         occupied = sum(1 for atom in self._site_to_atom if atom != _UNOCCUPIED)
         if occupied != self.num_atoms:
             raise AssertionError("number of occupied sites does not match the atom count")
+        rebuilt_occupied = {site for site, atom in enumerate(self._site_to_atom)
+                            if atom != _UNOCCUPIED}
+        if self._occupied != rebuilt_occupied:
+            raise AssertionError("incremental occupied-site set drifted from the maps")
+        if self._free != set(range(self.num_sites)) - rebuilt_occupied:
+            raise AssertionError("incremental free-site set drifted from the maps")
         for qubit, atom in enumerate(self._qubit_to_atom):
             if self._atom_to_qubit[atom] != qubit:
                 raise AssertionError(f"qubit {qubit} / atom {atom} maps are inconsistent")

@@ -107,3 +107,39 @@ class TestPipelineConsistency:
             result.verify_complete()
             metrics = evaluate(circuit, result, architecture, connectivity=connectivity)
             assert metrics.delta_fidelity >= 0
+
+
+class TestIncrementalCostEngineEquivalence:
+    """The incremental routing-cost engine must not change one emitted op.
+
+    Perf PRs are only allowed to make the mapper faster: the SWAP/chain
+    selections — and therefore the entire operation stream and every Table-1
+    metric derived from it — have to stay bit-identical to the naive
+    full-recomputation scoring.
+    """
+
+    @pytest.mark.parametrize("mode", ["hybrid", "gate_only", "shuttling_only"])
+    @pytest.mark.parametrize("circuit_fixture",
+                             ["graph_circuit", "reversible_circuit"])
+    def test_operation_stream_bit_identical_without_engine(
+            self, request, mode, circuit_fixture):
+        circuit = request.getfixturevalue(circuit_fixture)
+        architecture = mixed(lattice_rows=7, num_atoms=30)
+        connectivity = SiteConnectivity(architecture)
+        config = {"hybrid": MapperConfig.hybrid(1.0),
+                  "gate_only": MapperConfig.gate_only(),
+                  "shuttling_only": MapperConfig.shuttling_only()}[mode]
+
+        fast_mapper = HybridMapper(architecture, config, connectivity=connectivity)
+        naive_mapper = HybridMapper(architecture, config, connectivity=connectivity)
+        naive_mapper.gate_router.incremental = False
+        naive_mapper.shuttling_router.incremental = False
+
+        fast = fast_mapper.map(circuit)
+        naive = naive_mapper.map(circuit)
+
+        assert fast.operations == naive.operations
+        assert fast.num_swaps == naive.num_swaps
+        assert fast.num_moves == naive.num_moves
+        assert fast.final_qubit_map == naive.final_qubit_map
+        assert fast.final_atom_map == naive.final_atom_map

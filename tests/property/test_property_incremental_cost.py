@@ -1,0 +1,139 @@
+"""Property tests: the incremental delta-cost SWAP engine is exact.
+
+The gate-based router scores candidates as ``baseline + delta``
+(:class:`repro.mapping.SwapCostCache`), re-evaluating only the gates that
+touch the two swapped qubits.  On random circuits, lattices, and scrambled
+mapping states the incremental cost of *every* candidate must equal the
+naive full recomputation bit-for-bit, and :meth:`GateRouter.best_swap` must
+pick the identical candidate with and without the engine.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import QuantumCircuit
+from repro.hardware import NeutralAtomArchitecture, SiteConnectivity, SquareLattice
+from repro.mapping import GateRouter, LayerManager, MappingState, find_gate_position
+
+
+ARCHITECTURE = NeutralAtomArchitecture(
+    name="prop-cost", lattice=SquareLattice(6, 6, 3.0), num_atoms=18,
+    interaction_radius=2.0, restriction_radius=2.0)
+CONNECTIVITY = SiteConnectivity(ARCHITECTURE)
+NUM_QUBITS = 10
+
+
+@st.composite
+def routing_scenario(draw):
+    """A random entangling circuit plus a random legal state scramble."""
+    circuit = QuantumCircuit(NUM_QUBITS, name="prop-cost")
+    num_gates = draw(st.integers(1, 12))
+    for _ in range(num_gates):
+        width = draw(st.sampled_from([2, 2, 2, 3]))
+        qubits = draw(st.lists(st.integers(0, NUM_QUBITS - 1), min_size=width,
+                               max_size=width, unique=True))
+        circuit.cz(*qubits)
+    operations = draw(st.lists(st.tuples(st.sampled_from(["swap", "move"]),
+                                         st.integers(0, 10_000)),
+                               min_size=0, max_size=12))
+    return circuit, operations
+
+
+def scrambled_state(operations) -> MappingState:
+    state = MappingState(ARCHITECTURE, NUM_QUBITS, connectivity=CONNECTIVITY)
+    for kind, seed in operations:
+        if kind == "swap":
+            qubit = seed % NUM_QUBITS
+            neighbours = state.vicinity_of_qubit(qubit)
+            if not neighbours:
+                continue
+            partner_atom = state.atom_at_site(neighbours[seed % len(neighbours)])
+            state.apply_swap_with_atom(qubit, partner_atom)
+        else:
+            atom = seed % ARCHITECTURE.num_atoms
+            free = sorted(state.free_sites())
+            destination = free[seed % len(free)]
+            if destination != state.site_of_atom(atom):
+                state.move_atom(atom, destination)
+    return state
+
+
+def routing_round(circuit, operations):
+    """State, layers, and (multi-qubit) positions as the mapper would see them."""
+    state = scrambled_state(operations)
+    layers = LayerManager(circuit)
+    front, lookahead = layers.layers()
+    positions = {}
+    for node in front + lookahead:
+        if node.gate.num_qubits >= 3:
+            position = find_gate_position(state, node.gate)
+            if position is not None:
+                positions[node.index] = position
+    return state, layers, front, lookahead, positions
+
+
+class TestDeltaCostExactness:
+    @given(routing_scenario(), st.sampled_from([0.0, 0.1, 1.0]))
+    @settings(max_examples=60, deadline=None)
+    def test_incremental_cost_equals_naive_for_every_candidate(
+            self, scenario, lookahead_weight):
+        circuit, operations = scenario
+        state, layers, front, lookahead, positions = routing_round(circuit, operations)
+        if not front:
+            return
+        router = GateRouter(ARCHITECTURE, lookahead_weight=lookahead_weight)
+        candidates = router.candidate_swaps(state, front)
+        # Once with the LayerManager-maintained index, once self-built.
+        for qubit_index in (layers.qubit_node_index(), None):
+            cache = router.cost_cache(state, front, lookahead, positions,
+                                      qubit_index=qubit_index)
+            assert cache.exact
+            for candidate in candidates:
+                naive = router.swap_cost(state, candidate, front, lookahead,
+                                         positions)
+                assert cache.cost(candidate) == naive
+
+    @given(routing_scenario())
+    @settings(max_examples=60, deadline=None)
+    def test_best_swap_identical_with_and_without_engine(self, scenario):
+        circuit, operations = scenario
+        state, layers, front, lookahead, positions = routing_round(circuit, operations)
+        if not front:
+            return
+        router = GateRouter(ARCHITECTURE)
+        fast = router.best_swap(state, front, lookahead, positions,
+                                qubit_index=layers.qubit_node_index())
+        router.incremental = False
+        naive = router.best_swap(state, front, lookahead, positions)
+        assert fast == naive
+
+    @given(routing_scenario(), st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_exactness_holds_under_recency_damping(self, scenario, num_applied):
+        """decay_rate > 0 exercises the exponential recency factor."""
+        circuit, operations = scenario
+        state, layers, front, lookahead, positions = routing_round(circuit, operations)
+        if not front:
+            return
+        router = GateRouter(ARCHITECTURE, decay_rate=0.5, recency_window=4)
+        candidates = router.candidate_swaps(state, front)
+        for candidate in candidates[:num_applied]:
+            router.note_swap_applied(state, candidate)
+        cache = router.cost_cache(state, front, lookahead, positions,
+                                  qubit_index=layers.qubit_node_index())
+        for candidate in candidates:
+            naive = router.swap_cost(state, candidate, front, lookahead, positions)
+            assert cache.cost(candidate) == naive
+
+    def test_duplicate_nodes_disable_the_engine(self):
+        """Hand-crafted duplicate layers fall back to the naive scorer."""
+        circuit = QuantumCircuit(NUM_QUBITS)
+        circuit.cz(0, 9)
+        state = MappingState(ARCHITECTURE, NUM_QUBITS, connectivity=CONNECTIVITY)
+        layers = LayerManager(circuit)
+        front, _ = layers.layers()
+        router = GateRouter(ARCHITECTURE)
+        cache = router.cost_cache(state, front + front, [], {})
+        assert not cache.exact
+        best = router.best_swap(state, front + front, [], {})
+        router.incremental = False
+        assert best == router.best_swap(state, front + front, [], {})
