@@ -1,25 +1,48 @@
-"""Scaling benchmark: per-stage ``run_mapping`` wall time, emitting BENCH_scaling.json.
+"""Scaling benchmark: per-stage compile wall time, emitting BENCH_scaling.json.
 
 Runs the hybrid mapper on the ``qft``/``graph`` benchmarks over all three
 hardware presets at ``REPRO_BENCH_SCALE`` and records where the time goes
-(execute / decide / gate_route / shuttle_route), plus the swap/move counts
-that must stay bit-identical across perf PRs.  After the matrix has run, the
-accumulated cases are written to ``BENCH_scaling.json`` (override the path
-with ``REPRO_BENCH_REPORT``) in the ``repro-bench-scaling/v1`` schema of
-:mod:`benchmarks.perf_report`, so every benchmark run leaves a machine-readable
-perf trace behind.
+(execute / decide / gate_route / shuttle_route plus the pipeline's per-pass
+timings), the swap/move counts that must stay bit-identical across perf PRs,
+and a batch-throughput case from the service layer (circuits/sec at N
+workers vs serial).  After the matrix has run, the accumulated cases are
+written to ``BENCH_scaling.json`` (override the path with
+``REPRO_BENCH_REPORT``) in the ``repro-bench-scaling/v1`` schema of
+:mod:`benchmarks.perf_report`, so every benchmark run leaves a
+machine-readable perf trace behind.
+
+Script usage (records a batch case without the pytest harness)::
+
+    PYTHONPATH=src python benchmarks/bench_scaling.py --batch --workers 4 \
+        --scale 0.3 --out BENCH_scaling.json
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, List
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+if __package__:
+    from .common import BENCH_SCALE
+    from .perf_report import (DEFAULT_CIRCUITS, DEFAULT_HARDWARE,
+                              collect_report, main as perf_report_main,
+                              run_batch_case, run_case, write_report)
+else:  # executed as a plain script: python benchmarks/bench_scaling.py
+    _HERE = Path(__file__).resolve().parent
+    for entry in (str(_HERE), str(_HERE.parent / "src")):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+    from common import BENCH_SCALE
+    from perf_report import (DEFAULT_CIRCUITS, DEFAULT_HARDWARE,
+                             collect_report, main as perf_report_main,
+                             run_batch_case, run_case, write_report)
 
 import pytest
 
-from .common import BENCH_SCALE
-from .perf_report import (DEFAULT_CIRCUITS, DEFAULT_HARDWARE, collect_report,
-                          run_case, write_report)
+#: Worker count of the smoke batch case recorded by the pytest run.
+SMOKE_BATCH_WORKERS = 2
 
 _CASES: List[Dict] = []
 
@@ -36,13 +59,16 @@ def test_scaling_case(benchmark, hardware, circuit_name):
                                               BENCH_SCALE),
                               rounds=1, iterations=1, warmup_rounds=0)
     benchmark.extra_info.update(
-        {key: value for key, value in case.items() if key != "stage_seconds"})
+        {key: value for key, value in case.items()
+         if key not in ("stage_seconds", "pass_seconds")})
     benchmark.extra_info.update(
         {f"stage_{stage}_s": seconds
          for stage, seconds in case["stage_seconds"].items()})
     _CASES.append(case)
     assert set(case["stage_seconds"]) == {"execute", "decide",
                                           "gate_route", "shuttle_route"}
+    assert set(case["pass_seconds"]) == {"decompose", "initial_layout",
+                                         "routing", "schedule", "evaluate"}
     # At tiny smoke scales a case may need no routing at all, so only sanity
     # is asserted, not a positive operation count.
     assert case["num_swaps"] >= 0 and case["num_moves"] >= 0
@@ -53,9 +79,38 @@ def test_scaling_case(benchmark, hardware, circuit_name):
           f"swaps={case['num_swaps']} moves={case['num_moves']}")
 
 
+def test_batch_throughput_case():
+    """Record a service-layer batch-throughput case (circuits/sec at N workers).
+
+    The case compiles the full qft/graph x hardware matrix through the
+    :class:`~repro.service.BatchCompiler`, once serially and once with
+    worker processes; every task must succeed.  Absolute speedup depends on
+    the host's core count, so only sanity is asserted here — the recorded
+    numbers are the artifact.
+    """
+    case = run_batch_case(BENCH_SCALE, SMOKE_BATCH_WORKERS)
+    _CASES.append(case)
+    assert case["num_failures"] == 0
+    assert case["num_tasks"] == len(DEFAULT_CIRCUITS) * len(DEFAULT_HARDWARE)
+    assert case["batch_circuits_per_second"] > 0
+    print(f"\n[batch] tasks={case['num_tasks']} workers={case['num_workers']} "
+          f"serial={case['serial_seconds']:.2f}s batch={case['batch_seconds']:.2f}s "
+          f"speedup={case['throughput_speedup']:.2f}x "
+          f"(host cpus: {case['available_cpus']})")
+
+
 def test_emit_scaling_report():
     """Write the accumulated cases (or a fresh matrix) to BENCH_scaling.json."""
     report = collect_report(BENCH_SCALE, cases=_CASES or None)
     write_report(report, _report_path())
     assert os.path.exists(_report_path())
     assert report["cases"], "scaling report must contain at least one case"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Script entry point: delegate to the perf-report CLI (incl. ``--batch``)."""
+    return perf_report_main(argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

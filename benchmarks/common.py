@@ -6,6 +6,11 @@ that the whole suite completes in minutes on a laptop.  The scale factor can
 be raised via the ``REPRO_BENCH_SCALE`` environment variable; ``1.0`` reruns
 the paper's original 200-qubit / 15x15 configuration (slow in pure Python).
 
+The sizing rules live in :mod:`repro.workloads` (shared with the Table-1
+harness and the batch service); compilation goes through the standard
+:func:`repro.pipeline.compile_circuit` pipeline, and architectures are cached
+in the process-global :data:`repro.service.ARCHITECTURE_CACHE`.
+
 Each benchmark stores the Table-1a columns (ΔCZ, ΔT, δF, mapper runtime) in
 ``benchmark.extra_info`` so that ``--benchmark-json`` output contains the full
 reproduced table, and prints a compact row so the numbers are visible in the
@@ -15,22 +20,27 @@ console run as well.
 from __future__ import annotations
 
 import os
-from typing import Dict, Tuple
+from typing import Tuple
 
 import pytest
 
 from repro.circuit import QuantumCircuit, decompose_mcx_to_mcz
 from repro.circuit.library import get_benchmark
-from repro.evaluation import EvaluationMetrics, evaluate
+from repro.evaluation import EvaluationMetrics
 from repro.hardware import NeutralAtomArchitecture, SiteConnectivity
-from repro.hardware.presets import preset
-from repro.mapping import HybridMapper, MapperConfig
+from repro.mapping import MapperConfig
+from repro.pipeline import compile_circuit
+from repro.service import ARCHITECTURE_CACHE, ArchitectureSpec
+from repro.workloads import (
+    PAPER_SIZES,
+    build_scaled_architecture,
+    lattice_rows_for,
+    scaled_register_size,
+)
+from repro import workloads
 
 #: Fraction of the paper's register sizes the benchmarks run by default.
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
-
-#: Benchmark circuits in Table-1 order with their paper sizes.
-PAPER_SIZES = {"graph": 200, "qft": 200, "qpe": 200, "bn": 48, "call": 25, "gray": 33}
 
 #: Compiler settings (A), (B), (C) of Table 1a.
 MODES = ("shuttling_only", "gate_only", "hybrid")
@@ -38,25 +48,25 @@ MODES = ("shuttling_only", "gate_only", "hybrid")
 
 def scaled_size(name: str, scale: float = BENCH_SCALE) -> int:
     """Scaled register size for a named benchmark (minimum 8 qubits)."""
-    return max(8, round(PAPER_SIZES[name] * scale))
+    return scaled_register_size(name, scale, min_size=8)
 
 
 def scaled_atom_count(scale: float = BENCH_SCALE) -> int:
-    return max(max(scaled_size(name, scale) for name in PAPER_SIZES),
-               round(200 * scale))
+    return workloads.scaled_atom_count(
+        scale, (scaled_size(name, scale) for name in PAPER_SIZES))
 
 
 def scaled_lattice_rows(scale: float = BENCH_SCALE) -> int:
-    atoms = scaled_atom_count(scale)
-    rows = 4
-    while rows * rows <= atoms:
-        rows += 1
-    return rows + 1
+    return lattice_rows_for(scaled_atom_count(scale))
+
+
+def bench_spec(hardware: str, scale: float = BENCH_SCALE) -> ArchitectureSpec:
+    """Cacheable spec of the benchmark device at the given scale."""
+    return ArchitectureSpec.scaled(hardware, scale)
 
 
 def build_architecture(hardware: str, scale: float = BENCH_SCALE) -> NeutralAtomArchitecture:
-    return preset(hardware, lattice_rows=scaled_lattice_rows(scale),
-                  num_atoms=scaled_atom_count(scale))
+    return build_scaled_architecture(hardware, scale)
 
 
 def build_circuit(name: str, scale: float = BENCH_SCALE, seed: int = 2024) -> QuantumCircuit:
@@ -65,37 +75,24 @@ def build_circuit(name: str, scale: float = BENCH_SCALE, seed: int = 2024) -> Qu
 
 
 def config_for_mode(mode: str, alpha: float = 1.0) -> MapperConfig:
-    if mode == "shuttling_only":
-        return MapperConfig.shuttling_only()
-    if mode == "gate_only":
-        return MapperConfig.gate_only()
-    if mode == "hybrid":
-        return MapperConfig.hybrid(alpha)
-    raise ValueError(f"unknown mode {mode!r}")
-
-
-_ARCHITECTURE_CACHE: Dict[str, Tuple[NeutralAtomArchitecture, SiteConnectivity]] = {}
+    return MapperConfig.for_mode(mode, alpha)
 
 
 def architecture_and_connectivity(hardware: str) -> Tuple[NeutralAtomArchitecture,
                                                           SiteConnectivity]:
     """Cache architectures/connectivity across benchmarks (construction is costly)."""
-    if hardware not in _ARCHITECTURE_CACHE:
-        architecture = build_architecture(hardware)
-        _ARCHITECTURE_CACHE[hardware] = (architecture, SiteConnectivity(architecture))
-    return _ARCHITECTURE_CACHE[hardware]
+    return ARCHITECTURE_CACHE.get(bench_spec(hardware))
 
 
 def run_mapping(hardware: str, circuit_name: str, mode: str,
                 alpha: float = 1.0) -> EvaluationMetrics:
-    """Map one benchmark circuit and return the Table-1a metrics."""
+    """Compile one benchmark circuit and return the Table-1a metrics."""
     architecture, connectivity = architecture_and_connectivity(hardware)
     circuit = build_circuit(circuit_name)
-    mapper = HybridMapper(architecture, config_for_mode(mode, alpha),
-                          connectivity=connectivity)
-    result = mapper.map(circuit)
-    return evaluate(circuit, result, architecture, connectivity=connectivity,
-                    alpha_ratio=alpha if mode == "hybrid" else None)
+    context = compile_circuit(circuit, architecture, config_for_mode(mode, alpha),
+                              connectivity=connectivity,
+                              alpha_ratio=alpha if mode == "hybrid" else None)
+    return context.require_metrics()
 
 
 def record_metrics(benchmark, metrics: EvaluationMetrics) -> None:

@@ -1,4 +1,4 @@
-"""Perf-report helper: track ``run_mapping`` wall time per stage across scales.
+"""Perf-report helper: track compile wall time per stage across scales.
 
 Emits ``BENCH_scaling.json`` so the performance trajectory of the mapper is
 recorded from PR 1 onward (schema ``repro-bench-scaling/v1``):
@@ -13,15 +13,27 @@ recorded from PR 1 onward (schema ``repro-bench-scaling/v1``):
         {
           "hardware": "gate", "circuit": "qft", "mode": "hybrid",
           "scale": 0.3, "num_qubits": 60,
-          "wall_seconds": 1.22,      // full run: build + map + evaluate
+          "wall_seconds": 1.22,      // full run: pipeline compile (map + evaluate)
           "mapper_seconds": 1.19,    // HybridMapper.map wall time (RT column)
           "stage_seconds": {         // accumulated inside the routing loop
             "execute": 0.05, "decide": 0.11,
             "gate_route": 0.98, "shuttle_route": 0.0
           },
+          "pass_seconds": {          // per pipeline pass (decompose/.../evaluate)
+            "routing": 1.19, "schedule": 0.02, "evaluate": 0.01
+          },
           "num_swaps": 46, "num_moves": 0,
           "delta_cz": 138, "delta_t_us": 1234.5,
           "speedup_vs_baseline": 11.5   // present only with --baseline
+        },
+        {
+          "kind": "batch_throughput",   // service-layer case (--batch)
+          "hardware": "gate+mixed+shuttling", "circuit": "qft+graph",
+          "mode": "hybrid", "scale": 0.3, "num_tasks": 6, "num_workers": 4,
+          "available_cpus": 8,
+          "serial_seconds": 9.7, "batch_seconds": 4.4,
+          "serial_circuits_per_second": 0.62, "batch_circuits_per_second": 1.36,
+          "throughput_speedup": 2.2, "num_failures": 0
         }
       ]
     }
@@ -30,52 +42,49 @@ Usage::
 
     PYTHONPATH=src python benchmarks/perf_report.py --scale 0.3 \
         --out BENCH_scaling.json [--baseline benchmarks/BENCH_seed_baseline.json]
+    PYTHONPATH=src python benchmarks/perf_report.py --batch --workers 4 \
+        --scale 0.3 --out BENCH_scaling.json   # append a throughput case
 
 ``--baseline`` points at a previous report (e.g. the committed seed
 baseline); matching cases gain a ``speedup_vs_baseline`` field computed from
 ``wall_seconds``.  The pytest entry point is ``benchmarks/bench_scaling.py``,
-which runs the same matrix and emits the same file.
+which runs the same matrix (and a smoke-scale batch case) and emits the same
+file; ``python benchmarks/bench_scaling.py --batch`` is a shorthand for the
+batch mode here.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 if __package__:
-    from .common import (PAPER_SIZES, build_architecture, build_circuit,
+    from .common import (PAPER_SIZES, bench_spec, build_circuit,
                          config_for_mode, scaled_size)
 else:  # executed as a plain script: python benchmarks/perf_report.py
     _HERE = Path(__file__).resolve().parent
     for entry in (str(_HERE), str(_HERE.parent / "src")):
         if entry not in sys.path:
             sys.path.insert(0, entry)
-    from common import (PAPER_SIZES, build_architecture, build_circuit,
+    from common import (PAPER_SIZES, bench_spec, build_circuit,
                         config_for_mode, scaled_size)
 
-from repro.evaluation import evaluate
-from repro.hardware import SiteConnectivity
-from repro.mapping import HybridMapper
+from repro.pipeline import compile_circuit
+from repro.service import ARCHITECTURE_CACHE, BatchCompiler, CompilationTask
 
 SCHEMA = "repro-bench-scaling/v1"
 DEFAULT_CIRCUITS: Tuple[str, ...] = ("qft", "graph")
 DEFAULT_HARDWARE: Tuple[str, ...] = ("gate", "mixed", "shuttling")
 DEFAULT_MODES: Tuple[str, ...] = ("hybrid",)
 
-#: (hardware, scale) -> (architecture, connectivity); construction is costly.
-_ARCH_CACHE: Dict[Tuple[str, float], tuple] = {}
-
 
 def _architecture(hardware: str, scale: float):
-    key = (hardware, scale)
-    if key not in _ARCH_CACHE:
-        architecture = build_architecture(hardware, scale)
-        _ARCH_CACHE[key] = (architecture, SiteConnectivity(architecture))
-    return _ARCH_CACHE[key]
+    return ARCHITECTURE_CACHE.get(bench_spec(hardware, scale))
 
 
 def run_case(hardware: str, circuit_name: str, mode: str, scale: float,
@@ -83,13 +92,13 @@ def run_case(hardware: str, circuit_name: str, mode: str, scale: float,
     """Run one benchmark configuration and return its report case."""
     architecture, connectivity = _architecture(hardware, scale)
     circuit = build_circuit(circuit_name, scale)
-    mapper = HybridMapper(architecture, config_for_mode(mode, alpha),
-                          connectivity=connectivity)
     start = time.perf_counter()
-    result = mapper.map(circuit)
-    metrics = evaluate(circuit, result, architecture, connectivity=connectivity,
-                       alpha_ratio=alpha if mode == "hybrid" else None)
+    context = compile_circuit(circuit, architecture, config_for_mode(mode, alpha),
+                              connectivity=connectivity,
+                              alpha_ratio=alpha if mode == "hybrid" else None)
     wall = time.perf_counter() - start
+    result = context.require_result()
+    metrics = context.require_metrics()
     return {
         "hardware": hardware,
         "circuit": circuit_name,
@@ -100,10 +109,65 @@ def run_case(hardware: str, circuit_name: str, mode: str, scale: float,
         "mapper_seconds": round(result.runtime_seconds, 4),
         "stage_seconds": {stage: round(seconds, 4)
                           for stage, seconds in result.stage_seconds.items()},
+        "pass_seconds": {name: round(seconds, 4)
+                         for name, seconds in context.pass_seconds.items()},
         "num_swaps": result.num_swaps,
         "num_moves": result.num_moves,
         "delta_cz": metrics.delta_cz,
         "delta_t_us": round(metrics.delta_t_us, 2),
+    }
+
+
+def batch_tasks(scale: float,
+                circuits: Sequence[str] = DEFAULT_CIRCUITS,
+                hardware_presets: Sequence[str] = DEFAULT_HARDWARE,
+                mode: str = "hybrid", alpha: float = 1.0
+                ) -> List[CompilationTask]:
+    """The benchmark matrix as independent service tasks."""
+    return [
+        CompilationTask(
+            task_id=f"{hardware}-{circuit}-{mode}",
+            architecture=bench_spec(hardware, scale),
+            circuit_name=circuit,
+            num_qubits=scaled_size(circuit, scale),
+            mode=mode,
+            alpha=alpha,
+        )
+        for hardware in hardware_presets
+        for circuit in circuits
+    ]
+
+
+def run_batch_case(scale: float, num_workers: int,
+                   circuits: Sequence[str] = DEFAULT_CIRCUITS,
+                   hardware_presets: Sequence[str] = DEFAULT_HARDWARE,
+                   mode: str = "hybrid", alpha: float = 1.0) -> Dict:
+    """Measure batch throughput (circuits/sec) at N workers vs serial.
+
+    Both runs execute the identical task list through the service layer; the
+    serial reference uses ``max_workers=1`` (in-process, no pool).
+    """
+    tasks = batch_tasks(scale, circuits, hardware_presets, mode, alpha)
+    serial = BatchCompiler(max_workers=1).compile(tasks)
+    batch = BatchCompiler(max_workers=num_workers).compile(tasks)
+    failures = len(serial.failed) + len(batch.failed)
+    speedup = (serial.wall_seconds / batch.wall_seconds
+               if batch.wall_seconds > 0 else 0.0)
+    return {
+        "kind": "batch_throughput",
+        "hardware": "+".join(hardware_presets),
+        "circuit": "+".join(circuits),
+        "mode": mode,
+        "scale": scale,
+        "num_tasks": len(tasks),
+        "num_workers": batch.num_workers,
+        "available_cpus": os.cpu_count(),
+        "serial_seconds": round(serial.wall_seconds, 4),
+        "batch_seconds": round(batch.wall_seconds, 4),
+        "serial_circuits_per_second": round(serial.circuits_per_second(), 4),
+        "batch_circuits_per_second": round(batch.circuits_per_second(), 4),
+        "throughput_speedup": round(speedup, 2),
+        "num_failures": failures,
     }
 
 
@@ -127,8 +191,8 @@ def collect_report(scale: float,
 
 
 def _case_key(case: Dict) -> Tuple:
-    return (case.get("hardware"), case.get("circuit"), case.get("mode"),
-            case.get("scale"))
+    return (case.get("kind", "single"), case.get("hardware"),
+            case.get("circuit"), case.get("mode"), case.get("scale"))
 
 
 def attach_baseline(report: Dict, baseline: Dict) -> None:
@@ -136,26 +200,101 @@ def attach_baseline(report: Dict, baseline: Dict) -> None:
     reference = {_case_key(case): case for case in baseline.get("cases", [])}
     for case in report["cases"]:
         matched = reference.get(_case_key(case))
-        if matched and matched.get("wall_seconds", 0) > 0 and case["wall_seconds"] > 0:
+        if (matched and matched.get("wall_seconds", 0) > 0
+                and case.get("wall_seconds", 0) > 0):
             case["speedup_vs_baseline"] = round(
                 matched["wall_seconds"] / case["wall_seconds"], 2)
+
+
+def merge_case(report_path, case: Dict, scale: float) -> Dict:
+    """Append ``case`` to an existing report (replacing a same-key case).
+
+    Creates a fresh report when the path does not hold one.  Used by the
+    batch mode so throughput cases accumulate next to the single-circuit
+    matrix instead of overwriting it.
+    """
+    path = Path(report_path)
+    report: Optional[Dict] = None
+    if path.exists():
+        try:
+            candidate = json.loads(path.read_text())
+        except ValueError:
+            candidate = None
+        if isinstance(candidate, dict) and candidate.get("schema") == SCHEMA:
+            report = candidate
+    if report is None:
+        report = {"schema": SCHEMA, "created_unix": time.time(),
+                  "scale": scale, "cases": []}
+    report["cases"] = [existing for existing in report["cases"]
+                       if _case_key(existing) != _case_key(case)]
+    report["cases"].append(case)
+    report["created_unix"] = time.time()
+    return report
+
+
+def _preserved_batch_cases(report_path, new_cases: Sequence[Dict]) -> List[Dict]:
+    """Batch-throughput cases of an existing report not superseded by ``new_cases``.
+
+    Regenerating the single-circuit matrix must not silently drop previously
+    recorded throughput cases (and vice versa — the batch path merges via
+    :func:`merge_case`), so regeneration order does not matter.
+    """
+    path = Path(report_path)
+    if not path.exists():
+        return []
+    try:
+        existing = json.loads(path.read_text())
+    except ValueError:
+        return []
+    if not isinstance(existing, dict) or existing.get("schema") != SCHEMA:
+        return []
+    new_keys = {_case_key(case) for case in new_cases}
+    return [case for case in existing.get("cases", [])
+            if case.get("kind") == "batch_throughput"
+            and _case_key(case) not in new_keys]
 
 
 def write_report(report: Dict, path) -> None:
     Path(path).write_text(json.dumps(report, indent=2) + "\n")
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+def _print_case(case: Dict) -> None:
+    if case.get("kind") == "batch_throughput":
+        print(f"[batch    ] {case['circuit']:>12s} x {case['hardware']} "
+              f"tasks={case['num_tasks']} workers={case['num_workers']} "
+              f"serial={case['serial_seconds']:7.2f}s "
+              f"batch={case['batch_seconds']:7.2f}s "
+              f"throughput={case['batch_circuits_per_second']:5.2f}/s "
+              f"speedup={case['throughput_speedup']:4.2f}x")
+        return
+    speedup = case.get("speedup_vs_baseline")
+    speedup_text = f"  speedup={speedup:5.1f}x" if speedup is not None else ""
+    print(f"[{case['hardware']:9s}] {case['circuit']:10s} {case['mode']:9s} "
+          f"wall={case['wall_seconds']:7.2f}s swaps={case['num_swaps']:5d} "
+          f"moves={case['num_moves']:5d}{speedup_text}")
+
+
+def build_parser(description: str) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=description)
     parser.add_argument("--scale", type=float, default=0.3,
                         help="fraction of the paper's register sizes (default 0.3)")
     parser.add_argument("--out", default="BENCH_scaling.json",
                         help="output path (default BENCH_scaling.json)")
     parser.add_argument("--baseline", default=None,
                         help="previous report to compute speedups against")
+    parser.add_argument("--batch", action="store_true",
+                        help="measure batch throughput (circuits/sec at N "
+                             "workers vs serial) and append the case")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker processes for --batch (default 4)")
     parser.add_argument("--circuits", nargs="*", default=list(DEFAULT_CIRCUITS))
     parser.add_argument("--hardware", nargs="*", default=list(DEFAULT_HARDWARE))
     parser.add_argument("--modes", nargs="*", default=list(DEFAULT_MODES))
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser(__doc__.splitlines()[0])
     args = parser.parse_args(argv)
 
     unknown = [name for name in args.circuits if name not in PAPER_SIZES]
@@ -164,19 +303,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                      f"choose from {sorted(PAPER_SIZES)}")
     if args.scale <= 0:
         parser.error("--scale must be positive")
+    if args.workers < 1:
+        parser.error("--workers must be at least 1")
     if args.baseline and not Path(args.baseline).exists():
         parser.error(f"baseline report not found: {args.baseline}")
 
+    if args.batch:
+        if len(args.modes) != 1:
+            parser.error("--batch records one case; pass exactly one --modes value")
+        case = run_batch_case(args.scale, args.workers, args.circuits,
+                              args.hardware, mode=args.modes[0])
+        report = merge_case(args.out, case, args.scale)
+        write_report(report, args.out)
+        _print_case(case)
+        print(f"wrote {args.out}")
+        return 0 if case["num_failures"] == 0 else 1
+
     report = collect_report(args.scale, args.circuits, args.hardware, args.modes)
+    report["cases"].extend(_preserved_batch_cases(args.out, report["cases"]))
     if args.baseline:
         attach_baseline(report, json.loads(Path(args.baseline).read_text()))
     write_report(report, args.out)
     for case in report["cases"]:
-        speedup = case.get("speedup_vs_baseline")
-        speedup_text = f"  speedup={speedup:5.1f}x" if speedup is not None else ""
-        print(f"[{case['hardware']:9s}] {case['circuit']:10s} {case['mode']:9s} "
-              f"wall={case['wall_seconds']:7.2f}s swaps={case['num_swaps']:5d} "
-              f"moves={case['num_moves']:5d}{speedup_text}")
+        _print_case(case)
     print(f"wrote {args.out}")
     return 0
 

@@ -21,8 +21,10 @@ import argparse
 from repro.evaluation import run_mode_comparison
 from repro.evaluation.table import DEFAULT_ALPHA_GRID
 from repro.circuit import decompose_mcx_to_mcz
-from repro.circuit.library import default_benchmark_size, get_benchmark
-from repro.hardware.presets import PRESET_NAMES, preset
+from repro.circuit.library import get_benchmark
+from repro.hardware.presets import PRESET_NAMES
+from repro.service import ARCHITECTURE_CACHE, ArchitectureSpec
+from repro.workloads import scaled_register_size
 
 
 def main() -> None:
@@ -33,20 +35,20 @@ def main() -> None:
                         help="fraction of the paper's register size to run")
     args = parser.parse_args()
 
-    size = max(8, round(default_benchmark_size(args.circuit) * args.scale))
+    size = scaled_register_size(args.circuit, args.scale)
     circuit = decompose_mcx_to_mcz(get_benchmark(args.circuit, num_qubits=size))
-    atoms = max(size, round(200 * args.scale))
-    rows = 4
-    while rows * rows <= atoms:
-        rows += 1
-    rows += 1
 
     print(f"circuit: {args.circuit} with {size} qubits "
           f"({circuit.num_entangling_gates()} entangling gates)")
-    print(f"device:  {rows}x{rows} lattice, {atoms} atoms\n")
+    spec = ArchitectureSpec.scaled(PRESET_NAMES[0], args.scale,
+                                   circuit_names=(args.circuit,))
+    print(f"device:  {spec.lattice_rows}x{spec.lattice_rows} lattice, "
+          f"{spec.num_atoms} atoms\n")
 
     for hardware in PRESET_NAMES:
-        architecture = preset(hardware, lattice_rows=rows, num_atoms=atoms)
+        architecture, _ = ARCHITECTURE_CACHE.get(
+            ArchitectureSpec.scaled(hardware, args.scale,
+                                    circuit_names=(args.circuit,)))
         results = run_mode_comparison(circuit, architecture,
                                       alpha_grid=DEFAULT_ALPHA_GRID)
         print(f"=== hardware preset: {hardware} ===")

@@ -20,10 +20,9 @@ Run with::
 from __future__ import annotations
 
 from repro import (
-    HybridMapper,
     MapperConfig,
+    compile_circuit,
     decompose_mcx_to_mcz,
-    evaluate,
     preset,
 )
 from repro.circuit import qasm
@@ -52,9 +51,9 @@ def main() -> None:
         ("gate-only", MapperConfig.gate_only()),
         ("hybrid", MapperConfig.hybrid(1.0)),
     ]:
-        mapper = HybridMapper(architecture, config, connectivity=connectivity)
-        result = mapper.map(native)
-        metrics = evaluate(native, result, architecture, connectivity=connectivity)
+        context = compile_circuit(native, architecture, config,
+                                  connectivity=connectivity)
+        result, metrics = context.result, context.metrics
         multiqubit_ops = [op for op in result.circuit_gate_ops()
                           if op.gate.num_qubits >= 3]
         print(f"{label:<15} swaps={result.num_swaps:4d}  moves={result.num_moves:4d}  "

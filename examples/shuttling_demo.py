@@ -19,9 +19,9 @@ Run with::
 
 from __future__ import annotations
 
-from repro import HybridMapper, MapperConfig, QuantumCircuit, preset
+from repro import MapperConfig, QuantumCircuit, compile_circuit, preset
 from repro.hardware import SiteConnectivity
-from repro.scheduling import OperationKind, Scheduler
+from repro.scheduling import OperationKind
 from repro.shuttling import (
     ghost_spot_positions,
     group_moves,
@@ -89,10 +89,10 @@ def demonstrate_mapped_shuttling(architecture, connectivity) -> None:
     circuit.cz(0, 11)
     circuit.cz(1, 10)
     circuit.cz(2, 9)
-    mapper = HybridMapper(architecture, MapperConfig.shuttling_only(),
-                          connectivity=connectivity)
-    result = mapper.map(circuit)
-    schedule = Scheduler(architecture, connectivity).schedule_result(result)
+    context = compile_circuit(circuit, architecture, MapperConfig.shuttling_only(),
+                              connectivity=connectivity)
+    result = context.result
+    schedule = context.mapped_schedule
     shuttles = [op for op in schedule if op.kind == OperationKind.SHUTTLE]
     print(f"   {result.num_moves} moves emitted, scheduled as {len(shuttles)} AOD batches")
     print(f"   total circuit time {schedule.makespan:.1f} us, "

@@ -10,16 +10,21 @@ Public API overview
 * :mod:`repro.hardware` — lattice, device presets, connectivity
 * :mod:`repro.shuttling` — atom moves and AOD batch scheduling
 * :mod:`repro.mapping` — the hybrid mapper (gate-based + shuttling routing)
+* :mod:`repro.pipeline` — pass-based compilation pipeline (the canonical
+  compile path: decompose → layout → route → schedule → evaluate)
+* :mod:`repro.service` — parallel batch compilation of independent circuits
 * :mod:`repro.scheduling` — ASAP hardware scheduler
 * :mod:`repro.evaluation` — success-probability model and Table-1 harness
 
 Quickstart
 ----------
->>> from repro import HybridMapper, MapperConfig, get_benchmark, preset
+>>> from repro import MapperConfig, compile_circuit, get_benchmark, preset
 >>> architecture = preset("mixed", lattice_rows=8, num_atoms=40)
 >>> circuit = get_benchmark("graph", num_qubits=30)
->>> result = HybridMapper(architecture, MapperConfig.hybrid(1.0)).map(circuit)
->>> result.num_swaps + result.num_moves >= 0
+>>> context = compile_circuit(circuit, architecture, MapperConfig.hybrid(1.0))
+>>> context.result.num_swaps + context.result.num_moves >= 0
+True
+>>> context.metrics.delta_fidelity >= 0
 True
 """
 
@@ -58,7 +63,20 @@ from .mapping import (
     MappingResult,
     MappingState,
 )
+from .pipeline import (
+    CompilationContext,
+    PassManager,
+    compile_circuit,
+    default_pipeline,
+)
 from .scheduling import Schedule, Scheduler
+from .service import (
+    ArchitectureCache,
+    ArchitectureSpec,
+    BatchCompiler,
+    BatchResult,
+    CompilationTask,
+)
 
 __version__ = "1.0.0"
 
@@ -73,6 +91,11 @@ __all__ = [
     "GateDurations", "Fidelities", "preset",
     # mapping
     "HybridMapper", "MapperConfig", "MappingResult", "MappingState", "MappingError",
+    # pipeline
+    "CompilationContext", "PassManager", "default_pipeline", "compile_circuit",
+    # service
+    "ArchitectureSpec", "ArchitectureCache", "CompilationTask", "BatchCompiler",
+    "BatchResult",
     # scheduling
     "Scheduler", "Schedule",
     # evaluation

@@ -7,7 +7,7 @@ from .fidelity import (
     log_success_probability,
     success_probability,
 )
-from .metrics import EvaluationMetrics, evaluate
+from .metrics import EvaluationMetrics, evaluate, metrics_from_schedules
 from .table import (
     DEFAULT_ALPHA_GRID,
     ExperimentSettings,
@@ -26,6 +26,7 @@ __all__ = [
     "fidelity_decrease",
     "EvaluationMetrics",
     "evaluate",
+    "metrics_from_schedules",
     "ExperimentSettings",
     "run_single",
     "run_mode_comparison",

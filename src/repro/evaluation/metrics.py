@@ -24,7 +24,7 @@ from ..mapping.result import MappingResult
 from ..scheduling.scheduler import Scheduler
 from .fidelity import analyse, fidelity_decrease
 
-__all__ = ["EvaluationMetrics", "evaluate"]
+__all__ = ["EvaluationMetrics", "evaluate", "metrics_from_schedules"]
 
 
 @dataclass(frozen=True)
@@ -80,7 +80,22 @@ def evaluate(circuit: QuantumCircuit, result: MappingResult,
     native_original = decompose_mcx_to_mcz(circuit)
     original_schedule = scheduler.schedule_circuit(native_original)
     mapped_schedule = scheduler.schedule_result(result)
+    return metrics_from_schedules(circuit, result, architecture,
+                                  original_schedule, mapped_schedule,
+                                  alpha_ratio=alpha_ratio)
 
+
+def metrics_from_schedules(circuit: QuantumCircuit, result: MappingResult,
+                           architecture: NeutralAtomArchitecture,
+                           original_schedule, mapped_schedule,
+                           alpha_ratio: Optional[float] = None
+                           ) -> EvaluationMetrics:
+    """Compute the Table 1a metrics from already-built schedules.
+
+    Used by the compilation pipeline's evaluate pass, which owns the schedule
+    construction (so timing attribution per pass stays accurate) and only
+    needs the metric arithmetic from this module.
+    """
     original_breakdown = analyse(original_schedule, architecture)
     mapped_breakdown = analyse(mapped_schedule, architecture)
 

@@ -14,19 +14,18 @@ regenerates in minutes; ``scale=1.0`` reruns the paper's original sizes.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..circuit.circuit import QuantumCircuit
 from ..circuit.decompose import decompose_mcx_to_mcz
-from ..circuit.library import BENCHMARK_NAMES, default_benchmark_size, get_benchmark
+from ..circuit.library import BENCHMARK_NAMES, get_benchmark
 from ..hardware.architecture import NeutralAtomArchitecture
 from ..hardware.connectivity import SiteConnectivity
 from ..hardware.presets import preset
 from ..mapping.config import MapperConfig
-from ..mapping.hybrid_mapper import HybridMapper
-from .metrics import EvaluationMetrics, evaluate
+from ..workloads import lattice_rows_for, scaled_atom_count, scaled_register_size
+from .metrics import EvaluationMetrics
 
 __all__ = [
     "ExperimentSettings",
@@ -72,19 +71,15 @@ class ExperimentSettings:
     seed: int = 2024
 
     def circuit_size(self, name: str) -> int:
-        size = max(4, round(default_benchmark_size(name) * self.scale))
-        return size
+        return scaled_register_size(name, self.scale, min_size=4)
 
     def lattice_rows(self) -> int:
         """Lattice edge length so that the atom count stays below the sites."""
-        largest = max(self.circuit_size(name) for name in self.circuits)
-        atoms = self.num_atoms()
-        rows = max(math.ceil(math.sqrt(atoms + 1)) + 1, 4)
-        return rows
+        return lattice_rows_for(self.num_atoms())
 
     def num_atoms(self) -> int:
-        largest = max(self.circuit_size(name) for name in self.circuits)
-        return max(largest, round(200 * self.scale))
+        return scaled_atom_count(
+            self.scale, (self.circuit_size(name) for name in self.circuits))
 
     def build_architecture(self) -> NeutralAtomArchitecture:
         return preset(self.hardware, lattice_rows=self.lattice_rows(),
@@ -101,12 +96,14 @@ def run_single(circuit: QuantumCircuit, architecture: NeutralAtomArchitecture,
                config: MapperConfig,
                connectivity: Optional[SiteConnectivity] = None,
                alpha_ratio: Optional[float] = None) -> EvaluationMetrics:
-    """Map one circuit with one configuration and evaluate the result."""
-    connectivity = connectivity or SiteConnectivity(architecture)
-    mapper = HybridMapper(architecture, config, connectivity=connectivity)
-    result = mapper.map(circuit)
-    return evaluate(circuit, result, architecture, connectivity=connectivity,
-                    alpha_ratio=alpha_ratio)
+    """Compile one circuit through the standard pipeline and return its metrics."""
+    # Imported lazily: the pipeline consumes evaluation.metrics, so a module
+    # -level import here would be circular.
+    from ..pipeline.manager import compile_circuit
+
+    context = compile_circuit(circuit, architecture, config,
+                              connectivity=connectivity, alpha_ratio=alpha_ratio)
+    return context.require_metrics()
 
 
 def run_mode_comparison(circuit: QuantumCircuit,

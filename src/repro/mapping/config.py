@@ -105,6 +105,18 @@ class MapperConfig:
             raise ValueError("alpha ratio must be positive for hybrid mapping")
         return cls(alpha_gate=alpha_ratio, alpha_shuttling=1.0, **kwargs)
 
+    @classmethod
+    def for_mode(cls, mode: str, alpha_ratio: float = 1.0, **kwargs) -> "MapperConfig":
+        """Configuration for a named mode (``alpha_ratio`` applies to hybrid only)."""
+        if mode == "shuttling_only":
+            return cls.shuttling_only(**kwargs)
+        if mode == "gate_only":
+            return cls.gate_only(**kwargs)
+        if mode == "hybrid":
+            return cls.hybrid(alpha_ratio, **kwargs)
+        raise ValueError(f"unknown mapper mode {mode!r}; choose from "
+                         "('shuttling_only', 'gate_only', 'hybrid')")
+
     def with_overrides(self, **kwargs) -> "MapperConfig":
         """Return a copy with selected fields replaced."""
         return replace(self, **kwargs)

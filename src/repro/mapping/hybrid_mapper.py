@@ -255,12 +255,14 @@ class HybridMapper:
                            result: MappingResult):
         """(Re)compute target positions for multi-qubit gate-based gates.
 
-        A cached position is invalidated when one of its sites lost its atom
-        (a shuttling move can do that — the mapping-conflict challenge of
-        Section 3.1.2).  Gates without any feasible position are transferred
-        to the shuttling layer, unless shuttling is disabled entirely, in
-        which case the mapper keeps trying gate-based routing and will raise
-        if it cannot make progress.
+        A cached position is invalidated when one of its sites lost its atom,
+        or when a gate qubit that had already reached its assigned site was
+        displaced again (both can happen through shuttling moves — the
+        mapping-conflict challenge of Section 3.1.2; see
+        :meth:`_cached_position_valid`).  Gates without any feasible position
+        are transferred to the shuttling layer, unless shuttling is disabled
+        entirely, in which case the mapper keeps trying gate-based routing
+        and will raise if it cannot make progress.
         """
         remaining_gate_nodes: List[DAGNode] = []
         for node in gate_nodes:
@@ -269,7 +271,7 @@ class HybridMapper:
                 remaining_gate_nodes.append(node)
                 continue
             cached = positions.get(node.index)
-            if cached is not None and all(not state.site_is_free(site) for site in cached.sites):
+            if cached is not None and self._cached_position_valid(state, cached):
                 remaining_gate_nodes.append(node)
                 continue
             position = find_gate_position(state, gate)
@@ -285,6 +287,29 @@ class HybridMapper:
             shuttle_nodes = shuttle_nodes + [node]
             result.num_fallback_reroutes += 1
         return remaining_gate_nodes, shuttle_nodes
+
+    @staticmethod
+    def _cached_position_valid(state: MappingState, position: GatePosition) -> bool:
+        """Whether a cached multi-qubit position may be reused this round.
+
+        Occupancy alone is not enough: after a shuttling move displaced a
+        gate atom off its assigned site, a *different* atom can refill the
+        trap, so "all sites occupied" would keep a stale assignment and the
+        SWAP router would drive the displaced qubit to a position computed
+        for a layout that no longer exists.  The cache therefore tracks
+        which gate qubits have reached their assigned site (``arrived``) and
+        invalidates as soon as one of them is found elsewhere.
+        """
+        for site in position.sites:
+            if state.site_is_free(site):
+                return False
+        for qubit, site in position.assignment.items():
+            at_assigned_site = state.site_of_qubit(qubit) == site
+            if not at_assigned_site and qubit in position.arrived:
+                return False
+            if at_assigned_site:
+                position.arrived.add(qubit)
+        return True
 
     # ------------------------------------------------------------------
     # Routing steps

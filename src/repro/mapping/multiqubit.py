@@ -40,15 +40,22 @@ class GatePosition:
         SWAP-distance is chosen greedily).
     estimated_swaps:
         Total estimated number of SWAPs to realise the assignment.
+    arrived:
+        Gate qubits that have been observed sitting on their assigned site
+        while this position was cached.  Maintained by the mapper's cache
+        validation: once a qubit has arrived, a later displacement (e.g. by
+        a shuttling move) invalidates the cached position even if a foreign
+        atom refills the trap.
     """
 
-    __slots__ = ("sites", "assignment", "estimated_swaps")
+    __slots__ = ("sites", "assignment", "estimated_swaps", "arrived")
 
     def __init__(self, sites: Tuple[int, ...], assignment: Dict[int, int],
                  estimated_swaps: int) -> None:
         self.sites = sites
         self.assignment = assignment
         self.estimated_swaps = estimated_swaps
+        self.arrived: Set[int] = set()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"GatePosition(sites={self.sites}, swaps={self.estimated_swaps})")

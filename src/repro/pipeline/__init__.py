@@ -1,0 +1,34 @@
+"""Pass-based compilation pipeline.
+
+The decompose → layout → route → schedule → evaluate flow as composable
+passes over a shared :class:`CompilationContext`, with
+:func:`compile_circuit` as the canonical single-circuit entry point.  The
+batch-compilation service (:mod:`repro.service`) runs this pipeline in
+worker processes for many circuits at once.
+"""
+
+from .context import CompilationContext, PipelineError
+from .manager import PassManager, compile_circuit, default_passes, default_pipeline
+from .passes import (
+    CompilationPass,
+    DecomposePass,
+    EvaluatePass,
+    InitialLayoutPass,
+    RoutingPass,
+    SchedulePass,
+)
+
+__all__ = [
+    "CompilationContext",
+    "PipelineError",
+    "CompilationPass",
+    "DecomposePass",
+    "InitialLayoutPass",
+    "RoutingPass",
+    "SchedulePass",
+    "EvaluatePass",
+    "PassManager",
+    "default_passes",
+    "default_pipeline",
+    "compile_circuit",
+]

@@ -1,0 +1,132 @@
+"""Typed passes of the compilation pipeline.
+
+The classical decompose → layout → route → schedule → evaluate flow that
+every consumer used to hand-wire is expressed as five small passes over a
+:class:`~repro.pipeline.context.CompilationContext`:
+
+* :class:`DecomposePass` — normalise the circuit to the native gate set
+  (``C^{m-1}X`` to ``C^{m-1}Z``, Section 4.1).
+* :class:`InitialLayoutPass` — build the initial
+  :class:`~repro.mapping.state.MappingState` from a named strategy.
+* :class:`RoutingPass` — run the :class:`~repro.mapping.hybrid_mapper.HybridMapper`
+  and store the mapped operation stream.
+* :class:`SchedulePass` — lower both the reference (unmapped) circuit and
+  the mapped stream to timed hardware schedules.
+* :class:`EvaluatePass` — derive the Table-1a metrics from the schedules.
+
+Each pass touches only the context, so custom passes (circuit rewrites,
+alternative routers, extra analyses) slot in anywhere.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..circuit.decompose import decompose_mcx_to_mcz
+from ..evaluation.metrics import metrics_from_schedules
+from ..mapping.hybrid_mapper import HybridMapper
+from ..mapping.initial_layout import LAYOUT_STRATEGIES, create_initial_state
+from ..scheduling.scheduler import Scheduler
+from .context import CompilationContext
+
+__all__ = [
+    "CompilationPass",
+    "DecomposePass",
+    "InitialLayoutPass",
+    "RoutingPass",
+    "SchedulePass",
+    "EvaluatePass",
+]
+
+
+class CompilationPass(abc.ABC):
+    """One stage of the compilation pipeline.
+
+    Subclasses set ``name`` (the key under which the pass manager records
+    wall time) and implement :meth:`run`, mutating the context in place.
+    """
+
+    name: str = "pass"
+
+    @abc.abstractmethod
+    def run(self, context: CompilationContext) -> None:
+        """Execute the pass on ``context``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class DecomposePass(CompilationPass):
+    """Normalise the circuit to the native gate set (idempotent)."""
+
+    name = "decompose"
+
+    def run(self, context: CompilationContext) -> None:
+        if context.source_circuit is None:
+            context.source_circuit = context.circuit
+        context.circuit = decompose_mcx_to_mcz(context.circuit)
+
+
+class InitialLayoutPass(CompilationPass):
+    """Build the initial mapping state from a named layout strategy.
+
+    A state already present on the context (supplied by the caller, e.g. for
+    mid-circuit re-compilation) is respected and left untouched.
+    """
+
+    name = "initial_layout"
+
+    def __init__(self, strategy: str = "identity") -> None:
+        if strategy not in LAYOUT_STRATEGIES:
+            raise ValueError(f"unknown layout strategy {strategy!r}; "
+                             f"choose from {LAYOUT_STRATEGIES}")
+        self.strategy = strategy
+
+    def run(self, context: CompilationContext) -> None:
+        if context.initial_state is not None:
+            return
+        context.initial_state = create_initial_state(
+            self.strategy, context.architecture, context.circuit,
+            connectivity=context.ensure_connectivity())
+
+
+class RoutingPass(CompilationPass):
+    """Map the circuit with the hybrid gate/shuttling router."""
+
+    name = "routing"
+
+    def __init__(self, mapper_factory=None) -> None:
+        """``mapper_factory(architecture, config, connectivity=...)`` override."""
+        self.mapper_factory = mapper_factory or HybridMapper
+
+    def run(self, context: CompilationContext) -> None:
+        mapper = self.mapper_factory(context.architecture, context.config,
+                                     connectivity=context.ensure_connectivity())
+        context.result = mapper.map(context.circuit,
+                                    initial_state=context.initial_state)
+
+
+class SchedulePass(CompilationPass):
+    """Lower the reference circuit and the mapped stream to timed schedules."""
+
+    name = "schedule"
+
+    def run(self, context: CompilationContext) -> None:
+        result = context.require_result()
+        scheduler = Scheduler(context.architecture,
+                              connectivity=context.ensure_connectivity())
+        context.reference_schedule = scheduler.schedule_circuit(
+            decompose_mcx_to_mcz(context.circuit))
+        context.mapped_schedule = scheduler.schedule_result(result)
+
+
+class EvaluatePass(CompilationPass):
+    """Derive the Table-1a metrics from the two schedules."""
+
+    name = "evaluate"
+
+    def run(self, context: CompilationContext) -> None:
+        reference, mapped = context.require_schedules()
+        context.metrics = metrics_from_schedules(
+            context.circuit, context.require_result(), context.architecture,
+            reference, mapped, alpha_ratio=context.alpha_ratio)

@@ -1,0 +1,87 @@
+"""Batch-service smoke CLI: compile a few small circuits concurrently.
+
+Used by CI to prove the service layer end to end (task construction, the
+process pool, artifact sharing, result collection) without paying full-scale
+mapping times::
+
+    PYTHONPATH=src python -m repro.service --workers 2 --num-circuits 4
+
+Exits non-zero if any task fails, printing the per-task outcome either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..workloads import scaled_register_size
+from .batch import BatchCompiler, CompilationTask
+from .cache import ArchitectureSpec
+
+#: Small circuits that cover the gate arities (CZ chains up to C3Z networks).
+SMOKE_CIRCUITS = ("graph", "qft", "qpe", "gray")
+
+
+def build_smoke_tasks(num_circuits: int, hardware: str, scale: float,
+                      mode: str) -> List[CompilationTask]:
+    spec = ArchitectureSpec.scaled(hardware, scale)
+    names = itertools.cycle(SMOKE_CIRCUITS)
+    tasks = []
+    for index in range(num_circuits):
+        name = next(names)
+        tasks.append(CompilationTask(
+            task_id=f"smoke-{index}-{name}",
+            architecture=spec,
+            circuit_name=name,
+            num_qubits=scaled_register_size(name, scale),
+            seed=2024 + index,
+            mode=mode,
+        ))
+    return tasks
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--num-circuits", type=int, default=4,
+                        help="number of tasks in the smoke batch (default 4)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker process count (default 2)")
+    parser.add_argument("--hardware", default="mixed",
+                        choices=("shuttling", "gate", "mixed"))
+    parser.add_argument("--scale", type=float, default=0.08,
+                        help="workload scale (default 0.08, smoke size)")
+    parser.add_argument("--mode", default="hybrid",
+                        choices=("shuttling_only", "gate_only", "hybrid"))
+    parser.add_argument("--out", default=None,
+                        help="optional path for the JSON batch summary")
+    args = parser.parse_args(argv)
+
+    tasks = build_smoke_tasks(args.num_circuits, args.hardware, args.scale,
+                              args.mode)
+    compiler = BatchCompiler(max_workers=args.workers)
+    batch = compiler.compile(tasks)
+
+    for entry in batch.results:
+        if entry.ok:
+            metrics = entry.metrics
+            print(f"[ok  ] {entry.task.task_id:<16} pid={entry.worker_pid} "
+                  f"wall={entry.wall_seconds:6.2f}s dCZ={metrics.delta_cz:4d} "
+                  f"dF={metrics.delta_fidelity:7.3f}")
+        else:
+            print(f"[FAIL] {entry.task.task_id:<16} {entry.error}")
+    summary = batch.summary()
+    print(f"batch: {summary['num_succeeded']}/{summary['num_tasks']} ok, "
+          f"{summary['num_workers']} workers, {summary['wall_seconds']:.2f}s, "
+          f"{summary['circuits_per_second']:.2f} circuits/s")
+    if args.out:
+        Path(args.out).write_text(json.dumps(summary, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0 if batch.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

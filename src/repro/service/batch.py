@@ -1,0 +1,255 @@
+"""Parallel batch compilation of independent circuits.
+
+The service workload of the roadmap: many independent circuits compiled
+against a handful of device configurations.  :class:`BatchCompiler` fans
+:class:`CompilationTask`s out over a process pool (mapping is pure-Python
+CPU work, so threads would serialise on the GIL), shares the immutable
+per-architecture artifacts through the keyed
+:data:`~repro.service.cache.ARCHITECTURE_CACHE` — pre-warmed in the parent so
+forked workers inherit them copy-on-write — and collects a structured
+:class:`BatchResult` with per-task metrics and failures.
+
+Every task runs the exact same pass pipeline as a serial
+:func:`repro.pipeline.compile_circuit` call, so batch output is equivalent
+stream-for-stream to serial compilation (enforced by the service tests).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.library import get_benchmark
+from ..circuit.qasm import loads as qasm_loads
+from ..evaluation.metrics import EvaluationMetrics
+from ..mapping.config import MapperConfig
+from ..mapping.result import MappingResult
+from ..pipeline.manager import compile_circuit
+from .cache import ARCHITECTURE_CACHE, ArchitectureSpec
+
+__all__ = ["CompilationTask", "TaskResult", "BatchResult", "BatchCompiler"]
+
+
+@dataclass(frozen=True)
+class CompilationTask:
+    """One circuit to compile against one device configuration.
+
+    The circuit payload is either a benchmark-library reference
+    (``circuit_name`` + ``num_qubits`` + ``seed``) or an explicit OpenQASM
+    document (``qasm``); both forms are cheap to pickle to worker processes.
+    """
+
+    task_id: str
+    architecture: ArchitectureSpec
+    circuit_name: Optional[str] = None
+    num_qubits: Optional[int] = None
+    seed: int = 2024
+    qasm: Optional[str] = None
+    mode: str = "hybrid"
+    alpha: float = 1.0
+
+    def build_circuit(self) -> QuantumCircuit:
+        """Instantiate the task's circuit (library benchmark or QASM payload)."""
+        if self.qasm is not None:
+            return qasm_loads(self.qasm, name=self.task_id)
+        if self.circuit_name is None:
+            raise ValueError(
+                f"task {self.task_id!r} carries neither a circuit_name nor a "
+                "qasm payload")
+        return get_benchmark(self.circuit_name, num_qubits=self.num_qubits,
+                             seed=self.seed)
+
+    def build_config(self) -> MapperConfig:
+        return MapperConfig.for_mode(self.mode, self.alpha)
+
+    @property
+    def alpha_ratio(self) -> Optional[float]:
+        """The ratio recorded on the metrics (hybrid tasks only)."""
+        return self.alpha if self.mode == "hybrid" else None
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one :class:`CompilationTask`."""
+
+    task: CompilationTask
+    ok: bool
+    metrics: Optional[EvaluationMetrics] = None
+    result: Optional[MappingResult] = None
+    error: Optional[str] = None
+    wall_seconds: float = 0.0
+    worker_pid: int = 0
+
+
+@dataclass
+class BatchResult:
+    """Structured outcome of one :meth:`BatchCompiler.compile` call."""
+
+    results: List[TaskResult] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    num_workers: int = 1
+
+    @property
+    def succeeded(self) -> List[TaskResult]:
+        return [entry for entry in self.results if entry.ok]
+
+    @property
+    def failed(self) -> List[TaskResult]:
+        return [entry for entry in self.results if not entry.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def circuits_per_second(self) -> float:
+        """Batch throughput: completed tasks per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return len(self.succeeded) / self.wall_seconds
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "num_tasks": len(self.results),
+            "num_succeeded": len(self.succeeded),
+            "num_failed": len(self.failed),
+            "num_workers": self.num_workers,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "circuits_per_second": round(self.circuits_per_second(), 4),
+            "failures": {entry.task.task_id: entry.error for entry in self.failed},
+        }
+
+
+def _execute_task(task: CompilationTask, *, keep_result: bool = False,
+                  evaluate: bool = True) -> TaskResult:
+    """Worker entry point: compile one task through the standard pipeline.
+
+    All failures are captured as a failed :class:`TaskResult` so one bad task
+    never takes down the batch (or the pool).
+    """
+    start = time.perf_counter()
+    try:
+        architecture, connectivity = ARCHITECTURE_CACHE.get(task.architecture)
+        context = compile_circuit(
+            task.build_circuit(), architecture, task.build_config(),
+            connectivity=connectivity, alpha_ratio=task.alpha_ratio,
+            evaluate=evaluate)
+        return TaskResult(
+            task=task,
+            ok=True,
+            metrics=context.metrics,
+            result=context.result if keep_result else None,
+            wall_seconds=time.perf_counter() - start,
+            worker_pid=os.getpid(),
+        )
+    except Exception as exc:  # noqa: BLE001 - failures are data, not crashes
+        return TaskResult(
+            task=task,
+            ok=False,
+            error=f"{type(exc).__name__}: {exc}",
+            wall_seconds=time.perf_counter() - start,
+            worker_pid=os.getpid(),
+        )
+
+
+class BatchCompiler:
+    """Compiles many independent circuits, optionally in parallel.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker process count; ``None`` uses the CPU count, ``1`` compiles
+        serially in-process (no pool, useful for debugging and as the
+        throughput baseline).
+    keep_results:
+        Attach the full :class:`MappingResult` (operation stream) to every
+        task result.  Off by default: streams are large, and for throughput
+        workloads the metrics are what matters.
+    evaluate:
+        Run the schedule + evaluate passes per task (on by default); off,
+        tasks stop after routing and carry no metrics.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None, *,
+                 keep_results: bool = False, evaluate: bool = True) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.max_workers = max_workers
+        self.keep_results = keep_results
+        self.evaluate = evaluate
+
+    def resolved_workers(self, num_tasks: int) -> int:
+        workers = self.max_workers or os.cpu_count() or 1
+        return max(1, min(workers, num_tasks))
+
+    def compile(self, tasks: Sequence[CompilationTask]) -> BatchResult:
+        """Compile every task; results come back in task order."""
+        tasks = list(tasks)
+        if not tasks:
+            return BatchResult(results=[], wall_seconds=0.0, num_workers=1)
+        duplicates = _duplicate_ids(tasks)
+        if duplicates:
+            raise ValueError(f"duplicate task ids in batch: {sorted(duplicates)}")
+
+        workers = self.resolved_workers(len(tasks))
+        # Build every distinct architecture once in the parent so forked
+        # workers inherit the artifacts instead of rebuilding them.
+        ARCHITECTURE_CACHE.prewarm({task.architecture for task in tasks})
+
+        start = time.perf_counter()
+        if workers == 1:
+            results = [self._run_one(task) for task in tasks]
+        else:
+            with ProcessPoolExecutor(max_workers=workers,
+                                     mp_context=_fork_context()) as pool:
+                results = list(pool.map(_BoundExecute(self.keep_results,
+                                                      self.evaluate), tasks))
+        wall = time.perf_counter() - start
+        return BatchResult(results=results, wall_seconds=wall,
+                           num_workers=workers)
+
+    def _run_one(self, task: CompilationTask) -> TaskResult:
+        return _execute_task(task, keep_result=self.keep_results,
+                             evaluate=self.evaluate)
+
+
+def _fork_context():
+    """The ``fork`` start method when the platform offers it, else the default.
+
+    The prewarmed :data:`ARCHITECTURE_CACHE` is only inherited by forked
+    workers; requesting ``fork`` explicitly keeps that guarantee on platforms
+    (and future Python versions) whose default start method is ``spawn`` or
+    ``forkserver``.  Where ``fork`` does not exist at all, the pool falls
+    back to the platform default and each worker lazily rebuilds every
+    distinct architecture once — correct, just slower on the first task.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+
+
+class _BoundExecute:
+    """Picklable callable binding the compiler flags for ``pool.map``."""
+
+    def __init__(self, keep_result: bool, evaluate: bool) -> None:
+        self.keep_result = keep_result
+        self.evaluate = evaluate
+
+    def __call__(self, task: CompilationTask) -> TaskResult:
+        return _execute_task(task, keep_result=self.keep_result,
+                             evaluate=self.evaluate)
+
+
+def _duplicate_ids(tasks: Sequence[CompilationTask]) -> set:
+    seen: set = set()
+    duplicates: set = set()
+    for task in tasks:
+        if task.task_id in seen:
+            duplicates.add(task.task_id)
+        seen.add(task.task_id)
+    return duplicates

@@ -1,0 +1,102 @@
+"""Keyed cache of immutable per-architecture artifacts.
+
+Building a :class:`~repro.hardware.connectivity.SiteConnectivity` (dense
+adjacency matrix, neighbourhood rings, hop-distance rows) is by far the most
+expensive per-architecture setup cost.  The batch service keys architectures
+by a hashable :class:`ArchitectureSpec` so that
+
+* within one process every task targeting the same device shares one
+  architecture + connectivity pair, and
+* worker processes forked from a pre-warmed parent inherit the built
+  artifacts through copy-on-write memory and never rebuild them.
+
+The cache holds only immutable objects; sharing them between tasks (and,
+via fork, between workers) is safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from threading import Lock
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from ..circuit.library import BENCHMARK_NAMES
+from ..hardware.architecture import NeutralAtomArchitecture
+from ..hardware.connectivity import SiteConnectivity
+from ..hardware.presets import preset
+from ..workloads import lattice_rows_for, scaled_atom_count, scaled_register_size
+
+__all__ = ["ArchitectureSpec", "ArchitectureCache", "ARCHITECTURE_CACHE"]
+
+
+@dataclass(frozen=True)
+class ArchitectureSpec:
+    """Hashable, picklable description of a preset-based device.
+
+    Tasks carry a spec instead of built objects so that they stay cheap to
+    pickle across process boundaries; workers resolve the spec against their
+    process-local :data:`ARCHITECTURE_CACHE`.
+    """
+
+    hardware: str
+    lattice_rows: int = 15
+    num_atoms: Optional[int] = None
+    spacing: float = 3.0
+
+    def build(self) -> NeutralAtomArchitecture:
+        """Instantiate the described preset (uncached)."""
+        return preset(self.hardware, lattice_rows=self.lattice_rows,
+                      spacing=self.spacing, num_atoms=self.num_atoms)
+
+    @classmethod
+    def scaled(cls, hardware: str, scale: float, *,
+               circuit_names: Sequence[str] = BENCHMARK_NAMES,
+               min_size: int = 8, spacing: float = 3.0) -> "ArchitectureSpec":
+        """Spec for the shared scaled-workload sizing rules of :mod:`repro.workloads`."""
+        sizes = [scaled_register_size(name, scale, min_size=min_size)
+                 for name in circuit_names]
+        atoms = scaled_atom_count(scale, sizes)
+        return cls(hardware=hardware, lattice_rows=lattice_rows_for(atoms),
+                   num_atoms=atoms, spacing=spacing)
+
+
+class ArchitectureCache:
+    """Maps :class:`ArchitectureSpec` to built ``(architecture, connectivity)``."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[ArchitectureSpec,
+                            Tuple[NeutralAtomArchitecture, SiteConnectivity]] = {}
+        self._lock = Lock()
+
+    def get(self, spec: ArchitectureSpec
+            ) -> Tuple[NeutralAtomArchitecture, SiteConnectivity]:
+        """The built artifacts for ``spec``, constructing them on first use."""
+        entry = self._entries.get(spec)
+        if entry is None:
+            with self._lock:
+                entry = self._entries.get(spec)
+                if entry is None:
+                    architecture = spec.build()
+                    entry = (architecture, SiteConnectivity(architecture))
+                    self._entries[spec] = entry
+        return entry
+
+    def prewarm(self, specs: Iterable[ArchitectureSpec]) -> None:
+        """Build every distinct spec now (before forking worker processes)."""
+        for spec in specs:
+            self.get(spec)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __contains__(self, spec: ArchitectureSpec) -> bool:
+        return spec in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Process-global cache; worker processes forked after a prewarm share its
+#: contents with the parent via copy-on-write.
+ARCHITECTURE_CACHE = ArchitectureCache()

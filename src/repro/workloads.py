@@ -1,0 +1,81 @@
+"""Shared sizing rules for scaled-down benchmark workloads.
+
+Every harness in the repository — the Table-1 experiment settings, the
+pytest benchmarks, the perf report and the batch-compilation service — runs
+the paper's workloads at a fraction of their original size so that the pure
+Python mapper finishes in seconds.  The scaling rules live here so that all
+consumers agree on them:
+
+* register sizes shrink proportionally to the paper's sizes (Table 1b),
+  clamped to a consumer-chosen minimum,
+* the atom count keeps the paper's 200-atom register in proportion but never
+  drops below the largest circuit,
+* the lattice edge grows just past the atom count so the fill factor stays
+  comparable to the paper's 200-atom / 15x15 configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+from .circuit.library import BENCHMARK_NAMES, default_benchmark_size
+from .hardware.architecture import NeutralAtomArchitecture
+from .hardware.presets import preset
+
+__all__ = [
+    "PAPER_SIZES",
+    "PAPER_ATOM_COUNT",
+    "scaled_register_size",
+    "scaled_atom_count",
+    "lattice_rows_for",
+    "build_scaled_architecture",
+]
+
+#: Register sizes of the paper's evaluation (Table 1b), keyed by benchmark.
+PAPER_SIZES: Dict[str, int] = {name: default_benchmark_size(name)
+                               for name in BENCHMARK_NAMES}
+
+#: Atom count of the paper's device configurations (Table 1c).
+PAPER_ATOM_COUNT = 200
+
+
+def scaled_register_size(name: str, scale: float, *, min_size: int = 8) -> int:
+    """Scaled register size for a named benchmark, clamped to ``min_size``."""
+    return max(min_size, round(default_benchmark_size(name) * scale))
+
+
+def scaled_atom_count(scale: float, circuit_sizes: Iterable[int]) -> int:
+    """Atom count for a scaled device hosting circuits of the given sizes.
+
+    The paper's 200 atoms shrink proportionally, but the device always offers
+    at least as many atoms as the largest circuit needs.
+    """
+    sizes = list(circuit_sizes)
+    if not sizes:
+        raise ValueError("need at least one circuit size to scale the device")
+    return max(max(sizes), round(PAPER_ATOM_COUNT * scale))
+
+
+def lattice_rows_for(num_atoms: int) -> int:
+    """Square-lattice edge length leaving at least one free trap per row.
+
+    The edge is the smallest ``rows`` (at least 4) with ``rows**2 > num_atoms``
+    plus one extra row, so shuttling always finds free traps even at full
+    occupancy of the identity layout.
+    """
+    rows = 4
+    while rows * rows <= num_atoms:
+        rows += 1
+    return rows + 1
+
+
+def build_scaled_architecture(hardware: str, scale: float, *,
+                              circuit_names: Sequence[str] = BENCHMARK_NAMES,
+                              min_size: int = 8,
+                              spacing: float = 3.0) -> NeutralAtomArchitecture:
+    """Build a hardware preset scaled for the named benchmark circuits."""
+    sizes = [scaled_register_size(name, scale, min_size=min_size)
+             for name in circuit_names]
+    atoms = scaled_atom_count(scale, sizes)
+    return preset(hardware, lattice_rows=lattice_rows_for(atoms),
+                  spacing=spacing, num_atoms=atoms)

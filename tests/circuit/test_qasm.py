@@ -112,3 +112,49 @@ class TestRoundTrip:
         loaded = load(str(path))
         assert len(loaded) == len(circuit)
         assert loaded.num_qubits == 3
+
+
+class TestLibraryRoundTrips:
+    """QASM round-trip stability for the benchmark circuit library.
+
+    For every benchmark family: serialising, reparsing and reserialising is a
+    fixed point (``dumps(loads(dumps(c)))`` equals ``dumps(loads(...))`` of
+    itself), and the reparsed circuit preserves the gate count and the
+    per-arity gate mix of the original.
+    """
+
+    #: (name, size) pairs kept small so the whole class runs in milliseconds.
+    CASES = (("qft", 8), ("graph", 12), ("qpe", 8),
+             ("bn", 10), ("call", 10), ("gray", 10))
+
+    @pytest.mark.parametrize("name,size", CASES, ids=[c[0] for c in CASES])
+    def test_dumps_loads_dumps_is_stable(self, name, size):
+        from repro.circuit.library import get_benchmark
+        circuit = get_benchmark(name, num_qubits=size, seed=11)
+        first = dumps(circuit)
+        second = dumps(loads(first))
+        third = dumps(loads(second))
+        assert second == third
+
+    @pytest.mark.parametrize("name,size", CASES, ids=[c[0] for c in CASES])
+    def test_round_trip_preserves_gate_counts(self, name, size):
+        from repro.circuit.library import get_benchmark
+        circuit = get_benchmark(name, num_qubits=size, seed=11)
+        reparsed = loads(dumps(circuit))
+        assert reparsed.num_qubits == circuit.num_qubits
+        assert len(reparsed) == len(circuit)
+        assert reparsed.count_by_arity() == circuit.count_by_arity()
+        assert [g.qubits for g in reparsed] == [g.qubits for g in circuit]
+
+    @pytest.mark.parametrize("name,size", CASES, ids=[c[0] for c in CASES])
+    def test_round_trip_preserves_native_decomposition(self, name, size):
+        """Decomposing before or after the round trip gives the same gate mix."""
+        from repro.circuit import decompose_mcx_to_mcz
+        from repro.circuit.library import get_benchmark
+        circuit = get_benchmark(name, num_qubits=size, seed=11)
+        direct = decompose_mcx_to_mcz(circuit)
+        round_tripped = decompose_mcx_to_mcz(loads(dumps(circuit)))
+        assert round_tripped.count_by_arity() == direct.count_by_arity()
+        assert len(round_tripped) == len(direct)
+
+

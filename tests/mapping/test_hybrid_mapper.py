@@ -162,6 +162,97 @@ class TestMultiQubitGates:
         assert_valid_result(result, circuit)
 
 
+class TestCachedPositionInvalidation:
+    """Regression tests for the cached multi-qubit position validation.
+
+    A cached position used to be kept whenever its sites were occupied by
+    *any* atoms; a shuttling move displacing a gate atom whose trap is then
+    refilled by a foreign atom must invalidate the cache instead.
+    """
+
+    @staticmethod
+    def _cache_position(mapper, state, circuit):
+        from repro.circuit import CircuitDAG
+        from repro.mapping.result import MappingResult
+        node = CircuitDAG(circuit).nodes[0]
+        positions = {}
+        result = MappingResult(circuit=circuit)
+        gate_nodes, _ = mapper._refresh_positions(
+            state, [node], [], positions, set(), result)
+        assert gate_nodes == [node]
+        # A second validation round marks the qubits already sitting on
+        # their assigned sites as arrived (mirrors the routing loop).
+        mapper._refresh_positions(state, [node], [], positions, set(), result)
+        return node, positions
+
+    def test_displaced_gate_atom_invalidates_cached_position(
+            self, small_architecture, small_connectivity):
+        from repro.mapping import MappingState
+        mapper = HybridMapper(small_architecture, MapperConfig.gate_only(),
+                              connectivity=small_connectivity)
+        state = MappingState(small_architecture, 12,
+                             connectivity=small_connectivity)
+        circuit = QuantumCircuit(12)
+        circuit.ccz(0, 1, 2)
+        node, positions = self._cache_position(mapper, state, circuit)
+        cached = positions[node.index]
+
+        arrived = next(qubit for qubit, site in cached.assignment.items()
+                       if state.site_of_qubit(qubit) == site)
+        vacated = cached.assignment[arrived]
+        # Shuttle the arrived gate atom away, then refill its trap with a
+        # foreign atom so every cached site is occupied again.
+        free = next(iter(state.free_sites()))
+        state.move_atom(state.atom_of_qubit(arrived), free)
+        foreign = next(atom for atom in range(state.num_atoms)
+                       if state.site_of_atom(atom) not in cached.sites
+                       and state.qubit_of_atom(atom) is None)
+        state.move_atom(foreign, vacated)
+
+        assert all(not state.site_is_free(site) for site in cached.sites)
+        assert not HybridMapper._cached_position_valid(state, cached)
+
+        from repro.mapping.result import MappingResult
+        mapper._refresh_positions(state, [node], [], positions, set(),
+                                  MappingResult(circuit=circuit))
+        assert positions[node.index] is not cached
+
+    def test_occupied_unchanged_position_stays_cached(self, small_architecture,
+                                                      small_connectivity):
+        from repro.mapping import MappingState
+        mapper = HybridMapper(small_architecture, MapperConfig.gate_only(),
+                              connectivity=small_connectivity)
+        state = MappingState(small_architecture, 12,
+                             connectivity=small_connectivity)
+        circuit = QuantumCircuit(12)
+        circuit.ccz(0, 1, 2)
+        node, positions = self._cache_position(mapper, state, circuit)
+        cached = positions[node.index]
+
+        from repro.mapping.result import MappingResult
+        mapper._refresh_positions(state, [node], [], positions, set(),
+                                  MappingResult(circuit=circuit))
+        assert positions[node.index] is cached
+
+    def test_freed_site_still_invalidates(self, small_architecture,
+                                          small_connectivity):
+        from repro.mapping import MappingState
+        mapper = HybridMapper(small_architecture, MapperConfig.gate_only(),
+                              connectivity=small_connectivity)
+        state = MappingState(small_architecture, 12,
+                             connectivity=small_connectivity)
+        circuit = QuantumCircuit(12)
+        circuit.ccz(0, 1, 2)
+        node, positions = self._cache_position(mapper, state, circuit)
+        cached = positions[node.index]
+
+        occupied_site = next(site for site in cached.sites
+                             if not state.site_is_free(site))
+        free = next(iter(state.free_sites()))
+        state.move_atom(state.atom_at_site(occupied_site), free)
+        assert not HybridMapper._cached_position_valid(state, cached)
+
+
 class TestBenchmarks:
     def test_small_graph_state_all_modes_agree_on_gate_count(self, mixed_architecture,
                                                              small_graph_circuit):

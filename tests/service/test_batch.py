@@ -1,0 +1,147 @@
+"""Tests for the parallel batch-compilation service.
+
+The acceptance property of the service layer: a batch compiled with worker
+processes produces, per circuit, an operation stream identical to a serial
+:meth:`HybridMapper.map` call — parallelism must never change results.
+"""
+
+import pytest
+
+from repro.circuit import decompose_mcx_to_mcz
+from repro.circuit.library import get_benchmark
+from repro.circuit.qasm import dumps
+from repro.hardware import SiteConnectivity
+from repro.mapping import HybridMapper, MapperConfig
+from repro.service import (
+    ARCHITECTURE_CACHE,
+    ArchitectureSpec,
+    BatchCompiler,
+    CompilationTask,
+)
+from repro.service.__main__ import build_smoke_tasks
+
+SPEC = ArchitectureSpec("mixed", lattice_rows=7, num_atoms=30)
+
+#: Four small circuits over the three modes — covers both routers.
+TASKS = (
+    CompilationTask("graph-hybrid", SPEC, circuit_name="graph", num_qubits=16,
+                    seed=5, mode="hybrid", alpha=1.0),
+    CompilationTask("qft-hybrid", SPEC, circuit_name="qft", num_qubits=10,
+                    mode="hybrid", alpha=1.0),
+    CompilationTask("gray-gate", SPEC, circuit_name="gray", num_qubits=10,
+                    seed=5, mode="gate_only"),
+    CompilationTask("graph-shuttle", SPEC, circuit_name="graph", num_qubits=12,
+                    seed=7, mode="shuttling_only"),
+)
+
+
+def serial_reference(task: CompilationTask):
+    """The hand-wired serial flow the batch result must reproduce."""
+    architecture, connectivity = ARCHITECTURE_CACHE.get(task.architecture)
+    circuit = decompose_mcx_to_mcz(task.build_circuit())
+    mapper = HybridMapper(architecture, task.build_config(),
+                          connectivity=connectivity)
+    return mapper.map(circuit)
+
+
+class TestBatchEquivalence:
+    def test_two_workers_match_serial_hybrid_mapper_streams(self):
+        batch = BatchCompiler(max_workers=2, keep_results=True).compile(TASKS)
+        assert batch.ok, batch.summary()
+        assert batch.num_workers == 2
+        for entry in batch.results:
+            reference = serial_reference(entry.task)
+            assert entry.result.operations == reference.operations, entry.task.task_id
+            assert entry.result.num_swaps == reference.num_swaps
+            assert entry.result.num_moves == reference.num_moves
+            assert entry.result.final_qubit_map == reference.final_qubit_map
+            assert entry.result.final_atom_map == reference.final_atom_map
+
+    def test_serial_batch_matches_parallel_batch_metrics(self):
+        serial = BatchCompiler(max_workers=1).compile(TASKS)
+        parallel = BatchCompiler(max_workers=2).compile(TASKS)
+        assert serial.ok and parallel.ok
+        for serial_entry, parallel_entry in zip(serial.results, parallel.results):
+            assert serial_entry.metrics.delta_cz == parallel_entry.metrics.delta_cz
+            assert serial_entry.metrics.delta_t_us == pytest.approx(
+                parallel_entry.metrics.delta_t_us)
+            assert serial_entry.metrics.delta_fidelity == pytest.approx(
+                parallel_entry.metrics.delta_fidelity)
+
+
+class TestBatchCompiler:
+    def test_results_come_back_in_task_order(self):
+        batch = BatchCompiler(max_workers=2).compile(TASKS)
+        assert [entry.task.task_id for entry in batch.results] == \
+            [task.task_id for task in TASKS]
+
+    def test_failures_are_isolated_per_task(self):
+        tasks = list(TASKS[:2]) + [
+            CompilationTask("broken", SPEC, circuit_name="no-such-benchmark"),
+            CompilationTask("too-big", SPEC, circuit_name="qft",
+                            num_qubits=200),
+        ]
+        batch = BatchCompiler(max_workers=2).compile(tasks)
+        assert not batch.ok
+        assert len(batch.succeeded) == 2
+        assert {entry.task.task_id for entry in batch.failed} == \
+            {"broken", "too-big"}
+        for entry in batch.failed:
+            assert entry.error
+        summary = batch.summary()
+        assert summary["num_failed"] == 2
+        assert set(summary["failures"]) == {"broken", "too-big"}
+
+    def test_qasm_payload_task(self):
+        circuit = get_benchmark("graph", num_qubits=12, seed=3)
+        task = CompilationTask("from-qasm", SPEC, qasm=dumps(circuit))
+        batch = BatchCompiler(max_workers=1).compile([task])
+        assert batch.ok
+        assert batch.results[0].metrics.circuit_name == "from-qasm"
+
+    def test_task_without_payload_fails_cleanly(self):
+        batch = BatchCompiler(max_workers=1).compile(
+            [CompilationTask("empty", SPEC)])
+        assert not batch.ok
+        assert "neither" in batch.results[0].error
+
+    def test_duplicate_task_ids_rejected(self):
+        with pytest.raises(ValueError):
+            BatchCompiler(max_workers=1).compile([TASKS[0], TASKS[0]])
+
+    def test_empty_batch(self):
+        batch = BatchCompiler(max_workers=2).compile([])
+        assert batch.ok and batch.results == []
+        assert batch.circuits_per_second() == 0.0
+
+    def test_worker_count_clamped_to_task_count(self):
+        batch = BatchCompiler(max_workers=8).compile([TASKS[0]])
+        assert batch.num_workers == 1
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            BatchCompiler(max_workers=0)
+
+    def test_evaluate_off_skips_metrics_but_keeps_streams(self):
+        batch = BatchCompiler(max_workers=1, keep_results=True,
+                              evaluate=False).compile([TASKS[0]])
+        assert batch.ok
+        assert batch.results[0].metrics is None
+        batch.results[0].result.verify_complete()
+
+    def test_architecture_prewarmed_in_parent(self):
+        BatchCompiler(max_workers=1).compile([TASKS[0]])
+        assert TASKS[0].architecture in ARCHITECTURE_CACHE
+
+
+class TestSmokeCli:
+    def test_smoke_tasks_fit_their_architecture(self):
+        tasks = build_smoke_tasks(4, "mixed", 0.08, "hybrid")
+        assert len(tasks) == 4
+        assert len({task.task_id for task in tasks}) == 4
+        for task in tasks:
+            assert task.num_qubits <= task.architecture.num_atoms
+
+    def test_smoke_batch_all_succeed(self):
+        from repro.service.__main__ import main
+        assert main(["--workers", "2", "--num-circuits", "4"]) == 0

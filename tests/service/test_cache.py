@@ -1,0 +1,63 @@
+"""Tests for the keyed per-architecture artifact cache."""
+
+import pytest
+
+from repro.service import ArchitectureCache, ArchitectureSpec
+from repro.workloads import build_scaled_architecture
+
+
+class TestArchitectureSpec:
+    def test_build_matches_preset(self):
+        spec = ArchitectureSpec("mixed", lattice_rows=7, num_atoms=30)
+        architecture = spec.build()
+        assert architecture.name == "mixed"
+        assert architecture.lattice.rows == 7
+        assert architecture.num_atoms == 30
+
+    def test_scaled_spec_matches_shared_workload_sizing(self):
+        spec = ArchitectureSpec.scaled("gate", 0.15)
+        reference = build_scaled_architecture("gate", 0.15)
+        assert spec.lattice_rows == reference.lattice.rows
+        assert spec.num_atoms == reference.num_atoms
+
+    def test_spec_is_hashable_and_value_equal(self):
+        a = ArchitectureSpec("mixed", lattice_rows=7, num_atoms=30)
+        b = ArchitectureSpec("mixed", lattice_rows=7, num_atoms=30)
+        assert a == b and hash(a) == hash(b)
+        assert a != ArchitectureSpec("gate", lattice_rows=7, num_atoms=30)
+
+    def test_unknown_preset_fails_at_build_time(self):
+        with pytest.raises(ValueError):
+            ArchitectureSpec("warp-drive").build()
+
+
+class TestArchitectureCache:
+    def test_same_spec_returns_identical_objects(self):
+        cache = ArchitectureCache()
+        spec = ArchitectureSpec("mixed", lattice_rows=6, num_atoms=20)
+        first_arch, first_conn = cache.get(spec)
+        second_arch, second_conn = cache.get(ArchitectureSpec(
+            "mixed", lattice_rows=6, num_atoms=20))
+        assert first_arch is second_arch
+        assert first_conn is second_conn
+        assert len(cache) == 1
+
+    def test_distinct_specs_get_distinct_entries(self):
+        cache = ArchitectureCache()
+        cache.get(ArchitectureSpec("mixed", lattice_rows=6, num_atoms=20))
+        cache.get(ArchitectureSpec("gate", lattice_rows=6, num_atoms=20))
+        assert len(cache) == 2
+
+    def test_prewarm_builds_everything(self):
+        cache = ArchitectureCache()
+        specs = [ArchitectureSpec("mixed", lattice_rows=6, num_atoms=20),
+                 ArchitectureSpec("shuttling", lattice_rows=6, num_atoms=20)]
+        cache.prewarm(specs)
+        assert all(spec in cache for spec in specs)
+
+    def test_clear_empties_the_cache(self):
+        cache = ArchitectureCache()
+        spec = ArchitectureSpec("mixed", lattice_rows=6, num_atoms=20)
+        cache.get(spec)
+        cache.clear()
+        assert len(cache) == 0 and spec not in cache

@@ -1,0 +1,85 @@
+"""Tests for the shared workload-scaling rules.
+
+These helpers replaced duplicated sizing logic in ``benchmarks/common.py``
+and ``evaluation/table.py::ExperimentSettings``; the tests pin the agreed
+behaviour for both consumers.
+"""
+
+import pytest
+
+from repro.workloads import (
+    PAPER_SIZES,
+    build_scaled_architecture,
+    lattice_rows_for,
+    scaled_atom_count,
+    scaled_register_size,
+)
+
+
+class TestScaledRegisterSize:
+    def test_full_scale_returns_paper_sizes(self):
+        for name, size in PAPER_SIZES.items():
+            assert scaled_register_size(name, 1.0, min_size=1) == size
+
+    def test_scaling_is_proportional(self):
+        assert scaled_register_size("qft", 0.1, min_size=1) == 20
+        assert scaled_register_size("bn", 0.5, min_size=1) == 24
+
+    def test_minimum_size_clamps(self):
+        assert scaled_register_size("call", 0.1, min_size=8) == 8
+        assert scaled_register_size("call", 0.1, min_size=4) == 4
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(ValueError):
+            scaled_register_size("nope", 0.5)
+
+
+class TestScaledAtomCount:
+    def test_tracks_paper_register_proportionally(self):
+        assert scaled_atom_count(0.15, [8]) == 30
+
+    def test_never_below_largest_circuit(self):
+        assert scaled_atom_count(0.05, [40]) == 40
+
+    def test_empty_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            scaled_atom_count(0.5, [])
+
+
+class TestLatticeRows:
+    def test_leaves_free_traps(self):
+        for atoms in (10, 16, 25, 30, 40, 100, 200):
+            rows = lattice_rows_for(atoms)
+            assert rows * rows > atoms
+            # One extra row beyond the smallest fitting square.
+            assert (rows - 1) * (rows - 1) > atoms or rows - 1 == 4
+
+    def test_full_scale_configuration(self):
+        # 200 atoms -> one row beyond the paper's 15x15 geometry, so the
+        # identity layout always leaves whole free rows for shuttling.
+        assert lattice_rows_for(200) == 16
+
+
+class TestBuildScaledArchitecture:
+    def test_matches_benchmark_harness_sizing(self):
+        from benchmarks.common import build_architecture, scaled_atom_count as bench_atoms
+        ours = build_scaled_architecture("mixed", 0.15)
+        theirs = build_architecture("mixed", 0.15)
+        assert ours.num_atoms == theirs.num_atoms == bench_atoms(0.15)
+        assert ours.lattice.rows == theirs.lattice.rows
+
+    def test_matches_experiment_settings_sizing(self):
+        from repro.evaluation.table import ExperimentSettings
+        settings = ExperimentSettings(hardware="gate", scale=0.15)
+        via_settings = settings.build_architecture()
+        sizes = [settings.circuit_size(name) for name in settings.circuits]
+        assert via_settings.num_atoms == scaled_atom_count(0.15, sizes)
+        assert via_settings.lattice.rows == lattice_rows_for(via_settings.num_atoms)
+
+    def test_circuit_always_fits(self):
+        for scale in (0.05, 0.1, 0.3, 1.0):
+            architecture = build_scaled_architecture("shuttling", scale)
+            largest = max(scaled_register_size(name, scale)
+                          for name in PAPER_SIZES)
+            assert architecture.num_atoms >= largest
+            assert architecture.num_atoms < architecture.lattice.num_sites
