@@ -92,8 +92,9 @@ def run_case(hardware: str, circuit_name: str, mode: str, scale: float,
     """Run one benchmark configuration and return its report case."""
     architecture, connectivity = _architecture(hardware, scale)
     circuit = build_circuit(circuit_name, scale)
+    config = config_for_mode(mode, alpha)
     start = time.perf_counter()
-    context = compile_circuit(circuit, architecture, config_for_mode(mode, alpha),
+    context = compile_circuit(circuit, architecture, config,
                               connectivity=connectivity,
                               alpha_ratio=alpha if mode == "hybrid" else None)
     wall = time.perf_counter() - start
@@ -103,6 +104,7 @@ def run_case(hardware: str, circuit_name: str, mode: str, scale: float,
         "hardware": hardware,
         "circuit": circuit_name,
         "mode": mode,
+        "cross_round_cache": config.cross_round_cache,
         "scale": scale,
         "num_qubits": scaled_size(circuit_name, scale),
         "wall_seconds": round(wall, 4),

@@ -44,6 +44,11 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 
 import networkx as nx
 
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy-less fallback environments
+    _np = None
+
 from .architecture import NeutralAtomArchitecture
 
 __all__ = ["SiteConnectivity"]
@@ -63,24 +68,36 @@ class SiteConnectivity:
         lattice = architecture.lattice
         self.num_sites = lattice.num_sites
 
-        self._interaction_neighbours: List[Tuple[int, ...]] = []
-        self._restriction_neighbours: List[Tuple[int, ...]] = []
-        for site in range(self.num_sites):
-            self._interaction_neighbours.append(
-                tuple(lattice.sites_within(site, architecture.interaction_radius_um)))
-            self._restriction_neighbours.append(
-                tuple(lattice.sites_within(site, architecture.restriction_radius_um)))
+        # Neighbour tables come from the lattice's (numpy-accelerated)
+        # row-vector kernel — one broadcast over the in-radius offsets
+        # instead of a python scan per site; membership and ordering are
+        # identical to per-site ``sites_within`` calls.
+        self._interaction_neighbours: List[Tuple[int, ...]] = list(
+            lattice.neighbour_table(architecture.interaction_radius_um))
+        self._restriction_neighbours: List[Tuple[int, ...]] = list(
+            lattice.neighbour_table(architecture.restriction_radius_um))
 
         # O(1) adjacency: a dense boolean matrix (bytearray rows) plus the
         # neighbourhoods as frozensets for set algebra.
         self._interaction_sets: List[FrozenSet[int]] = [
             frozenset(neighbours) for neighbours in self._interaction_neighbours]
-        self._adjacent_rows: List[bytearray] = []
-        for site in range(self.num_sites):
-            row = bytearray(self.num_sites)
-            for neighbour in self._interaction_neighbours[site]:
-                row[neighbour] = 1
-            self._adjacent_rows.append(row)
+        if _np is not None:
+            # One scatter per site into a reused row buffer: no transient
+            # num_sites x num_sites matrix alongside the bytearray rows.
+            self._adjacent_rows: List[bytearray] = []
+            row_buffer = _np.zeros(self.num_sites, dtype=_np.uint8)
+            for neighbours in self._interaction_neighbours:
+                row_buffer[:] = 0
+                if neighbours:
+                    row_buffer[list(neighbours)] = 1
+                self._adjacent_rows.append(bytearray(row_buffer))
+        else:
+            self._adjacent_rows = []
+            for site in range(self.num_sites):
+                row = bytearray(self.num_sites)
+                for neighbour in self._interaction_neighbours[site]:
+                    row[neighbour] = 1
+                self._adjacent_rows.append(row)
 
         # Preallocated all-pairs hop-distance table; each row is filled by a
         # single BFS on first use (see hop_row) and reused forever after.

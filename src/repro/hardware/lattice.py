@@ -15,6 +15,11 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy-less fallback environments
+    _np = None
+
 __all__ = ["SquareLattice"]
 
 Position = Tuple[float, float]
@@ -48,8 +53,25 @@ class SquareLattice:
             for site in range(self._num_sites)
         ]
         self._sites_within_cache: Dict[Tuple[int, float], List[int]] = {}
+        self._sites_within_set_cache: Dict[Tuple[int, float], frozenset] = {}
+        self._radius_offsets_cache: Dict[float, List[Tuple[int, int]]] = {}
+        self._neighbour_table_cache: Dict[float, List[Tuple[int, ...]]] = {}
         self._euclidean_rows: List[Optional[List[float]]] = [None] * self._num_sites
         self._rectangular_rows: List[Optional[List[float]]] = [None] * self._num_sites
+        # numpy row-vector kernel: per-axis coordinate arrays, used to fill
+        # rectangular-distance rows in one vectorised expression (exact for
+        # any spacing — see rectangular_row).  Gated on numpy being
+        # importable; the pure-python loops remain the fallback and the
+        # reference (tests assert the rows are bit-identical).  Euclidean
+        # rows intentionally stay scalar: vectorised sqrt differs from
+        # math.hypot in the last bit on non-representable coordinates.
+        if _np is not None:
+            self._xs = _np.fromiter((p[0] for p in self._positions), dtype=_np.float64,
+                                    count=self._num_sites)
+            self._ys = _np.fromiter((p[1] for p in self._positions), dtype=_np.float64,
+                                    count=self._num_sites)
+        else:
+            self._xs = self._ys = None
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -133,7 +155,13 @@ class SquareLattice:
 
         Returned by reference for hot loops (the shuttling cost function
         evaluates millions of point distances); callers must not mutate it.
-        The values are bit-identical to :meth:`euclidean_distance`.
+        The values are bit-identical to :meth:`euclidean_distance`.  The
+        fill deliberately stays on ``math.hypot``: a vectorised
+        ``sqrt(dx*dx + dy*dy)`` differs from ``hypot`` in the last bit for
+        coordinates that are not exactly representable (e.g. spacing 0.3),
+        which would make routing decisions depend on whether numpy is
+        installed.  Row construction is one-time per site, so the scalar
+        loop costs nothing in the steady state.
         """
         self._check_site(site)
         row = self._euclidean_rows[site]
@@ -144,12 +172,21 @@ class SquareLattice:
         return row
 
     def rectangular_row(self, site: int) -> List[float]:
-        """Rectangular (Manhattan) distances from ``site`` to every site (cached)."""
+        """Rectangular (Manhattan) distances from ``site`` to every site (cached).
+
+        The numpy kernel is exact here for any spacing: subtraction, ``abs``
+        and addition are single correctly-rounded IEEE operations, so the
+        vectorised row is bit-identical to the scalar formula (asserted by
+        the hardware kernel tests).
+        """
         self._check_site(site)
         row = self._rectangular_rows[site]
         if row is None:
             x, y = self._positions[site]
-            row = [abs(x - px) + abs(y - py) for px, py in self._positions]
+            if self._xs is not None:
+                row = (_np.abs(x - self._xs) + _np.abs(y - self._ys)).tolist()
+            else:
+                row = [abs(x - px) + abs(y - py) for px, py in self._positions]
             self._rectangular_rows[site] = row
         return row
 
@@ -162,13 +199,33 @@ class SquareLattice:
     # ------------------------------------------------------------------
     # Neighbourhoods
     # ------------------------------------------------------------------
+    def _radius_offsets(self, radius: float) -> List[Tuple[int, int]]:
+        """In-radius ``(dr, dc)`` grid offsets in scan order (memoised).
+
+        The distance predicate is evaluated once per offset instead of once
+        per (site, offset); the values and ordering are exactly those of the
+        historical per-site bounding-box scan.
+        """
+        cached = self._radius_offsets_cache.get(radius)
+        if cached is None:
+            reach = int(math.floor(radius / self.spacing + 1e-9))
+            cached = [
+                (dr, dc)
+                for dr in range(-reach, reach + 1)
+                for dc in range(-reach, reach + 1)
+                if (dr, dc) != (0, 0)
+                and math.hypot(dr, dc) * self.spacing <= radius + 1e-9
+            ]
+            self._radius_offsets_cache[radius] = cached
+        return cached
+
     def sites_within(self, site: int, radius: float) -> List[int]:
         """All sites (excluding ``site`` itself) within Euclidean ``radius``.
 
-        ``radius`` is in micrometres.  The scan is restricted to the bounding
-        box of the radius, so the cost is ``O((radius/d)^2)`` rather than the
-        full lattice; results are memoised per ``(site, radius)`` because the
-        routers probe the same few radii millions of times.
+        ``radius`` is in micrometres.  The scan is restricted to the shared
+        in-radius offset table, so the cost is ``O((radius/d)^2)`` rather
+        than the full lattice; results are memoised per ``(site, radius)``
+        because the routers probe the same few radii millions of times.
         """
         self._check_site(site)
         if radius <= 0:
@@ -177,34 +234,68 @@ class SquareLattice:
         if cached is not None:
             return list(cached)
         row, col = self.row_col(site)
-        reach = int(math.floor(radius / self.spacing + 1e-9))
+        rows, cols = self.rows, self.cols
         found: List[int] = []
-        for dr in range(-reach, reach + 1):
-            for dc in range(-reach, reach + 1):
-                if dr == 0 and dc == 0:
-                    continue
-                r, c = row + dr, col + dc
-                if not (0 <= r < self.rows and 0 <= c < self.cols):
-                    continue
-                distance = math.hypot(dr, dc) * self.spacing
-                if distance <= radius + 1e-9:
-                    found.append(self.site_at(r, c))
+        for dr, dc in self._radius_offsets(radius):
+            r, c = row + dr, col + dc
+            if 0 <= r < rows and 0 <= c < cols:
+                found.append(r * cols + c)
         self._sites_within_cache[(site, radius)] = found
         return list(found)
+
+    def neighbour_table(self, radius: float) -> List[Tuple[int, ...]]:
+        """:meth:`sites_within` for *every* site at once (memoised).
+
+        With numpy available the whole table is computed as one broadcast
+        over the in-radius offsets (the row-vector kernel the connectivity
+        construction uses); the fallback assembles the same rows per site.
+        Ordering and membership are identical to :meth:`sites_within`.
+        """
+        cached = self._neighbour_table_cache.get(radius)
+        if cached is not None:
+            return cached
+        if radius <= 0:
+            table: List[Tuple[int, ...]] = [() for _ in range(self._num_sites)]
+        elif _np is not None:
+            offsets = self._radius_offsets(radius)
+            if offsets:
+                drs = _np.fromiter((o[0] for o in offsets), dtype=_np.int64,
+                                   count=len(offsets))
+                dcs = _np.fromiter((o[1] for o in offsets), dtype=_np.int64,
+                                   count=len(offsets))
+                sites = _np.arange(self._num_sites, dtype=_np.int64)
+                r = sites[:, None] // self.cols + drs[None, :]
+                c = sites[:, None] % self.cols + dcs[None, :]
+                valid = ((r >= 0) & (r < self.rows) & (c >= 0) & (c < self.cols))
+                neighbour = r * self.cols + c
+                table = [tuple(neighbour[i, valid[i]].tolist())
+                         for i in range(self._num_sites)]
+            else:
+                table = [() for _ in range(self._num_sites)]
+        else:
+            table = [tuple(self.sites_within(site, radius))
+                     for site in range(self._num_sites)]
+        self._neighbour_table_cache[radius] = table
+        return table
+
+    def sites_within_set(self, site: int, radius: float) -> frozenset:
+        """The :meth:`sites_within` disc as a memoised frozenset.
+
+        Shared by reference for set algebra in hot loops (e.g. the chain
+        cache's occupancy-read recording), so no per-call copy is made.
+        """
+        key = (site, radius)
+        cached = self._sites_within_set_cache.get(key)
+        if cached is None:
+            cached = frozenset(self.sites_within(site, radius))
+            self._sites_within_set_cache[key] = cached
+        return cached
 
     def neighbourhood_size(self, radius: float) -> int:
         """Coordination number ``K_r`` of a bulk site for the given radius."""
         if radius <= 0:
             return 0
-        reach = int(math.floor(radius / self.spacing + 1e-9))
-        count = 0
-        for dr in range(-reach, reach + 1):
-            for dc in range(-reach, reach + 1):
-                if dr == 0 and dc == 0:
-                    continue
-                if math.hypot(dr, dc) * self.spacing <= radius + 1e-9:
-                    count += 1
-        return count
+        return len(self._radius_offsets(radius))
 
     def all_pairs_within(self, radius: float) -> Iterator[Tuple[int, int]]:
         """Yield every unordered site pair within Euclidean ``radius``."""

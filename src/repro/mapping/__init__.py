@@ -13,6 +13,7 @@ from .initial_layout import (
 )
 from .layers import LayerManager
 from .multiqubit import GatePosition, find_gate_position
+from .regioncache import CrossRoundCache
 from .result import (
     CircuitGateOp,
     MappedOperation,
@@ -41,6 +42,7 @@ __all__ = [
     "SwapCandidate",
     "SwapCostCache",
     "ShuttlingRouter",
+    "CrossRoundCache",
     "GatePosition",
     "find_gate_position",
     "identity_layout",

@@ -37,6 +37,13 @@ class MapperConfig:
         and the parallelism term.
     use_commutation:
         Whether layer creation may exploit gate commutation rules.
+    cross_round_cache:
+        Whether the mapper may reuse capability decisions and candidate move
+        chains across routing rounds (``repro.mapping.regioncache``), with
+        occupancy-region invalidation.  The emitted operation stream is
+        bit-identical either way (enforced by the differential harness under
+        ``tests/differential/``); ``False`` selects the from-scratch
+        reference path the harness compares against.
     stall_threshold:
         Number of consecutive routing operations without executing a gate
         after which the mapper switches to deterministic fallback routing.
@@ -54,6 +61,7 @@ class MapperConfig:
     time_weight: float = 0.1
     history_window: int = 4
     use_commutation: bool = True
+    cross_round_cache: bool = True
     stall_threshold: Optional[int] = None
     max_routing_steps: Optional[int] = None
 

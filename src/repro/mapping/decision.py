@@ -68,6 +68,14 @@ class CapabilityDecider:
         self.architecture = architecture
         self.alpha_gate = alpha_gate
         self.alpha_shuttling = alpha_shuttling
+        # Optional cross-round decision cache (a
+        # :class:`~repro.mapping.regioncache.CrossRoundCache`); wired by the
+        # hybrid mapper when ``MapperConfig.cross_round_cache`` is on.
+        self.cache = None
+        # Free-trap counts the latest estimate read (per anchor, in qubit
+        # order), or None when it read no occupancy at all; forwarded to the
+        # cache so validation revisits exactly what the estimate depends on.
+        self._last_free_counts: Optional[Tuple[int, ...]] = None
 
     # ------------------------------------------------------------------
     # Estimates
@@ -136,7 +144,15 @@ class CapabilityDecider:
         """
         arch = self.architecture
         lattice = arch.lattice
+        if len(qubits) == 2 and state.qubits_adjacent(qubits[0], qubits[1]):
+            # Already within the interaction radius: no anchor needs a move,
+            # matching what the anchor loop below would conclude — without
+            # reading any occupancy (the free counts never influence a gate
+            # with nothing to move).
+            self._last_free_counts = None
+            return (0, 0.0)
         best: Optional[Tuple[int, float]] = None
+        free_counts = []
         for anchor in qubits:
             anchor_site = state.site_of_qubit(anchor)
             moving = []
@@ -145,30 +161,48 @@ class CapabilityDecider:
                     continue
                 if not state.qubits_adjacent(anchor, other):
                     moving.append(other)
-            free_nearby = len(state.free_sites_near(anchor_site))
+            free_nearby = state.num_free_sites_near(anchor_site)
+            free_counts.append(free_nearby)
             move_aways = max(len(moving) - free_nearby, 0)
             moves = len(moving) + move_aways
-            distance = sum(
-                lattice.rectangular_distance(state.site_of_qubit(other), anchor_site)
-                for other in moving)
+            anchor_row = lattice.rectangular_row(anchor_site)
+            distance = sum(anchor_row[state.site_of_qubit(other)]
+                           for other in moving)
             distance += move_aways * lattice.spacing  # each move-away travels ~ one site
             if best is None or moves < best[0] or (moves == best[0] and distance < best[1]):
                 best = (moves, distance)
+        self._last_free_counts = tuple(free_counts)
         return best if best is not None else (0, 0.0)
 
     # ------------------------------------------------------------------
     # Decision
     # ------------------------------------------------------------------
     def decide(self, state: MappingState, gate: Gate, gate_index: int) -> CapabilityDecision:
-        """Assign one gate to gate-based or shuttling-based mapping."""
+        """Assign one gate to gate-based or shuttling-based mapping.
+
+        With a wired cross-round cache an unchanged occupancy region replays
+        the cached verdict; the estimate only inspects the gate qubits' sites
+        and their interaction neighbourhoods, so the replay is exact.
+        """
+        cache = self.cache
+        if cache is not None:
+            cached = cache.lookup_decision(state, gate, gate_index)
+            if cached is not None:
+                return cached
         estimate = self.estimate(state, gate, gate_index)
         if self.alpha_shuttling == 0:
-            return CapabilityDecision(gate_index, True, estimate)
-        if self.alpha_gate == 0:
-            return CapabilityDecision(gate_index, False, estimate)
-        weighted_gate = self.alpha_gate * estimate.success_gate_based
-        weighted_shuttle = self.alpha_shuttling * estimate.success_shuttling_based
-        return CapabilityDecision(gate_index, weighted_gate >= weighted_shuttle, estimate)
+            decision = CapabilityDecision(gate_index, True, estimate)
+        elif self.alpha_gate == 0:
+            decision = CapabilityDecision(gate_index, False, estimate)
+        else:
+            weighted_gate = self.alpha_gate * estimate.success_gate_based
+            weighted_shuttle = self.alpha_shuttling * estimate.success_shuttling_based
+            decision = CapabilityDecision(
+                gate_index, weighted_gate >= weighted_shuttle, estimate)
+        if cache is not None:
+            cache.store_decision(state, gate, gate_index, decision,
+                                 self._last_free_counts)
+        return decision
 
     def split_layers(self, state: MappingState, nodes: Sequence,
                      ) -> Tuple[List, List, List[CapabilityDecision]]:

@@ -43,6 +43,7 @@ from .decision import CapabilityDecider
 from .gate_router import GateRouter, SwapCandidate
 from .layers import LayerManager
 from .multiqubit import GatePosition, find_gate_position
+from .regioncache import CrossRoundCache
 from .result import CircuitGateOp, MappingResult, ShuttleOp, SwapOp
 from .shuttling_router import ShuttlingRouter
 from .state import MappingState
@@ -90,6 +91,13 @@ class HybridMapper:
             time_weight=self.config.time_weight,
             history_window=self.config.history_window,
         )
+        # Cross-round routing caches (decisions + move chains) with
+        # occupancy-region invalidation; bit-identical op stream either way.
+        self.region_cache: Optional[CrossRoundCache] = None
+        if self.config.cross_round_cache:
+            self.region_cache = CrossRoundCache()
+            self.decider.cache = self.region_cache
+            self.shuttling_router.chain_cache = self.region_cache
 
     # ------------------------------------------------------------------
     # Public entry point
@@ -116,6 +124,8 @@ class HybridMapper:
 
         self.gate_router.reset()
         self.shuttling_router.reset()
+        if self.region_cache is not None:
+            self.region_cache.begin_run(state)
 
         positions: Dict[int, GatePosition] = {}
         routed_by: Dict[int, str] = {}

@@ -1,0 +1,277 @@
+"""Cross-round routing caches with occupancy-region invalidation.
+
+Both per-round hot loops of the hybrid mapper re-derive state that is almost
+always unchanged between consecutive routing rounds:
+
+* the **capability decision** (:mod:`repro.mapping.decision`) re-estimates
+  SWAP and move effort for every front/lookahead gate, and
+* the **candidate move chains** (:mod:`repro.mapping.shuttling_router`)
+  are re-constructed from scratch for every shuttling front gate.
+
+Each round, however, mutates only a handful of sites (the sources and
+destinations of one applied move chain, or nothing at all when a SWAP was
+chosen), so the verdicts and chains of gates whose inspected lattice region
+is effectively unchanged can simply be replayed.  :class:`CrossRoundCache`
+implements exactly that, with two invalidation levels:
+
+* **Region stamps** (decisions, fast path): a decision inspects only the
+  gate-qubit sites and the free-trap count inside each site's interaction
+  neighbourhood (``free_sites_near`` in
+  :meth:`~repro.mapping.decision.CapabilityDecider.estimate`; everything
+  else is immutable site geometry).  While
+  :meth:`~repro.mapping.state.MappingState.neighbourhoods_unchanged_since`
+  holds — an O(1) stamp read per gate qubit — the cached verdict replays.
+* **Read values** (fallback): a stamped-out region does not mean the
+  *result* changed.  The decision entry keeps the per-anchor free counts it
+  was computed from and revalidates by recomputing them (one C-level set
+  intersection per anchor); the chain entry keeps the exact occupancy
+  values the construction read — which sites it saw occupied, which free
+  (:class:`ChainReads`, recorded by ``ShuttlingRouter._build_chain``), and
+  which blocking atoms it inspected — and revalidates with two C-level set
+  comparisons against the live occupancy.  A site that changed and changed
+  back, or a move that never intersects a gate's reads, costs no rebuild.
+
+Chain entries are additionally keyed on the current ``(atom, site)`` of
+each gate qubit: cached chains embed atom identities, which SWAP gates
+reassign without touching occupancy.
+
+Replay is bit-identical by construction: a hit means every input the cached
+computation read still holds, so re-running it would produce the same
+decision object / chain list.  The differential harness under
+``tests/differential/`` and the golden digests under ``tests/golden/``
+enforce this against the ``MapperConfig(cross_round_cache=False)`` reference
+path on every change.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+
+from ..shuttling.moves import MoveChain
+from .state import MappingState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..circuit.gate import Gate
+    from .decision import CapabilityDecision
+
+__all__ = ["ChainReads", "CrossRoundCache"]
+
+
+class ChainReads:
+    """Exact record of the occupancy values one chain construction read.
+
+    ``occupied`` / ``free`` hold the sites the construction saw in that
+    state on the *live* lattice (the chain's own simulated moves are
+    excluded by the recorder — their effect is a deterministic consequence
+    of earlier reads); ``atom_reads`` maps inspected blocking-atom sites to
+    the atom found there (``None`` for an empty trap).
+    """
+
+    __slots__ = ("occupied", "free", "atom_reads")
+
+    def __init__(self) -> None:
+        self.occupied: Set[int] = set()
+        self.free: Set[int] = set()
+        self.atom_reads: Dict[int, Optional[int]] = {}
+
+    def record_batch(self, batch, occupied_now: Set[int],
+                     delta: Optional[Set[int]]) -> None:
+        """Record an occupancy scan of the set-like ``batch`` against
+        ``occupied_now``.
+
+        ``delta`` holds the sites already mutated by the construction's own
+        simulation; their live value was recorded before they entered the
+        delta (or is pinned by the cache key), so they are skipped here.
+        """
+        if delta:
+            batch = batch - delta
+        seen_occupied = batch & occupied_now
+        self.occupied |= seen_occupied
+        self.free |= batch - seen_occupied
+
+    def still_valid(self, state: MappingState) -> bool:
+        """True if every recorded read would produce the same value now."""
+        occupied_now = state.occupied_sites()
+        if not self.occupied <= occupied_now:
+            return False
+        if not self.free.isdisjoint(occupied_now):
+            return False
+        atom_at_site = state.atom_at_site
+        for site, atom in self.atom_reads.items():
+            if atom_at_site(site) != atom:
+                return False
+        return True
+
+
+class CrossRoundCache:
+    """Cross-round memo for capability decisions and candidate move chains.
+
+    One instance is owned by a :class:`~repro.mapping.hybrid_mapper.HybridMapper`
+    (when ``MapperConfig.cross_round_cache`` is on) and shared by its
+    :class:`~repro.mapping.decision.CapabilityDecider` and
+    :class:`~repro.mapping.shuttling_router.ShuttlingRouter`.  Entries are
+    bound to one mapping run's :class:`MappingState`; :meth:`begin_run`
+    clears them, so stale stamps from a previous state can never validate.
+    """
+
+    def __init__(self) -> None:
+        # gate_index -> [sites, stamp epoch, per-anchor free counts, decision];
+        # a list so revalidation can advance the epoch in place.
+        self._decisions: Dict[int, List] = {}
+        # gate_index -> ((atom, site) pairs, recorded reads, chains)
+        self._chains: Dict[int, Tuple[Tuple[Tuple[int, int], ...], ChainReads,
+                                      List[MoveChain]]] = {}
+        # Adaptive back-off: gates whose entries keep getting invalidated
+        # (their reads sit in a churning part of the lattice) stop paying
+        # the recording overhead for a few rounds.  gate_index -> current
+        # invalidation streak / remaining rounds without recording.
+        self._chain_invalidations: Dict[int, int] = {}
+        self._chain_cooldown: Dict[int, int] = {}
+        self._state: Optional[MappingState] = None
+        self.decision_hits = 0
+        self.decision_misses = 0
+        self.chain_hits = 0
+        self.chain_misses = 0
+
+    # ------------------------------------------------------------------
+    # Run binding
+    # ------------------------------------------------------------------
+    def begin_run(self, state: MappingState) -> None:
+        """Bind the cache to one mapping run, dropping all previous entries."""
+        self._decisions.clear()
+        self._chains.clear()
+        self._chain_invalidations.clear()
+        self._chain_cooldown.clear()
+        self._state = state
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters (used by tests and the perf harness)."""
+        return {
+            "decision_hits": self.decision_hits,
+            "decision_misses": self.decision_misses,
+            "chain_hits": self.chain_hits,
+            "chain_misses": self.chain_misses,
+        }
+
+    # ------------------------------------------------------------------
+    # Capability decisions
+    # ------------------------------------------------------------------
+    def lookup_decision(self, state: MappingState, gate: "Gate",
+                        gate_index: int) -> Optional["CapabilityDecision"]:
+        """Replay a cached decision, or ``None`` on a miss.
+
+        Valid iff the gate's qubits sit on the same sites as at store time
+        and the free-trap count around each of those sites is unchanged —
+        checked first via the O(1) neighbourhood stamps, then (when a
+        mutation did land nearby) by recomputing the counts.
+        """
+        entry = self._decisions.get(gate_index)
+        if entry is None or state is not self._state:
+            self.decision_misses += 1
+            return None
+        sites, epoch, free_counts, decision = entry
+        site_of_qubit = state.site_of_qubit
+        for qubit, site in zip(gate.qubits, sites):
+            if site_of_qubit(qubit) != site:
+                self.decision_misses += 1
+                return None
+        if (free_counts is not None
+                and not state.neighbourhoods_unchanged_since(sites, epoch)):
+            num_free = state.num_free_sites_near
+            for site, count in zip(sites, free_counts):
+                if num_free(site) != count:
+                    self.decision_misses += 1
+                    return None
+            # The counts the estimate depends on are unchanged; re-arm the
+            # stamp fast path from the current epoch.
+            entry[1] = state.occupancy_epoch
+        self.decision_hits += 1
+        return decision
+
+    def store_decision(self, state: MappingState, gate: "Gate", gate_index: int,
+                       decision: "CapabilityDecision",
+                       free_counts: Optional[Tuple[int, ...]]) -> None:
+        """Memoise one decision.
+
+        ``free_counts`` are the per-anchor free-trap counts the estimate
+        read (captured by the decider), or ``None`` when it read no
+        occupancy at all — such decisions depend only on the gate-qubit
+        sites and stay valid under any occupancy change.
+        """
+        if state is not self._state:
+            return
+        sites = tuple(state.site_of_qubit(q) for q in gate.qubits)
+        self._decisions[gate_index] = [sites, state.occupancy_epoch,
+                                       free_counts, decision]
+
+    # ------------------------------------------------------------------
+    # Candidate move chains
+    # ------------------------------------------------------------------
+    def probe_chains(self, state: MappingState, gate: "Gate", gate_index: int
+                     ) -> Tuple[Optional[List[MoveChain]], Optional[ChainReads]]:
+        """One combined lookup / record decision for a gate's chains.
+
+        Returns ``(chains, None)`` on a hit — valid iff every gate qubit
+        still has the same ``(atom, site)`` pair as at store time and every
+        occupancy value the construction read still holds
+        (:meth:`ChainReads.still_valid`); the stored list is returned by
+        reference, neither it nor the chains are mutated downstream.
+
+        On a miss, returns ``(None, reads)`` where ``reads`` is a fresh
+        recorder the construction should fill for :meth:`store_chains`, or
+        ``(None, None)`` while the gate is backing off: gates whose entries
+        keep getting invalidated skip the recording overhead for
+        exponentially growing stretches, probing occasionally in case their
+        region quietens down.
+        """
+        entry = self._chains.get(gate_index)
+        if entry is not None and state is self._state:
+            key, reads, chains = entry
+            atom_of_qubit = state.atom_of_qubit
+            site_of_atom = state.site_of_atom
+            for qubit, (atom, site) in zip(gate.qubits, key):
+                if atom_of_qubit(qubit) != atom or site_of_atom(atom) != site:
+                    self._note_chain_invalidation(gate_index)
+                    break
+            else:
+                if reads.still_valid(state):
+                    # Decrement (rather than clear) the streak: gates that
+                    # alternate hits and invalidations hover around
+                    # break-even, so they should drift into back-off too.
+                    streak = self._chain_invalidations.get(gate_index, 0)
+                    if streak:
+                        self._chain_invalidations[gate_index] = streak - 1
+                    self.chain_hits += 1
+                    return chains, None
+                self._note_chain_invalidation(gate_index)
+        else:
+            self.chain_misses += 1
+        cooldown = self._chain_cooldown.get(gate_index, 0)
+        if cooldown > 0:
+            self._chain_cooldown[gate_index] = cooldown - 1
+            return None, None
+        return None, ChainReads()
+
+    def _note_chain_invalidation(self, gate_index: int) -> None:
+        """Count a stored-entry invalidation and arm the back-off."""
+        self.chain_misses += 1
+        del self._chains[gate_index]
+        streak = self._chain_invalidations.get(gate_index, 0) + 1
+        self._chain_invalidations[gate_index] = streak
+        if streak >= 2:
+            self._chain_cooldown[gate_index] = min(4 ** (streak - 1), 256)
+
+    def store_chains(self, state: MappingState, gate: "Gate", gate_index: int,
+                     chains: List[MoveChain],
+                     reads: Optional[ChainReads]) -> None:
+        """Memoise the candidate chains of one gate.
+
+        ``reads`` is the exact occupancy read set recorded by
+        ``_build_chain``; ``None`` disables storing (the construction ran
+        without recording).
+        """
+        if state is not self._state or reads is None:
+            return
+        key = tuple((state.atom_of_qubit(q), state.site_of_qubit(q))
+                    for q in gate.qubits)
+        self._chains[gate_index] = (key, reads, chains)

@@ -9,6 +9,7 @@ the scheduler consumes (process block (5)) and what the evaluation counts
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -178,6 +179,50 @@ class MappingResult:
             raise AssertionError(
                 f"mapped stream incomplete: missing gates {missing[:10]}, "
                 f"duplicated gates {duplicated[:10]}")
+
+    def op_stream_lines(self) -> List[str]:
+        """Canonical text serialisation of the operation stream.
+
+        One line per operation, covering every field that identifies it
+        (gate kind/qubits/params, atoms, sites, move endpoints), so two
+        results serialise identically iff their op streams are identical.
+        Used by the differential harness and the golden digest tests.
+        """
+        lines: List[str] = []
+        for op in self.operations:
+            if isinstance(op, CircuitGateOp):
+                gate = op.gate
+                params = ",".join(repr(p) for p in gate.params)
+                lines.append(
+                    f"G {op.gate_index} {gate.name}/{gate.kind} q={gate.qubits} "
+                    f"p=[{params}] a={op.atoms} s={op.sites}")
+            elif isinstance(op, SwapOp):
+                lines.append(
+                    f"S q=({op.qubit_a},{op.qubit_b}) a=({op.atom_a},{op.atom_b}) "
+                    f"s=({op.site_a},{op.site_b})")
+            elif isinstance(op, ShuttleOp):
+                move = op.move
+                lines.append(
+                    f"M a={move.atom} {move.source}->{move.destination} "
+                    f"away={int(move.is_move_away)}")
+            else:  # pragma: no cover - no other op kinds exist
+                lines.append(repr(op))
+        return lines
+
+    def op_stream_digest(self) -> Dict[str, object]:
+        """Compact digest of the op stream: SHA-256 plus headline counts.
+
+        Committed under ``tests/golden/`` so any routing change that shifts
+        the emitted stream fails loudly instead of silently.
+        """
+        payload = "\n".join(self.op_stream_lines()).encode()
+        return {
+            "sha256": hashlib.sha256(payload).hexdigest(),
+            "num_operations": len(self.operations),
+            "num_gates": len(self.circuit_gate_ops()),
+            "num_swaps": self.num_swaps,
+            "num_moves": self.num_moves,
+        }
 
     def summary(self) -> Dict[str, float]:
         """Flat dictionary of the headline statistics (for reports)."""

@@ -44,9 +44,10 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..circuit.gate import Gate
 from ..hardware.architecture import NeutralAtomArchitecture
-from ..shuttling.aod import moves_compatible
+from ..shuttling.aod import _ordering_preserved
 from ..shuttling.moves import Move, MoveChain
 from .layers import build_qubit_node_index
+from .regioncache import ChainReads
 from .state import MappingState
 
 __all__ = ["ShuttlingRouter"]
@@ -89,6 +90,27 @@ class ShuttlingRouter:
         # move_time_penalty depends only on the move and the recent-move
         # history; memoised per move identity until the history changes.
         self._penalty_cache: Dict[Tuple[int, int, int], float] = {}
+        # The per-(move, recent-move) penalty term is pure geometry of the
+        # two moves, so it survives history rotation; memoised across rounds
+        # by both moves' identities.
+        self._pair_penalty_cache: Dict[Tuple[Tuple[int, int, int],
+                                             Tuple[int, int, int]], float] = {}
+        # Moves are immutable values fully determined by (atom, source,
+        # destination, is_move_away); the same candidate move is rebuilt
+        # thousands of times across rounds, so instances are pooled.
+        self._move_pool: Dict[Tuple[int, int, int, bool], Move] = {}
+        # Cross-round cache of the distance part of a move's cost
+        # contribution (front term + lookahead-weighted term), grouped per
+        # moved qubit.  The part depends only on the qubit's partner-site
+        # entries over both layers, so it is reused while those entries
+        # compare equal to the snapshot taken when the group was filled.
+        self._distance_parts: Dict[int, Dict[Tuple[int, int, int], float]] = {}
+        self._prev_front_entries: Dict[int, List] = {}
+        self._prev_lookahead_entries: Dict[int, List] = {}
+        # Optional cross-round chain cache (a
+        # :class:`~repro.mapping.regioncache.CrossRoundCache`); wired by the
+        # hybrid mapper when ``MapperConfig.cross_round_cache`` is on.
+        self.chain_cache = None
 
     # ------------------------------------------------------------------
     # History bookkeeping
@@ -96,6 +118,11 @@ class ShuttlingRouter:
     def reset(self) -> None:
         self._recent_moves.clear()
         self._penalty_cache.clear()
+        self._pair_penalty_cache.clear()
+        self._move_pool.clear()
+        self._distance_parts.clear()
+        self._prev_front_entries.clear()
+        self._prev_lookahead_entries.clear()
 
     def note_moves_applied(self, moves: Sequence[Move]) -> None:
         """Record executed moves for the parallelism term of the cost function."""
@@ -116,23 +143,67 @@ class ShuttlingRouter:
         so that minimal-length chains are preferred, following the intuition
         that two moves are unlikely to beat one direct move even when they
         can be shuttled in parallel.
+
+        With a wired cross-round cache the constructed list is memoised per
+        gate and replayed while the gate qubits keep their ``(atom, site)``
+        pairs and the occupancy of the chain region (every site construction
+        can read) is unchanged — construction would reproduce the identical
+        chains, so the replay is exact.
         """
         gate: Gate = node.gate
+        cache = self.chain_cache
+        reads = None
+        if cache is not None:
+            cached, reads = cache.probe_chains(state, gate, node.index)
+            if cached is not None:
+                return cached
         chains: List[MoveChain] = []
         for anchor in gate.qubits:
-            chain = self._build_chain(state, gate, anchor, node.index)
+            chain = self._build_chain(state, gate, anchor, node.index,
+                                      reads=reads)
             if chain is not None:
-                chain.validate(max_gate_width=gate.num_qubits)
+                if gate.num_qubits > 2:
+                    # Two-qubit chains (at most a move-away plus a direct
+                    # move onto the freed site) satisfy the invariants by
+                    # construction; wider gates keep the safety check.
+                    chain.validate(max_gate_width=gate.num_qubits)
                 chains.append(chain)
         chains.sort(key=len)
         if chains:
             shortest = len(chains[0])
             chains = [chain for chain in chains if len(chain) <= shortest + 1]
+        if cache is not None:
+            cache.store_chains(state, gate, node.index, chains, reads)
         return chains
 
     def _build_chain(self, state: MappingState, gate: Gate, anchor: int,
-                     gate_index: int) -> Optional[MoveChain]:
-        """Gather all gate qubits around ``anchor`` with direct/move-away moves."""
+                     gate_index: int,
+                     reads: Optional[ChainReads] = None) -> Optional[MoveChain]:
+        """Gather all gate qubits around ``anchor`` with direct/move-away moves.
+
+        When ``reads`` is given, every *live* occupancy value the
+        construction reads is recorded in it: the target-zone scans, the
+        move-away ring scans (each site as occupied or free) and the
+        identities of inspected blocking atoms.  Sites the chain itself has
+        already mutated in its local simulation (``delta``) are excluded —
+        their simulated value is a deterministic consequence of earlier
+        recorded reads.  Together with the gate qubits' ``(atom, site)``
+        pairs, the recorded reads fully determine the result, so the
+        cross-round chain cache can replay it while they still hold.
+
+        Two-qubit gates dispatch to :meth:`_build_chain_2q`; the generic
+        path below handles them too (the specialisation is equivalence-
+        tested against it, see ``TestTwoQubitChainSpecialisation``).
+        """
+        if len(gate.qubits) == 2:
+            return self._build_chain_2q(state, gate, anchor, gate_index, reads)
+        return self._build_chain_generic(state, gate, anchor, gate_index, reads)
+
+    def _build_chain_generic(self, state: MappingState, gate: Gate, anchor: int,
+                             gate_index: int,
+                             reads: Optional[ChainReads] = None
+                             ) -> Optional[MoveChain]:
+        """Anchor-gathering chain construction for any gate width."""
         connectivity = state.connectivity
         lattice = self.architecture.lattice
         anchor_site = state.site_of_qubit(anchor)
@@ -144,6 +215,7 @@ class ShuttlingRouter:
         # move is recorded.
         occupied: Set[int] = state.occupied_sites()
         owns_occupied = False
+        delta: Set[int] = set()
         kept_sites: List[int] = [anchor_site]
         moves: List[Move] = []
         gate_atom_sites = {state.site_of_qubit(q) for q in gate.qubits}
@@ -165,15 +237,21 @@ class ShuttlingRouter:
             zone = self._target_zone(connectivity, kept_sites)
             zone.discard(current_site)
             zone -= set(kept_sites)
+            if reads is not None:
+                reads.record_batch(zone, occupied, delta)
             if not zone:
                 return None
 
             current_row = lattice.rectangular_row(current_site)
-            free_candidates = sorted(
-                (site for site in zone if site not in occupied),
-                key=lambda site: (current_row[site], site))
+            if owns_occupied:
+                free_candidates = {site for site in zone if site not in occupied}
+            else:
+                # Occupancy is still the live view: one C-level difference
+                # against the incrementally maintained free-site set.
+                free_candidates = zone & state.free_sites()
             if free_candidates:
-                destination = free_candidates[0]
+                destination = min(free_candidates,
+                                  key=lambda site: (current_row[site], site))
                 moves.append(self._make_move(state, qubit, current_site, destination,
                                              lattice, is_move_away=False))
                 if not owns_occupied:
@@ -181,6 +259,7 @@ class ShuttlingRouter:
                     owns_occupied = True
                 occupied.discard(current_site)
                 occupied.add(destination)
+                delta.update((current_site, destination))
                 kept_sites.append(destination)
                 continue
 
@@ -193,21 +272,19 @@ class ShuttlingRouter:
             freed_site = None
             for blocked in blocked_candidates:
                 blocking_atom = state.atom_at_site(blocked)
+                if reads is not None:
+                    reads.atom_reads[blocked] = blocking_atom
                 if blocking_atom is None:
                     continue
                 away_destination = self._nearest_free_site(
                     state, connectivity, lattice, blocked, occupied,
-                    forbidden=set(kept_sites) | {current_site})
+                    forbidden=set(kept_sites) | {current_site},
+                    reads=reads, delta=delta)
                 if away_destination is None:
                     continue
-                move_away = Move(
-                    atom=blocking_atom,
-                    source=blocked,
-                    destination=away_destination,
-                    source_position=lattice.position(blocked),
-                    destination_position=lattice.position(away_destination),
-                    is_move_away=True,
-                )
+                move_away = self._pooled_move(blocking_atom, blocked,
+                                              away_destination, lattice,
+                                              is_move_away=True)
                 freed_site = blocked
                 break
             if move_away is None or freed_site is None:
@@ -218,15 +295,78 @@ class ShuttlingRouter:
                 owns_occupied = True
             occupied.discard(freed_site)
             occupied.add(move_away.destination)
+            delta.update((freed_site, move_away.destination))
             moves.append(self._make_move(state, qubit, current_site, freed_site,
                                          lattice, is_move_away=False))
             occupied.discard(current_site)
             occupied.add(freed_site)
+            delta.add(current_site)
             kept_sites.append(freed_site)
 
         if not moves:
             return None
         return MoveChain(moves=moves, gate_index=gate_index)
+
+    def _build_chain_2q(self, state: MappingState, gate: Gate, anchor: int,
+                        gate_index: int,
+                        reads: Optional[ChainReads]) -> Optional[MoveChain]:
+        """Two-qubit specialisation of :meth:`_build_chain`.
+
+        With a single gathering qubit there is never a second iteration, so
+        no occupancy simulation is needed: the chain is either one direct
+        move into the anchor's free zone, or a move-away plus the direct
+        move onto the freed site.  Control flow, tie-breaking and recorded
+        reads replicate the generic path exactly.
+        """
+        connectivity = state.connectivity
+        lattice = self.architecture.lattice
+        anchor_site = state.site_of_qubit(anchor)
+        qubit = gate.qubits[1] if gate.qubits[0] == anchor else gate.qubits[0]
+        current_site = state.site_of_qubit(qubit)
+        if connectivity.are_adjacent(current_site, anchor_site):
+            return None
+
+        zone = connectivity.interaction_set(anchor_site).difference(
+            (current_site, anchor_site))
+        occupied = state.occupied_sites()
+        if reads is not None:
+            reads.record_batch(zone, occupied, None)
+        if not zone:
+            return None
+
+        current_row = lattice.rectangular_row(current_site)
+        free_candidates = zone & state.free_sites()
+        if free_candidates:
+            destination = min(free_candidates,
+                              key=lambda site: (current_row[site], site))
+            move = self._pooled_move(state.atom_of_qubit(qubit), current_site,
+                                     destination, lattice, is_move_away=False)
+            return MoveChain(moves=[move], gate_index=gate_index)
+
+        # No free site in the zone (the zone already excludes both gate
+        # sites, so every member is a blocking atom): free one with a
+        # move-away first.
+        blocked_candidates = sorted(
+            zone, key=lambda site: (current_row[site], site))
+        forbidden = {anchor_site, current_site}
+        for blocked in blocked_candidates:
+            blocking_atom = state.atom_at_site(blocked)
+            if reads is not None:
+                reads.atom_reads[blocked] = blocking_atom
+            if blocking_atom is None:
+                continue
+            away_destination = self._nearest_free_site(
+                state, connectivity, lattice, blocked, occupied,
+                forbidden=forbidden, reads=reads, delta=None)
+            if away_destination is None:
+                continue
+            move_away = self._pooled_move(blocking_atom, blocked,
+                                          away_destination, lattice,
+                                          is_move_away=True)
+            direct = self._pooled_move(state.atom_of_qubit(qubit), current_site,
+                                       blocked, lattice, is_move_away=False)
+            return MoveChain(moves=[move_away, direct], gate_index=gate_index)
+        return None
 
     @staticmethod
     def _site_fits(connectivity, site: int, kept_sites: Sequence[int]) -> bool:
@@ -247,34 +387,68 @@ class ShuttlingRouter:
     @staticmethod
     def _nearest_free_site(state: MappingState, connectivity, lattice, origin: int,
                            occupied: Set[int], forbidden: Set[int],
-                           max_radius: int = 4) -> Optional[int]:
-        """Closest free site to ``origin`` outside ``forbidden`` (for move-aways)."""
+                           max_radius: int = 4,
+                           reads: Optional[ChainReads] = None,
+                           delta: Optional[Set[int]] = None) -> Optional[int]:
+        """Closest free site to ``origin`` outside ``forbidden`` (for move-aways).
+
+        Scanned ring sites are recorded in ``reads`` (occupancy reads); an
+        unscanned larger ring cannot influence the result, so recording only
+        the scanned rings keeps the cache's invalidation reads exact.
+        """
         best = None
-        best_distance = None
         origin_row = lattice.rectangular_row(origin)
+        live_free = (state.free_sites()
+                     if occupied is state.occupied_sites() else None)
+        scanned_radius = max_radius
         for radius in range(1, max_radius + 1):
-            for site in lattice.sites_within(origin, radius * lattice.spacing + _EPSILON):
-                if site in occupied or site in forbidden:
-                    continue
-                distance = origin_row[site]
-                if best_distance is None or (distance, site) < (best_distance, best):
-                    best = site
-                    best_distance = distance
-            if best is not None:
-                return best
+            disc = lattice.sites_within_set(origin, radius * lattice.spacing + _EPSILON)
+            if live_free is not None:
+                candidates = (disc & live_free) - forbidden
+            else:
+                candidates = {site for site in disc
+                              if site not in occupied and site not in forbidden}
+            if candidates:
+                best = min(candidates,
+                           key=lambda site: (origin_row[site], site))
+                scanned_radius = radius
+                break
+        if reads is not None:
+            # Each scan covers the whole disc, so recording the largest
+            # scanned disc once captures every occupancy read of the loop.
+            reads.record_batch(
+                lattice.sites_within_set(origin,
+                                         scanned_radius * lattice.spacing + _EPSILON),
+                occupied, delta)
         return best
 
-    @staticmethod
-    def _make_move(state: MappingState, qubit: int, source: int, destination: int,
-                   lattice, *, is_move_away: bool) -> Move:
-        return Move(
-            atom=state.atom_of_qubit(qubit),
-            source=source,
-            destination=destination,
-            source_position=lattice.position(source),
-            destination_position=lattice.position(destination),
-            is_move_away=is_move_away,
-        )
+    def _make_move(self, state: MappingState, qubit: int, source: int,
+                   destination: int, lattice, *, is_move_away: bool) -> Move:
+        return self._pooled_move(state.atom_of_qubit(qubit), source, destination,
+                                 lattice, is_move_away=is_move_away)
+
+    def _pooled_move(self, atom: int, source: int, destination: int, lattice, *,
+                     is_move_away: bool) -> Move:
+        """Shared :class:`Move` instance for the given value (pooled).
+
+        Moves are frozen dataclasses whose fields are fully determined by the
+        arguments, so reusing one instance is observationally identical to
+        constructing a fresh one — and orders of magnitude cheaper in the
+        chain-construction hot loop.
+        """
+        key = (atom, source, destination, is_move_away)
+        move = self._move_pool.get(key)
+        if move is None:
+            move = Move(
+                atom=atom,
+                source=source,
+                destination=destination,
+                source_position=lattice.position(source),
+                destination_position=lattice.position(destination),
+                is_move_away=is_move_away,
+            )
+            self._move_pool[key] = move
+        return move
 
     # ------------------------------------------------------------------
     # Cost evaluation
@@ -299,51 +473,115 @@ class ShuttlingRouter:
         return penalty
 
     def _compute_time_penalty(self, move: Move) -> float:
-        durations = self.architecture.durations
+        """Sum of the per-recent-move penalty terms, in history order.
+
+        Each term is pure geometry of the two moves, so with the incremental
+        engine it is memoised across rounds by both moves' identities (the
+        history rotates by a few moves per round; most pairs recur).  Zero
+        terms are skipped — adding ``0.0`` to a non-negative float is exact,
+        so the sum is bit-identical to the naive accumulation.
+        """
+        pair_cache = self._pair_penalty_cache if self.incremental else None
+        move_key = (move.atom, move.source, move.destination)
         penalty = 0.0
         for recent in self._recent_moves:
-            if moves_compatible(move, recent):
-                # Parallel loading & shuttling: shares the whole AOD batch.
-                continue
-            same_row = abs(move.source_position[1] - recent.source_position[1]) < _EPSILON
-            same_column = abs(move.source_position[0] - recent.source_position[0]) < _EPSILON
-            if same_row or same_column:
-                # Parallel loading only: the activation window is shared, but
-                # the shuttle itself needs its own deactivation/activation.
-                penalty += durations.aod_activation + durations.aod_deactivation
+            if pair_cache is not None:
+                pair = (move_key, (recent.atom, recent.source, recent.destination))
+                term = pair_cache.get(pair)
+                if term is None:
+                    term = self._pair_penalty_term(move, recent)
+                    pair_cache[pair] = term
             else:
-                penalty += (durations.aod_activation
-                            + self.architecture.shuttle_move_duration(move.rectangular_distance)
-                            + durations.aod_deactivation)
+                term = self._pair_penalty_term(move, recent)
+            if term:
+                penalty += term
         return penalty
 
+    def _pair_penalty_term(self, move: Move, recent: Move) -> float:
+        """``C_t_parallel`` contribution of ``move`` against one recent move.
+
+        The compatibility check inlines :func:`repro.shuttling.aod.moves_compatible`
+        — this runs ~10^5 times per mapping at scale, and the call/unpack
+        overhead is measurable.  Divergence from the scheduler's rule is
+        guarded by ``test_pair_penalty_matches_moves_compatible``.
+        """
+        if (move.atom != recent.atom
+                and move.destination != recent.destination
+                and move.destination != recent.source
+                and recent.destination != move.source
+                and _ordering_preserved(move.source_position[0],
+                                        recent.source_position[0],
+                                        move.destination_position[0],
+                                        recent.destination_position[0])
+                and _ordering_preserved(move.source_position[1],
+                                        recent.source_position[1],
+                                        move.destination_position[1],
+                                        recent.destination_position[1])):
+            # Parallel loading & shuttling: shares the whole AOD batch.
+            return 0.0
+        durations = self.architecture.durations
+        same_row = abs(move.source_position[1] - recent.source_position[1]) < _EPSILON
+        same_column = abs(move.source_position[0] - recent.source_position[0]) < _EPSILON
+        if same_row or same_column:
+            # Parallel loading only: the activation window is shared, but
+            # the shuttle itself needs its own deactivation/activation.
+            return durations.aod_activation + durations.aod_deactivation
+        return (durations.aod_activation
+                + self.architecture.shuttle_move_duration(move.rectangular_distance)
+                + durations.aod_deactivation)
+
     def _distance_change(self, state: MappingState, move: Move, nodes: Sequence,
-                         node_index: Optional[Dict[int, Sequence]] = None) -> float:
+                         node_index: Optional[Dict[int, Sequence]] = None,
+                         partner_cache: Optional[Dict[int, List]] = None) -> float:
         """Summed change in gate distance over ``nodes`` caused by ``move``.
 
         Only gates involving the moved atom's circuit qubit can change their
         direct distance; the (rarer) indirect conflicts of Example 6 are
         handled by re-validating cached positions in the mapper rather than
         inside this per-move cost.  ``node_index`` (qubit → nodes, in node
-        order) lets the walk skip straight to the touched gates.
+        order) lets the walk skip straight to the touched gates, and
+        ``partner_cache`` memoises each qubit's partner sites for the round
+        (the state does not mutate while candidate chains are ranked, and a
+        hot qubit appears in many candidate moves).  Both keep the node
+        order and per-node float arithmetic of the plain walk, so the sum is
+        bit-identical.
         """
         moved_qubit = state.qubit_of_atom(move.atom)
         if moved_qubit is None:
             return 0.0
         lattice = self.architecture.lattice
-        if node_index is not None:
-            nodes = node_index.get(moved_qubit, ())
         source_row = lattice.euclidean_row(move.source)
         destination_row = lattice.euclidean_row(move.destination)
+        if partner_cache is not None and node_index is not None:
+            entries = partner_cache.get(moved_qubit)
+            if entries is None:
+                entries = self._partner_entries(
+                    state, node_index.get(moved_qubit, ()), moved_qubit)
+                partner_cache[moved_qubit] = entries
+            change = 0.0
+            for entry in entries:
+                if type(entry) is int:
+                    change += destination_row[entry] - source_row[entry]
+                else:
+                    before = 0.0
+                    after = 0.0
+                    for other_site in entry:
+                        before += source_row[other_site]
+                        after += destination_row[other_site]
+                    change += after - before
+            return change / max(lattice.spacing, _EPSILON)
+        if node_index is not None:
+            nodes = node_index.get(moved_qubit, ())
         site_of_qubit = state.site_of_qubit
         change = 0.0
         for node in nodes:
             gate = node.gate
-            if moved_qubit not in gate.qubits:
+            qubits = gate.qubits
+            if moved_qubit not in qubits:
                 continue
             before = 0.0
             after = 0.0
-            for other in gate.qubits:
+            for other in qubits:
                 if other == moved_qubit:
                     continue
                 other_site = site_of_qubit(other)
@@ -352,36 +590,130 @@ class ShuttlingRouter:
             change += after - before
         return change / max(lattice.spacing, _EPSILON)
 
+    @staticmethod
+    def _partner_entries(state: MappingState, nodes: Sequence,
+                         moved_qubit: int) -> List:
+        """Per-node partner sites of ``moved_qubit`` over ``nodes``.
+
+        Two-qubit gates collapse to a bare site index (their before/after
+        sums are single terms); wider gates keep their partner list so the
+        accumulation order matches the plain walk exactly.
+        """
+        site_of_qubit = state.site_of_qubit
+        entries: List = []
+        for node in nodes:
+            qubits = node.gate.qubits
+            if moved_qubit not in qubits:
+                continue
+            if len(qubits) == 2:
+                entries.append(site_of_qubit(
+                    qubits[1] if qubits[0] == moved_qubit else qubits[0]))
+            else:
+                entries.append([site_of_qubit(other) for other in qubits
+                                if other != moved_qubit])
+        return entries
+
     def chain_cost(self, state: MappingState, chain: MoveChain,
                    front_nodes: Sequence, lookahead_nodes: Sequence,
                    front_index: Optional[Dict[int, Sequence]] = None,
                    lookahead_index: Optional[Dict[int, Sequence]] = None,
                    change_cache: Optional[Dict[Tuple[int, int, int],
-                                               Tuple[float, float]]] = None) -> float:
+                                               float]] = None,
+                   front_partners: Optional[Dict[int, List]] = None,
+                   lookahead_partners: Optional[Dict[int, List]] = None,
+                   distance_groups: Optional[Dict[int, Dict]] = None) -> float:
         """Total cost of a chain according to Eq. (4)/(5).
 
         The optional qubit → node indices restrict the distance terms to the
         gates a move can actually affect, and ``change_cache`` memoises the
-        per-move distance terms across chains of one routing round (keyed by
-        ``(atom, source, destination)``); the cost is identical either way.
+        complete per-move cost contribution — distance terms plus weighted
+        parallelism penalty — across chains of one routing round (keyed by
+        ``(atom, source, destination)``; the same physical move appears in
+        many candidate chains).  ``distance_groups`` additionally carries the
+        distance part across rounds (see :meth:`_distance_part`).  The
+        per-move contribution is composed from the same floats either way,
+        so the summed cost is identical.
         """
         total = 0.0
         for move in chain:
-            terms = None
+            contribution = None
+            move_key = (move.atom, move.source, move.destination)
             if change_cache is not None:
-                terms = change_cache.get((move.atom, move.source, move.destination))
-            if terms is None:
-                terms = (self._distance_change(state, move, front_nodes, front_index),
-                         self._distance_change(state, move, lookahead_nodes,
-                                               lookahead_index))
+                contribution = change_cache.get(move_key)
+            if contribution is None:
+                if distance_groups is not None:
+                    distance_part = self._distance_part(
+                        state, move, move_key, front_index, lookahead_index,
+                        front_partners, lookahead_partners, distance_groups)
+                else:
+                    distance_part = (
+                        self._distance_change(state, move, front_nodes,
+                                              front_index, front_partners)
+                        + self.lookahead_weight * self._distance_change(
+                            state, move, lookahead_nodes, lookahead_index,
+                            lookahead_partners))
+                contribution = (distance_part
+                                + self.time_weight * self.move_time_penalty(move))
                 if change_cache is not None:
-                    change_cache[(move.atom, move.source, move.destination)] = terms
-            total += terms[0] + self.lookahead_weight * terms[1] \
-                + self.time_weight * self.move_time_penalty(move)
+                    change_cache[move_key] = contribution
+            total += contribution
         # Move-aways carry no distance benefit of their own; penalise longer
         # chains slightly so that, all else equal, minimal chains win.
         total += 0.25 * chain.num_move_aways
         return total
+
+    def _distance_part(self, state: MappingState, move: Move,
+                       move_key: Tuple[int, int, int],
+                       front_index: Dict[int, Sequence],
+                       lookahead_index: Dict[int, Sequence],
+                       front_partners: Dict[int, List],
+                       lookahead_partners: Dict[int, List],
+                       distance_groups: Dict[int, Dict]) -> float:
+        """Front + weighted lookahead distance term of one move, cached
+        across rounds.
+
+        The term is a pure function of the moved qubit's partner-site
+        entries over both layers and of the move's endpoints, so the cached
+        value is reused while the entries compare equal to the snapshot
+        taken when the qubit's cache group was (re)filled — the float
+        composition is unchanged, keeping costs bit-identical.
+        ``distance_groups`` memoises the per-qubit group resolution for the
+        current round.
+        """
+        moved_qubit = state.qubit_of_atom(move.atom)
+        if moved_qubit is None:
+            # Mirrors the plain computation: both distance terms are 0.0.
+            return 0.0 + self.lookahead_weight * 0.0
+        group = distance_groups.get(moved_qubit)
+        if group is None:
+            front_entries = front_partners.get(moved_qubit)
+            if front_entries is None:
+                front_entries = self._partner_entries(
+                    state, front_index.get(moved_qubit, ()), moved_qubit)
+                front_partners[moved_qubit] = front_entries
+            lookahead_entries = lookahead_partners.get(moved_qubit)
+            if lookahead_entries is None:
+                lookahead_entries = self._partner_entries(
+                    state, lookahead_index.get(moved_qubit, ()), moved_qubit)
+                lookahead_partners[moved_qubit] = lookahead_entries
+            if (self._prev_front_entries.get(moved_qubit) == front_entries
+                    and self._prev_lookahead_entries.get(moved_qubit)
+                    == lookahead_entries):
+                group = self._distance_parts.setdefault(moved_qubit, {})
+            else:
+                group = {}
+                self._distance_parts[moved_qubit] = group
+                self._prev_front_entries[moved_qubit] = front_entries
+                self._prev_lookahead_entries[moved_qubit] = lookahead_entries
+            distance_groups[moved_qubit] = group
+        part = group.get(move_key)
+        if part is None:
+            part = (self._distance_change(state, move, (), front_index,
+                                          front_partners)
+                    + self.lookahead_weight * self._distance_change(
+                        state, move, (), lookahead_index, lookahead_partners))
+            group[move_key] = part
+        return part
 
     # ------------------------------------------------------------------
     # Selection
@@ -399,14 +731,19 @@ class ShuttlingRouter:
         if self.incremental:
             front_index = build_qubit_node_index(front_nodes)
             lookahead_index = build_qubit_node_index(lookahead_nodes)
-            change_cache: Optional[Dict[Tuple[int, int, int],
-                                        Tuple[float, float]]] = {}
+            change_cache: Optional[Dict[Tuple[int, int, int], float]] = {}
+            front_partners: Optional[Dict[int, List]] = {}
+            lookahead_partners: Optional[Dict[int, List]] = {}
+            distance_groups: Optional[Dict[int, Dict]] = {}
         else:
             front_index = lookahead_index = change_cache = None
+            front_partners = lookahead_partners = distance_groups = None
         for node in front_nodes:
             for chain in self.candidate_chains(state, node):
                 cost = self.chain_cost(state, chain, front_nodes, lookahead_nodes,
-                                       front_index, lookahead_index, change_cache)
+                                       front_index, lookahead_index, change_cache,
+                                       front_partners, lookahead_partners,
+                                       distance_groups)
                 proposal = _ChainProposal(chain=chain, gate_index=node.index, cost=cost)
                 if best is None or (proposal.cost, len(proposal.chain)) < (best.cost, len(best.chain)):
                     best = proposal
@@ -461,11 +798,8 @@ class ShuttlingRouter:
                     if away is None:
                         feasible = False
                         break
-                    moves.append(Move(
-                        atom=blocking_atom, source=target, destination=away,
-                        source_position=lattice.position(target),
-                        destination_position=lattice.position(away),
-                        is_move_away=True))
+                    moves.append(self._pooled_move(blocking_atom, target, away,
+                                                   lattice, is_move_away=True))
                     occupied.discard(target)
                     occupied.add(away)
                 moves.append(self._make_move(state, qubit, source, target, lattice,

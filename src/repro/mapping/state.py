@@ -89,6 +89,16 @@ class MappingState:
         self._free: Set[int] = {site for site in range(self.num_sites)
                                 if site not in self._occupied}
 
+        # Occupancy-region invalidation support for the cross-round caches
+        # (:mod:`repro.mapping.regioncache`).  ``_occupancy_epoch`` counts
+        # occupancy mutations (moves; SWAPs leave occupancy untouched) and
+        # ``_neigh_stamp[s]`` is the epoch of the last mutation anywhere in
+        # the closed interaction neighbourhood of ``s``, so "is the
+        # neighbourhood of this site untouched since epoch e" is an O(1)
+        # stamp read.
+        self._occupancy_epoch = 0
+        self._neigh_stamp: List[int] = [0] * self.num_sites
+
         # Qubit mapping f_q: circuit qubit -> atom, and the inverse.
         if initial_qubit_map is None:
             initial_qubit_map = list(range(num_circuit_qubits))
@@ -150,6 +160,24 @@ class MappingState:
         """Set of all empty trap sites (live read-only view, see above)."""
         return self._free
 
+    # ------------------------------------------------------------------
+    # Occupancy-region invalidation (cross-round caches)
+    # ------------------------------------------------------------------
+    @property
+    def occupancy_epoch(self) -> int:
+        """Monotonic counter of occupancy mutations (one tick per move)."""
+        return self._occupancy_epoch
+
+    def neighbourhoods_unchanged_since(self, sites: Iterable[int], epoch: int) -> bool:
+        """True if the closed interaction neighbourhood of every given site is
+        occupancy-unchanged since ``epoch``.
+
+        Backed by the per-site neighbourhood stamps, so the check is O(1) per
+        site instead of O(coordination number).
+        """
+        stamps = self._neigh_stamp
+        return all(stamps[site] <= epoch for site in sites)
+
     def qubit_mapping(self) -> Dict[int, int]:
         """Copy of the qubit mapping ``f_q`` (circuit qubit -> atom)."""
         return {qubit: atom for qubit, atom in enumerate(self._qubit_to_atom)}
@@ -177,6 +205,12 @@ class MappingState:
         """
         if not gate.is_entangling:
             return True
+        qubits = gate.qubits
+        if len(qubits) == 2:
+            # Two-qubit fast path: one O(1) adjacency probe.
+            site_a = self._atom_to_site[self._qubit_to_atom[qubits[0]]]
+            site_b = self._atom_to_site[self._qubit_to_atom[qubits[1]]]
+            return site_a != site_b and self.connectivity.are_adjacent(site_a, site_b)
         return self.connectivity.sites_mutually_interacting(self.gate_sites(gate))
 
     def vicinity_of_qubit(self, qubit: int) -> List[int]:
@@ -189,6 +223,14 @@ class MappingState:
         """Free sites within the interaction radius of ``site``."""
         return [s for s in self.connectivity.interaction_neighbours(site)
                 if self.site_is_free(s)]
+
+    def num_free_sites_near(self, site: int) -> int:
+        """Number of free sites within the interaction radius of ``site``.
+
+        One C-level set intersection against the incremental free-site set —
+        equal to ``len(free_sites_near(site))`` without building the list.
+        """
+        return len(self.connectivity.interaction_set(site) & self._free)
 
     def swap_distance(self, qubit_a: int, qubit_b: int, *, exact: bool = False) -> int:
         """Estimated number of SWAPs needed to make two qubits adjacent.
@@ -287,6 +329,16 @@ class MappingState:
         self._free.discard(destination)
         self._free.add(source)
         self.num_moves_applied += 1
+        # Stamp every site whose interaction neighbourhood the mutation
+        # belongs to (adjacency is symmetric), so region caches can
+        # invalidate with O(1) stamp reads.
+        self._occupancy_epoch += 1
+        epoch = self._occupancy_epoch
+        neigh_stamp = self._neigh_stamp
+        for changed in (source, destination):
+            neigh_stamp[changed] = epoch
+            for neighbour in self.connectivity.interaction_neighbours(changed):
+                neigh_stamp[neighbour] = epoch
 
     def make_move(self, atom: int, destination: int, *, is_move_away: bool = False) -> Move:
         """Construct (but do not apply) a :class:`Move` for ``atom`` to ``destination``."""

@@ -39,13 +39,21 @@ class PassManager:
         self.passes: List[CompilationPass] = list(passes)
 
     def run(self, context: CompilationContext) -> CompilationContext:
-        """Execute every pass in order, accumulating wall time per pass name."""
+        """Execute every pass in order, accumulating wall time per pass name.
+
+        Timing is recorded in a ``finally`` block so a raising pass still
+        books its own elapsed time under its own name — otherwise the time
+        spent in a failing ``evaluate`` pass would be invisible and harness
+        reports would mis-attribute it to the preceding stages.
+        """
         for pipeline_pass in self.passes:
             tick = time.perf_counter()
-            pipeline_pass.run(context)
-            elapsed = time.perf_counter() - tick
-            context.pass_seconds[pipeline_pass.name] = (
-                context.pass_seconds.get(pipeline_pass.name, 0.0) + elapsed)
+            try:
+                pipeline_pass.run(context)
+            finally:
+                elapsed = time.perf_counter() - tick
+                context.pass_seconds[pipeline_pass.name] = (
+                    context.pass_seconds.get(pipeline_pass.name, 0.0) + elapsed)
         return context
 
     def pass_names(self) -> List[str]:

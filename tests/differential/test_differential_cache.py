@@ -1,0 +1,121 @@
+"""Differential harness: cached engine vs from-scratch reference path.
+
+The cross-round routing caches (``repro.mapping.regioncache``) promise a
+**bit-identical** operation stream: every replayed capability decision and
+candidate move chain must equal what a from-scratch recomputation would
+produce.  This harness locks that contract down by compiling seeded random
+circuits across all three hardware presets and asserting op-stream equality
+between the default engine and the ``MapperConfig(cross_round_cache=False)``
+reference path.
+
+The same seeds are used in CI (see the differential job in
+``.github/workflows/ci.yml``), so a failure there reproduces locally with
+plain ``pytest tests/differential``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import QuantumCircuit, decompose_mcx_to_mcz
+from repro.circuit.library import get_benchmark
+from repro.circuit.library.random_circuits import (
+    local_window_circuit,
+    qaoa_maxcut_circuit,
+    random_layered_circuit,
+)
+from repro.hardware import SiteConnectivity
+from repro.mapping import HybridMapper, MapperConfig
+from repro.workloads import build_scaled_architecture
+
+HARDWARE_PRESETS = ("gate", "mixed", "shuttling")
+
+#: Seeded random workloads: two circuits per hardware preset in CI, plus a
+#: multi-qubit-gate workload to exercise position caching under shuttling.
+RANDOM_CIRCUITS = {
+    "layered": lambda seed: random_layered_circuit(16, 6, seed=seed),
+    "layered_ccz": lambda seed: decompose_mcx_to_mcz(
+        random_layered_circuit(14, 4, multi_qubit_fraction=0.25, seed=seed)),
+    "qaoa": lambda seed: qaoa_maxcut_circuit(16, edge_probability=0.25, seed=seed),
+    "local": lambda seed: local_window_circuit(18, 60, window=4, seed=seed),
+}
+
+
+def _architecture(hardware: str):
+    architecture = build_scaled_architecture(hardware, 0.12)
+    return architecture, SiteConnectivity(architecture)
+
+
+def assert_streams_identical(circuit: QuantumCircuit, architecture,
+                             connectivity, config: MapperConfig) -> None:
+    """Map with the cache on and off and require identical output."""
+    cached_mapper = HybridMapper(architecture, config, connectivity=connectivity)
+    reference_mapper = HybridMapper(
+        architecture, config.with_overrides(cross_round_cache=False),
+        connectivity=connectivity)
+    assert cached_mapper.region_cache is not None
+    assert reference_mapper.region_cache is None
+
+    cached = cached_mapper.map(circuit)
+    reference = reference_mapper.map(circuit)
+
+    assert cached.operations == reference.operations
+    assert cached.op_stream_lines() == reference.op_stream_lines()
+    assert cached.op_stream_digest() == reference.op_stream_digest()
+    assert cached.num_swaps == reference.num_swaps
+    assert cached.num_moves == reference.num_moves
+    assert cached.final_qubit_map == reference.final_qubit_map
+    assert cached.final_atom_map == reference.final_atom_map
+
+
+class TestDifferentialRandomCircuits:
+    @pytest.mark.parametrize("hardware", HARDWARE_PRESETS)
+    @pytest.mark.parametrize("workload", sorted(RANDOM_CIRCUITS))
+    @pytest.mark.parametrize("seed", (7, 1234))
+    def test_random_circuit_stream_identical(self, hardware, workload, seed):
+        architecture, connectivity = _architecture(hardware)
+        circuit = RANDOM_CIRCUITS[workload](seed)
+        assert_streams_identical(circuit, architecture, connectivity,
+                                 MapperConfig.hybrid(1.0))
+
+    @pytest.mark.parametrize("mode", ["gate_only", "shuttling_only"])
+    def test_pure_modes_stream_identical(self, mode):
+        architecture, connectivity = _architecture("mixed")
+        circuit = RANDOM_CIRCUITS["layered"](99)
+        assert_streams_identical(circuit, architecture, connectivity,
+                                 MapperConfig.for_mode(mode))
+
+
+class TestDifferentialPaperBenchmarks:
+    @pytest.mark.parametrize("hardware", HARDWARE_PRESETS)
+    @pytest.mark.parametrize("benchmark_name", ("qft", "graph"))
+    def test_benchmark_stream_identical(self, hardware, benchmark_name):
+        architecture, connectivity = _architecture(hardware)
+        circuit = decompose_mcx_to_mcz(
+            get_benchmark(benchmark_name, num_qubits=14, seed=2024))
+        assert_streams_identical(circuit, architecture, connectivity,
+                                 MapperConfig.hybrid(1.0))
+
+
+class TestCacheActuallyEngages:
+    """Guard against the cache silently never firing (dead-code equivalence)."""
+
+    def test_caches_record_hits_on_shuttling_workload(self):
+        architecture, connectivity = _architecture("shuttling")
+        circuit = RANDOM_CIRCUITS["layered"](7)
+        mapper = HybridMapper(architecture, MapperConfig.hybrid(1.0),
+                              connectivity=connectivity)
+        mapper.map(circuit)
+        stats = mapper.region_cache.stats()
+        assert stats["decision_hits"] > 0
+        assert stats["chain_hits"] > 0
+
+    def test_cache_cleared_between_runs(self):
+        architecture, connectivity = _architecture("mixed")
+        circuit = RANDOM_CIRCUITS["local"](7)
+        mapper = HybridMapper(architecture, MapperConfig.hybrid(1.0),
+                              connectivity=connectivity)
+        first = mapper.map(circuit)
+        second = mapper.map(circuit)
+        assert first.operations == second.operations
+        assert first.final_atom_map == second.final_atom_map

@@ -1,0 +1,65 @@
+"""Golden op-stream digests: any routing change that shifts output fails loudly.
+
+On a mismatch the test writes ``golden-digest-diff.json`` (working
+directory) listing the expected and actual digest of every diverging case;
+CI uploads the file as an artifact.  If the change was intentional,
+regenerate with ``PYTHONPATH=src python tests/golden/regenerate.py`` and
+commit the result.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from golden_cases import CASES, SCHEMA, case_key, compute_digest, load_committed
+
+DIFF_PATH = Path("golden-digest-diff.json")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_diff_file():
+    """Drop stale divergence records so the artifact reflects this run only."""
+    if DIFF_PATH.exists():
+        DIFF_PATH.unlink()
+
+
+@pytest.fixture(scope="module")
+def committed():
+    data = load_committed()
+    assert data["schema"] == SCHEMA
+    return {case_key(entry): entry for entry in data["cases"]}
+
+
+def _record_diff(case, expected, actual) -> None:
+    """Append one divergence to the diff artifact (for the CI upload)."""
+    existing = []
+    if DIFF_PATH.exists():
+        try:
+            existing = json.loads(DIFF_PATH.read_text())
+        except ValueError:
+            existing = []
+    existing.append({"case": case_key(case), "expected": expected,
+                     "actual": actual})
+    DIFF_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+
+
+def test_golden_file_covers_exactly_the_case_matrix(committed):
+    assert sorted(committed) == sorted(case_key(case) for case in CASES)
+
+
+@pytest.mark.parametrize("case", CASES, ids=case_key)
+def test_op_stream_digest_matches_committed(case, committed):
+    expected_entry = committed[case_key(case)]
+    expected = {field: expected_entry[field]
+                for field in ("sha256", "num_operations", "num_gates",
+                              "num_swaps", "num_moves")}
+    actual = compute_digest(case)
+    if actual != expected:
+        _record_diff(case, expected, actual)
+    assert actual == expected, (
+        f"op stream of {case_key(case)} diverged from the committed golden "
+        f"digest (see {DIFF_PATH}); if intentional, regenerate via "
+        "'PYTHONPATH=src python tests/golden/regenerate.py'")

@@ -1,0 +1,294 @@
+"""Unit tests for the cross-round routing caches (``repro.mapping.regioncache``).
+
+The differential harness (``tests/differential/``) proves end-to-end
+equivalence; these tests pin the cache mechanics themselves — key checks,
+occupancy-read validation, back-off — and the interaction with the mapper's
+cached multi-qubit positions (``GatePosition.arrived``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.circuit.dag import CircuitDAG
+from repro.mapping import (
+    CapabilityDecider,
+    CrossRoundCache,
+    HybridMapper,
+    MapperConfig,
+    MappingState,
+    ShuttlingRouter,
+)
+from repro.mapping.regioncache import ChainReads
+
+
+@pytest.fixture
+def state(small_architecture, small_connectivity):
+    return MappingState(small_architecture, 12, connectivity=small_connectivity)
+
+
+@pytest.fixture
+def cache(state):
+    cache = CrossRoundCache()
+    cache.begin_run(state)
+    return cache
+
+
+def _gate(circuit_builder):
+    circuit = QuantumCircuit(12)
+    circuit_builder(circuit)
+    return CircuitDAG(circuit).nodes[0].gate
+
+
+class TestDecisionCache:
+    def _decide(self, small_architecture, state, cache, gate):
+        decider = CapabilityDecider(small_architecture)
+        decider.cache = cache
+        return decider.decide(state, gate, gate_index=0)
+
+    def test_unchanged_state_replays_decision(self, small_architecture, state, cache):
+        gate = _gate(lambda c: c.cz(0, 5))
+        first = self._decide(small_architecture, state, cache, gate)
+        second = self._decide(small_architecture, state, cache, gate)
+        assert second is first
+        assert cache.stats()["decision_hits"] == 1
+
+    def test_far_move_keeps_decision_cached(self, small_architecture, state, cache):
+        gate = _gate(lambda c: c.cz(0, 1))
+        first = self._decide(small_architecture, state, cache, gate)
+        # Move an atom far away from both gate qubits: no neighbourhood of
+        # the gate sites changes its free count, so the verdict replays.
+        far_site = state.num_sites - 1
+        assert state.site_is_free(far_site)
+        far_atom = 11
+        assert all(far_site not in
+                   state.connectivity.interaction_neighbours(state.site_of_qubit(q))
+                   for q in gate.qubits)
+        source = state.site_of_atom(far_atom)
+        assert all(source not in
+                   state.connectivity.interaction_neighbours(state.site_of_qubit(q))
+                   for q in gate.qubits)
+        state.move_atom(far_atom, far_site)
+        second = self._decide(small_architecture, state, cache, gate)
+        assert second is first
+
+    def test_nearby_occupancy_change_recomputes(self, small_architecture, state, cache):
+        gate = _gate(lambda c: c.cz(0, 5))
+        first = self._decide(small_architecture, state, cache, gate)
+        # Free a trap inside a gate qubit's interaction neighbourhood: the
+        # free count changes, so the cached verdict must not replay.
+        anchor_site = state.site_of_qubit(0)
+        neighbour_atoms = [state.atom_at_site(s)
+                           for s in state.connectivity.interaction_neighbours(anchor_site)
+                           if state.atom_at_site(s) is not None
+                           and state.qubit_of_atom(state.atom_at_site(s)) is None]
+        far_free = max(s for s in state.free_sites()
+                       if s not in state.connectivity.interaction_neighbours(anchor_site))
+        state.move_atom(neighbour_atoms[0], far_free)
+        second = self._decide(small_architecture, state, cache, gate)
+        assert second is not first
+        assert cache.stats()["decision_hits"] == 0
+
+    def test_swap_of_gate_qubit_misses_on_key(self, small_architecture, state, cache):
+        gate = _gate(lambda c: c.cz(0, 5))
+        first = self._decide(small_architecture, state, cache, gate)
+        # Swapping qubit 0 with an adjacent qubit changes its site: the
+        # sites key no longer matches even though occupancy is untouched.
+        state.apply_swap(0, 1)
+        second = self._decide(small_architecture, state, cache, gate)
+        assert second is not first
+
+    def test_begin_run_drops_entries(self, small_architecture, state, cache):
+        gate = _gate(lambda c: c.cz(0, 5))
+        self._decide(small_architecture, state, cache, gate)
+        cache.begin_run(state)
+        self._decide(small_architecture, state, cache, gate)
+        assert cache.stats()["decision_hits"] == 0
+
+
+class TestChainCache:
+    def _router(self, small_architecture, cache):
+        router = ShuttlingRouter(small_architecture)
+        router.chain_cache = cache
+        return router
+
+    def _node(self, qubit_a, qubit_b):
+        circuit = QuantumCircuit(12)
+        circuit.cz(qubit_a, qubit_b)
+        return CircuitDAG(circuit).nodes[0]
+
+    def test_unchanged_state_replays_chains(self, small_architecture, state, cache):
+        router = self._router(small_architecture, cache)
+        node = self._node(0, 11)
+        first = router.candidate_chains(state, node)
+        second = router.candidate_chains(state, node)
+        assert first and second
+        assert [chain.moves for chain in first] == [chain.moves for chain in second]
+        assert cache.stats()["chain_hits"] == 1
+
+    def test_replayed_chains_equal_reference_construction(
+            self, small_architecture, state, cache):
+        cached_router = self._router(small_architecture, cache)
+        reference_router = ShuttlingRouter(small_architecture)
+        node = self._node(0, 11)
+        cached_router.candidate_chains(state, node)
+        replayed = cached_router.candidate_chains(state, node)
+        reference = reference_router.candidate_chains(state, node)
+        assert [chain.moves for chain in replayed] == \
+            [chain.moves for chain in reference]
+
+    def test_read_site_mutation_invalidates(self, small_architecture, state, cache):
+        router = self._router(small_architecture, cache)
+        node = self._node(0, 11)
+        first = router.candidate_chains(state, node)
+        # Occupy the destination the winning chain relies on: the cached
+        # list must be rebuilt (the free-read no longer holds).
+        destination = first[0].moves[-1].destination
+        spare = next(atom for atom in range(state.num_atoms)
+                     if state.qubit_of_atom(atom) is None)
+        state.move_atom(spare, destination)
+        second = router.candidate_chains(state, node)
+        assert cache.stats()["chain_hits"] == 0
+        assert [chain.moves for chain in second] != [chain.moves for chain in first]
+
+    def test_swap_changes_atom_identity_and_misses(self, small_architecture,
+                                                   state, cache):
+        router = self._router(small_architecture, cache)
+        node = self._node(0, 11)
+        first = router.candidate_chains(state, node)
+        moved_atoms = {move.atom for chain in first for move in chain}
+        state.apply_swap(0, 1)  # qubit 0 now lives on a different atom
+        second = router.candidate_chains(state, node)
+        assert cache.stats()["chain_hits"] == 0
+        # The rebuilt chains move the qubit's *new* atom.
+        assert {move.atom for chain in second for move in chain} != moved_atoms
+
+    def test_reverted_mutation_still_hits(self, small_architecture, state, cache):
+        """A site that changes and changes back leaves the read values
+        intact, so the value-based validation replays the entry."""
+        router = self._router(small_architecture, cache)
+        node = self._node(0, 11)
+        first = router.candidate_chains(state, node)
+        destination = first[0].moves[-1].destination
+        spare = next(atom for atom in range(state.num_atoms)
+                     if state.qubit_of_atom(atom) is None)
+        original = state.site_of_atom(spare)
+        state.move_atom(spare, destination)
+        state.move_atom(spare, original)
+        second = router.candidate_chains(state, node)
+        assert cache.stats()["chain_hits"] == 1
+        assert [chain.moves for chain in second] == [chain.moves for chain in first]
+
+    def test_backoff_stops_recording_after_churn(self, small_architecture,
+                                                 state, cache):
+        router = self._router(small_architecture, cache)
+        node = self._node(0, 11)
+        spares = [atom for atom in range(state.num_atoms)
+                  if state.qubit_of_atom(atom) is None]
+        # Persistently occupy a site the construction read as free after
+        # every build: each round invalidates the entry until the
+        # exponential back-off stops the recording.
+        for spare in spares[:4]:
+            chains = router.candidate_chains(state, node)
+            destination = next(
+                move.destination for move in reversed(chains[0].moves)
+                if state.site_is_free(move.destination))
+            state.move_atom(spare, destination)
+        assert cache._chain_cooldown.get(node.index, 0) > 0
+        assert cache.stats()["chain_hits"] == 0
+
+
+class TestChainReads:
+    def test_record_batch_partitions_by_occupancy(self, state):
+        reads = ChainReads()
+        occupied = state.occupied_sites()
+        batch = set(list(occupied)[:2]) | set(list(state.free_sites())[:2])
+        reads.record_batch(batch, occupied, None)
+        assert reads.occupied <= occupied
+        assert reads.free.isdisjoint(occupied)
+        assert reads.occupied | reads.free == batch
+        assert reads.still_valid(state)
+
+    def test_delta_sites_are_skipped(self, state):
+        reads = ChainReads()
+        occupied = state.occupied_sites()
+        free_site = next(iter(state.free_sites()))
+        occupied_site = next(iter(occupied))
+        reads.record_batch({free_site, occupied_site}, occupied, {free_site})
+        assert free_site not in reads.free
+        assert free_site not in reads.occupied
+        assert occupied_site in reads.occupied
+
+    def test_atom_read_change_invalidates(self, state):
+        reads = ChainReads()
+        site = state.site_of_atom(4)
+        reads.atom_reads[site] = 4
+        assert reads.still_valid(state)
+        free = next(iter(state.free_sites()))
+        state.move_atom(4, free)
+        assert not reads.still_valid(state)
+
+
+class TestArrivedPositionsWithRegionCache:
+    """`GatePosition.arrived` invalidation must behave identically with the
+    region cache enabled: the caches replay decisions/chains, never stale
+    multi-qubit positions."""
+
+    def _displacement_circuit(self):
+        # A CCZ whose position will be cached, plus spread-out CZ work that
+        # forces shuttling moves through the CCZ's neighbourhood.
+        circuit = QuantumCircuit(12)
+        circuit.ccz(0, 1, 2)
+        circuit.cz(3, 11)
+        circuit.cz(4, 10)
+        circuit.cz(0, 9)
+        return circuit
+
+    @pytest.mark.parametrize("mode", ["hybrid", "gate_only", "shuttling_only"])
+    def test_multiqubit_stream_identical_with_cache(self, small_architecture,
+                                                    small_connectivity, mode):
+        circuit = self._displacement_circuit()
+        config = MapperConfig.for_mode(mode)
+        cached = HybridMapper(small_architecture, config,
+                              connectivity=small_connectivity).map(circuit)
+        reference = HybridMapper(
+            small_architecture, config.with_overrides(cross_round_cache=False),
+            connectivity=small_connectivity).map(circuit)
+        assert cached.operations == reference.operations
+        assert cached.final_atom_map == reference.final_atom_map
+
+    def test_displaced_arrived_qubit_still_invalidates_position(
+            self, small_architecture, small_connectivity):
+        """Replaying the PR 2 regression with the region cache wired in:
+        a displaced-then-refilled position is rebuilt, not replayed."""
+        mapper = HybridMapper(small_architecture, MapperConfig.gate_only(),
+                              connectivity=small_connectivity)
+        assert mapper.region_cache is not None
+        state = MappingState(small_architecture, 12,
+                             connectivity=small_connectivity)
+        mapper.region_cache.begin_run(state)
+        circuit = QuantumCircuit(12)
+        circuit.ccz(0, 1, 2)
+
+        from repro.mapping.result import MappingResult
+        node = CircuitDAG(circuit).nodes[0]
+        positions = {}
+        result = MappingResult(circuit=circuit)
+        mapper._refresh_positions(state, [node], [], positions, set(), result)
+        mapper._refresh_positions(state, [node], [], positions, set(), result)
+        cached_position = positions[node.index]
+
+        arrived = next(qubit for qubit, site in cached_position.assignment.items()
+                       if state.site_of_qubit(qubit) == site)
+        vacated = cached_position.assignment[arrived]
+        free = next(iter(state.free_sites()))
+        state.move_atom(state.atom_of_qubit(arrived), free)
+        foreign = next(atom for atom in range(state.num_atoms)
+                       if state.site_of_atom(atom) not in cached_position.sites
+                       and state.qubit_of_atom(atom) is None)
+        state.move_atom(foreign, vacated)
+
+        mapper._refresh_positions(state, [node], [], positions, set(),
+                                  MappingResult(circuit=circuit))
+        assert positions[node.index] is not cached_position

@@ -159,3 +159,86 @@ class TestForcedChain:
         for move in chain:
             state.apply_move(move)
         assert state.gate_executable(circuit[0])
+
+
+class TestPairPenaltyCompatibilityParity:
+    """The inlined AOD-compatibility test in ``_pair_penalty_term`` must
+    agree with :func:`repro.shuttling.aod.moves_compatible` for every move
+    pair — if the scheduler's batching rule ever changes, this fails loudly
+    instead of letting the cost model drift silently."""
+
+    def test_pair_penalty_matches_moves_compatible(self, small_architecture):
+        from itertools import product
+
+        from repro.shuttling.aod import moves_compatible
+        from repro.shuttling.moves import Move
+
+        lattice = small_architecture.lattice
+        router = ShuttlingRouter(small_architecture)
+
+        def make(atom, source, destination, away=False):
+            return Move(atom=atom, source=source, destination=destination,
+                        source_position=lattice.position(source),
+                        destination_position=lattice.position(destination),
+                        is_move_away=away)
+
+        # Every ordered pair over a diverse move set: same/different atoms,
+        # shared endpoints, same-row / same-column / diagonal displacements,
+        # order-preserving and crossing combinations.
+        moves = [
+            make(0, 0, 1), make(0, 0, 7), make(1, 1, 0), make(1, 2, 3),
+            make(2, 6, 13), make(3, 13, 6), make(4, 14, 8), make(5, 8, 14),
+            make(6, 20, 27, away=True), make(7, 27, 20), make(8, 5, 35),
+            make(9, 30, 0), make(2, 0, 1),
+        ]
+        checked = 0
+        for move, recent in product(moves, moves):
+            term = router._pair_penalty_term(move, recent)
+            assert (term == 0.0) == moves_compatible(move, recent), \
+                (move, recent)
+            checked += 1
+        assert checked == len(moves) ** 2
+
+
+class TestTwoQubitChainSpecialisation:
+    """`_build_chain_2q` must be observationally identical to the generic
+    anchor-gathering path for two-qubit gates — across fresh, shuffled and
+    crowded occupancies, including recorded reads."""
+
+    def test_specialised_path_matches_generic(self, small_architecture,
+                                              small_connectivity):
+        import random
+
+        from repro.circuit.dag import CircuitDAG
+        from repro.mapping.regioncache import ChainReads
+
+        router = ShuttlingRouter(small_architecture)
+        state = MappingState(small_architecture, 12,
+                             connectivity=small_connectivity)
+        rng = random.Random(11)
+        for _step in range(30):
+            # Compare on the current occupancy for a spread of qubit pairs.
+            for qubit_a, qubit_b in ((0, 11), (3, 7), (2, 9), (5, 6)):
+                circuit = QuantumCircuit(12)
+                circuit.cz(qubit_a, qubit_b)
+                node = CircuitDAG(circuit).nodes[0]
+                gate = node.gate
+                for anchor in gate.qubits:
+                    reads_fast = ChainReads()
+                    reads_generic = ChainReads()
+                    fast = router._build_chain_2q(state, gate, anchor,
+                                                  node.index, reads_fast)
+                    generic = router._build_chain_generic(
+                        state, gate, anchor, node.index, reads_generic)
+                    if fast is None or generic is None:
+                        assert fast is None and generic is None
+                    else:
+                        assert fast.moves == generic.moves
+                    assert reads_fast.occupied == reads_generic.occupied
+                    assert reads_fast.free == reads_generic.free
+                    assert reads_fast.atom_reads == reads_generic.atom_reads
+            # Random walk the occupancy (move a random atom to a random
+            # free site) so later iterations compare on crowded layouts.
+            atom = rng.randrange(state.num_atoms)
+            free = sorted(state.free_sites())
+            state.move_atom(atom, rng.choice(free))

@@ -5,6 +5,8 @@ decompose → map → schedule → evaluate flow, so its operation streams and
 metrics are identical to driving :class:`HybridMapper` directly.
 """
 
+import time
+
 import pytest
 
 from repro.circuit import decompose_mcx_to_mcz
@@ -162,6 +164,31 @@ class TestPassComposition:
             config=MapperConfig.hybrid(1.0), connectivity=connectivity)
         manager.run(context)
         assert list(context.pass_seconds) == ["decompose"]
+
+    def test_raising_pass_still_books_its_own_time(self, architecture,
+                                                   connectivity,
+                                                   graph_circuit):
+        """A failing pass must record its wall time under its own name.
+
+        Previously the timing was only written after a successful run, so
+        the time burnt in a raising ``evaluate`` pass vanished and harness
+        reports mis-attributed the compile time to the routing stage.
+        """
+        class ExplodingEvaluatePass(CompilationPass):
+            name = "evaluate"
+
+            def run(self, context):
+                time.sleep(0.01)
+                raise RuntimeError("boom")
+
+        passes = default_passes(evaluate=False) + [ExplodingEvaluatePass()]
+        context = CompilationContext(
+            circuit=graph_circuit, architecture=architecture,
+            config=MapperConfig.hybrid(1.0), connectivity=connectivity)
+        with pytest.raises(RuntimeError, match="boom"):
+            PassManager(passes).run(context)
+        assert context.pass_seconds["evaluate"] >= 0.01
+        assert "routing" in context.pass_seconds
 
 
 class TestPassOrderingErrors:

@@ -83,3 +83,63 @@ class TestBuildScaledArchitecture:
                           for name in PAPER_SIZES)
             assert architecture.num_atoms >= largest
             assert architecture.num_atoms < architecture.lattice.num_sites
+
+
+class TestEdgeSizes:
+    """Degenerate workload sizes must still build and compile."""
+
+    def test_scale_below_lattice_minimum_clamps_to_min_size(self):
+        # At a vanishing scale every register clamps to min_size and the
+        # lattice bottoms out at the 4+1 edge of lattice_rows_for.
+        for name in PAPER_SIZES:
+            assert scaled_register_size(name, 0.001) == 8
+        architecture = build_scaled_architecture("mixed", 0.001)
+        assert architecture.lattice.rows == lattice_rows_for(architecture.num_atoms)
+        assert architecture.num_atoms == 8
+        # The 4-row floor of lattice_rows_for plus the one extra free row.
+        assert architecture.lattice.rows == 5
+        assert architecture.num_atoms < architecture.lattice.num_sites
+
+    @pytest.mark.parametrize("hardware", ("gate", "mixed", "shuttling"))
+    def test_tiny_scale_compiles_every_benchmark_mode(self, hardware):
+        from repro.circuit import decompose_mcx_to_mcz
+        from repro.circuit.library import get_benchmark
+        from repro.pipeline import compile_circuit
+
+        architecture = build_scaled_architecture(hardware, 0.001)
+        circuit = decompose_mcx_to_mcz(
+            get_benchmark("qft", num_qubits=8, seed=2024))
+        context = compile_circuit(circuit, architecture)
+        context.require_result().verify_complete()
+
+    @pytest.mark.parametrize("hardware", ("gate", "mixed", "shuttling"))
+    def test_single_qubit_circuit_compiles(self, hardware):
+        from repro.circuit import QuantumCircuit
+        from repro.pipeline import compile_circuit
+
+        circuit = QuantumCircuit(1, name="single")
+        circuit.h(0)
+        circuit.rz(0.25, 0)
+        circuit.h(0)
+        architecture = build_scaled_architecture(hardware, 0.001)
+        context = compile_circuit(circuit, architecture)
+        result = context.require_result()
+        result.verify_complete()
+        assert result.num_swaps == 0
+        assert result.num_moves == 0
+        assert len(result.circuit_gate_ops()) == 3
+
+    def test_single_qubit_circuit_identical_with_cache_off(self):
+        from repro.circuit import QuantumCircuit
+        from repro.mapping import HybridMapper, MapperConfig
+
+        circuit = QuantumCircuit(1, name="single")
+        circuit.h(0)
+        circuit.rz(0.5, 0)
+        architecture = build_scaled_architecture("mixed", 0.001)
+        cached = HybridMapper(architecture, MapperConfig.hybrid(1.0)).map(circuit)
+        reference = HybridMapper(
+            architecture,
+            MapperConfig.hybrid(1.0).with_overrides(cross_round_cache=False),
+        ).map(circuit)
+        assert cached.operations == reference.operations
