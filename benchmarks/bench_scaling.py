@@ -27,8 +27,9 @@ from typing import Dict, List, Optional
 if __package__:
     from .common import BENCH_SCALE
     from .perf_report import (DEFAULT_CIRCUITS, DEFAULT_HARDWARE,
-                              collect_report, main as perf_report_main,
-                              run_batch_case, run_case, write_report)
+                              _preserved_cases, collect_report,
+                              main as perf_report_main, run_batch_case,
+                              run_case, write_report)
 else:  # executed as a plain script: python benchmarks/bench_scaling.py
     _HERE = Path(__file__).resolve().parent
     for entry in (str(_HERE), str(_HERE.parent / "src")):
@@ -36,8 +37,9 @@ else:  # executed as a plain script: python benchmarks/bench_scaling.py
             sys.path.insert(0, entry)
     from common import BENCH_SCALE
     from perf_report import (DEFAULT_CIRCUITS, DEFAULT_HARDWARE,
-                             collect_report, main as perf_report_main,
-                             run_batch_case, run_case, write_report)
+                             _preserved_cases, collect_report,
+                             main as perf_report_main, run_batch_case,
+                             run_case, write_report)
 
 import pytest
 
@@ -79,6 +81,26 @@ def test_scaling_case(benchmark, hardware, circuit_name):
           f"swaps={case['num_swaps']} moves={case['num_moves']}")
 
 
+@pytest.mark.benchmark(group="scaling")
+def test_zoned_smoke_case(benchmark):
+    """Record a zoned-topology case (mixed device parameters, storage +
+    entangling bands) so the multi-zone scenario is exercised — and its perf
+    trace kept — on every benchmark run."""
+    case = benchmark.pedantic(run_case, args=("mixed", "qft", "hybrid",
+                                              BENCH_SCALE),
+                              kwargs={"topology": "zoned"},
+                              rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info.update(
+        {key: value for key, value in case.items()
+         if key not in ("stage_seconds", "pass_seconds")})
+    _CASES.append(case)
+    assert case["topology"] == "zoned"
+    # Zoned routing must shuttle gate qubits into the entangling band.
+    assert case["num_moves"] > 0
+    print(f"\n[zoned    ] {case['circuit']:10s} wall={case['wall_seconds']:7.2f}s "
+          f"swaps={case['num_swaps']} moves={case['num_moves']}")
+
+
 def test_batch_throughput_case():
     """Record a service-layer batch-throughput case (circuits/sec at N workers).
 
@@ -100,8 +122,16 @@ def test_batch_throughput_case():
 
 
 def test_emit_scaling_report():
-    """Write the accumulated cases (or a fresh matrix) to BENCH_scaling.json."""
+    """Write the accumulated cases (or a fresh matrix) to BENCH_scaling.json.
+
+    Non-superseded cases already in the report — other topologies, other
+    scales, batch-throughput entries — are preserved, matching the CLI
+    path's merge semantics, so a harness run never silently drops committed
+    cases it did not re-measure.
+    """
     report = collect_report(BENCH_SCALE, cases=_CASES or None)
+    report["cases"].extend(
+        _preserved_cases(_report_path(), report["cases"], topology=None))
     write_report(report, _report_path())
     assert os.path.exists(_report_path())
     assert report["cases"], "scaling report must contain at least one case"

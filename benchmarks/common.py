@@ -60,9 +60,10 @@ def scaled_lattice_rows(scale: float = BENCH_SCALE) -> int:
     return lattice_rows_for(scaled_atom_count(scale))
 
 
-def bench_spec(hardware: str, scale: float = BENCH_SCALE) -> ArchitectureSpec:
+def bench_spec(hardware: str, scale: float = BENCH_SCALE,
+               topology: str = "square") -> ArchitectureSpec:
     """Cacheable spec of the benchmark device at the given scale."""
-    return ArchitectureSpec.scaled(hardware, scale)
+    return ArchitectureSpec.scaled(hardware, scale, topology=topology)
 
 
 def build_architecture(hardware: str, scale: float = BENCH_SCALE) -> NeutralAtomArchitecture:

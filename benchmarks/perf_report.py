@@ -12,6 +12,7 @@ recorded from PR 1 onward (schema ``repro-bench-scaling/v1``):
       "cases": [
         {
           "hardware": "gate", "circuit": "qft", "mode": "hybrid",
+          "topology": "square",      // trap topology (square/rectangular/zoned)
           "scale": 0.3, "num_qubits": 60,
           "wall_seconds": 1.22,      // full run: pipeline compile (map + evaluate)
           "mapper_seconds": 1.19,    // HybridMapper.map wall time (RT column)
@@ -44,6 +45,8 @@ Usage::
         --out BENCH_scaling.json [--baseline benchmarks/BENCH_seed_baseline.json]
     PYTHONPATH=src python benchmarks/perf_report.py --batch --workers 4 \
         --scale 0.3 --out BENCH_scaling.json   # append a throughput case
+    PYTHONPATH=src python benchmarks/perf_report.py --topology zoned \
+        --hardware mixed --scale 0.3           # zoned-topology matrix
 
 ``--baseline`` points at a previous report (e.g. the committed seed
 baseline); matching cases gain a ``speedup_vs_baseline`` field computed from
@@ -83,14 +86,14 @@ DEFAULT_HARDWARE: Tuple[str, ...] = ("gate", "mixed", "shuttling")
 DEFAULT_MODES: Tuple[str, ...] = ("hybrid",)
 
 
-def _architecture(hardware: str, scale: float):
-    return ARCHITECTURE_CACHE.get(bench_spec(hardware, scale))
+def _architecture(hardware: str, scale: float, topology: str = "square"):
+    return ARCHITECTURE_CACHE.get(bench_spec(hardware, scale, topology))
 
 
 def run_case(hardware: str, circuit_name: str, mode: str, scale: float,
-             *, alpha: float = 1.0) -> Dict:
+             *, alpha: float = 1.0, topology: str = "square") -> Dict:
     """Run one benchmark configuration and return its report case."""
-    architecture, connectivity = _architecture(hardware, scale)
+    architecture, connectivity = _architecture(hardware, scale, topology)
     circuit = build_circuit(circuit_name, scale)
     config = config_for_mode(mode, alpha)
     start = time.perf_counter()
@@ -104,6 +107,7 @@ def run_case(hardware: str, circuit_name: str, mode: str, scale: float,
         "hardware": hardware,
         "circuit": circuit_name,
         "mode": mode,
+        "topology": architecture.topology.kind,
         "cross_round_cache": config.cross_round_cache,
         "scale": scale,
         "num_qubits": scaled_size(circuit_name, scale),
@@ -123,13 +127,13 @@ def run_case(hardware: str, circuit_name: str, mode: str, scale: float,
 def batch_tasks(scale: float,
                 circuits: Sequence[str] = DEFAULT_CIRCUITS,
                 hardware_presets: Sequence[str] = DEFAULT_HARDWARE,
-                mode: str = "hybrid", alpha: float = 1.0
-                ) -> List[CompilationTask]:
+                mode: str = "hybrid", alpha: float = 1.0,
+                topology: str = "square") -> List[CompilationTask]:
     """The benchmark matrix as independent service tasks."""
     return [
         CompilationTask(
             task_id=f"{hardware}-{circuit}-{mode}",
-            architecture=bench_spec(hardware, scale),
+            architecture=bench_spec(hardware, scale, topology),
             circuit_name=circuit,
             num_qubits=scaled_size(circuit, scale),
             mode=mode,
@@ -143,23 +147,28 @@ def batch_tasks(scale: float,
 def run_batch_case(scale: float, num_workers: int,
                    circuits: Sequence[str] = DEFAULT_CIRCUITS,
                    hardware_presets: Sequence[str] = DEFAULT_HARDWARE,
-                   mode: str = "hybrid", alpha: float = 1.0) -> Dict:
+                   mode: str = "hybrid", alpha: float = 1.0,
+                   topology: str = "square") -> Dict:
     """Measure batch throughput (circuits/sec) at N workers vs serial.
 
     Both runs execute the identical task list through the service layer; the
     serial reference uses ``max_workers=1`` (in-process, no pool).
     """
-    tasks = batch_tasks(scale, circuits, hardware_presets, mode, alpha)
+    tasks = batch_tasks(scale, circuits, hardware_presets, mode, alpha, topology)
     serial = BatchCompiler(max_workers=1).compile(tasks)
     batch = BatchCompiler(max_workers=num_workers).compile(tasks)
     failures = len(serial.failed) + len(batch.failed)
     speedup = (serial.wall_seconds / batch.wall_seconds
                if batch.wall_seconds > 0 else 0.0)
+    # Record the *effective* topologies of the built specs, not the request:
+    # the "zoned" hardware preset normalises topology="square" to "zoned".
+    effective = sorted({task.architecture.topology for task in tasks})
     return {
         "kind": "batch_throughput",
         "hardware": "+".join(hardware_presets),
         "circuit": "+".join(circuits),
         "mode": mode,
+        "topology": "+".join(effective),
         "scale": scale,
         "num_tasks": len(tasks),
         "num_workers": batch.num_workers,
@@ -177,10 +186,11 @@ def collect_report(scale: float,
                    circuits: Sequence[str] = DEFAULT_CIRCUITS,
                    hardware_presets: Sequence[str] = DEFAULT_HARDWARE,
                    modes: Sequence[str] = DEFAULT_MODES,
-                   cases: Optional[Iterable[Dict]] = None) -> Dict:
+                   cases: Optional[Iterable[Dict]] = None,
+                   topology: str = "square") -> Dict:
     """Assemble a full report, running the matrix unless ``cases`` is given."""
     if cases is None:
-        cases = [run_case(hardware, circuit, mode, scale)
+        cases = [run_case(hardware, circuit, mode, scale, topology=topology)
                  for hardware in hardware_presets
                  for circuit in circuits
                  for mode in modes]
@@ -194,7 +204,8 @@ def collect_report(scale: float,
 
 def _case_key(case: Dict) -> Tuple:
     return (case.get("kind", "single"), case.get("hardware"),
-            case.get("circuit"), case.get("mode"), case.get("scale"))
+            case.get("circuit"), case.get("mode"), case.get("scale"),
+            case.get("topology", "square"))
 
 
 def attach_baseline(report: Dict, baseline: Dict) -> None:
@@ -234,12 +245,20 @@ def merge_case(report_path, case: Dict, scale: float) -> Dict:
     return report
 
 
-def _preserved_batch_cases(report_path, new_cases: Sequence[Dict]) -> List[Dict]:
-    """Batch-throughput cases of an existing report not superseded by ``new_cases``.
+def _preserved_cases(report_path, new_cases: Sequence[Dict],
+                     topology: Optional[str] = "square") -> List[Dict]:
+    """Cases of an existing report not superseded by ``new_cases``.
 
-    Regenerating the single-circuit matrix must not silently drop previously
-    recorded throughput cases (and vice versa — the batch path merges via
-    :func:`merge_case`), so regeneration order does not matter.
+    Regenerating one single-circuit matrix must not silently drop previously
+    recorded batch-throughput cases or the matrices of *other* topologies
+    (e.g. a committed ``topology: "zoned"`` case when the square matrix is
+    refreshed, and vice versa), so regeneration order does not matter.
+
+    With ``topology`` set, same-topology single-circuit cases are dropped
+    even when not superseded (a full-matrix CLI regeneration replaces that
+    topology's matrix wholesale); ``topology=None`` preserves *every*
+    non-superseded case (the cumulative pytest-harness path, which records
+    a mixed-topology case list).
     """
     path = Path(report_path)
     if not path.exists():
@@ -252,8 +271,10 @@ def _preserved_batch_cases(report_path, new_cases: Sequence[Dict]) -> List[Dict]
         return []
     new_keys = {_case_key(case) for case in new_cases}
     return [case for case in existing.get("cases", [])
-            if case.get("kind") == "batch_throughput"
-            and _case_key(case) not in new_keys]
+            if _case_key(case) not in new_keys
+            and (topology is None
+                 or case.get("kind") == "batch_throughput"
+                 or case.get("topology", "square") != topology)]
 
 
 def write_report(report: Dict, path) -> None:
@@ -271,7 +292,10 @@ def _print_case(case: Dict) -> None:
         return
     speedup = case.get("speedup_vs_baseline")
     speedup_text = f"  speedup={speedup:5.1f}x" if speedup is not None else ""
-    print(f"[{case['hardware']:9s}] {case['circuit']:10s} {case['mode']:9s} "
+    topology = case.get("topology", "square")
+    topology_text = "" if topology == "square" else f" ({topology})"
+    print(f"[{case['hardware']:9s}] {case['circuit']:10s} {case['mode']:9s}"
+          f"{topology_text} "
           f"wall={case['wall_seconds']:7.2f}s swaps={case['num_swaps']:5d} "
           f"moves={case['num_moves']:5d}{speedup_text}")
 
@@ -292,6 +316,14 @@ def build_parser(description: str) -> argparse.ArgumentParser:
     parser.add_argument("--circuits", nargs="*", default=list(DEFAULT_CIRCUITS))
     parser.add_argument("--hardware", nargs="*", default=list(DEFAULT_HARDWARE))
     parser.add_argument("--modes", nargs="*", default=list(DEFAULT_MODES))
+    parser.add_argument("--topology", default="square",
+                        choices=("square", "zoned"),
+                        help="trap topology of the benchmark devices "
+                             "(default square); cases of other topologies "
+                             "already in the report are preserved.  "
+                             "Rectangular devices need explicit cols/"
+                             "spacing_y, so they are driven via the "
+                             "ArchitectureSpec API rather than this flag")
     return parser
 
 
@@ -314,15 +346,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         if len(args.modes) != 1:
             parser.error("--batch records one case; pass exactly one --modes value")
         case = run_batch_case(args.scale, args.workers, args.circuits,
-                              args.hardware, mode=args.modes[0])
+                              args.hardware, mode=args.modes[0],
+                              topology=args.topology)
         report = merge_case(args.out, case, args.scale)
         write_report(report, args.out)
         _print_case(case)
         print(f"wrote {args.out}")
         return 0 if case["num_failures"] == 0 else 1
 
-    report = collect_report(args.scale, args.circuits, args.hardware, args.modes)
-    report["cases"].extend(_preserved_batch_cases(args.out, report["cases"]))
+    report = collect_report(args.scale, args.circuits, args.hardware, args.modes,
+                            topology=args.topology)
+    report["cases"].extend(_preserved_cases(args.out, report["cases"],
+                                            topology=args.topology))
     if args.baseline:
         attach_baseline(report, json.loads(Path(args.baseline).read_text()))
     write_report(report, args.out)

@@ -7,7 +7,8 @@ Spectrum of Computational Capabilities of Neutral Atom Quantum Computers"
 Public API overview
 -------------------
 * :mod:`repro.circuit` — circuit IR, benchmark library, decompositions
-* :mod:`repro.hardware` — lattice, device presets, connectivity
+* :mod:`repro.hardware` — trap topologies (square/rectangular/zoned),
+  device presets, connectivity
 * :mod:`repro.shuttling` — atom moves and AOD batch scheduling
 * :mod:`repro.mapping` — the hybrid mapper (gate-based + shuttling routing)
 * :mod:`repro.pipeline` — pass-based compilation pipeline (the canonical
@@ -51,9 +52,15 @@ from .evaluation import (
 from .hardware import (
     Fidelities,
     GateDurations,
+    GridTopology,
     NeutralAtomArchitecture,
+    RectangularLattice,
     SiteConnectivity,
     SquareLattice,
+    Topology,
+    Zone,
+    ZonedTopology,
+    build_topology,
     preset,
 )
 from .mapping import (
@@ -88,7 +95,8 @@ __all__ = [
     "get_benchmark", "BENCHMARK_NAMES",
     # hardware
     "NeutralAtomArchitecture", "SquareLattice", "SiteConnectivity",
-    "GateDurations", "Fidelities", "preset",
+    "Topology", "GridTopology", "RectangularLattice", "Zone", "ZonedTopology",
+    "build_topology", "GateDurations", "Fidelities", "preset",
     # mapping
     "HybridMapper", "MapperConfig", "MappingResult", "MappingState", "MappingError",
     # pipeline

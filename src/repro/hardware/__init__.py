@@ -1,18 +1,40 @@
-"""Neutral-atom hardware model: lattice geometry, device parameters, connectivity."""
+"""Neutral-atom hardware model: trap topologies, device parameters, connectivity."""
 
 from .architecture import Fidelities, GateDurations, NeutralAtomArchitecture
 from .connectivity import SiteConnectivity
 from .lattice import SquareLattice
+from .topology import (
+    TOPOLOGY_REGISTRY,
+    GridTopology,
+    RectangularLattice,
+    Topology,
+    Zone,
+    ZonedTopology,
+    banded_zone_layout,
+    build_topology,
+    register_topology,
+)
 from .presets import (
+    ALL_PRESET_NAMES,
     PRESET_NAMES,
     gate_optimised,
     mixed,
     preset,
     shuttling_optimised,
+    zoned,
 )
 
 __all__ = [
+    "Topology",
+    "GridTopology",
     "SquareLattice",
+    "RectangularLattice",
+    "Zone",
+    "ZonedTopology",
+    "TOPOLOGY_REGISTRY",
+    "register_topology",
+    "build_topology",
+    "banded_zone_layout",
     "NeutralAtomArchitecture",
     "GateDurations",
     "Fidelities",
@@ -21,5 +43,7 @@ __all__ = [
     "shuttling_optimised",
     "gate_optimised",
     "mixed",
+    "zoned",
     "PRESET_NAMES",
+    "ALL_PRESET_NAMES",
 ]

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
 from .lattice import SquareLattice
+from .topology import Topology
 
 __all__ = ["NeutralAtomArchitecture", "GateDurations", "Fidelities"]
 
@@ -91,10 +92,18 @@ class NeutralAtomArchitecture:
     Radii are given in units of the lattice constant ``d`` (matching the
     presentation in the paper); the properties :attr:`interaction_radius_um`
     and :attr:`restriction_radius_um` convert them to micrometres.
+
+    The trap layout is any :class:`~repro.hardware.topology.Topology`
+    implementation (square, rectangular, zoned, ...); the field keeps its
+    historical name ``lattice``, with :attr:`topology` as the
+    protocol-level alias.  Zone capabilities (which traps may host
+    entangling gates, corridor transit penalties) are part of the topology
+    and surface here through :meth:`is_entangling_site` /
+    :meth:`can_interact` / :meth:`within_restriction`.
     """
 
     name: str = "custom"
-    lattice: SquareLattice = field(default_factory=lambda: SquareLattice(15, 15, 3.0))
+    lattice: Topology = field(default_factory=lambda: SquareLattice(15, 15, 3.0))
     num_atoms: int = 200
     interaction_radius: float = 2.5       # r_int, in units of d
     restriction_radius: float = 2.5       # r_restr >= r_int, in units of d
@@ -125,6 +134,11 @@ class NeutralAtomArchitecture:
     # Derived geometry
     # ------------------------------------------------------------------
     @property
+    def topology(self) -> Topology:
+        """The trap topology (protocol-level alias of :attr:`lattice`)."""
+        return self.lattice
+
+    @property
     def interaction_radius_um(self) -> float:
         """Interaction radius in micrometres."""
         return self.interaction_radius * self.lattice.spacing
@@ -144,21 +158,52 @@ class NeutralAtomArchitecture:
         """``T_eff = T1 T2 / (T1 + T2)`` used in the success-probability model."""
         return self.t1 * self.t2 / (self.t1 + self.t2)
 
+    def _check_site(self, site: int) -> None:
+        if not 0 <= site < self.lattice.num_sites:  # negative would wrap
+            raise ValueError(f"site {site} outside topology with "
+                             f"{self.lattice.num_sites} sites")
+
     def sites_interacting_with(self, site: int) -> list:
-        """Sites within the interaction radius of ``site``."""
-        return self.lattice.sites_within(site, self.interaction_radius_um)
+        """Sites whose atoms could share a gate with an atom at ``site``."""
+        self._check_site(site)
+        return list(self.lattice.interaction_neighbour_table(
+            self.interaction_radius_um)[site])
 
     def sites_restricted_by(self, site: int) -> list:
-        """Sites within the restriction radius of ``site``."""
-        return self.lattice.sites_within(site, self.restriction_radius_um)
+        """Sites blocked by a gate executing at ``site``."""
+        self._check_site(site)
+        return list(self.lattice.restriction_neighbour_table(
+            self.restriction_radius_um)[site])
 
     def can_interact(self, site_a: int, site_b: int) -> bool:
-        """True if atoms at the two sites can take part in the same gate."""
-        return self.lattice.euclidean_distance(site_a, site_b) <= self.interaction_radius_um + 1e-9
+        """True if atoms at the two sites can take part in the same gate.
+
+        Zone-aware: on a zoned topology both sites must be capable of the
+        interaction at that distance (storage traps never are).
+        """
+        return self.lattice.can_interact_within(site_a, site_b,
+                                                self.interaction_radius_um)
 
     def within_restriction(self, site_a: int, site_b: int) -> bool:
         """True if an atom at ``site_b`` blocks parallel gates at ``site_a``."""
-        return self.lattice.euclidean_distance(site_a, site_b) <= self.restriction_radius_um + 1e-9
+        return self.lattice.within_restriction_of(site_a, site_b,
+                                                  self.restriction_radius_um)
+
+    # ------------------------------------------------------------------
+    # Zone capabilities (delegated to the topology)
+    # ------------------------------------------------------------------
+    @property
+    def all_sites_entangling(self) -> bool:
+        """True when every trap may host entangling gates (unzoned devices)."""
+        return self.lattice.all_sites_entangling
+
+    def is_entangling_site(self, site: int) -> bool:
+        """True if 2Q+ gates may execute at ``site``."""
+        return self.lattice.is_entangling_site(site)
+
+    def entangling_sites(self) -> tuple:
+        """All sites where entangling gates may execute, in index order."""
+        return self.lattice.entangling_sites()
 
     # ------------------------------------------------------------------
     # Operation timing and fidelity
@@ -215,9 +260,11 @@ class NeutralAtomArchitecture:
         """Flat dictionary of the architecture parameters (for reports)."""
         return {
             "name": self.name,
+            "topology": self.lattice.kind,
             "rows": self.lattice.rows,
             "cols": self.lattice.cols,
             "spacing_um": self.lattice.spacing,
+            "num_zones": self.lattice.num_zones,
             "num_atoms": self.num_atoms,
             "r_int": self.interaction_radius,
             "r_restr": self.restriction_radius,

@@ -55,27 +55,32 @@ __all__ = ["SiteConnectivity"]
 
 
 class SiteConnectivity:
-    """Precomputed geometric adjacency of the trap lattice.
+    """Precomputed geometric adjacency of the trap topology.
 
     Parameters
     ----------
     architecture:
-        The device description supplying the lattice and both radii.
+        The device description supplying the topology and both radii.
     """
 
     def __init__(self, architecture: NeutralAtomArchitecture) -> None:
         self.architecture = architecture
-        lattice = architecture.lattice
-        self.num_sites = lattice.num_sites
+        topology = architecture.topology
+        self.num_sites = topology.num_sites
 
-        # Neighbour tables come from the lattice's (numpy-accelerated)
-        # row-vector kernel — one broadcast over the in-radius offsets
-        # instead of a python scan per site; membership and ordering are
-        # identical to per-site ``sites_within`` calls.
+        # Neighbour tables come from the topology.  Unzoned topologies
+        # resolve these to the plain geometric radius neighbourhoods built
+        # by the (numpy-accelerated) row-vector kernel — one broadcast over
+        # the in-radius offsets instead of a python scan per site, with
+        # membership and ordering identical to per-site ``sites_within``
+        # calls.  Zoned topologies additionally restrict pairs by zone
+        # capability (storage traps have no interaction partners), so the
+        # whole routing stack inherits the zone semantics through this one
+        # construction point.
         self._interaction_neighbours: List[Tuple[int, ...]] = list(
-            lattice.neighbour_table(architecture.interaction_radius_um))
+            topology.interaction_neighbour_table(architecture.interaction_radius_um))
         self._restriction_neighbours: List[Tuple[int, ...]] = list(
-            lattice.neighbour_table(architecture.restriction_radius_um))
+            topology.restriction_neighbour_table(architecture.restriction_radius_um))
 
         # O(1) adjacency: a dense boolean matrix (bytearray rows) plus the
         # neighbourhoods as frozensets for set algebra.

@@ -8,24 +8,26 @@ Euclidean distance, neighbourhood within a radius, and Manhattan-style
 rectangular shuttling distance (AOD moves travel along x then y, so the time
 cost of a move is proportional to the rectangular distance, cf. ``s(M)`` in
 the shuttling cost function).
+
+The implementation now lives in :class:`repro.hardware.topology.GridTopology`
+— the shared grid backend of the pluggable topology layer — of which
+:class:`SquareLattice` is the isotropic instantiation (``spacing_x ==
+spacing_y``).  Every code path a square lattice runs is byte-for-byte the
+historical one, which is what keeps the golden op-stream digests of the
+square presets unchanged across the topology refactor.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Optional
 
-try:  # pragma: no cover - exercised implicitly by every import
-    import numpy as _np
-except ImportError:  # pragma: no cover - numpy-less fallback environments
-    _np = None
+from .topology import GridTopology, register_topology
 
 __all__ = ["SquareLattice"]
 
-Position = Tuple[float, float]
 
-
-class SquareLattice:
+@register_topology
+class SquareLattice(GridTopology):
     """Regular ``rows x cols`` grid of optical traps with spacing ``d``.
 
     Coordinate indices run row-major: index ``alpha`` sits at row
@@ -33,287 +35,11 @@ class SquareLattice:
     ``(col * d, row * d)`` in micrometres.
     """
 
-    def __init__(self, rows: int, cols: Optional[int] = None, spacing: float = 3.0) -> None:
-        if rows <= 0:
-            raise ValueError("lattice needs at least one row")
-        cols = cols if cols is not None else rows
-        if cols <= 0:
-            raise ValueError("lattice needs at least one column")
-        if spacing <= 0:
-            raise ValueError("lattice spacing must be positive")
-        self.rows = int(rows)
-        self.cols = int(cols)
-        self.spacing = float(spacing)
-        self._num_sites = self.rows * self.cols
-        # Geometry caches.  Site positions never change, so they are computed
-        # once; radius neighbourhoods are memoised per (site, radius) because
-        # the routers query the same few radii over and over.
-        self._positions: List[Position] = [
-            ((site % self.cols) * self.spacing, (site // self.cols) * self.spacing)
-            for site in range(self._num_sites)
-        ]
-        self._sites_within_cache: Dict[Tuple[int, float], List[int]] = {}
-        self._sites_within_set_cache: Dict[Tuple[int, float], frozenset] = {}
-        self._radius_offsets_cache: Dict[float, List[Tuple[int, int]]] = {}
-        self._neighbour_table_cache: Dict[float, List[Tuple[int, ...]]] = {}
-        self._euclidean_rows: List[Optional[List[float]]] = [None] * self._num_sites
-        self._rectangular_rows: List[Optional[List[float]]] = [None] * self._num_sites
-        # numpy row-vector kernel: per-axis coordinate arrays, used to fill
-        # rectangular-distance rows in one vectorised expression (exact for
-        # any spacing — see rectangular_row).  Gated on numpy being
-        # importable; the pure-python loops remain the fallback and the
-        # reference (tests assert the rows are bit-identical).  Euclidean
-        # rows intentionally stay scalar: vectorised sqrt differs from
-        # math.hypot in the last bit on non-representable coordinates.
-        if _np is not None:
-            self._xs = _np.fromiter((p[0] for p in self._positions), dtype=_np.float64,
-                                    count=self._num_sites)
-            self._ys = _np.fromiter((p[1] for p in self._positions), dtype=_np.float64,
-                                    count=self._num_sites)
-        else:
-            self._xs = self._ys = None
+    kind = "square"
 
-    # ------------------------------------------------------------------
-    # Basic properties
-    # ------------------------------------------------------------------
-    @property
-    def num_sites(self) -> int:
-        """Total number of trap coordinates ``|C|``."""
-        return self._num_sites
-
-    def __len__(self) -> int:
-        return self.num_sites
-
-    def __iter__(self) -> Iterator[int]:
-        return iter(range(self.num_sites))
+    def __init__(self, rows: int, cols: Optional[int] = None,
+                 spacing: float = 3.0) -> None:
+        super().__init__(rows, cols, spacing_x=spacing, spacing_y=spacing)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SquareLattice({self.rows}x{self.cols}, d={self.spacing} um)"
-
-    # ------------------------------------------------------------------
-    # Index <-> geometry conversions
-    # ------------------------------------------------------------------
-    def row_col(self, site: int) -> Tuple[int, int]:
-        """Return the ``(row, col)`` grid coordinates of a site index."""
-        self._check_site(site)
-        return divmod(site, self.cols)
-
-    def site_at(self, row: int, col: int) -> int:
-        """Return the site index at grid coordinates ``(row, col)``."""
-        if not (0 <= row < self.rows and 0 <= col < self.cols):
-            raise ValueError(f"grid coordinates ({row}, {col}) outside "
-                             f"{self.rows}x{self.cols} lattice")
-        return row * self.cols + col
-
-    def position(self, site: int) -> Position:
-        """Physical ``(x, y)`` position of a site in micrometres."""
-        self._check_site(site)
-        return self._positions[site]
-
-    def positions(self) -> List[Position]:
-        """Positions of all sites in index order."""
-        return list(self._positions)
-
-    def site_near(self, x: float, y: float) -> int:
-        """Site index closest to the physical position ``(x, y)``."""
-        col = min(max(round(x / self.spacing), 0), self.cols - 1)
-        row = min(max(round(y / self.spacing), 0), self.rows - 1)
-        return self.site_at(int(row), int(col))
-
-    def _check_site(self, site: int) -> None:
-        if not 0 <= site < self._num_sites:
-            raise ValueError(f"site {site} outside lattice with {self._num_sites} sites")
-
-    # ------------------------------------------------------------------
-    # Distances
-    # ------------------------------------------------------------------
-    def euclidean_distance(self, site_a: int, site_b: int) -> float:
-        """Euclidean distance between two sites in micrometres."""
-        if site_a < 0 or site_b < 0:  # list indexing would silently wrap
-            self._check_site(site_a)
-            self._check_site(site_b)
-        xa, ya = self._positions[site_a]
-        xb, yb = self._positions[site_b]
-        return math.hypot(xa - xb, ya - yb)
-
-    def rectangular_distance(self, site_a: int, site_b: int) -> float:
-        """Manhattan (x-then-y) travel distance between two sites in micrometres.
-
-        AOD moves displace the activated row and column independently, so the
-        shuttling time of a single move is governed by this rectangular
-        distance ``s(M)``.
-        """
-        if site_a < 0 or site_b < 0:  # list indexing would silently wrap
-            self._check_site(site_a)
-            self._check_site(site_b)
-        xa, ya = self._positions[site_a]
-        xb, yb = self._positions[site_b]
-        return abs(xa - xb) + abs(ya - yb)
-
-    def euclidean_row(self, site: int) -> List[float]:
-        """Euclidean distances from ``site`` to every site (lazily cached row).
-
-        Returned by reference for hot loops (the shuttling cost function
-        evaluates millions of point distances); callers must not mutate it.
-        The values are bit-identical to :meth:`euclidean_distance`.  The
-        fill deliberately stays on ``math.hypot``: a vectorised
-        ``sqrt(dx*dx + dy*dy)`` differs from ``hypot`` in the last bit for
-        coordinates that are not exactly representable (e.g. spacing 0.3),
-        which would make routing decisions depend on whether numpy is
-        installed.  Row construction is one-time per site, so the scalar
-        loop costs nothing in the steady state.
-        """
-        self._check_site(site)
-        row = self._euclidean_rows[site]
-        if row is None:
-            x, y = self._positions[site]
-            row = [math.hypot(x - px, y - py) for px, py in self._positions]
-            self._euclidean_rows[site] = row
-        return row
-
-    def rectangular_row(self, site: int) -> List[float]:
-        """Rectangular (Manhattan) distances from ``site`` to every site (cached).
-
-        The numpy kernel is exact here for any spacing: subtraction, ``abs``
-        and addition are single correctly-rounded IEEE operations, so the
-        vectorised row is bit-identical to the scalar formula (asserted by
-        the hardware kernel tests).
-        """
-        self._check_site(site)
-        row = self._rectangular_rows[site]
-        if row is None:
-            x, y = self._positions[site]
-            if self._xs is not None:
-                row = (_np.abs(x - self._xs) + _np.abs(y - self._ys)).tolist()
-            else:
-                row = [abs(x - px) + abs(y - py) for px, py in self._positions]
-            self._rectangular_rows[site] = row
-        return row
-
-    def grid_distance(self, site_a: int, site_b: int) -> int:
-        """Chebyshev distance in lattice units (number of king moves)."""
-        ra, ca = self.row_col(site_a)
-        rb, cb = self.row_col(site_b)
-        return max(abs(ra - rb), abs(ca - cb))
-
-    # ------------------------------------------------------------------
-    # Neighbourhoods
-    # ------------------------------------------------------------------
-    def _radius_offsets(self, radius: float) -> List[Tuple[int, int]]:
-        """In-radius ``(dr, dc)`` grid offsets in scan order (memoised).
-
-        The distance predicate is evaluated once per offset instead of once
-        per (site, offset); the values and ordering are exactly those of the
-        historical per-site bounding-box scan.
-        """
-        cached = self._radius_offsets_cache.get(radius)
-        if cached is None:
-            reach = int(math.floor(radius / self.spacing + 1e-9))
-            cached = [
-                (dr, dc)
-                for dr in range(-reach, reach + 1)
-                for dc in range(-reach, reach + 1)
-                if (dr, dc) != (0, 0)
-                and math.hypot(dr, dc) * self.spacing <= radius + 1e-9
-            ]
-            self._radius_offsets_cache[radius] = cached
-        return cached
-
-    def sites_within(self, site: int, radius: float) -> List[int]:
-        """All sites (excluding ``site`` itself) within Euclidean ``radius``.
-
-        ``radius`` is in micrometres.  The scan is restricted to the shared
-        in-radius offset table, so the cost is ``O((radius/d)^2)`` rather
-        than the full lattice; results are memoised per ``(site, radius)``
-        because the routers probe the same few radii millions of times.
-        """
-        self._check_site(site)
-        if radius <= 0:
-            return []
-        cached = self._sites_within_cache.get((site, radius))
-        if cached is not None:
-            return list(cached)
-        row, col = self.row_col(site)
-        rows, cols = self.rows, self.cols
-        found: List[int] = []
-        for dr, dc in self._radius_offsets(radius):
-            r, c = row + dr, col + dc
-            if 0 <= r < rows and 0 <= c < cols:
-                found.append(r * cols + c)
-        self._sites_within_cache[(site, radius)] = found
-        return list(found)
-
-    def neighbour_table(self, radius: float) -> List[Tuple[int, ...]]:
-        """:meth:`sites_within` for *every* site at once (memoised).
-
-        With numpy available the whole table is computed as one broadcast
-        over the in-radius offsets (the row-vector kernel the connectivity
-        construction uses); the fallback assembles the same rows per site.
-        Ordering and membership are identical to :meth:`sites_within`.
-        """
-        cached = self._neighbour_table_cache.get(radius)
-        if cached is not None:
-            return cached
-        if radius <= 0:
-            table: List[Tuple[int, ...]] = [() for _ in range(self._num_sites)]
-        elif _np is not None:
-            offsets = self._radius_offsets(radius)
-            if offsets:
-                drs = _np.fromiter((o[0] for o in offsets), dtype=_np.int64,
-                                   count=len(offsets))
-                dcs = _np.fromiter((o[1] for o in offsets), dtype=_np.int64,
-                                   count=len(offsets))
-                sites = _np.arange(self._num_sites, dtype=_np.int64)
-                r = sites[:, None] // self.cols + drs[None, :]
-                c = sites[:, None] % self.cols + dcs[None, :]
-                valid = ((r >= 0) & (r < self.rows) & (c >= 0) & (c < self.cols))
-                neighbour = r * self.cols + c
-                table = [tuple(neighbour[i, valid[i]].tolist())
-                         for i in range(self._num_sites)]
-            else:
-                table = [() for _ in range(self._num_sites)]
-        else:
-            table = [tuple(self.sites_within(site, radius))
-                     for site in range(self._num_sites)]
-        self._neighbour_table_cache[radius] = table
-        return table
-
-    def sites_within_set(self, site: int, radius: float) -> frozenset:
-        """The :meth:`sites_within` disc as a memoised frozenset.
-
-        Shared by reference for set algebra in hot loops (e.g. the chain
-        cache's occupancy-read recording), so no per-call copy is made.
-        """
-        key = (site, radius)
-        cached = self._sites_within_set_cache.get(key)
-        if cached is None:
-            cached = frozenset(self.sites_within(site, radius))
-            self._sites_within_set_cache[key] = cached
-        return cached
-
-    def neighbourhood_size(self, radius: float) -> int:
-        """Coordination number ``K_r`` of a bulk site for the given radius."""
-        if radius <= 0:
-            return 0
-        return len(self._radius_offsets(radius))
-
-    def all_pairs_within(self, radius: float) -> Iterator[Tuple[int, int]]:
-        """Yield every unordered site pair within Euclidean ``radius``."""
-        for site in range(self.num_sites):
-            for other in self.sites_within(site, radius):
-                if other > site:
-                    yield (site, other)
-
-    def boundary_sites(self) -> List[int]:
-        """Sites on the outer rim of the lattice."""
-        rim = []
-        for site in range(self.num_sites):
-            row, col = self.row_col(site)
-            if row in (0, self.rows - 1) or col in (0, self.cols - 1):
-                rim.append(site)
-        return rim
-
-    def interior_sites(self) -> List[int]:
-        """Sites not on the outer rim."""
-        boundary = set(self.boundary_sites())
-        return [site for site in range(self.num_sites) if site not in boundary]

@@ -1,0 +1,885 @@
+"""Pluggable trap-topology layer.
+
+The paper evaluates the hybrid gate/shuttling trade-off on a regular square
+lattice (Section 2.1), but nothing in the mapping process depends on the
+traps forming a square: the routers only consume *geometric queries* — site
+positions, distances, radius neighbourhoods — plus, for multi-zone systems,
+*zone capabilities* (which traps may host entangling gates, what extra
+transit a shuttle pays for crossing a zone corridor).
+
+This module defines that contract and its implementations:
+
+* :class:`Topology` — the protocol every trap layout implements: ``num_sites``,
+  positions, ``neighbours_within(site, r)`` and distance rows (scalar +
+  numpy-kernel variants), plus zone hooks that default to the unzoned
+  single-region behaviour so square lattices are unaffected.
+* :class:`GridTopology` — the shared row-major grid implementation
+  (anisotropic ``spacing_x`` / ``spacing_y``), extracted from the historical
+  ``SquareLattice`` with its caches (positions, per-radius offset rings,
+  lazily filled distance rows, vectorised neighbour tables) intact.
+* :class:`RectangularLattice` — ``rows != cols`` grids with anisotropic
+  spacing, registered as ``"rectangular"``.
+* :class:`Zone` / :class:`ZonedTopology` — storage + entangling bands with
+  per-zone interaction/restriction radii and a configurable corridor transit
+  penalty, registered as ``"zoned"``.  Storage traps hold atoms but cannot
+  host entangling gates; the mapper shuttles gate qubits into an entangling
+  zone (cf. multi-zone trap systems such as the AQT multi-zone router).
+
+``SquareLattice`` (kind ``"square"``) lives in :mod:`repro.hardware.lattice`
+for backwards compatibility and registers itself here on import.
+
+Bit-identity contract
+---------------------
+For isotropic grids every code path — offset rings, distance rows, the
+numpy kernels — is the exact code the square lattice always ran, so the
+golden op-stream digests of the square presets are unchanged by this layer.
+Anisotropic and zoned behaviour only engages through the new parameters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import (Callable, Dict, FrozenSet, Iterator, List, Optional,
+                    Sequence, Tuple, Type, Union)
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy-less fallback environments
+    _np = None
+
+__all__ = [
+    "Position",
+    "Topology",
+    "GridTopology",
+    "RectangularLattice",
+    "Zone",
+    "ZonedTopology",
+    "TOPOLOGY_REGISTRY",
+    "register_topology",
+    "build_topology",
+    "banded_zone_layout",
+    "zones_from_layout",
+    "ZoneLayout",
+]
+
+Position = Tuple[float, float]
+
+#: Geometric tolerance shared by every radius predicate (matches the
+#: historical square-lattice implementation bit for bit).
+_EPSILON = 1e-9
+
+#: Serialisable zone layout: ``((kind, rows), ...)`` or full ``Zone`` tuples.
+ZoneLayout = Tuple[Tuple[str, int], ...]
+
+
+class Topology:
+    """Protocol for trap layouts the architecture and mapper consume.
+
+    Concrete classes provide the *geometry*: :attr:`num_sites`, positions,
+    ``neighbours_within`` / :meth:`sites_within` and the distance rows (with
+    scalar reference semantics; a numpy kernel may accelerate construction
+    as long as the rows stay bit-identical).  The *zone* hooks below have
+    single-region defaults, so unzoned topologies need not override them:
+
+    * every site may host entangling gates (:meth:`is_entangling_site`),
+    * the interaction/restriction neighbour tables are the plain geometric
+      radius neighbourhoods,
+    * travel distances carry no corridor penalties.
+    """
+
+    #: Registry key of the topology family (``"square"``, ``"rectangular"``,
+    #: ``"zoned"``); subclasses override.
+    kind: str = "abstract"
+
+    #: Grid shape and lattice constant — part of the protocol, not just of
+    #: :class:`GridTopology`: the mapper's safety bounds consume
+    #: ``rows``/``cols`` (stall threshold, max routing steps), the radius
+    #: conversions and move-away heuristics consume ``spacing`` (the
+    #: lattice constant ``d``), and the initial-layout strategies consume
+    #: :meth:`row_col`.  A non-grid implementation must still provide
+    #: meaningful values (e.g. the bounding-box shape and the minimum
+    #: trap pitch).
+    rows: int
+    cols: int
+    spacing: float
+
+    # -- geometry (must be implemented) --------------------------------
+    @property
+    def num_sites(self) -> int:
+        raise NotImplementedError
+
+    def row_col(self, site: int) -> Tuple[int, int]:
+        """Grid coordinates of a site (bounding-box coordinates off-grid)."""
+        raise NotImplementedError
+
+    def position(self, site: int) -> Position:
+        raise NotImplementedError
+
+    def positions(self) -> List[Position]:
+        raise NotImplementedError
+
+    def euclidean_distance(self, site_a: int, site_b: int) -> float:
+        raise NotImplementedError
+
+    def rectangular_distance(self, site_a: int, site_b: int) -> float:
+        raise NotImplementedError
+
+    def euclidean_row(self, site: int) -> List[float]:
+        raise NotImplementedError
+
+    def rectangular_row(self, site: int) -> List[float]:
+        raise NotImplementedError
+
+    def sites_within(self, site: int, radius: float) -> List[int]:
+        raise NotImplementedError
+
+    def sites_within_set(self, site: int, radius: float) -> FrozenSet[int]:
+        raise NotImplementedError
+
+    def neighbour_table(self, radius: float) -> List[Tuple[int, ...]]:
+        raise NotImplementedError
+
+    def neighbourhood_size(self, radius: float) -> int:
+        raise NotImplementedError
+
+    def cache_key(self) -> Tuple:
+        """Hashable identity of the topology (type + dims + spacing + zones)."""
+        raise NotImplementedError
+
+    # -- protocol conveniences -----------------------------------------
+    def neighbours_within(self, site: int, radius: float) -> List[int]:
+        """Protocol alias of :meth:`sites_within`."""
+        return self.sites_within(site, radius)
+
+    def __len__(self) -> int:
+        return self.num_sites
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.num_sites))
+
+    # -- zone hooks (single-region defaults) ---------------------------
+    @property
+    def num_zones(self) -> int:
+        return 1
+
+    @property
+    def all_sites_entangling(self) -> bool:
+        """True when every trap may host entangling gates (unzoned default)."""
+        return True
+
+    @property
+    def has_travel_penalties(self) -> bool:
+        """True when travel distances exceed the plain rectangular metric."""
+        return False
+
+    def zone_of(self, site: int) -> int:
+        """Index of the zone containing ``site`` (0 for unzoned layouts)."""
+        return 0
+
+    def is_entangling_site(self, site: int) -> bool:
+        """True if entangling (2Q+) gates may execute at ``site``."""
+        return True
+
+    def entangling_sites(self) -> Tuple[int, ...]:
+        """All sites where entangling gates may execute, in index order."""
+        return tuple(range(self.num_sites))
+
+    def zone_partition(self) -> List[Tuple[int, ...]]:
+        """Sites grouped by zone; the groups partition ``range(num_sites)``."""
+        return [tuple(range(self.num_sites))]
+
+    def interaction_neighbour_table(self, radius_um: float
+                                    ) -> List[Tuple[int, ...]]:
+        """Per-site interaction partners under the device radius ``radius_um``.
+
+        The unzoned default is the plain geometric neighbourhood; zoned
+        topologies restrict pairs by their zones' capabilities.
+        """
+        return self.neighbour_table(radius_um)
+
+    def restriction_neighbour_table(self, radius_um: float
+                                    ) -> List[Tuple[int, ...]]:
+        """Per-site blocked partners when a gate executes at the site."""
+        return self.neighbour_table(radius_um)
+
+    def can_interact_within(self, site_a: int, site_b: int,
+                            radius_um: float) -> bool:
+        """True if atoms at the two sites may share a gate at ``radius_um``."""
+        return self.euclidean_distance(site_a, site_b) <= radius_um + _EPSILON
+
+    def within_restriction_of(self, site_a: int, site_b: int,
+                              radius_um: float) -> bool:
+        """True if an atom at ``site_b`` blocks a gate executing at ``site_a``."""
+        return self.euclidean_distance(site_a, site_b) <= radius_um + _EPSILON
+
+
+class GridTopology(Topology):
+    """Row-major ``rows x cols`` grid of optical traps.
+
+    Coordinate indices run row-major: index ``alpha`` sits at row
+    ``alpha // cols`` and column ``alpha % cols``, i.e. at physical position
+    ``(col * spacing_x, row * spacing_y)`` in micrometres.  ``spacing`` (the
+    lattice constant ``d`` used for radius conversions) is the smaller of
+    the two pitches; for isotropic grids all three coincide and every code
+    path below is exactly the historical square-lattice implementation.
+    """
+
+    kind = "grid"
+
+    def __init__(self, rows: int, cols: Optional[int] = None,
+                 spacing_x: float = 3.0,
+                 spacing_y: Optional[float] = None) -> None:
+        if rows <= 0:
+            raise ValueError("lattice needs at least one row")
+        cols = cols if cols is not None else rows
+        if cols <= 0:
+            raise ValueError("lattice needs at least one column")
+        spacing_y = spacing_y if spacing_y is not None else spacing_x
+        if spacing_x <= 0 or spacing_y <= 0:
+            raise ValueError("lattice spacing must be positive")
+        self.rows = int(rows)
+        self.cols = int(cols)
+        self.spacing_x = float(spacing_x)
+        self.spacing_y = float(spacing_y)
+        #: Lattice constant ``d`` used to convert radii given in units of
+        #: ``d`` to micrometres (the smaller pitch for anisotropic grids).
+        self.spacing = min(self.spacing_x, self.spacing_y)
+        self._num_sites = self.rows * self.cols
+        # Geometry caches.  Site positions never change, so they are computed
+        # once; radius neighbourhoods are memoised per (site, radius) because
+        # the routers query the same few radii over and over.
+        self._positions: List[Position] = [
+            ((site % self.cols) * self.spacing_x,
+             (site // self.cols) * self.spacing_y)
+            for site in range(self._num_sites)
+        ]
+        self._sites_within_cache: Dict[Tuple[int, float], List[int]] = {}
+        self._sites_within_set_cache: Dict[Tuple[int, float], frozenset] = {}
+        self._radius_offsets_cache: Dict[float, List[Tuple[int, int]]] = {}
+        self._neighbour_table_cache: Dict[float, List[Tuple[int, ...]]] = {}
+        self._euclidean_rows: List[Optional[List[float]]] = [None] * self._num_sites
+        self._rectangular_rows: List[Optional[List[float]]] = [None] * self._num_sites
+        # numpy row-vector kernel: per-axis coordinate arrays, used to fill
+        # rectangular-distance rows in one vectorised expression (exact for
+        # any spacing — see rectangular_row).  Gated on numpy being
+        # importable; the pure-python loops remain the fallback and the
+        # reference (tests assert the rows are bit-identical).  Euclidean
+        # rows intentionally stay scalar: vectorised sqrt differs from
+        # math.hypot in the last bit on non-representable coordinates.
+        if _np is not None:
+            self._xs = _np.fromiter((p[0] for p in self._positions), dtype=_np.float64,
+                                    count=self._num_sites)
+            self._ys = _np.fromiter((p[1] for p in self._positions), dtype=_np.float64,
+                                    count=self._num_sites)
+        else:
+            self._xs = self._ys = None
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_sites(self) -> int:
+        """Total number of trap coordinates ``|C|``."""
+        return self._num_sites
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{type(self).__name__}({self.rows}x{self.cols}, "
+                f"dx={self.spacing_x} um, dy={self.spacing_y} um)")
+
+    def cache_key(self) -> Tuple:
+        return (self.kind, self.rows, self.cols, self.spacing_x, self.spacing_y)
+
+    # ------------------------------------------------------------------
+    # Index <-> geometry conversions
+    # ------------------------------------------------------------------
+    def row_col(self, site: int) -> Tuple[int, int]:
+        """Return the ``(row, col)`` grid coordinates of a site index."""
+        self._check_site(site)
+        return divmod(site, self.cols)
+
+    def site_at(self, row: int, col: int) -> int:
+        """Return the site index at grid coordinates ``(row, col)``."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ValueError(f"grid coordinates ({row}, {col}) outside "
+                             f"{self.rows}x{self.cols} lattice")
+        return row * self.cols + col
+
+    def position(self, site: int) -> Position:
+        """Physical ``(x, y)`` position of a site in micrometres."""
+        self._check_site(site)
+        return self._positions[site]
+
+    def positions(self) -> List[Position]:
+        """Positions of all sites in index order."""
+        return list(self._positions)
+
+    def site_near(self, x: float, y: float) -> int:
+        """Site index closest to the physical position ``(x, y)``."""
+        col = min(max(round(x / self.spacing_x), 0), self.cols - 1)
+        row = min(max(round(y / self.spacing_y), 0), self.rows - 1)
+        return self.site_at(int(row), int(col))
+
+    def _check_site(self, site: int) -> None:
+        if not 0 <= site < self._num_sites:
+            raise ValueError(f"site {site} outside lattice with {self._num_sites} sites")
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def euclidean_distance(self, site_a: int, site_b: int) -> float:
+        """Euclidean distance between two sites in micrometres."""
+        if site_a < 0 or site_b < 0:  # list indexing would silently wrap
+            self._check_site(site_a)
+            self._check_site(site_b)
+        xa, ya = self._positions[site_a]
+        xb, yb = self._positions[site_b]
+        return math.hypot(xa - xb, ya - yb)
+
+    def rectangular_distance(self, site_a: int, site_b: int) -> float:
+        """Manhattan (x-then-y) travel distance between two sites in micrometres.
+
+        AOD moves displace the activated row and column independently, so the
+        shuttling time of a single move is governed by this rectangular
+        distance ``s(M)``.
+        """
+        if site_a < 0 or site_b < 0:  # list indexing would silently wrap
+            self._check_site(site_a)
+            self._check_site(site_b)
+        xa, ya = self._positions[site_a]
+        xb, yb = self._positions[site_b]
+        return abs(xa - xb) + abs(ya - yb)
+
+    def euclidean_row(self, site: int) -> List[float]:
+        """Euclidean distances from ``site`` to every site (lazily cached row).
+
+        Returned by reference for hot loops (the shuttling cost function
+        evaluates millions of point distances); callers must not mutate it.
+        The values are bit-identical to :meth:`euclidean_distance`.  The
+        fill deliberately stays on ``math.hypot``: a vectorised
+        ``sqrt(dx*dx + dy*dy)`` differs from ``hypot`` in the last bit for
+        coordinates that are not exactly representable (e.g. spacing 0.3),
+        which would make routing decisions depend on whether numpy is
+        installed.  Row construction is one-time per site, so the scalar
+        loop costs nothing in the steady state.
+        """
+        self._check_site(site)
+        row = self._euclidean_rows[site]
+        if row is None:
+            x, y = self._positions[site]
+            row = [math.hypot(x - px, y - py) for px, py in self._positions]
+            self._euclidean_rows[site] = row
+        return row
+
+    def rectangular_row(self, site: int) -> List[float]:
+        """Rectangular (Manhattan) distances from ``site`` to every site (cached).
+
+        The numpy kernel is exact here for any spacing: subtraction, ``abs``
+        and addition are single correctly-rounded IEEE operations, so the
+        vectorised row is bit-identical to the scalar formula (asserted by
+        the hardware kernel tests).  Zoned topologies override this with
+        the *travel* metric including corridor penalties; the plain grid
+        metric and the travel metric coincide here.
+        """
+        self._check_site(site)
+        row = self._rectangular_rows[site]
+        if row is None:
+            x, y = self._positions[site]
+            if self._xs is not None:
+                row = (_np.abs(x - self._xs) + _np.abs(y - self._ys)).tolist()
+            else:
+                row = [abs(x - px) + abs(y - py) for px, py in self._positions]
+            self._rectangular_rows[site] = row
+        return row
+
+    def grid_distance(self, site_a: int, site_b: int) -> int:
+        """Chebyshev distance in lattice units (number of king moves)."""
+        ra, ca = self.row_col(site_a)
+        rb, cb = self.row_col(site_b)
+        return max(abs(ra - rb), abs(ca - cb))
+
+    # ------------------------------------------------------------------
+    # Neighbourhoods
+    # ------------------------------------------------------------------
+    def _radius_offsets(self, radius: float) -> List[Tuple[int, int]]:
+        """In-radius ``(dr, dc)`` grid offsets in scan order (memoised).
+
+        The distance predicate is evaluated once per offset instead of once
+        per (site, offset); the values and ordering are exactly those of the
+        historical per-site bounding-box scan.  The isotropic branch keeps
+        the historical formula ``hypot(dr, dc) * spacing`` verbatim — it is
+        the reference the golden digests pin; the anisotropic branch scales
+        each axis by its own pitch before the hypotenuse.
+        """
+        cached = self._radius_offsets_cache.get(radius)
+        if cached is None:
+            if self.spacing_x == self.spacing_y:
+                spacing = self.spacing_x
+                reach = int(math.floor(radius / spacing + _EPSILON))
+                cached = [
+                    (dr, dc)
+                    for dr in range(-reach, reach + 1)
+                    for dc in range(-reach, reach + 1)
+                    if (dr, dc) != (0, 0)
+                    and math.hypot(dr, dc) * spacing <= radius + _EPSILON
+                ]
+            else:
+                reach_r = int(math.floor(radius / self.spacing_y + _EPSILON))
+                reach_c = int(math.floor(radius / self.spacing_x + _EPSILON))
+                cached = [
+                    (dr, dc)
+                    for dr in range(-reach_r, reach_r + 1)
+                    for dc in range(-reach_c, reach_c + 1)
+                    if (dr, dc) != (0, 0)
+                    and math.hypot(dc * self.spacing_x,
+                                   dr * self.spacing_y) <= radius + _EPSILON
+                ]
+            self._radius_offsets_cache[radius] = cached
+        return cached
+
+    def sites_within(self, site: int, radius: float) -> List[int]:
+        """All sites (excluding ``site`` itself) within Euclidean ``radius``.
+
+        ``radius`` is in micrometres.  The scan is restricted to the shared
+        in-radius offset table, so the cost is ``O((radius/d)^2)`` rather
+        than the full lattice; results are memoised per ``(site, radius)``
+        because the routers probe the same few radii millions of times.
+        """
+        self._check_site(site)
+        if radius <= 0:
+            return []
+        cached = self._sites_within_cache.get((site, radius))
+        if cached is not None:
+            return list(cached)
+        row, col = self.row_col(site)
+        rows, cols = self.rows, self.cols
+        found: List[int] = []
+        for dr, dc in self._radius_offsets(radius):
+            r, c = row + dr, col + dc
+            if 0 <= r < rows and 0 <= c < cols:
+                found.append(r * cols + c)
+        self._sites_within_cache[(site, radius)] = found
+        return list(found)
+
+    def neighbour_table(self, radius: float) -> List[Tuple[int, ...]]:
+        """:meth:`sites_within` for *every* site at once (memoised).
+
+        With numpy available the whole table is computed as one broadcast
+        over the in-radius offsets (the row-vector kernel the connectivity
+        construction uses); the fallback assembles the same rows per site.
+        Ordering and membership are identical to :meth:`sites_within`.
+        """
+        cached = self._neighbour_table_cache.get(radius)
+        if cached is not None:
+            return cached
+        if radius <= 0:
+            table: List[Tuple[int, ...]] = [() for _ in range(self._num_sites)]
+        elif _np is not None:
+            offsets = self._radius_offsets(radius)
+            if offsets:
+                drs = _np.fromiter((o[0] for o in offsets), dtype=_np.int64,
+                                   count=len(offsets))
+                dcs = _np.fromiter((o[1] for o in offsets), dtype=_np.int64,
+                                   count=len(offsets))
+                sites = _np.arange(self._num_sites, dtype=_np.int64)
+                r = sites[:, None] // self.cols + drs[None, :]
+                c = sites[:, None] % self.cols + dcs[None, :]
+                valid = ((r >= 0) & (r < self.rows) & (c >= 0) & (c < self.cols))
+                neighbour = r * self.cols + c
+                table = [tuple(neighbour[i, valid[i]].tolist())
+                         for i in range(self._num_sites)]
+            else:
+                table = [() for _ in range(self._num_sites)]
+        else:
+            table = [tuple(self.sites_within(site, radius))
+                     for site in range(self._num_sites)]
+        self._neighbour_table_cache[radius] = table
+        return table
+
+    def sites_within_set(self, site: int, radius: float) -> frozenset:
+        """The :meth:`sites_within` disc as a memoised frozenset.
+
+        Shared by reference for set algebra in hot loops (e.g. the chain
+        cache's occupancy-read recording), so no per-call copy is made.
+        """
+        key = (site, radius)
+        cached = self._sites_within_set_cache.get(key)
+        if cached is None:
+            cached = frozenset(self.sites_within(site, radius))
+            self._sites_within_set_cache[key] = cached
+        return cached
+
+    def neighbourhood_size(self, radius: float) -> int:
+        """Coordination number ``K_r`` of a bulk site for the given radius."""
+        if radius <= 0:
+            return 0
+        return len(self._radius_offsets(radius))
+
+    def all_pairs_within(self, radius: float) -> Iterator[Tuple[int, int]]:
+        """Yield every unordered site pair within Euclidean ``radius``."""
+        for site in range(self.num_sites):
+            for other in self.sites_within(site, radius):
+                if other > site:
+                    yield (site, other)
+
+    def boundary_sites(self) -> List[int]:
+        """Sites on the outer rim of the lattice."""
+        rim = []
+        for site in range(self.num_sites):
+            row, col = self.row_col(site)
+            if row in (0, self.rows - 1) or col in (0, self.cols - 1):
+                rim.append(site)
+        return rim
+
+    def interior_sites(self) -> List[int]:
+        """Sites not on the outer rim."""
+        boundary = set(self.boundary_sites())
+        return [site for site in range(self.num_sites) if site not in boundary]
+
+
+class RectangularLattice(GridTopology):
+    """``rows x cols`` grid with independent per-axis spacing.
+
+    The geometry generalises the square lattice along both axes: AOD travel
+    still decomposes into an x shift and a y shift, so all distance metrics
+    carry over unchanged; only the offset rings become anisotropic.
+    """
+
+    kind = "rectangular"
+
+    def __init__(self, rows: int, cols: int, spacing_x: float = 3.0,
+                 spacing_y: Optional[float] = None) -> None:
+        super().__init__(rows, cols, spacing_x=spacing_x, spacing_y=spacing_y)
+
+
+@dataclass(frozen=True)
+class Zone:
+    """One horizontal band of a :class:`ZonedTopology`.
+
+    ``interaction_radius`` / ``restriction_radius`` are given in units of
+    the lattice constant ``d`` (matching the device parameters); ``None``
+    selects the architecture default — except that a storage zone with no
+    explicit interaction radius gets ``0`` (its traps only store atoms, no
+    entangling gates execute there).
+    """
+
+    name: str
+    band_kind: str                  # "storage" | "entangling"
+    rows: int
+    interaction_radius: Optional[float] = None
+    restriction_radius: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.band_kind not in ("storage", "entangling"):
+            raise ValueError(
+                f"zone kind must be 'storage' or 'entangling', got {self.band_kind!r}")
+        if self.rows <= 0:
+            raise ValueError("a zone needs at least one row")
+        for field_name in ("interaction_radius", "restriction_radius"):
+            value = getattr(self, field_name)
+            if value is not None and value < 0:
+                raise ValueError(f"zone {field_name} must be non-negative")
+        if self.band_kind == "storage" and self.interaction_radius:
+            # A storage band with interaction adjacency would let SWAP
+            # pulses execute on traps the zone predicates report as
+            # non-entangling — contradictory semantics.  A band that hosts
+            # gates IS an entangling band; declare it as one.
+            raise ValueError(
+                "a storage zone cannot have a positive interaction radius; "
+                "declare the band as 'entangling' instead")
+
+    @property
+    def is_entangling(self) -> bool:
+        return self.band_kind == "entangling"
+
+
+def banded_zone_layout(rows: int) -> Tuple[Zone, ...]:
+    """Default storage / entangling / storage split of a ``rows``-row grid.
+
+    The entangling band takes the middle third (rounded up); the storage
+    bands flank it.  Requires at least three rows.
+    """
+    if rows < 3:
+        raise ValueError("a banded zone layout needs at least three rows")
+    storage = max(rows // 3, 1)
+    entangling = rows - 2 * storage
+    return (
+        Zone("storage-top", "storage", storage),
+        Zone("entangling", "entangling", entangling),
+        Zone("storage-bottom", "storage", storage),
+    )
+
+
+def zones_from_layout(layout: Union[Sequence[Zone], ZoneLayout]) -> Tuple[Zone, ...]:
+    """Normalise a zone layout: ``Zone`` instances pass through, ``(kind,
+    rows)`` pairs become default-radius zones named ``<kind>-<index>``."""
+    zones: List[Zone] = []
+    for index, entry in enumerate(layout):
+        if isinstance(entry, Zone):
+            zones.append(entry)
+        else:
+            band_kind, band_rows = entry
+            zones.append(Zone(f"{band_kind}-{index}", band_kind, int(band_rows)))
+    return tuple(zones)
+
+
+class ZonedTopology(GridTopology):
+    """Grid split into horizontal storage and entangling bands.
+
+    Semantics (cf. multi-zone neutral-atom trap systems):
+
+    * **Entangling zones** host 2Q+ gates; their interaction radius is the
+      zone override (in units of ``d``) or the architecture default.
+    * **Storage zones** hold atoms but host no entangling gates: their
+      effective interaction radius defaults to ``0``, so no interaction
+      adjacency involves a storage trap and the executability predicate
+      (``sites_mutually_interacting``) structurally confines gates to
+      entangling zones.
+    * A site pair interacts iff its distance is within **both** sites'
+      effective radii (``min`` semantics — symmetric by construction).
+    * The restriction neighbourhood of a site uses the *executing* site's
+      zone radius: a gate firing in an entangling zone still blocks nearby
+      storage traps.
+    * **Corridor transit**: every zone boundary a shuttle crosses adds
+      ``corridor_transit_um`` to its travel distance (and therefore
+      ``corridor_transit_um / v`` to its duration).  The travel metric
+      (:meth:`rectangular_distance` / :meth:`rectangular_row`) includes the
+      penalty; the Euclidean metric stays pure geometry because it feeds
+      the interaction-radius predicates.
+    """
+
+    kind = "zoned"
+
+    def __init__(self, zones: Union[Sequence[Zone], ZoneLayout],
+                 cols: Optional[int] = None, spacing: float = 3.0,
+                 corridor_transit_um: float = 0.0) -> None:
+        zone_tuple = zones_from_layout(zones)
+        if not zone_tuple:
+            raise ValueError("a zoned topology needs at least one zone")
+        if not any(zone.is_entangling for zone in zone_tuple):
+            raise ValueError("a zoned topology needs at least one entangling zone")
+        if corridor_transit_um < 0:
+            raise ValueError("corridor transit penalty must be non-negative")
+        rows = sum(zone.rows for zone in zone_tuple)
+        super().__init__(rows, cols if cols is not None else rows,
+                         spacing_x=spacing, spacing_y=spacing)
+        self.zones: Tuple[Zone, ...] = zone_tuple
+        self.corridor_transit_um = float(corridor_transit_um)
+        self._zone_of_row: List[int] = []
+        for index, zone in enumerate(zone_tuple):
+            self._zone_of_row.extend([index] * zone.rows)
+        self._zone_of_site: List[int] = [
+            self._zone_of_row[site // self.cols] for site in range(self.num_sites)]
+        self._entangling_sites: Tuple[int, ...] = tuple(
+            site for site in range(self.num_sites)
+            if zone_tuple[self._zone_of_site[site]].is_entangling)
+        self._travel_rows: List[Optional[List[float]]] = [None] * self.num_sites
+        self._interaction_tables: Dict[float, List[Tuple[int, ...]]] = {}
+        self._restriction_tables: Dict[float, List[Tuple[int, ...]]] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        bands = "+".join(f"{zone.band_kind[0]}{zone.rows}" for zone in self.zones)
+        return (f"ZonedTopology({self.rows}x{self.cols}, d={self.spacing} um, "
+                f"bands={bands}, corridor={self.corridor_transit_um} um)")
+
+    def cache_key(self) -> Tuple:
+        return (self.kind, self.rows, self.cols, self.spacing_x, self.spacing_y,
+                self.corridor_transit_um,
+                tuple((zone.band_kind, zone.rows, zone.interaction_radius,
+                       zone.restriction_radius) for zone in self.zones))
+
+    # ------------------------------------------------------------------
+    # Zone structure
+    # ------------------------------------------------------------------
+    @property
+    def num_zones(self) -> int:
+        return len(self.zones)
+
+    @property
+    def all_sites_entangling(self) -> bool:
+        return len(self._entangling_sites) == self.num_sites
+
+    @property
+    def has_travel_penalties(self) -> bool:
+        return self.corridor_transit_um > 0 and self.num_zones > 1
+
+    def zone_of(self, site: int) -> int:
+        self._check_site(site)
+        return self._zone_of_site[site]
+
+    def zone(self, site: int) -> Zone:
+        return self.zones[self.zone_of(site)]
+
+    def is_entangling_site(self, site: int) -> bool:
+        return self.zones[self._zone_of_site[site]].is_entangling
+
+    def entangling_sites(self) -> Tuple[int, ...]:
+        return self._entangling_sites
+
+    def zone_partition(self) -> List[Tuple[int, ...]]:
+        partition: List[List[int]] = [[] for _ in self.zones]
+        for site, zone_index in enumerate(self._zone_of_site):
+            partition[zone_index].append(site)
+        return [tuple(sites) for sites in partition]
+
+    def zone_crossings(self, site_a: int, site_b: int) -> int:
+        """Number of zone corridors a shuttle between the sites crosses."""
+        return abs(self._zone_of_site[site_a] - self._zone_of_site[site_b])
+
+    # ------------------------------------------------------------------
+    # Effective radii
+    # ------------------------------------------------------------------
+    def _zone_interaction_um(self, zone: Zone, default_um: float) -> float:
+        if zone.interaction_radius is not None:
+            return zone.interaction_radius * self.spacing
+        return 0.0 if zone.band_kind == "storage" else default_um
+
+    def _zone_restriction_um(self, zone: Zone, default_um: float) -> float:
+        if zone.restriction_radius is not None:
+            return zone.restriction_radius * self.spacing
+        return default_um
+
+    # ------------------------------------------------------------------
+    # Capability-aware neighbour tables
+    # ------------------------------------------------------------------
+    def interaction_neighbour_table(self, radius_um: float
+                                    ) -> List[Tuple[int, ...]]:
+        cached = self._interaction_tables.get(radius_um)
+        if cached is not None:
+            return cached
+        site_radius = [self._zone_interaction_um(self.zones[index], radius_um)
+                       for index in self._zone_of_site]
+        max_radius = max(site_radius, default=0.0)
+        base = self.neighbour_table(max_radius) if max_radius > 0 else [
+            () for _ in range(self.num_sites)]
+        table: List[Tuple[int, ...]] = []
+        for site in range(self.num_sites):
+            radius_a = site_radius[site]
+            if radius_a <= 0:
+                table.append(())
+                continue
+            distances = self.euclidean_row(site)
+            table.append(tuple(
+                other for other in base[site]
+                if distances[other] <= min(radius_a, site_radius[other]) + _EPSILON))
+        self._interaction_tables[radius_um] = table
+        return table
+
+    def restriction_neighbour_table(self, radius_um: float
+                                    ) -> List[Tuple[int, ...]]:
+        cached = self._restriction_tables.get(radius_um)
+        if cached is not None:
+            return cached
+        table = [tuple(self.sites_within(
+            site, self._zone_restriction_um(self.zones[self._zone_of_site[site]],
+                                            radius_um)))
+            for site in range(self.num_sites)]
+        self._restriction_tables[radius_um] = table
+        return table
+
+    def can_interact_within(self, site_a: int, site_b: int,
+                            radius_um: float) -> bool:
+        radius = min(
+            self._zone_interaction_um(self.zones[self._zone_of_site[site_a]], radius_um),
+            self._zone_interaction_um(self.zones[self._zone_of_site[site_b]], radius_um))
+        if radius <= 0:
+            return False
+        return self.euclidean_distance(site_a, site_b) <= radius + _EPSILON
+
+    def within_restriction_of(self, site_a: int, site_b: int,
+                              radius_um: float) -> bool:
+        radius = self._zone_restriction_um(
+            self.zones[self._zone_of_site[site_a]], radius_um)
+        if radius <= 0:
+            return False
+        return self.euclidean_distance(site_a, site_b) <= radius + _EPSILON
+
+    # ------------------------------------------------------------------
+    # Travel metric with corridor penalties
+    # ------------------------------------------------------------------
+    def rectangular_distance(self, site_a: int, site_b: int) -> float:
+        base = super().rectangular_distance(site_a, site_b)
+        if not self.has_travel_penalties:
+            return base
+        return base + self.corridor_transit_um * self.zone_crossings(site_a, site_b)
+
+    def rectangular_row(self, site: int) -> List[float]:
+        if not self.has_travel_penalties:
+            return super().rectangular_row(site)
+        self._check_site(site)
+        row = self._travel_rows[site]
+        if row is None:
+            base = super().rectangular_row(site)
+            corridor = self.corridor_transit_um
+            zone_of_site = self._zone_of_site
+            band = zone_of_site[site]
+            # Scalar on purpose: row construction is one-time per site, and
+            # the scalar composition is the reference the zoned tests pin.
+            row = [value + corridor * abs(zone_of_site[other] - band)
+                   for other, value in enumerate(base)]
+            self._travel_rows[site] = row
+        return row
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+#: Topology kind -> class.  ``"square"`` is registered by
+#: :mod:`repro.hardware.lattice` on import (the class lives there for
+#: backwards compatibility); importing :mod:`repro.hardware` populates the
+#: full registry.
+TOPOLOGY_REGISTRY: Dict[str, Type[Topology]] = {}
+
+
+def register_topology(cls: Type[Topology]) -> Type[Topology]:
+    """Class decorator adding a topology family to :data:`TOPOLOGY_REGISTRY`."""
+    TOPOLOGY_REGISTRY[cls.kind] = cls
+    return cls
+
+
+register_topology(RectangularLattice)
+register_topology(ZonedTopology)
+
+
+def build_topology(kind: str, rows: int, *, cols: Optional[int] = None,
+                   spacing: float = 3.0, spacing_y: Optional[float] = None,
+                   zone_layout: Optional[Union[Sequence[Zone], ZoneLayout]] = None,
+                   corridor_transit_um: Optional[float] = None) -> Topology:
+    """Instantiate a registered topology family from flat parameters.
+
+    The flat signature mirrors :class:`~repro.service.cache.ArchitectureSpec`
+    so specs stay picklable; ``corridor_transit_um`` defaults to one lattice
+    constant per crossed corridor for zoned layouts.
+    """
+    lowered = kind.lower()
+    if lowered in ("square", "zoned") and spacing_y is not None \
+            and spacing_y != spacing:
+        # Silently ignoring the pitch would let two unequal specs describe
+        # the same physical device (and a spacing_y sweep report constant
+        # results); isotropic families reject it instead.
+        raise ValueError(
+            f"topology {lowered!r} is isotropic; it cannot honour "
+            f"spacing_y={spacing_y} (use topology='rectangular')")
+    if lowered == "square":
+        from .lattice import SquareLattice
+        return SquareLattice(rows, cols if cols is not None else rows, spacing)
+    if lowered == "rectangular":
+        return RectangularLattice(rows, cols if cols is not None else rows,
+                                  spacing_x=spacing, spacing_y=spacing_y)
+    if lowered == "zoned":
+        zones = (zones_from_layout(zone_layout) if zone_layout is not None
+                 else banded_zone_layout(rows))
+        layout_rows = sum(zone.rows for zone in zones)
+        if layout_rows != rows:
+            # Building with the layout's row count while the caller (and any
+            # spec keyed on it) believes in ``rows`` would silently measure
+            # a different geometry; fail at the source instead.
+            raise ValueError(
+                f"zone layout spans {layout_rows} rows but rows={rows} was "
+                f"requested; make them agree")
+        corridor = corridor_transit_um if corridor_transit_um is not None else spacing
+        return ZonedTopology(zones, cols, spacing=spacing,
+                             corridor_transit_um=corridor)
+    known = sorted(set(TOPOLOGY_REGISTRY) | {"square"})
+    raise ValueError(f"unknown topology kind {kind!r}; choose from {known}")

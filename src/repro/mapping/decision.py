@@ -68,6 +68,11 @@ class CapabilityDecider:
         self.architecture = architecture
         self.alpha_gate = alpha_gate
         self.alpha_shuttling = alpha_shuttling
+        # Zone capability (zoned topologies): 2Q+ gates can only execute in
+        # entangling zones, and SWAP chains cannot traverse storage traps
+        # (they have no interaction adjacency), so a gate with a qubit in a
+        # storage zone is assigned to shuttling regardless of the weights.
+        self._zones_limit_gates = not architecture.all_sites_entangling
         # Optional cross-round decision cache (a
         # :class:`~repro.mapping.regioncache.CrossRoundCache`); wired by the
         # hybrid mapper when ``MapperConfig.cross_round_cache`` is on.
@@ -83,7 +88,6 @@ class CapabilityDecider:
     def estimate(self, state: MappingState, gate: Gate, gate_index: int) -> GateCostEstimate:
         """Estimate routing effort and success probability for both capabilities."""
         arch = self.architecture
-        lattice = arch.lattice
         qubits = list(gate.qubits)
 
         # --- gate-based: SWAPs needed to bring all qubits together ---------
@@ -143,7 +147,7 @@ class CapabilityDecider:
         need a move-away (two moves per qubit).
         """
         arch = self.architecture
-        lattice = arch.lattice
+        topology = arch.topology
         if len(qubits) == 2 and state.qubits_adjacent(qubits[0], qubits[1]):
             # Already within the interaction radius: no anchor needs a move,
             # matching what the anchor loop below would conclude — without
@@ -165,14 +169,20 @@ class CapabilityDecider:
             free_counts.append(free_nearby)
             move_aways = max(len(moving) - free_nearby, 0)
             moves = len(moving) + move_aways
-            anchor_row = lattice.rectangular_row(anchor_site)
+            anchor_row = topology.rectangular_row(anchor_site)
             distance = sum(anchor_row[state.site_of_qubit(other)]
                            for other in moving)
-            distance += move_aways * lattice.spacing  # each move-away travels ~ one site
+            distance += move_aways * topology.spacing  # each move-away travels ~ one site
             if best is None or moves < best[0] or (moves == best[0] and distance < best[1]):
                 best = (moves, distance)
         self._last_free_counts = tuple(free_counts)
         return best if best is not None else (0, 0.0)
+
+    def _gate_sites_entangling(self, state: MappingState, gate: Gate) -> bool:
+        """True if every gate qubit currently sits on an entangling-capable site."""
+        is_entangling = self.architecture.is_entangling_site
+        site_of_qubit = state.site_of_qubit
+        return all(is_entangling(site_of_qubit(q)) for q in gate.qubits)
 
     # ------------------------------------------------------------------
     # Decision
@@ -190,7 +200,16 @@ class CapabilityDecider:
             if cached is not None:
                 return cached
         estimate = self.estimate(state, gate, gate_index)
-        if self.alpha_shuttling == 0:
+        if (self._zones_limit_gates and len(gate.qubits) >= 2
+                and not self._gate_sites_entangling(state, gate)):
+            # A qubit is stranded in a storage zone: only shuttling can
+            # carry it into an entangling zone (this overrides even
+            # gate-only mode, mirroring the paper's forced fallback for
+            # unplaceable multi-qubit gates).  The verdict is a pure
+            # function of the gate-qubit sites, so cached replays stay
+            # exact.
+            decision = CapabilityDecision(gate_index, False, estimate)
+        elif self.alpha_shuttling == 0:
             decision = CapabilityDecision(gate_index, True, estimate)
         elif self.alpha_gate == 0:
             decision = CapabilityDecision(gate_index, False, estimate)

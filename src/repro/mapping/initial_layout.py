@@ -34,16 +34,16 @@ __all__ = ["identity_layout", "compact_layout", "interaction_graph_layout",
 
 
 def _centred_block_sites(architecture: NeutralAtomArchitecture, count: int) -> List[int]:
-    """The ``count`` sites closest to the lattice centre (deterministic order)."""
-    lattice = architecture.lattice
-    centre_row = (lattice.rows - 1) / 2.0
-    centre_col = (lattice.cols - 1) / 2.0
+    """The ``count`` sites closest to the grid centre (deterministic order)."""
+    topology = architecture.topology
+    centre_row = (topology.rows - 1) / 2.0
+    centre_col = (topology.cols - 1) / 2.0
 
     def distance_to_centre(site: int) -> float:
-        row, col = lattice.row_col(site)
+        row, col = topology.row_col(site)
         return (row - centre_row) ** 2 + (col - centre_col) ** 2
 
-    ranked = sorted(range(lattice.num_sites), key=lambda s: (distance_to_centre(s), s))
+    ranked = sorted(range(topology.num_sites), key=lambda s: (distance_to_centre(s), s))
     return ranked[:count]
 
 

@@ -33,8 +33,18 @@ whenever the history changes (``note_moves_applied``/``reset``).  Both
 tweaks are pure caching — chain selection is unchanged.  Site geometry
 (neighbourhood rings, hop-distance rows) comes from the shared
 :class:`~repro.hardware.connectivity.SiteConnectivity` /
-:class:`~repro.hardware.lattice.SquareLattice` caches, which the gate-based
+:class:`~repro.hardware.topology.Topology` caches, which the gate-based
 router uses as well.
+
+Zoned topologies: entangling gates only execute inside entangling zones
+(the zone-filtered connectivity encodes that), so a gate whose anchor qubit
+is stranded in a storage zone cannot gather partners around its current
+site.  The chain construction then *relocates the anchor first* — one extra
+direct move onto the nearest free entangling trap — and gathers the
+remaining qubits around the new site; travel distances include the
+topology's corridor-transit penalties through the pooled moves.  On unzoned
+topologies none of these paths engage and chain construction is exactly the
+historical square-lattice behaviour.
 """
 
 from __future__ import annotations
@@ -86,6 +96,15 @@ class ShuttlingRouter:
         self.time_weight = time_weight
         self.history_window = history_window
         self.incremental = incremental
+        # Zone capability of the trap topology: on zoned devices anchors
+        # stranded in storage zones are relocated into an entangling zone
+        # first, and pooled moves carry the corridor-penalised travel
+        # distance.  Both flags are False for unzoned topologies, keeping
+        # every hot path byte-identical to the square-lattice behaviour.
+        topology = architecture.topology
+        self._zone_aware = not topology.all_sites_entangling
+        self._has_travel_penalty = topology.has_travel_penalties
+        self._gate_capable_cache: Optional[frozenset] = None
         self._recent_moves: List[Move] = []
         # move_time_penalty depends only on the move and the recent-move
         # history; memoised per move identity until the history changes.
@@ -165,8 +184,15 @@ class ShuttlingRouter:
                 if gate.num_qubits > 2:
                     # Two-qubit chains (at most a move-away plus a direct
                     # move onto the freed site) satisfy the invariants by
-                    # construction; wider gates keep the safety check.
-                    chain.validate(max_gate_width=gate.num_qubits)
+                    # construction; wider gates keep the safety check.  The
+                    # bound only widens when a zoned anchor relocation was
+                    # actually prepended (anchor on a storage trap), so the
+                    # 2(m-1) invariant stays tight everywhere else.
+                    relocated = (self._zone_aware
+                                 and not self.architecture.is_entangling_site(
+                                     state.site_of_qubit(anchor)))
+                    chain.validate(max_gate_width=gate.num_qubits,
+                                   extra_moves=1 if relocated else 0)
                 chains.append(chain)
         chains.sort(key=len)
         if chains:
@@ -193,10 +219,17 @@ class ShuttlingRouter:
 
         Two-qubit gates dispatch to :meth:`_build_chain_2q`; the generic
         path below handles them too (the specialisation is equivalence-
-        tested against it, see ``TestTwoQubitChainSpecialisation``).
+        tested against it, see ``TestTwoQubitChainSpecialisation``).  On a
+        zoned topology an anchor stranded on a non-entangling site takes
+        the generic path, which relocates the anchor into an entangling
+        zone before gathering (the 2q specialisation assumes the anchor
+        stays put).
         """
         if len(gate.qubits) == 2:
-            return self._build_chain_2q(state, gate, anchor, gate_index, reads)
+            if (not self._zone_aware
+                    or self.architecture.is_entangling_site(
+                        state.site_of_qubit(anchor))):
+                return self._build_chain_2q(state, gate, anchor, gate_index, reads)
         return self._build_chain_generic(state, gate, anchor, gate_index, reads)
 
     def _build_chain_generic(self, state: MappingState, gate: Gate, anchor: int,
@@ -219,6 +252,22 @@ class ShuttlingRouter:
         kept_sites: List[int] = [anchor_site]
         moves: List[Move] = []
         gate_atom_sites = {state.site_of_qubit(q) for q in gate.qubits}
+
+        # Zoned topologies: an anchor on a storage trap cannot host the
+        # gate, so it is relocated onto the nearest free entangling trap
+        # first and the gathering happens around the new site.
+        if self._zone_aware and not self.architecture.is_entangling_site(anchor_site):
+            relocation = self._anchor_relocation(state, anchor, anchor_site, reads)
+            if relocation is None:
+                return None
+            moves.append(relocation)
+            occupied = set(occupied)
+            owns_occupied = True
+            occupied.discard(anchor_site)
+            occupied.add(relocation.destination)
+            delta.update((anchor_site, relocation.destination))
+            anchor_site = relocation.destination
+            kept_sites[0] = anchor_site
 
         # Gather the remaining qubits, nearest to the anchor first, so that
         # already-adjacent qubits claim their sites before far ones move in.
@@ -384,6 +433,46 @@ class ShuttlingRouter:
                 return set()
         return zone or set()
 
+    def _gate_capable_sites(self, connectivity) -> frozenset:
+        """Entangling-zone sites that actually have interaction partners.
+
+        The gathering construction needs a gate-capable destination for a
+        relocated anchor; an entangling site with an empty interaction
+        neighbourhood (degenerate radii) could never host a partner, so it
+        is excluded.  Pure topology — computed once per router.
+        """
+        cached = self._gate_capable_cache
+        if cached is None:
+            cached = frozenset(
+                site for site in self.architecture.entangling_sites()
+                if connectivity.coordination_number(site) > 0)
+            self._gate_capable_cache = cached
+        return cached
+
+    def _anchor_relocation(self, state: MappingState, anchor: int,
+                           anchor_site: int,
+                           reads: Optional[ChainReads]) -> Optional[Move]:
+        """Direct move of a storage-stranded anchor into an entangling zone.
+
+        The destination is the free gate-capable site nearest to the
+        anchor's current trap (travel metric, deterministic site-index
+        tie-break).  The scan reads the occupancy of every gate-capable
+        site, so the full candidate set is recorded for the chain cache —
+        the relocation is always the chain's first move, hence all reads
+        are live.
+        """
+        candidates = self._gate_capable_sites(state.connectivity)
+        if reads is not None:
+            reads.record_batch(candidates, state.occupied_sites(), None)
+        free = candidates & state.free_sites()
+        if not free:
+            return None
+        lattice = self.architecture.topology
+        row = lattice.rectangular_row(anchor_site)
+        destination = min(free, key=lambda site: (row[site], site))
+        return self._pooled_move(state.atom_of_qubit(anchor), anchor_site,
+                                 destination, lattice, is_move_away=False)
+
     @staticmethod
     def _nearest_free_site(state: MappingState, connectivity, lattice, origin: int,
                            occupied: Set[int], forbidden: Set[int],
@@ -439,6 +528,8 @@ class ShuttlingRouter:
         key = (atom, source, destination, is_move_away)
         move = self._move_pool.get(key)
         if move is None:
+            travel = (lattice.rectangular_row(source)[destination]
+                      if self._has_travel_penalty else None)
             move = Move(
                 atom=atom,
                 source=source,
@@ -446,6 +537,7 @@ class ShuttlingRouter:
                 source_position=lattice.position(source),
                 destination_position=lattice.position(destination),
                 is_move_away=is_move_away,
+                travel_distance_um=travel,
             )
             self._move_pool[key] = move
         return move
@@ -812,9 +904,21 @@ class ShuttlingRouter:
 
     def _find_target_cluster(self, state: MappingState, anchor_site: int,
                              size: int) -> Optional[List[int]]:
-        """Sites forming a mutually interacting set of ``size`` containing the anchor."""
+        """Sites forming a mutually interacting set of ``size`` containing the anchor.
+
+        On a zoned topology an anchor on a storage trap cannot seed a
+        cluster (no interaction partners), so the seed is redirected to the
+        nearest gate-capable site; the forced chain then moves every gate
+        qubit — the anchor included — onto the cluster.
+        """
         connectivity = state.connectivity
         lattice = self.architecture.lattice
+        if self._zone_aware and not self.architecture.is_entangling_site(anchor_site):
+            capable = self._gate_capable_sites(connectivity)
+            if not capable:
+                return None
+            row = lattice.rectangular_row(anchor_site)
+            anchor_site = min(capable, key=lambda site: (row[site], site))
         cluster = [anchor_site]
         anchor_row = lattice.euclidean_row(anchor_site)
         candidates = sorted(

@@ -64,7 +64,7 @@ class MappingState:
         self.connectivity = connectivity or SiteConnectivity(architecture)
         self.num_circuit_qubits = num_circuit_qubits
         self.num_atoms = architecture.num_atoms
-        self.num_sites = architecture.lattice.num_sites
+        self.num_sites = architecture.topology.num_sites
 
         # Atom mapping f_a: atom -> site, and the inverse site -> atom.
         if initial_sites is None:
@@ -342,15 +342,18 @@ class MappingState:
 
     def make_move(self, atom: int, destination: int, *, is_move_away: bool = False) -> Move:
         """Construct (but do not apply) a :class:`Move` for ``atom`` to ``destination``."""
-        lattice = self.architecture.lattice
+        topology = self.architecture.topology
         source = self._atom_to_site[atom]
+        travel = (topology.rectangular_row(source)[destination]
+                  if topology.has_travel_penalties else None)
         return Move(
             atom=atom,
             source=source,
             destination=destination,
-            source_position=lattice.position(source),
-            destination_position=lattice.position(destination),
+            source_position=topology.position(source),
+            destination_position=topology.position(destination),
             is_move_away=is_move_away,
+            travel_distance_um=travel,
         )
 
     # ------------------------------------------------------------------

@@ -36,28 +36,70 @@ class ArchitectureSpec:
     Tasks carry a spec instead of built objects so that they stay cheap to
     pickle across process boundaries; workers resolve the spec against their
     process-local :data:`ARCHITECTURE_CACHE`.
+
+    The spec carries the **full topology identity** — family, dimensions,
+    per-axis spacing, zone layout and corridor penalty — so two devices that
+    agree on ``hardware`` and scale but differ in trap layout (e.g. a square
+    and a zoned variant of the same preset) can never collide in the cache:
+    the frozen-dataclass hash/equality covers every field, and
+    ``__post_init__`` normalises the ``"zoned"`` preset so the two spellings
+    of the same zoned device (``hardware="zoned"`` with the default topology
+    vs an explicit ``topology="zoned"``) also coincide.
     """
 
     hardware: str
     lattice_rows: int = 15
     num_atoms: Optional[int] = None
     spacing: float = 3.0
+    topology: str = "square"
+    lattice_cols: Optional[int] = None
+    spacing_y: Optional[float] = None
+    zone_layout: Optional[Tuple[Tuple[str, int], ...]] = None
+    corridor_transit_um: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.hardware == "zoned" and self.topology == "square":
+            object.__setattr__(self, "topology", "zoned")
+        if self.zone_layout is not None:
+            # Normalise to nested tuples so equal layouts hash equally even
+            # when callers pass lists.
+            object.__setattr__(self, "zone_layout", tuple(
+                (str(kind), int(rows)) for kind, rows in self.zone_layout))
+        if self.topology == "zoned":
+            # Spelling out a built-in default must alias with leaving it
+            # unset — otherwise two specs describing the identical device
+            # would hold duplicate (and heavyweight) cache entries.
+            if self.corridor_transit_um == self.spacing:
+                object.__setattr__(self, "corridor_transit_um", None)
+            if self.zone_layout is not None and self.lattice_rows >= 3:
+                from ..hardware.topology import banded_zone_layout
+                default = tuple((zone.band_kind, zone.rows)
+                                for zone in banded_zone_layout(self.lattice_rows))
+                if self.zone_layout == default:
+                    object.__setattr__(self, "zone_layout", None)
 
     def build(self) -> NeutralAtomArchitecture:
         """Instantiate the described preset (uncached)."""
         return preset(self.hardware, lattice_rows=self.lattice_rows,
-                      spacing=self.spacing, num_atoms=self.num_atoms)
+                      spacing=self.spacing, num_atoms=self.num_atoms,
+                      topology=self.topology, lattice_cols=self.lattice_cols,
+                      spacing_y=self.spacing_y, zone_layout=self.zone_layout,
+                      corridor_transit_um=self.corridor_transit_um)
 
     @classmethod
     def scaled(cls, hardware: str, scale: float, *,
                circuit_names: Sequence[str] = BENCHMARK_NAMES,
-               min_size: int = 8, spacing: float = 3.0) -> "ArchitectureSpec":
+               min_size: int = 8, spacing: float = 3.0,
+               topology: str = "square") -> "ArchitectureSpec":
         """Spec for the shared scaled-workload sizing rules of :mod:`repro.workloads`."""
+        if hardware == "zoned":
+            topology = "zoned"
         sizes = [scaled_register_size(name, scale, min_size=min_size)
                  for name in circuit_names]
         atoms = scaled_atom_count(scale, sizes)
-        return cls(hardware=hardware, lattice_rows=lattice_rows_for(atoms),
-                   num_atoms=atoms, spacing=spacing)
+        return cls(hardware=hardware,
+                   lattice_rows=lattice_rows_for(atoms, topology),
+                   num_atoms=atoms, spacing=spacing, topology=topology)
 
 
 class ArchitectureCache:

@@ -34,6 +34,11 @@ class Move:
     is_move_away:
         True if this move only clears a site for a subsequent move in the
         same chain (the "move-away" case of Example 5).
+    travel_distance_um:
+        Travel distance including topology penalties (e.g. zone-corridor
+        transit on a :class:`~repro.hardware.topology.ZonedTopology`).
+        ``None`` — the default, and the only value unzoned topologies ever
+        set — means the plain rectangular metric of the endpoint positions.
     """
 
     atom: int
@@ -42,6 +47,7 @@ class Move:
     source_position: Tuple[float, float]
     destination_position: Tuple[float, float]
     is_move_away: bool = False
+    travel_distance_um: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.source == self.destination:
@@ -55,7 +61,15 @@ class Move:
 
     @property
     def rectangular_distance(self) -> float:
-        """Manhattan travel distance ``s(M)`` in micrometres."""
+        """Travel distance ``s(M)`` in micrometres.
+
+        The Manhattan metric of the endpoint positions, unless the
+        constructing topology recorded a penalised travel distance
+        (``travel_distance_um``, zone corridors) — every duration and cost
+        consumer then charges the penalty consistently.
+        """
+        if self.travel_distance_um is not None:
+            return self.travel_distance_um
         dx, dy = self.displacement
         return abs(dx) + abs(dy)
 
@@ -107,14 +121,17 @@ class MoveChain:
         """Atoms touched by the chain, in move order."""
         return [move.atom for move in self.moves]
 
-    def validate(self, max_gate_width: Optional[int] = None) -> None:
+    def validate(self, max_gate_width: Optional[int] = None,
+                 extra_moves: int = 0) -> None:
         """Check the structural invariants of a chain.
 
         * no atom is moved twice within the chain,
         * a move's destination is not the source of an *earlier* move (that
           site was only freed afterwards) unless the earlier move freed it,
         * the chain length respects the ``2 (m - 1)`` bound if the gate width
-          is supplied.
+          is supplied; ``extra_moves`` widens the bound for topologies that
+          may prepend relocation moves (a zoned anchor stranded in storage
+          first shuttles into an entangling zone).
         """
         seen_atoms = set()
         freed_sites = set()
@@ -128,7 +145,7 @@ class MoveChain:
             occupied_destinations.add(move.destination)
             freed_sites.add(move.source)
         if max_gate_width is not None:
-            bound = 2 * (max_gate_width - 1)
+            bound = 2 * (max_gate_width - 1) + extra_moves
             if len(self.moves) > bound:
                 raise ValueError(
                     f"chain of length {len(self.moves)} exceeds the 2(m-1) = {bound} bound")

@@ -56,26 +56,39 @@ def scaled_atom_count(scale: float, circuit_sizes: Iterable[int]) -> int:
     return max(max(sizes), round(PAPER_ATOM_COUNT * scale))
 
 
-def lattice_rows_for(num_atoms: int) -> int:
-    """Square-lattice edge length leaving at least one free trap per row.
+def lattice_rows_for(num_atoms: int, topology: str = "square") -> int:
+    """Grid edge length for a scaled device hosting ``num_atoms`` atoms.
 
-    The edge is the smallest ``rows`` (at least 4) with ``rows**2 > num_atoms``
-    plus one extra row, so shuttling always finds free traps even at full
-    occupancy of the identity layout.
+    For unzoned topologies the edge is the smallest ``rows`` (at least 4)
+    with ``rows**2 > num_atoms`` plus one extra row, so shuttling always
+    finds free traps even at full occupancy of the identity layout.
+
+    Zoned topologies split the grid into storage and entangling bands; the
+    entangling band (the middle third under the default layout) must retain
+    free traps for gathering gate qubits, so the edge grows until the grid
+    offers at least twice as many sites as atoms (and at least six rows, so
+    every band spans two or more rows).
     """
     rows = 4
     while rows * rows <= num_atoms:
         rows += 1
-    return rows + 1
+    rows += 1
+    if topology == "zoned":
+        while rows < 6 or rows * rows < 2 * num_atoms:
+            rows += 1
+    return rows
 
 
 def build_scaled_architecture(hardware: str, scale: float, *,
                               circuit_names: Sequence[str] = BENCHMARK_NAMES,
                               min_size: int = 8,
-                              spacing: float = 3.0) -> NeutralAtomArchitecture:
+                              spacing: float = 3.0,
+                              topology: str = "square") -> NeutralAtomArchitecture:
     """Build a hardware preset scaled for the named benchmark circuits."""
+    if hardware == "zoned":
+        topology = "zoned"
     sizes = [scaled_register_size(name, scale, min_size=min_size)
              for name in circuit_names]
     atoms = scaled_atom_count(scale, sizes)
-    return preset(hardware, lattice_rows=lattice_rows_for(atoms),
-                  spacing=spacing, num_atoms=atoms)
+    return preset(hardware, lattice_rows=lattice_rows_for(atoms, topology),
+                  spacing=spacing, num_atoms=atoms, topology=topology)

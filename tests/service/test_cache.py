@@ -31,6 +31,83 @@ class TestArchitectureSpec:
             ArchitectureSpec("warp-drive").build()
 
 
+class TestTopologyIdentityInCacheKey:
+    """Regression: specs agreeing on hardware/scale but differing in trap
+    topology must never collide in the architecture cache."""
+
+    def test_square_and_zoned_specs_never_equal(self):
+        square = ArchitectureSpec.scaled("mixed", 0.15)
+        zoned = ArchitectureSpec.scaled("mixed", 0.15, topology="zoned")
+        assert square != zoned
+        assert hash(square) != hash(zoned)
+        assert square.topology == "square" and zoned.topology == "zoned"
+
+    def test_square_and_zoned_specs_get_distinct_cache_entries(self):
+        cache = ArchitectureCache()
+        square_arch, _ = cache.get(
+            ArchitectureSpec("mixed", lattice_rows=9, num_atoms=30))
+        zoned_arch, _ = cache.get(
+            ArchitectureSpec("mixed", lattice_rows=9, num_atoms=30,
+                             topology="zoned"))
+        assert len(cache) == 2
+        assert square_arch.topology.kind == "square"
+        assert zoned_arch.topology.kind == "zoned"
+
+    def test_zone_layout_and_corridor_are_part_of_the_key(self):
+        base = ArchitectureSpec("mixed", lattice_rows=9, num_atoms=30,
+                                topology="zoned")
+        layout = ArchitectureSpec(
+            "mixed", lattice_rows=9, num_atoms=30, topology="zoned",
+            zone_layout=(("storage", 2), ("entangling", 5), ("storage", 2)))
+        corridor = ArchitectureSpec("mixed", lattice_rows=9, num_atoms=30,
+                                    topology="zoned", corridor_transit_um=9.0)
+        assert len({base, layout, corridor}) == 3
+
+    def test_rectangular_dims_and_spacing_are_part_of_the_key(self):
+        square = ArchitectureSpec("mixed", lattice_rows=9, num_atoms=30)
+        rect = ArchitectureSpec("mixed", lattice_rows=9, num_atoms=30,
+                                topology="rectangular", lattice_cols=12,
+                                spacing_y=2.0)
+        assert square != rect
+        architecture = rect.build()
+        assert architecture.topology.kind == "rectangular"
+        assert architecture.topology.cols == 12
+        assert architecture.topology.spacing_y == 2.0
+
+    def test_zoned_preset_spec_normalises_topology(self):
+        # hardware="zoned" with the default topology and an explicit
+        # topology="zoned" are the same device; they must hash equally.
+        implicit = ArchitectureSpec("zoned", lattice_rows=9, num_atoms=30)
+        explicit = ArchitectureSpec("zoned", lattice_rows=9, num_atoms=30,
+                                    topology="zoned")
+        assert implicit == explicit and hash(implicit) == hash(explicit)
+        assert implicit.topology == "zoned"
+
+    def test_spelled_out_defaults_alias_with_unset_fields(self):
+        # The built-in defaults (corridor = one lattice constant, banded
+        # storage/entangling/storage layout) build the identical device, so
+        # the explicit and implicit spellings must share one cache entry.
+        implicit = ArchitectureSpec("zoned", lattice_rows=9, num_atoms=30)
+        explicit = ArchitectureSpec(
+            "zoned", lattice_rows=9, num_atoms=30, corridor_transit_um=3.0,
+            zone_layout=(("storage", 3), ("entangling", 3), ("storage", 3)))
+        assert implicit == explicit and hash(implicit) == hash(explicit)
+        cache = ArchitectureCache()
+        first, _ = cache.get(implicit)
+        second, _ = cache.get(explicit)
+        assert first is second and len(cache) == 1
+
+    def test_zone_layout_normalised_from_lists(self):
+        from_lists = ArchitectureSpec(
+            "mixed", lattice_rows=9, num_atoms=30, topology="zoned",
+            zone_layout=[["storage", 3], ["entangling", 3], ["storage", 3]])
+        from_tuples = ArchitectureSpec(
+            "mixed", lattice_rows=9, num_atoms=30, topology="zoned",
+            zone_layout=(("storage", 3), ("entangling", 3), ("storage", 3)))
+        assert from_lists == from_tuples
+        assert hash(from_lists) == hash(from_tuples)
+
+
 class TestArchitectureCache:
     def test_same_spec_returns_identical_objects(self):
         cache = ArchitectureCache()
