@@ -119,6 +119,8 @@ def test_batch_throughput_case():
           f"serial={case['serial_seconds']:.2f}s batch={case['batch_seconds']:.2f}s "
           f"speedup={case['throughput_speedup']:.2f}x "
           f"(host cpus: {case['available_cpus']})")
+    if case.get("cpu_caveat"):
+        print(f"[batch] note: {case['cpu_caveat']}")
 
 
 def test_emit_scaling_report():

@@ -35,6 +35,15 @@ recorded from PR 1 onward (schema ``repro-bench-scaling/v1``):
           "serial_seconds": 9.7, "batch_seconds": 4.4,
           "serial_circuits_per_second": 0.62, "batch_circuits_per_second": 1.36,
           "throughput_speedup": 2.2, "num_failures": 0
+          // plus "cpu_caveat" when available_cpus cannot exercise the workers
+        },
+        {
+          "kind": "serving_throughput",  // gateway case (benchmarks/bench_serving.py)
+          "hardware": "mixed", "circuit": "qft+graph", "mode": "hybrid",
+          "scale": 0.3, "num_requests": 10, "distinct_requests": 2,
+          "requests_per_second": 2.6, "hit_rate": 0.8,
+          "store_hits": 7, "coalesced": 1, "num_compiles": 2,
+          "p50_ms": 45.1, "p95_ms": 3400.2, "num_failures": 0
         }
       ]
     }
@@ -163,7 +172,7 @@ def run_batch_case(scale: float, num_workers: int,
     # Record the *effective* topologies of the built specs, not the request:
     # the "zoned" hardware preset normalises topology="square" to "zoned".
     effective = sorted({task.architecture.topology for task in tasks})
-    return {
+    case = {
         "kind": "batch_throughput",
         "hardware": "+".join(hardware_presets),
         "circuit": "+".join(circuits),
@@ -180,6 +189,10 @@ def run_batch_case(scale: float, num_workers: int,
         "throughput_speedup": round(speedup, 2),
         "num_failures": failures,
     }
+    caveat = cpu_caveat(case)
+    if caveat:
+        case["cpu_caveat"] = caveat
+    return case
 
 
 def collect_report(scale: float,
@@ -250,9 +263,10 @@ def _preserved_cases(report_path, new_cases: Sequence[Dict],
     """Cases of an existing report not superseded by ``new_cases``.
 
     Regenerating one single-circuit matrix must not silently drop previously
-    recorded batch-throughput cases or the matrices of *other* topologies
-    (e.g. a committed ``topology: "zoned"`` case when the square matrix is
-    refreshed, and vice versa), so regeneration order does not matter.
+    recorded throughput cases (``batch_throughput`` / ``serving_throughput``)
+    or the matrices of *other* topologies (e.g. a committed ``topology:
+    "zoned"`` case when the square matrix is refreshed, and vice versa), so
+    regeneration order does not matter.
 
     With ``topology`` set, same-topology single-circuit cases are dropped
     even when not superseded (a full-matrix CLI regeneration replaces that
@@ -273,12 +287,28 @@ def _preserved_cases(report_path, new_cases: Sequence[Dict],
     return [case for case in existing.get("cases", [])
             if _case_key(case) not in new_keys
             and (topology is None
-                 or case.get("kind") == "batch_throughput"
+                 or case.get("kind", "single") != "single"
                  or case.get("topology", "square") != topology)]
 
 
 def write_report(report: Dict, path) -> None:
     Path(path).write_text(json.dumps(report, indent=2) + "\n")
+
+
+def cpu_caveat(case: Dict) -> Optional[str]:
+    """The ROADMAP multi-core caveat when a throughput case is CPU-starved.
+
+    The committed scale-0.3 batch case was recorded on a 1-CPU container
+    where CPU-bound workers cannot beat serial; any summary of such a case
+    must say so instead of presenting the speedup as a property of the code.
+    """
+    cpus = case.get("available_cpus")
+    workers = case.get("num_workers") or 1
+    if cpus is not None and cpus < max(2, workers):
+        return (f"only {cpus} CPU(s) available — CPU-bound workers cannot "
+                f"beat serial at {workers} workers; re-record this case on "
+                f"a host with >= {max(2, workers)} cores (ROADMAP caveat)")
+    return None
 
 
 def _print_case(case: Dict) -> None:
@@ -289,6 +319,18 @@ def _print_case(case: Dict) -> None:
               f"batch={case['batch_seconds']:7.2f}s "
               f"throughput={case['batch_circuits_per_second']:5.2f}/s "
               f"speedup={case['throughput_speedup']:4.2f}x")
+        caveat = cpu_caveat(case)
+        if caveat:
+            print(f"            note: {caveat}")
+        return
+    if case.get("kind") == "serving_throughput":
+        print(f"[serving  ] {case['circuit']:>12s} x {case['hardware']} "
+              f"requests={case['num_requests']} "
+              f"(distinct={case['distinct_requests']}) "
+              f"rps={case['requests_per_second']:6.2f} "
+              f"hit_rate={case['hit_rate']:.2f} "
+              f"compiles={case['num_compiles']} "
+              f"p50={case['p50_ms']:7.1f}ms p95={case['p95_ms']:7.1f}ms")
         return
     speedup = case.get("speedup_vs_baseline")
     speedup_text = f"  speedup={speedup:5.1f}x" if speedup is not None else ""

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Quickstart: the persistent result store and the serving gateway.
+
+Compilation in this reproduction is deterministic and bit-identical by
+contract, so compiled results can be persisted and *served*: the
+content-addressed ``repro.store`` keys every artifact on (circuit digest,
+architecture key, config fingerprint, repro version), and the asyncio
+``repro.server`` gateway in front of it serves store hits without
+compiling, coalesces identical in-flight requests into one compile, and
+runs misses on a bounded worker pool.
+
+Part 1 uses the store directly through a ``BatchCompiler``: the second
+batch over the same tasks is served entirely from disk.
+
+Part 2 starts the TCP gateway in-process and submits three requests
+through the synchronous client — the second, identical request is a store
+hit with a byte-identical op-stream digest.
+
+Run with::
+
+    python examples/serving_quickstart.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro import (
+    ArchitectureSpec,
+    BatchCompiler,
+    CompilationTask,
+    ResultStore,
+)
+from repro.server import ServingClient, ServingGateway
+from repro.server.__main__ import _start_background_server
+
+SPEC = ArchitectureSpec.scaled("mixed", scale=0.1)
+
+
+def batch_with_store(store: ResultStore) -> None:
+    tasks = [
+        CompilationTask(f"{name}-{qubits}q", SPEC, circuit_name=name,
+                        num_qubits=qubits)
+        for name, qubits in (("graph", 20), ("qft", 12))
+    ]
+
+    print("Batch 1 (cold store):")
+    first = BatchCompiler(max_workers=1, store=store).compile(tasks)
+    for entry in first.results:
+        print(f"  {entry.task.task_id:<10} compiled in {entry.wall_seconds:5.2f}s")
+
+    print("Batch 2 (same tasks — served from the store):")
+    second = BatchCompiler(max_workers=1, store=store).compile(tasks)
+    for entry in second.results:
+        source = "store" if entry.from_store else "compiled"
+        print(f"  {entry.task.task_id:<10} {source:>8} in {entry.wall_seconds:5.2f}s")
+    print(f"  -> store stats: {store.stats.as_dict()}")
+
+
+def serve_over_tcp(store: ResultStore) -> None:
+    # The same harness `python -m repro.server` uses: asyncio server on a
+    # background thread, ephemeral port.  A thread pool keeps the example
+    # light; production serving uses the default process pool.
+    gateway = ServingGateway(store, pool="thread", max_workers=2)
+    server_thread, port = _start_background_server(gateway, "127.0.0.1")
+    print(f"\nServing gateway listening on 127.0.0.1:{port}")
+
+    qft = CompilationTask("req-1", SPEC, circuit_name="qft", num_qubits=14)
+    qft_again = CompilationTask("req-2", SPEC, circuit_name="qft", num_qubits=14)
+    graph = CompilationTask("req-3", SPEC, circuit_name="graph", num_qubits=16)
+
+    with ServingClient("127.0.0.1", port) as client:
+        responses = [client.compile_task(task)
+                     for task in (qft, qft_again, graph)]
+        for response in responses:
+            print(f"  {response.task_id}: source={response.source:<8} "
+                  f"sha256={response.digest['sha256'][:16]}… "
+                  f"({response.server_seconds * 1000:6.1f} ms)")
+        assert responses[1].source == "store", "identical request must hit"
+        assert responses[0].digest == responses[1].digest, \
+            "served result must be byte-identical to the compiled one"
+        print(f"  gateway stats: {client.stats()['gateway']}")
+        client.shutdown()
+    server_thread.join(timeout=10)
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-store-") as store_dir:
+        store = ResultStore(store_dir)
+        batch_with_store(store)
+        serve_over_tcp(store)
+
+
+if __name__ == "__main__":
+    main()

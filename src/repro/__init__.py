@@ -14,6 +14,9 @@ Public API overview
 * :mod:`repro.pipeline` — pass-based compilation pipeline (the canonical
   compile path: decompose → layout → route → schedule → evaluate)
 * :mod:`repro.service` — parallel batch compilation of independent circuits
+* :mod:`repro.store` — persistent content-addressed compiled-result store
+* :mod:`repro.server` — asyncio serving gateway (store hits, request
+  coalescing, bounded worker pool) with TCP protocol + sync client
 * :mod:`repro.scheduling` — ASAP hardware scheduler
 * :mod:`repro.evaluation` — success-probability model and Table-1 harness
 
@@ -83,9 +86,20 @@ from .service import (
     BatchCompiler,
     BatchResult,
     CompilationTask,
+    task_store_key,
 )
-
-__version__ = "1.0.0"
+from .store import (
+    CompiledArtifact,
+    ResultStore,
+    StoreKey,
+    compute_store_key,
+)
+from .server import (
+    ServingClient,
+    ServingGateway,
+    ServingServer,
+)
+from ._version import __version__
 
 __all__ = [
     "__version__",
@@ -103,7 +117,10 @@ __all__ = [
     "CompilationContext", "PassManager", "default_pipeline", "compile_circuit",
     # service
     "ArchitectureSpec", "ArchitectureCache", "CompilationTask", "BatchCompiler",
-    "BatchResult",
+    "BatchResult", "task_store_key",
+    # store + server
+    "ResultStore", "CompiledArtifact", "StoreKey", "compute_store_key",
+    "ServingGateway", "ServingServer", "ServingClient",
     # scheduling
     "Scheduler", "Schedule",
     # evaluation

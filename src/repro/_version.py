@@ -1,0 +1,9 @@
+"""Package version, importable without triggering :mod:`repro`'s full import.
+
+Kept in its own module because :mod:`repro.store` bakes the version into
+every persistent store key (a new release must never serve artifacts
+compiled by an older routing engine), and importing it from
+``repro/__init__`` there would be circular.
+"""
+
+__version__ = "1.1.0"

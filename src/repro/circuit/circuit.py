@@ -8,6 +8,7 @@ compilation study, so the circuit is a purely structural object.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .gate import (
@@ -209,6 +210,33 @@ class QuantumCircuit:
         for gate in self._gates:
             used.update(gate.qubits)
         return frozenset(used)
+
+    def canonical_lines(self) -> List[str]:
+        """Canonical text serialisation of the circuit structure.
+
+        One line per gate covering every field that affects compilation
+        (kind, name, qubits, parameters), preceded by a schema/size header.
+        The circuit *name* is deliberately excluded: two structurally equal
+        circuits must serialise identically regardless of how a caller
+        labelled them, so the persistent result store deduplicates e.g. the
+        same QASM document submitted under different request ids.
+        """
+        lines = [f"circuit/v1 n={self.num_qubits}"]
+        for gate in self._gates:
+            qubits = ",".join(str(q) for q in gate.qubits)
+            params = ",".join(repr(float(p)) for p in gate.params)
+            lines.append(f"{gate.kind} {gate.name} q={qubits} p={params}")
+        return lines
+
+    def canonical_digest(self) -> str:
+        """SHA-256 over :meth:`canonical_lines` — the circuit's stable identity.
+
+        Deterministic across processes and Python builds (plain ``hashlib``,
+        ``repr`` of floats is exact), so it is safe to use as a component of
+        persistent cache keys (:mod:`repro.store`).
+        """
+        payload = "\n".join(self.canonical_lines()).encode()
+        return hashlib.sha256(payload).hexdigest()
 
     def depth(self) -> int:
         """Circuit depth counting every gate (including single-qubit gates)."""

@@ -8,7 +8,8 @@ defaults reproduce the parameter set of the paper's evaluation (Section 4.1):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+from dataclasses import dataclass, field, fields, replace
 from typing import Optional
 
 __all__ = ["MapperConfig"]
@@ -66,6 +67,21 @@ class MapperConfig:
     max_routing_steps: Optional[int] = None
 
     def __post_init__(self) -> None:
+        # Normalise numeric field types so equal-valued configs are identical
+        # objects: MapperConfig(alpha_gate=2) and MapperConfig(alpha_gate=2.0)
+        # must produce the same canonical key/fingerprint (repr(2) != repr(2.0)
+        # even though the values compare equal).
+        for name in ("alpha_gate", "alpha_shuttling", "lookahead_weight",
+                     "decay_rate", "time_weight"):
+            object.__setattr__(self, name, float(getattr(self, name)))
+        for name in ("lookahead_depth", "history_window"):
+            object.__setattr__(self, name, int(getattr(self, name)))
+        for name in ("stall_threshold", "max_routing_steps"):
+            value = getattr(self, name)
+            if value is not None:
+                object.__setattr__(self, name, int(value))
+        for name in ("use_commutation", "cross_round_cache"):
+            object.__setattr__(self, name, bool(getattr(self, name)))
         if self.alpha_gate < 0 or self.alpha_shuttling < 0:
             raise ValueError("alpha weights must be non-negative")
         if self.alpha_gate == 0 and self.alpha_shuttling == 0:
@@ -128,3 +144,24 @@ class MapperConfig:
     def with_overrides(self, **kwargs) -> "MapperConfig":
         """Return a copy with selected fields replaced."""
         return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Persistent identity
+    # ------------------------------------------------------------------
+    def canonical_key(self) -> str:
+        """Canonical ``field=value`` serialisation of every config field.
+
+        Fields are enumerated from the dataclass definition and sorted by
+        name, so the key depends on neither declaration order, dict order
+        nor object identity — two configs built from equal kwargs in any
+        process produce the identical string (regression-tested across a
+        subprocess boundary in ``tests/store/test_keys.py``).
+        """
+        parts = [f"{spec.name}={getattr(self, spec.name)!r}"
+                 for spec in sorted(fields(self), key=lambda spec: spec.name)]
+        return "mapper-config/v1|" + "|".join(parts)
+
+    def fingerprint(self) -> str:
+        """SHA-256 of :meth:`canonical_key` — the config component of
+        persistent store keys (:mod:`repro.store`)."""
+        return hashlib.sha256(self.canonical_key().encode()).hexdigest()

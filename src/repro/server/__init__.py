@@ -1,0 +1,49 @@
+"""repro.server — asynchronous serving gateway over the compile pipeline.
+
+The long-running front-end of the reproduction: an asyncio gateway that
+serves compile requests from the persistent :mod:`repro.store`, coalesces
+identical in-flight requests into one compile, and runs misses on a bounded
+worker pool — plus a newline-delimited-JSON TCP server, a synchronous
+client, and a ``python -m repro.server`` CLI (with a ``--self-test`` mode
+used by CI).
+
+Quickstart::
+
+    PYTHONPATH=src python -m repro.server --port 7421 --store-dir ./store
+
+    from repro import ArchitectureSpec, CompilationTask
+    from repro.server import ServingClient
+    spec = ArchitectureSpec.scaled("mixed", scale=0.1)
+    task = CompilationTask("qft-0", spec, circuit_name="qft", num_qubits=12)
+    with ServingClient(port=7421) as client:
+        first = client.compile_task(task)    # source == "compiled"
+        again = client.compile_task(task)    # source == "store" — same digest
+"""
+
+from .client import ServingClient, ServingUnavailable, wait_until_ready
+from .gateway import GatewayStats, ServingGateway, compile_task_artifact
+from .protocol import (
+    ProtocolError,
+    ServeResponse,
+    spec_from_wire,
+    spec_to_wire,
+    task_from_wire,
+    task_to_wire,
+)
+from .tcp import ServingServer
+
+__all__ = [
+    "ServingGateway",
+    "GatewayStats",
+    "ServingServer",
+    "ServingClient",
+    "ServingUnavailable",
+    "ServeResponse",
+    "ProtocolError",
+    "compile_task_artifact",
+    "task_to_wire",
+    "task_from_wire",
+    "spec_to_wire",
+    "spec_from_wire",
+    "wait_until_ready",
+]

@@ -1,0 +1,115 @@
+"""Synchronous client for the serving gateway's TCP protocol.
+
+Plain blocking sockets (one JSON object per line), so callers — scripts,
+the load generator, CI smoke jobs — need no asyncio of their own::
+
+    from repro.server import ServingClient
+    with ServingClient(port=7421) as client:
+        response = client.compile_task(task)       # ServeResponse
+        print(response.source, response.digest["sha256"])
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, Optional
+
+from ..service.batch import CompilationTask
+from .protocol import (
+    ProtocolError,
+    ServeResponse,
+    decode_line,
+    encode_line,
+    task_to_wire,
+)
+
+__all__ = ["ServingClient", "ServingUnavailable", "wait_until_ready"]
+
+
+class ServingUnavailable(ConnectionError):
+    """Raised when the gateway cannot be reached or drops the connection."""
+
+
+class ServingClient:
+    """One blocking connection to a :class:`~repro.server.ServingServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7421, *,
+                 timeout: float = 300.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise ServingUnavailable(
+                f"cannot connect to gateway at {host}:{port}: {exc}") from None
+        self._file = self._sock.makefile("rwb")
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _roundtrip(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            self._file.write(encode_line(payload))
+            self._file.flush()
+            line = self._file.readline()
+        except OSError as exc:
+            raise ServingUnavailable(f"gateway connection lost: {exc}") from None
+        if not line:
+            raise ServingUnavailable("gateway closed the connection")
+        return decode_line(line)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def compile_task(self, task: CompilationTask) -> ServeResponse:
+        """Submit one compile request and return its :class:`ServeResponse`."""
+        payload = self._roundtrip({"op": "compile", "task": task_to_wire(task)})
+        if payload.get("op") == "error":
+            raise ProtocolError(payload.get("error", "unknown protocol error"))
+        return ServeResponse.from_wire(payload)
+
+    def stats(self) -> Dict[str, Any]:
+        return self._roundtrip({"op": "stats"})
+
+    def ping(self) -> bool:
+        return bool(self._roundtrip({"op": "ping"}).get("ok"))
+
+    def shutdown(self) -> None:
+        """Ask the server to stop accepting work (response is best-effort)."""
+        try:
+            self._roundtrip({"op": "shutdown"})
+        except ServingUnavailable:
+            pass
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def wait_until_ready(host: str, port: int, timeout: float = 15.0,
+                     interval: float = 0.05) -> bool:
+    """Poll until a gateway answers ``ping`` (server startup handshake)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with ServingClient(host, port, timeout=interval * 40) as client:
+                if client.ping():
+                    return True
+        except (ServingUnavailable, ProtocolError):
+            pass
+        time.sleep(interval)
+    return False

@@ -1,0 +1,287 @@
+"""Async serving gateway: compile-once / serve-many in front of the pipeline.
+
+The gateway is the long-lived process of the ROADMAP's north star.  For each
+compile request it
+
+1. computes the persistent :class:`~repro.store.StoreKey` of the request,
+2. serves a **store hit** directly from the :class:`~repro.store.ResultStore`
+   without touching the worker pool,
+3. **coalesces** identical in-flight requests: the first miss for a key
+   starts exactly one compile; requests for the same key arriving while it
+   runs await the same future instead of compiling again,
+4. runs misses on a bounded worker pool (process pool by default — mapping
+   is CPU-bound pure Python — or a thread pool for tests/1-core smoke runs)
+   behind an **admission limit**: beyond ``max_pending`` concurrent compiles
+   new keys are rejected with a structured error instead of queueing
+   unboundedly, and
+5. isolates failures per request: a failing compile fails its own waiters,
+   is *not* cached, and leaves the gateway serving.
+
+Correctness rests on the repo's bit-identity contract (differential + golden
+harnesses): a store/coalesced artifact is byte-identical to what a fresh
+compile of the same request would emit, which the serving tests assert
+digest-for-digest.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..service.batch import (
+    CompilationTask,
+    _fork_context,
+    compile_task_to_artifact,
+    task_store_key,
+)
+from ..store import CompiledArtifact, ResultStore
+
+__all__ = ["GatewayStats", "ServingGateway", "compile_task_artifact"]
+
+
+@dataclass
+class GatewayStats:
+    """Request-path counters of one gateway instance."""
+
+    requests: int = 0
+    store_hits: int = 0
+    coalesced: int = 0
+    compiles: int = 0
+    failures: int = 0
+    rejected: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+
+def compile_task_artifact(task: CompilationTask,
+                          store_spec: Optional[Tuple[str, Optional[int]]] = None,
+                          evaluate: bool = True) -> CompiledArtifact:
+    """Worker-side compile job: pipeline-compile ``task`` into an artifact.
+
+    Module-level and argument-picklable so it runs on a process pool.  The
+    actual flow is the shared
+    :func:`~repro.service.batch.compile_task_to_artifact` — consult store
+    (another worker may have landed the key meanwhile), compile, persist —
+    so the batch and serving paths cannot diverge.
+    """
+    store = ResultStore.from_spec(store_spec) if store_spec is not None else None
+    artifact, context, _ = compile_task_to_artifact(task, store=store,
+                                                    evaluate=evaluate)
+    if artifact is None:
+        # Store-less gateway: the caller still needs the serialisable form.
+        artifact = CompiledArtifact.from_context(context)
+    return artifact
+
+
+class ServingGateway:
+    """Asynchronous request front-end over the compile pipeline.
+
+    Parameters
+    ----------
+    store:
+        Optional :class:`~repro.store.ResultStore` consulted before (and
+        populated after) every compile.  Without one the gateway still
+        coalesces in-flight duplicates but recompiles across time.
+    max_workers / pool:
+        Worker pool sizing and kind (``"process"`` or ``"thread"``).
+    max_pending:
+        Admission bound on *concurrent primary compiles*; coalesced waiters
+        ride along for free.  Requests beyond the bound receive a failed
+        :class:`~repro.server.protocol.ServeResponse` whose error starts
+        with ``"rejected"``.
+    evaluate:
+        Run schedule + evaluate per compile (metrics on every response).
+    compile_fn:
+        Injection point for tests: ``(task, store_spec, evaluate) ->
+        CompiledArtifact``, executed on the pool.
+    """
+
+    def __init__(self, store: Optional[ResultStore] = None, *,
+                 max_workers: Optional[int] = None,
+                 max_pending: int = 32,
+                 pool: str = "process",
+                 evaluate: bool = True,
+                 compile_fn: Optional[Callable] = None) -> None:
+        if pool not in ("process", "thread"):
+            raise ValueError("pool must be 'process' or 'thread'")
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        self.store = store
+        self.max_workers = max_workers
+        self.max_pending = max_pending
+        self.pool_kind = pool
+        self.evaluate = evaluate
+        self.compile_fn = compile_fn or compile_task_artifact
+        self.stats = GatewayStats()
+        self._executor: Optional[Executor] = None
+        self._prep_executor: Optional[ThreadPoolExecutor] = None
+        self._inflight: Dict[str, "asyncio.Future[CompiledArtifact]"] = {}
+        self._active_compiles = 0
+        # Bumped after every finished primary compile; lets a request whose
+        # async store lookup raced a completing compile re-check the store
+        # instead of starting a redundant compile.
+        self._completion_epoch = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Create the worker pools (idempotent)."""
+        if self._prep_executor is None:
+            # Request prep (circuit build / QASM parse, key hashing, store
+            # reads) runs off the event loop so one large request cannot
+            # stall every other connection.
+            self._prep_executor = ThreadPoolExecutor(
+                max_workers=2, thread_name_prefix="repro-serve-prep")
+        if self._executor is not None:
+            return
+        if self.pool_kind == "process":
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.max_workers, mp_context=_fork_context())
+        else:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.max_workers,
+                thread_name_prefix="repro-serve")
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self._prep_executor is not None:
+            self._prep_executor.shutdown(wait=True)
+            self._prep_executor = None
+
+    async def __aenter__(self) -> "ServingGateway":
+        self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    async def compile(self, task: CompilationTask):
+        """Serve one compile request; never raises for request-shaped errors.
+
+        Returns a :class:`~repro.server.protocol.ServeResponse` whose
+        ``source`` records how it was served (``store`` / ``coalesced`` /
+        ``compiled``).
+        """
+        from .protocol import ServeResponse  # local: avoid import cycle
+
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        self.stats.requests += 1
+        self.start()
+
+        # (1) request prep + persistent store lookup, off the event loop:
+        # QASM parsing, digest hashing and store file reads are per-request
+        # CPU/IO that must not stall other connections.
+        epoch_before = self._completion_epoch
+
+        def _prepare():
+            prepared_circuit = task.build_circuit()
+            prepared_key = task_store_key(task, prepared_circuit)
+            hit = (self.store.get(prepared_key, require_metrics=self.evaluate)
+                   if self.store is not None else None)
+            return prepared_circuit, prepared_key, hit
+
+        try:
+            circuit, key, artifact = await loop.run_in_executor(
+                self._prep_executor, _prepare)
+        except Exception as exc:  # noqa: BLE001 - bad requests are data
+            self.stats.failures += 1
+            return ServeResponse.failure(
+                task.task_id, f"{type(exc).__name__}: {exc}",
+                loop.time() - start)
+        if artifact is not None:
+            self.stats.store_hits += 1
+            return ServeResponse.from_artifact(
+                task, circuit.name, artifact, "store", loop.time() - start)
+
+        # (2) coalesce onto an identical in-flight compile.
+        digest = key.digest()
+        inflight = self._inflight.get(digest)
+        if inflight is not None:
+            self.stats.coalesced += 1
+            try:
+                artifact = await asyncio.shield(inflight)
+            except Exception as exc:  # noqa: BLE001 - failure isolation
+                self.stats.failures += 1
+                return ServeResponse.failure(
+                    task.task_id, f"{type(exc).__name__}: {exc}",
+                    loop.time() - start)
+            return ServeResponse.from_artifact(
+                task, circuit.name, artifact, "coalesced", loop.time() - start)
+
+        # (2b) if some compile finished while our store lookup was in
+        # flight, the miss may be stale — re-check before compiling again.
+        if self.store is not None and self._completion_epoch != epoch_before:
+            artifact = self.store.get(key, require_metrics=self.evaluate)
+            if artifact is not None:
+                self.stats.store_hits += 1
+                return ServeResponse.from_artifact(
+                    task, circuit.name, artifact, "store", loop.time() - start)
+
+        # (3) admission control for new keys.
+        if self._active_compiles >= self.max_pending:
+            self.stats.rejected += 1
+            return ServeResponse.failure(
+                task.task_id,
+                f"rejected: admission queue full "
+                f"({self._active_compiles} compiles in flight, "
+                f"max_pending={self.max_pending})",
+                loop.time() - start)
+
+        # (4) primary compile on the pool.
+        future: "asyncio.Future[CompiledArtifact]" = loop.create_future()
+        self._inflight[digest] = future
+        self._active_compiles += 1
+        store_spec = self.store.spec if self.store is not None else None
+        job = functools.partial(self.compile_fn, task, store_spec, self.evaluate)
+        try:
+            artifact = await loop.run_in_executor(self._executor, job)
+        except Exception as exc:  # noqa: BLE001 - per-request isolation
+            self.stats.failures += 1
+            future.set_exception(exc)
+            future.exception()  # waiters re-raise; silence un-awaited logging
+            return ServeResponse.failure(
+                task.task_id, f"{type(exc).__name__}: {exc}",
+                loop.time() - start)
+        else:
+            self.stats.compiles += 1
+            self._completion_epoch += 1
+            future.set_result(artifact)
+            return ServeResponse.from_artifact(
+                task, circuit.name, artifact, "compiled", loop.time() - start)
+        finally:
+            # Failed compiles are never cached: dropping the in-flight entry
+            # means the next identical request starts a fresh compile.  If
+            # this (primary) request was cancelled mid-compile, the future
+            # would otherwise never resolve — fail it so coalesced waiters
+            # get an error response instead of hanging forever.
+            if not future.done():
+                future.set_exception(RuntimeError(
+                    "primary compile request was cancelled"))
+                future.exception()
+            self._inflight.pop(digest, None)
+            self._active_compiles -= 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "gateway": self.stats.as_dict(),
+            "pool": self.pool_kind,
+            "max_pending": self.max_pending,
+            "inflight": len(self._inflight),
+        }
+        payload["store"] = (None if self.store is None
+                            else self.store.stats_dict())
+        return payload

@@ -1,0 +1,123 @@
+"""TCP front-end of the serving gateway (newline-delimited JSON).
+
+:class:`ServingServer` binds an :class:`asyncio` stream server to a host and
+port, parses one request object per line (see
+:mod:`repro.server.protocol`) and dispatches compiles to a
+:class:`~repro.server.gateway.ServingGateway`.  Connections are handled
+concurrently by the event loop; a malformed line fails only its own request,
+and a dropped connection only its own handler.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional
+
+from .._version import __version__
+from .gateway import ServingGateway
+from .protocol import ProtocolError, decode_line, encode_line, task_from_wire
+
+__all__ = ["ServingServer"]
+
+
+class ServingServer:
+    """Asyncio TCP server wrapping a gateway.
+
+    ``port=0`` binds an ephemeral port; read :attr:`port` after
+    :meth:`start` to learn the actual one (used by tests, the self-test
+    harness and the load generator).
+    """
+
+    def __init__(self, gateway: ServingGateway, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.gateway = gateway
+        self.host = host
+        self._requested_port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        if self._server is None or not self._server.sockets:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self.gateway.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port)
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a ``shutdown`` request (or :meth:`request_shutdown`)."""
+        await self._shutdown.wait()
+        await self.close()
+
+    def request_shutdown(self) -> None:
+        self._shutdown.set()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.gateway.close()
+
+    async def __aenter__(self) -> "ServingServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break
+                if not line:
+                    break
+                response = await self._dispatch(line)
+                writer.write(encode_line(response))
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    break
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, line: bytes) -> Dict[str, object]:
+        """One request line → one response object; errors stay per-request."""
+        try:
+            payload = decode_line(line)
+            op = payload.get("op")
+            if op == "compile":
+                task = task_from_wire(payload.get("task"))
+                response = await self.gateway.compile(task)
+                return response.to_wire()
+            if op == "stats":
+                return {"ok": True, "op": "stats", "version": __version__,
+                        **self.gateway.stats_dict()}
+            if op == "ping":
+                return {"ok": True, "op": "pong", "version": __version__}
+            if op == "shutdown":
+                self._shutdown.set()
+                return {"ok": True, "op": "shutdown"}
+            raise ProtocolError(f"unknown op {op!r}")
+        except ProtocolError as exc:
+            return {"ok": False, "op": "error", "error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - isolate per request
+            return {"ok": False, "op": "error",
+                    "error": f"{type(exc).__name__}: {exc}"}

@@ -5,7 +5,13 @@ immutable per-architecture artifacts through a keyed cache.  ``python -m
 repro.service`` runs a small self-contained smoke batch (used by CI).
 """
 
-from .batch import BatchCompiler, BatchResult, CompilationTask, TaskResult
+from .batch import (
+    BatchCompiler,
+    BatchResult,
+    CompilationTask,
+    TaskResult,
+    task_store_key,
+)
 from .cache import ARCHITECTURE_CACHE, ArchitectureCache, ArchitectureSpec
 
 __all__ = [
@@ -16,4 +22,5 @@ __all__ = [
     "TaskResult",
     "BatchResult",
     "BatchCompiler",
+    "task_store_key",
 ]

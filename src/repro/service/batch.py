@@ -30,9 +30,61 @@ from ..evaluation.metrics import EvaluationMetrics
 from ..mapping.config import MapperConfig
 from ..mapping.result import MappingResult
 from ..pipeline.manager import compile_circuit
+from ..store import CompiledArtifact, ResultStore, StoreKey, compute_store_key
 from .cache import ARCHITECTURE_CACHE, ArchitectureSpec
 
-__all__ = ["CompilationTask", "TaskResult", "BatchResult", "BatchCompiler"]
+__all__ = ["CompilationTask", "TaskResult", "BatchResult", "BatchCompiler",
+           "task_store_key", "compile_task_to_artifact"]
+
+
+def task_store_key(task: "CompilationTask",
+                   circuit: Optional[QuantumCircuit] = None) -> StoreKey:
+    """The persistent-store key of one task (see :mod:`repro.store.keys`).
+
+    ``circuit`` lets a caller that already instantiated the task's circuit
+    avoid building it twice; by default the task payload is materialised
+    here (library build or QASM parse — cheap relative to mapping).
+    """
+    if circuit is None:
+        circuit = task.build_circuit()
+    return compute_store_key(circuit, task.architecture, task.build_config())
+
+
+def compile_task_to_artifact(task: "CompilationTask", *,
+                             store: Optional[ResultStore] = None,
+                             evaluate: bool = True,
+                             read_store: bool = True,
+                             circuit: Optional[QuantumCircuit] = None):
+    """The one canonical consult-store → compile → persist flow.
+
+    Shared by the batch service and the serving gateway so the store
+    contract (key computation, ``require_metrics`` semantics, persist with
+    write failures degrading to an unpersisted success) cannot diverge
+    between the two paths.  Returns ``(artifact, context, from_store)``:
+    ``context`` is ``None`` on a store hit, and ``artifact`` is ``None``
+    when no store asked for one (the batch path skips op-stream
+    serialisation it would only throw away).
+    """
+    if circuit is None:
+        circuit = task.build_circuit()
+    key = task_store_key(task, circuit) if store is not None else None
+    if store is not None and read_store:
+        artifact = store.get(key, require_metrics=evaluate)
+        if artifact is not None:
+            return artifact, None, True
+    architecture, connectivity = ARCHITECTURE_CACHE.get(task.architecture)
+    context = compile_circuit(
+        circuit, architecture, task.build_config(),
+        connectivity=connectivity, alpha_ratio=task.alpha_ratio,
+        evaluate=evaluate)
+    artifact: Optional[CompiledArtifact] = None
+    if store is not None:
+        artifact = CompiledArtifact.from_context(context)
+        try:
+            store.put(key, artifact)
+        except OSError:
+            pass
+    return artifact, context, False
 
 
 @dataclass(frozen=True)
@@ -84,6 +136,9 @@ class TaskResult:
     error: Optional[str] = None
     wall_seconds: float = 0.0
     worker_pid: int = 0
+    #: True when the result was served from the persistent store instead of
+    #: being compiled (identical by the bit-identity contract).
+    from_store: bool = False
 
 
 @dataclass
@@ -112,11 +167,16 @@ class BatchResult:
             return 0.0
         return len(self.succeeded) / self.wall_seconds
 
+    @property
+    def from_store(self) -> List[TaskResult]:
+        return [entry for entry in self.results if entry.from_store]
+
     def summary(self) -> Dict[str, object]:
         return {
             "num_tasks": len(self.results),
             "num_succeeded": len(self.succeeded),
             "num_failed": len(self.failed),
+            "num_from_store": len(self.from_store),
             "num_workers": self.num_workers,
             "wall_seconds": round(self.wall_seconds, 4),
             "circuits_per_second": round(self.circuits_per_second(), 4),
@@ -125,19 +185,32 @@ class BatchResult:
 
 
 def _execute_task(task: CompilationTask, *, keep_result: bool = False,
-                  evaluate: bool = True) -> TaskResult:
+                  evaluate: bool = True,
+                  store: Optional[ResultStore] = None) -> TaskResult:
     """Worker entry point: compile one task through the standard pipeline.
 
-    All failures are captured as a failed :class:`TaskResult` so one bad task
-    never takes down the batch (or the pool).
+    With a ``store``, the key is consulted first (a hit skips the compile
+    entirely — it carries no :class:`MappingResult` object, so store reads
+    are bypassed under ``keep_result``) and a fresh compile is persisted
+    afterwards.  All failures are captured as a failed :class:`TaskResult`
+    so one bad task never takes down the batch (or the pool); store write
+    failures degrade to an uncached success rather than a task failure.
     """
     start = time.perf_counter()
     try:
-        architecture, connectivity = ARCHITECTURE_CACHE.get(task.architecture)
-        context = compile_circuit(
-            task.build_circuit(), architecture, task.build_config(),
-            connectivity=connectivity, alpha_ratio=task.alpha_ratio,
-            evaluate=evaluate)
+        circuit = task.build_circuit()
+        artifact, context, from_store = compile_task_to_artifact(
+            task, store=store, evaluate=evaluate,
+            read_store=not keep_result, circuit=circuit)
+        if from_store:
+            return TaskResult(
+                task=task,
+                ok=True,
+                metrics=artifact.metrics_for(circuit.name),
+                wall_seconds=time.perf_counter() - start,
+                worker_pid=os.getpid(),
+                from_store=True,
+            )
         return TaskResult(
             task=task,
             ok=True,
@@ -172,15 +245,24 @@ class BatchCompiler:
     evaluate:
         Run the schedule + evaluate passes per task (on by default); off,
         tasks stop after routing and carry no metrics.
+    store:
+        Optional :class:`~repro.store.ResultStore`.  Tasks whose key is
+        already stored are served without compiling (``from_store=True`` on
+        their results; compilation is bit-identical either way, so served
+        metrics equal compiled metrics) and fresh compiles are persisted.
+        Worker processes open their own handle onto the same directory, so
+        the pool path populates and consults the identical store.
     """
 
     def __init__(self, max_workers: Optional[int] = None, *,
-                 keep_results: bool = False, evaluate: bool = True) -> None:
+                 keep_results: bool = False, evaluate: bool = True,
+                 store: Optional[ResultStore] = None) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be at least 1")
         self.max_workers = max_workers
         self.keep_results = keep_results
         self.evaluate = evaluate
+        self.store = store
 
     def resolved_workers(self, num_tasks: int) -> int:
         workers = self.max_workers or os.cpu_count() or 1
@@ -204,17 +286,19 @@ class BatchCompiler:
         if workers == 1:
             results = [self._run_one(task) for task in tasks]
         else:
+            store_spec = self.store.spec if self.store is not None else None
             with ProcessPoolExecutor(max_workers=workers,
                                      mp_context=_fork_context()) as pool:
                 results = list(pool.map(_BoundExecute(self.keep_results,
-                                                      self.evaluate), tasks))
+                                                      self.evaluate,
+                                                      store_spec), tasks))
         wall = time.perf_counter() - start
         return BatchResult(results=results, wall_seconds=wall,
                            num_workers=workers)
 
     def _run_one(self, task: CompilationTask) -> TaskResult:
         return _execute_task(task, keep_result=self.keep_results,
-                             evaluate=self.evaluate)
+                             evaluate=self.evaluate, store=self.store)
 
 
 def _fork_context():
@@ -234,15 +318,32 @@ def _fork_context():
 
 
 class _BoundExecute:
-    """Picklable callable binding the compiler flags for ``pool.map``."""
+    """Picklable callable binding the compiler flags for ``pool.map``.
 
-    def __init__(self, keep_result: bool, evaluate: bool) -> None:
+    Carries the store as its picklable ``(root, max_bytes)`` spec and opens
+    one process-local handle lazily — counters are per worker, but the
+    directory (and therefore hits) is shared with the parent.
+    """
+
+    def __init__(self, keep_result: bool, evaluate: bool,
+                 store_spec=None) -> None:
         self.keep_result = keep_result
         self.evaluate = evaluate
+        self.store_spec = store_spec
+        self._store: Optional[ResultStore] = None
+
+    def __getstate__(self):
+        return (self.keep_result, self.evaluate, self.store_spec)
+
+    def __setstate__(self, state) -> None:
+        self.keep_result, self.evaluate, self.store_spec = state
+        self._store = None
 
     def __call__(self, task: CompilationTask) -> TaskResult:
+        if self.store_spec is not None and self._store is None:
+            self._store = ResultStore.from_spec(self.store_spec)
         return _execute_task(task, keep_result=self.keep_result,
-                             evaluate=self.evaluate)
+                             evaluate=self.evaluate, store=self._store)
 
 
 def _duplicate_ids(tasks: Sequence[CompilationTask]) -> set:

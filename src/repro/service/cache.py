@@ -16,7 +16,7 @@ via fork, between workers) is safe.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from threading import Lock
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
@@ -58,6 +58,22 @@ class ArchitectureSpec:
     corridor_transit_um: Optional[float] = None
 
     def __post_init__(self) -> None:
+        # Normalise field types first: equal-valued specs must be identical
+        # objects with identical store keys regardless of how a caller (or a
+        # JSON wire payload, where whole floats arrive as ints) spelled the
+        # numbers — repr(3) != repr(3.0) even though the specs compare equal.
+        object.__setattr__(self, "hardware", str(self.hardware))
+        object.__setattr__(self, "lattice_rows", int(self.lattice_rows))
+        object.__setattr__(self, "spacing", float(self.spacing))
+        object.__setattr__(self, "topology", str(self.topology))
+        for name in ("num_atoms", "lattice_cols"):
+            value = getattr(self, name)
+            if value is not None:
+                object.__setattr__(self, name, int(value))
+        for name in ("spacing_y", "corridor_transit_um"):
+            value = getattr(self, name)
+            if value is not None:
+                object.__setattr__(self, name, float(value))
         if self.hardware == "zoned" and self.topology == "square":
             object.__setattr__(self, "topology", "zoned")
         if self.zone_layout is not None:
@@ -77,6 +93,20 @@ class ArchitectureSpec:
                                 for zone in banded_zone_layout(self.lattice_rows))
                 if self.zone_layout == default:
                     object.__setattr__(self, "zone_layout", None)
+
+    def store_key(self) -> str:
+        """Canonical ``field=value`` string identifying this device spec.
+
+        The persistent result store (:mod:`repro.store`) keys compiled
+        artifacts on this string, so it must be stable across processes:
+        fields are enumerated from the dataclass definition sorted by name
+        (never from ``__dict__`` order), values are rendered with ``repr``
+        after ``__post_init__`` normalisation, so two specs built from equal
+        kwargs — in any order, in any process — produce the identical key.
+        """
+        parts = [f"{spec.name}={getattr(self, spec.name)!r}"
+                 for spec in sorted(fields(self), key=lambda spec: spec.name)]
+        return "architecture/v1|" + "|".join(parts)
 
     def build(self) -> NeutralAtomArchitecture:
         """Instantiate the described preset (uncached)."""

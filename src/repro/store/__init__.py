@@ -1,0 +1,32 @@
+"""repro.store — persistent, content-addressed compiled-result store.
+
+Compilation in this repo is deterministic and bit-identical by contract
+(differential + golden harnesses of PR 3/4), which makes compile-once /
+serve-many *verifiable*: a compiled artifact is fully determined by the
+``(circuit digest, architecture key, config fingerprint, repro version)``
+quadruple, so results can be persisted and replayed safely.
+
+* :class:`StoreKey` / :func:`compute_store_key` — the identity quadruple,
+* :class:`CompiledArtifact` — the serialisable compile products
+  (op stream + digest, counts, metrics, per-pass timings),
+* :class:`ResultStore` — the directory-backed store: atomic writes,
+  integrity verification on load, LRU size-bounded eviction,
+  hit/miss/corruption counters.
+
+Consumed by :class:`repro.service.BatchCompiler` (``store=`` parameter) and
+the :mod:`repro.server` gateway.
+"""
+
+from .artifact import ARTIFACT_SCHEMA, ArtifactError, CompiledArtifact
+from .keys import StoreKey, compute_store_key
+from .resultstore import ResultStore, StoreStats
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "ArtifactError",
+    "CompiledArtifact",
+    "StoreKey",
+    "compute_store_key",
+    "ResultStore",
+    "StoreStats",
+]

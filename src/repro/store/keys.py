@@ -1,0 +1,81 @@
+"""Persistent store keys: the stable identity of one compilation.
+
+A compiled artifact is fully determined by four components, and the store
+key is exactly that quadruple (ROADMAP: "store key schema"):
+
+* the **circuit digest** — :meth:`repro.circuit.QuantumCircuit.canonical_digest`,
+  a SHA-256 over the structural gate list (name-independent, so the same
+  QASM document submitted under different request ids deduplicates),
+* the **architecture key** — :meth:`repro.service.ArchitectureSpec.store_key`,
+  the normalised canonical string of the full topology identity,
+* the **config fingerprint** — :meth:`repro.mapping.MapperConfig.fingerprint`,
+  covering every mapper tunable (mode, alphas, lookahead, caches, ...),
+* the **repro version** — compilations are bit-identical within one release
+  by the differential/golden harnesses, but a new release may legitimately
+  shift op streams, so version changes invalidate every prior entry.
+
+Anything *not* in the key must never influence the emitted op stream; that
+is precisely the bit-identity contract PR 1-4 established and test.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from .._version import __version__
+
+__all__ = ["StoreKey", "compute_store_key"]
+
+
+@dataclass(frozen=True)
+class StoreKey:
+    """The ``(circuit, architecture, config, version)`` identity quadruple."""
+
+    circuit_digest: str
+    architecture_key: str
+    config_fingerprint: str
+    version: str = __version__
+
+    def canonical(self) -> str:
+        """Canonical one-line serialisation (hashed into :meth:`digest`)."""
+        return (f"store-key/v1|version={self.version}"
+                f"|circuit={self.circuit_digest}"
+                f"|architecture={self.architecture_key}"
+                f"|config={self.config_fingerprint}")
+
+    def digest(self) -> str:
+        """SHA-256 of :meth:`canonical` — the store's file-name identity."""
+        return hashlib.sha256(self.canonical().encode()).hexdigest()
+
+    def as_dict(self) -> dict:
+        return {
+            "circuit_digest": self.circuit_digest,
+            "architecture_key": self.architecture_key,
+            "config_fingerprint": self.config_fingerprint,
+            "version": self.version,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StoreKey":
+        return cls(circuit_digest=str(data["circuit_digest"]),
+                   architecture_key=str(data["architecture_key"]),
+                   config_fingerprint=str(data["config_fingerprint"]),
+                   version=str(data["version"]))
+
+
+def compute_store_key(circuit, architecture_spec, config, *,
+                      version: str = __version__) -> StoreKey:
+    """Build the :class:`StoreKey` for compiling ``circuit`` on
+    ``architecture_spec`` (an :class:`~repro.service.ArchitectureSpec`)
+    under ``config`` (a :class:`~repro.mapping.MapperConfig`).
+
+    Accepts the spec/config duck-typed (``store_key()`` / ``fingerprint()``)
+    so this module depends only on the circuit layer.
+    """
+    return StoreKey(
+        circuit_digest=circuit.canonical_digest(),
+        architecture_key=architecture_spec.store_key(),
+        config_fingerprint=config.fingerprint(),
+        version=version,
+    )

@@ -1,0 +1,246 @@
+"""Directory-backed, content-addressed store of compiled artifacts.
+
+One JSON file per :class:`~repro.store.StoreKey` digest, written atomically
+(temp file + ``os.replace``), verified on every load (op-stream SHA-256 and
+key match — see :mod:`repro.store.artifact`), and size-bounded with
+LRU eviction (file mtimes double as recency stamps: a hit touches its
+file).  Corrupted payloads are never served: they are quarantined under a
+``.corrupt`` suffix, counted, and reported as misses so the caller simply
+recompiles and overwrites.
+
+The store is safe for concurrent readers and writers across threads *and*
+processes: the atomic rename means a reader observes either the previous
+complete payload or the new complete payload, never a torn write (enforced
+by ``tests/store/test_store.py``).  Counters are per-handle (per process);
+worker processes construct cheap handles from :meth:`ResultStore.spec`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import uuid
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from threading import Lock
+from typing import Dict, List, Optional, Tuple
+
+from .artifact import ArtifactError, CompiledArtifact
+from .keys import StoreKey
+
+__all__ = ["ResultStore", "StoreStats"]
+
+
+@dataclass
+class StoreStats:
+    """Per-handle operation counters (hits / misses / corruption / churn)."""
+
+    hits: int = 0
+    misses: int = 0
+    corruptions: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+
+class ResultStore:
+    """Persistent compiled-result store rooted at a directory.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the artifacts (created on first use).
+    max_bytes:
+        Optional size budget.  After every write the store evicts
+        least-recently-used entries until the total payload size fits;
+        ``None`` disables eviction.
+    """
+
+    def __init__(self, root, max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None for unbounded)")
+        self.root = Path(root)
+        self.max_bytes = max_bytes
+        self.stats = StoreStats()
+        self._lock = Lock()
+        # Strictly increasing recency clock: consecutive touches within one
+        # process always order correctly even on coarse-mtime filesystems.
+        self._clock = time.time()
+
+    # ------------------------------------------------------------------
+    # Worker-handle plumbing
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> Tuple[str, Optional[int]]:
+        """Picklable ``(root, max_bytes)`` pair for worker processes."""
+        return (str(self.root), self.max_bytes)
+
+    @classmethod
+    def from_spec(cls, spec: Tuple[str, Optional[int]]) -> "ResultStore":
+        root, max_bytes = spec
+        return cls(root, max_bytes=max_bytes)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def path_for(self, key: StoreKey) -> Path:
+        return self.root / f"{key.digest()}.json"
+
+    def _next_stamp(self) -> float:
+        with self._lock:
+            self._clock = max(time.time(), self._clock + 1e-4)
+            return self._clock
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def get(self, key: StoreKey, *,
+            require_metrics: bool = False) -> Optional[CompiledArtifact]:
+        """The stored artifact for ``key``, or ``None`` on miss.
+
+        A payload that fails integrity verification is quarantined (renamed
+        to ``*.corrupt``), counted under ``stats.corruptions``, and reported
+        as a miss.  With ``require_metrics`` a metrics-less artifact (stored
+        by an ``evaluate=False`` compile) is also treated as a miss, so a
+        metrics-expecting caller recompiles and upgrades the entry in place.
+        """
+        path = self.path_for(key)
+        try:
+            text = path.read_text()
+        except (FileNotFoundError, OSError):
+            self._bump("misses")
+            return None
+        try:
+            artifact = CompiledArtifact.from_json(text, expected_key=key)
+        except ArtifactError:
+            self._quarantine(path)
+            self._bump("corruptions")
+            self._bump("misses")
+            return None
+        if require_metrics and artifact.metrics is None:
+            self._bump("misses")
+            return None
+        self._touch(path)
+        self._bump("hits")
+        return artifact
+
+    def __contains__(self, key: StoreKey) -> bool:
+        return self.path_for(key).exists()
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def put(self, key: StoreKey, artifact: CompiledArtifact) -> Path:
+        """Atomically persist ``artifact`` under ``key``; returns its path.
+
+        Concurrent writers of the same key are safe: each writes a private
+        temp file and the last ``os.replace`` wins wholesale — readers never
+        observe a torn payload.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        temp = path.with_name(
+            f".{path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}")
+        temp.write_text(artifact.to_json(key))
+        os.replace(temp, path)
+        self._touch(path)
+        self._bump("puts")
+        self._evict_if_needed(protect=path.name)
+        return path
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+    def _entries(self) -> List[Tuple[float, int, Path]]:
+        """Live entries as ``(mtime, size, path)``; vanished files skipped."""
+        entries = []
+        try:
+            candidates = list(self.root.glob("*.json"))
+        except OSError:
+            return []
+        for path in candidates:
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        return entries
+
+    def _evict_if_needed(self, protect: Optional[str] = None) -> None:
+        if self.max_bytes is None:
+            return
+        with self._lock:
+            entries = self._entries()
+            total = sum(size for _, size, _ in entries)
+            if total <= self.max_bytes:
+                return
+            # Oldest mtime first = least recently used (hits touch files).
+            for _, size, path in sorted(entries, key=lambda entry: entry[0]):
+                if path.name == protect:
+                    continue
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                self.stats.evictions += 1
+                total -= size
+                if total <= self.max_bytes:
+                    break
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def _touch(self, path: Path) -> None:
+        stamp = self._next_stamp()
+        try:
+            os.utime(path, (stamp, stamp))
+        except OSError:
+            pass
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupted payload aside so it is never read again.
+
+        The quarantined copy is kept (``*.corrupt``) for post-mortems rather
+        than deleted; it no longer matches any key lookup or the eviction
+        scan, so it cannot be served.
+        """
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def _bump(self, counter: str) -> None:
+        with self._lock:
+            setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def num_entries(self) -> int:
+        return len(self._entries())
+
+    def total_bytes(self) -> int:
+        return sum(size for _, size, _ in self._entries())
+
+    def quarantined(self) -> List[Path]:
+        try:
+            return sorted(self.root.glob("*.corrupt"))
+        except OSError:
+            return []
+
+    def stats_dict(self) -> Dict[str, object]:
+        """Counters plus the current on-disk footprint (for the serving CLI)."""
+        payload: Dict[str, object] = dict(self.stats.as_dict())
+        payload.update({
+            "root": str(self.root),
+            "max_bytes": self.max_bytes,
+            "num_entries": self.num_entries(),
+            "total_bytes": self.total_bytes(),
+            "num_quarantined": len(self.quarantined()),
+        })
+        return payload

@@ -1,0 +1,108 @@
+"""BatchCompiler × ResultStore: compile-once/serve-many on the batch path.
+
+Acceptance: a second batch over the same tasks is served entirely from the
+store with metrics equal to the compiled run (bit-identity contract), on
+both the serial and the process-pool path.
+"""
+
+import pytest
+
+from repro.service import (
+    ArchitectureSpec,
+    BatchCompiler,
+    CompilationTask,
+    task_store_key,
+)
+from repro.store import ResultStore
+
+SPEC = ArchitectureSpec("mixed", lattice_rows=7, num_atoms=30)
+
+TASKS = (
+    CompilationTask("graph-16", SPEC, circuit_name="graph", num_qubits=16,
+                    seed=5),
+    CompilationTask("qft-10", SPEC, circuit_name="qft", num_qubits=10),
+    CompilationTask("graph-12", SPEC, circuit_name="graph", num_qubits=12,
+                    seed=7, mode="shuttling_only"),
+)
+
+
+@pytest.fixture()
+def store(tmp_path) -> ResultStore:
+    return ResultStore(tmp_path)
+
+
+class TestSerialPath:
+    def test_second_batch_is_served_from_store(self, store):
+        compiler = BatchCompiler(max_workers=1, store=store)
+        first = compiler.compile(TASKS)
+        assert first.ok
+        assert not first.from_store
+        assert store.stats.puts == len(TASKS)
+
+        second = compiler.compile(TASKS)
+        assert second.ok
+        assert len(second.from_store) == len(TASKS)
+        assert second.summary()["num_from_store"] == len(TASKS)
+        for compiled, served in zip(first.results, second.results):
+            assert served.metrics == compiled.metrics
+
+    def test_store_artifact_digest_matches_kept_result(self, store):
+        """Byte-identity between the persisted artifact and the in-memory
+        MappingResult of the compile that produced it."""
+        compiler = BatchCompiler(max_workers=1, keep_results=True, store=store)
+        batch = compiler.compile(TASKS[:1])
+        assert batch.ok
+        entry = batch.results[0]
+        artifact = store.get(task_store_key(entry.task))
+        assert artifact is not None
+        assert artifact.op_stream_digest() == entry.result.op_stream_digest()
+        assert artifact.op_stream == tuple(entry.result.op_stream_lines())
+
+    def test_keep_results_bypasses_store_reads(self, store):
+        """A keep_results batch needs real MappingResults, which store hits
+        cannot carry — so it recompiles (and refreshes the store) instead of
+        serving metrics-only entries."""
+        BatchCompiler(max_workers=1, store=store).compile(TASKS[:1])
+        batch = BatchCompiler(max_workers=1, keep_results=True,
+                              store=store).compile(TASKS[:1])
+        assert batch.ok
+        assert not batch.results[0].from_store
+        assert batch.results[0].result is not None
+
+    def test_metricless_entry_upgraded_when_metrics_needed(self, store):
+        """An evaluate=False artifact must not satisfy an evaluate=True task."""
+        BatchCompiler(max_workers=1, evaluate=False,
+                      store=store).compile(TASKS[:1])
+        key = task_store_key(TASKS[0])
+        assert store.get(key, require_metrics=True) is None
+
+        batch = BatchCompiler(max_workers=1, store=store).compile(TASKS[:1])
+        assert batch.ok
+        assert not batch.results[0].from_store, "metric-less entry must recompile"
+        assert batch.results[0].metrics is not None
+        assert store.get(key, require_metrics=True) is not None
+
+    def test_failures_are_not_cached(self, store):
+        broken = CompilationTask("broken", SPEC, circuit_name="nope")
+        batch = BatchCompiler(max_workers=1, store=store).compile([broken])
+        assert not batch.ok
+        assert store.num_entries() == 0
+
+
+class TestPoolPath:
+    def test_worker_processes_share_the_store_directory(self, store):
+        first = BatchCompiler(max_workers=2, store=store).compile(TASKS)
+        assert first.ok
+        assert store.num_entries() == len(TASKS)
+
+        second = BatchCompiler(max_workers=2, store=store).compile(TASKS)
+        assert second.ok
+        assert len(second.from_store) == len(TASKS), \
+            "pool workers must consult the shared store directory"
+        for compiled, served in zip(first.results, second.results):
+            assert served.metrics == compiled.metrics
+
+    def test_store_disabled_by_default(self, tmp_path):
+        batch = BatchCompiler(max_workers=1).compile(TASKS[:1])
+        assert batch.ok
+        assert not batch.results[0].from_store

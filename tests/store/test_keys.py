@@ -1,0 +1,199 @@
+"""Store-key stability: digests, fingerprints and cross-process identity.
+
+The persistent store is only sound if every key component is a pure
+function of the *values* that determine compilation output — independent of
+object identity, kwargs order, dict order and the process that computed it.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import __version__
+from repro.circuit import QuantumCircuit
+from repro.circuit.library import get_benchmark
+from repro.circuit.qasm import dumps as qasm_dumps, loads as qasm_loads
+from repro.mapping import MapperConfig
+from repro.service import ArchitectureSpec, CompilationTask, task_store_key
+from repro.store import StoreKey, compute_store_key
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+class TestCircuitDigest:
+    def test_equal_structure_equal_digest(self):
+        a = get_benchmark("qft", num_qubits=10)
+        b = get_benchmark("qft", num_qubits=10)
+        assert a.canonical_digest() == b.canonical_digest()
+
+    def test_name_does_not_affect_digest(self):
+        a = get_benchmark("qft", num_qubits=10)
+        b = get_benchmark("qft", num_qubits=10)
+        b.name = "completely-different-label"
+        assert a.canonical_digest() == b.canonical_digest()
+
+    def test_gate_order_affects_digest(self):
+        a = QuantumCircuit(2).h(0).cz(0, 1)
+        b = QuantumCircuit(2).cz(0, 1).h(0)
+        assert a.canonical_digest() != b.canonical_digest()
+
+    def test_parameters_affect_digest(self):
+        a = QuantumCircuit(1).rz(0.5, 0)
+        b = QuantumCircuit(1).rz(0.5000001, 0)
+        assert a.canonical_digest() != b.canonical_digest()
+
+    def test_register_size_affects_digest(self):
+        a = QuantumCircuit(2).cz(0, 1)
+        b = QuantumCircuit(3).cz(0, 1)
+        assert a.canonical_digest() != b.canonical_digest()
+
+    def test_qasm_round_trip_preserves_digest(self):
+        """A circuit re-imported from its own QASM dedupes with the original."""
+        circuit = get_benchmark("graph", num_qubits=12, seed=3)
+        again = qasm_loads(qasm_dumps(circuit), name="served-under-new-id")
+        assert again.canonical_digest() == circuit.canonical_digest()
+
+
+class TestConfigFingerprint:
+    def test_equal_kwargs_equal_fingerprint(self):
+        a = MapperConfig(alpha_gate=2.0, lookahead_weight=0.2)
+        b = MapperConfig(lookahead_weight=0.2, alpha_gate=2.0)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_mode_helpers_match_explicit_construction(self):
+        assert (MapperConfig.for_mode("hybrid", 1.5).fingerprint()
+                == MapperConfig(alpha_gate=1.5, alpha_shuttling=1.0).fingerprint())
+
+    def test_any_field_changes_fingerprint(self):
+        base = MapperConfig()
+        for override in ({"alpha_gate": 2.0}, {"lookahead_depth": 2},
+                         {"cross_round_cache": False}, {"history_window": 5},
+                         {"use_commutation": False}, {"stall_threshold": 7}):
+            assert base.with_overrides(**override).fingerprint() != \
+                base.fingerprint(), override
+
+    def test_canonical_key_sorted_by_field_name(self):
+        names = [part.split("=")[0]
+                 for part in MapperConfig().canonical_key().split("|")[1:]]
+        assert names == sorted(names)
+
+    def test_int_valued_floats_normalised(self):
+        """MapperConfig(alpha_gate=2) == MapperConfig(alpha_gate=2.0); the
+        fingerprints must coincide too (repr(2) != repr(2.0) otherwise)."""
+        assert (MapperConfig(alpha_gate=2).fingerprint()
+                == MapperConfig(alpha_gate=2.0).fingerprint())
+        assert (MapperConfig(time_weight=1).fingerprint()
+                == MapperConfig(time_weight=1.0).fingerprint())
+
+
+class TestArchitectureSpecKey:
+    def test_equal_kwargs_equal_key(self):
+        a = ArchitectureSpec("mixed", lattice_rows=9, num_atoms=40, spacing=3.0)
+        b = ArchitectureSpec(num_atoms=40, spacing=3.0, hardware="mixed",
+                             lattice_rows=9)
+        assert a.store_key() == b.store_key()
+
+    def test_zone_layout_list_vs_tuple_normalised(self):
+        a = ArchitectureSpec("mixed", lattice_rows=9, topology="zoned",
+                             zone_layout=[["storage", 3], ["entangling", 4],
+                                          ["storage", 2]])
+        b = ArchitectureSpec("mixed", lattice_rows=9, topology="zoned",
+                             zone_layout=(("storage", 3), ("entangling", 4),
+                                          ("storage", 2)))
+        assert a.store_key() == b.store_key()
+
+    def test_zoned_spelling_aliases_coincide(self):
+        assert (ArchitectureSpec("zoned", lattice_rows=9).store_key()
+                == ArchitectureSpec("zoned", lattice_rows=9,
+                                    topology="zoned").store_key())
+
+    def test_distinct_topologies_distinct_keys(self):
+        square = ArchitectureSpec("mixed", lattice_rows=9)
+        zoned = ArchitectureSpec("mixed", lattice_rows=9, topology="zoned")
+        assert square.store_key() != zoned.store_key()
+
+    def test_int_valued_spacing_normalised(self):
+        """JSON wire payloads spell whole floats as ints; equal-valued specs
+        must produce the identical store key regardless of spelling."""
+        a = ArchitectureSpec("mixed", lattice_rows=9, spacing=3)
+        b = ArchitectureSpec("mixed", lattice_rows=9, spacing=3.0)
+        assert a == b
+        assert a.store_key() == b.store_key()
+        c = ArchitectureSpec("mixed", lattice_rows=9, spacing_y=2)
+        d = ArchitectureSpec("mixed", lattice_rows=9, spacing_y=2.0)
+        assert c.store_key() == d.store_key()
+
+
+class TestStoreKey:
+    def test_version_changes_invalidate(self):
+        circuit = get_benchmark("qft", num_qubits=8)
+        spec = ArchitectureSpec("mixed", lattice_rows=7, num_atoms=30)
+        config = MapperConfig()
+        current = compute_store_key(circuit, spec, config)
+        assert current.version == __version__
+        other = compute_store_key(circuit, spec, config, version="0.0.0")
+        assert current.digest() != other.digest()
+
+    def test_task_key_matches_direct_key(self):
+        spec = ArchitectureSpec("mixed", lattice_rows=7, num_atoms=30)
+        task = CompilationTask("t", spec, circuit_name="qft", num_qubits=8)
+        direct = compute_store_key(task.build_circuit(), spec,
+                                   task.build_config())
+        assert task_store_key(task) == direct
+
+    def test_round_trips_through_dict(self):
+        key = StoreKey("c" * 64, "architecture/v1|hardware='mixed'", "f" * 64)
+        assert StoreKey.from_dict(key.as_dict()) == key
+
+
+class TestCrossProcessStability:
+    """Satellite regression: identical kwargs must produce identical store
+    keys in a *different* process (different hash seed, fresh interpreter) —
+    no reliance on dict order, hash randomisation or object identity."""
+
+    SCRIPT = """
+import sys
+from repro.circuit.library import get_benchmark
+from repro.mapping import MapperConfig
+from repro.service import ArchitectureSpec
+from repro.store import compute_store_key
+
+spec = ArchitectureSpec(num_atoms=30, hardware="mixed", lattice_rows=7,
+                        topology="zoned",
+                        zone_layout=[["storage", 2], ["entangling", 3],
+                                     ["storage", 2]])
+config = MapperConfig.for_mode("hybrid", 1.5,
+                               lookahead_weight=0.2, history_window=6)
+circuit = get_benchmark("qft", num_qubits=9)
+key = compute_store_key(circuit, spec, config)
+print(spec.store_key())
+print(config.fingerprint())
+print(circuit.canonical_digest())
+print(key.digest())
+"""
+
+    def _compute_here(self):
+        spec = ArchitectureSpec("mixed", lattice_rows=7, num_atoms=30,
+                                topology="zoned",
+                                zone_layout=(("storage", 2), ("entangling", 3),
+                                             ("storage", 2)))
+        config = MapperConfig(alpha_gate=1.5, alpha_shuttling=1.0,
+                              lookahead_weight=0.2, history_window=6)
+        circuit = get_benchmark("qft", num_qubits=9)
+        key = compute_store_key(circuit, spec, config)
+        return [spec.store_key(), config.fingerprint(),
+                circuit.canonical_digest(), key.digest()]
+
+    @pytest.mark.parametrize("hash_seed", ["0", "4242"])
+    def test_subprocess_reproduces_every_component(self, hash_seed):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        env["PYTHONHASHSEED"] = hash_seed
+        proc = subprocess.run([sys.executable, "-c", self.SCRIPT],
+                              capture_output=True, text=True, env=env,
+                              timeout=120)
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip().splitlines() == self._compute_here()
