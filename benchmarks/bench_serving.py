@@ -11,10 +11,18 @@ compile-once/serve-many path the gateway exists for — the first occurrence
 of each distinct circuit compiles, every later occurrence must be a store
 hit or coalesce onto an in-flight compile.
 
+With ``--degraded`` the same stream runs under a crashed-worker fault plan
+(every distinct compile's worker is crashed once and the supervised pool
+re-dispatches it), recording a ``kind: "serving_degraded"`` case alongside
+the clean one — the throughput/latency cost of supervision under worker
+failure, measured end to end.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_serving.py --scale 0.3 \
         --repeats 5 --clients 4 --out BENCH_scaling.json
+    PYTHONPATH=src python benchmarks/bench_serving.py --scale 0.3 \
+        --degraded --out BENCH_scaling.json
 """
 
 from __future__ import annotations
@@ -86,11 +94,30 @@ def run_serving_case(scale: float, *, repeats: int = 5, clients: int = 4,
                      circuits: Sequence[str] = DEFAULT_CIRCUITS,
                      hardware_presets: Sequence[str] = DEFAULT_HARDWARE,
                      mode: str = "hybrid",
-                     store_dir: Optional[str] = None) -> Dict:
-    """Drive the gateway with the duplicate-heavy stream; return the case."""
+                     store_dir: Optional[str] = None,
+                     degraded: bool = False) -> Dict:
+    """Drive the gateway with the duplicate-heavy stream; return the case.
+
+    With ``degraded=True`` a fault plan arms one worker-crash charge per
+    distinct compile against the stream; the supervised pool re-dispatches
+    every crashed task, so the case records the rps/p95 cost of crash
+    recovery on an otherwise identical workload.
+    """
     store_dir = store_dir or tempfile.mkdtemp(prefix="repro-serving-bench-")
-    gateway = ServingGateway(ResultStore(store_dir), max_workers=workers,
-                             pool=pool)
+    fault_plan = None
+    compile_fn = None
+    if degraded:
+        from repro.resilience import (FaultPlan, FaultSpec, FaultyCompile,
+                                      RetryPolicy)
+
+        num_distinct = len(circuits) * len(hardware_presets)
+        fault_plan = FaultPlan(
+            tempfile.mkdtemp(prefix="repro-serving-bench-ledger-"),
+            (FaultSpec("crash", "worker", times=num_distinct),))
+        compile_fn = FaultyCompile(fault_plan)
+    gateway = ServingGateway(
+        ResultStore(store_dir, fault_plan=fault_plan), max_workers=workers,
+        pool=pool, compile_fn=compile_fn)
     server_thread, port = _start_background_server(gateway, "127.0.0.1")
 
     stream = build_request_stream(scale, repeats, circuits, hardware_presets,
@@ -140,8 +167,12 @@ def run_serving_case(scale: float, *, repeats: int = 5, clients: int = 4,
     # the "zoned" hardware preset normalises its topology, and mislabelled
     # cases would collide with the square matrix on regeneration.
     effective = sorted({task.architecture.topology for task in stream})
+    supervision = stats.get("supervision") or {}
     return {
-        "kind": "serving_throughput",
+        "kind": "serving_degraded" if degraded else "serving_throughput",
+        "faults_injected": fault_plan.fired() if fault_plan is not None else 0,
+        "pool_crashes": supervision.get("crashes", 0),
+        "pool_retries": supervision.get("retries", 0),
         "hardware": "+".join(hardware_presets),
         "circuit": "+".join(circuits),
         "mode": mode,
@@ -185,6 +216,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--hardware", nargs="*", default=list(DEFAULT_HARDWARE))
     parser.add_argument("--mode", default="hybrid")
     parser.add_argument("--store-dir", default=None)
+    parser.add_argument("--degraded", action="store_true",
+                        help="run under a crashed-worker fault plan and "
+                             "record a serving_degraded case instead")
     args = parser.parse_args(argv)
 
     unknown = [name for name in args.circuits if name not in PAPER_SIZES]
@@ -200,7 +234,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                             clients=args.clients, workers=args.workers,
                             pool=args.pool, circuits=args.circuits,
                             hardware_presets=args.hardware, mode=args.mode,
-                            store_dir=args.store_dir)
+                            store_dir=args.store_dir, degraded=args.degraded)
     report = merge_case(args.out, case, args.scale)
     write_report(report, args.out)
     _print_case(case)

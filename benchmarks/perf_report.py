@@ -323,14 +323,19 @@ def _print_case(case: Dict) -> None:
         if caveat:
             print(f"            note: {caveat}")
         return
-    if case.get("kind") == "serving_throughput":
-        print(f"[serving  ] {case['circuit']:>12s} x {case['hardware']} "
+    if case.get("kind") in ("serving_throughput", "serving_degraded"):
+        tag = ("degraded " if case["kind"] == "serving_degraded"
+               else "serving  ")
+        fault_text = (f" crashes={case.get('pool_crashes', 0)}"
+                      if case["kind"] == "serving_degraded" else "")
+        print(f"[{tag}] {case['circuit']:>12s} x {case['hardware']} "
               f"requests={case['num_requests']} "
               f"(distinct={case['distinct_requests']}) "
               f"rps={case['requests_per_second']:6.2f} "
               f"hit_rate={case['hit_rate']:.2f} "
               f"compiles={case['num_compiles']} "
-              f"p50={case['p50_ms']:7.1f}ms p95={case['p95_ms']:7.1f}ms")
+              f"p50={case['p50_ms']:7.1f}ms p95={case['p95_ms']:7.1f}ms"
+              f"{fault_text}")
         return
     speedup = case.get("speedup_vs_baseline")
     speedup_text = f"  speedup={speedup:5.1f}x" if speedup is not None else ""

@@ -6,4 +6,4 @@ compiled by an older routing engine), and importing it from
 ``repro/__init__`` there would be circular.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"

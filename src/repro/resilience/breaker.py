@@ -1,0 +1,117 @@
+"""Circuit breaker over pool-level failures (crash / deadline / unavailable).
+
+Classic three-state breaker:
+
+* **closed** — requests flow to the pool; consecutive pool-level failures
+  are counted, successes reset the count.
+* **open** — after ``failure_threshold`` consecutive failures the breaker
+  opens for ``cooldown_s``: requests are diverted (degraded serial path or
+  shed) instead of queueing onto a pool that is demonstrably unhealthy.
+* **half-open** — once the cooldown elapses exactly one probe request is
+  let through; its success closes the breaker, its failure re-opens it for
+  another cooldown.
+
+Only *pool-level* failures feed the breaker.  A compile that raises on its
+own input is a property of the request, not of the pool, and must never
+push the gateway into degraded mode.
+"""
+
+from __future__ import annotations
+
+import time
+from threading import Lock
+from typing import Callable, Dict
+
+__all__ = ["CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a half-open probe.
+
+    ``clock`` is injectable so tests can step time instead of sleeping.
+    Thread-safe: the gateway calls it from the event loop, health probes
+    may call it from other threads.
+    """
+
+    def __init__(self, failure_threshold: int = 5, cooldown_s: float = 5.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if cooldown_s < 0:
+            raise ValueError("cooldown_s must be non-negative")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._times_opened = 0
+        self._probe_in_flight = False
+
+    # ------------------------------------------------------------------
+    # Decision point
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """True when the caller may dispatch to the pool right now.
+
+        While open, returns ``False`` until the cooldown elapses; the first
+        caller after that becomes the half-open probe (``True``), every
+        other caller keeps getting ``False`` until the probe resolves.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if self._clock() - self._opened_at < self.cooldown_s:
+                    return False
+                self._state = HALF_OPEN
+                self._probe_in_flight = True
+                return True
+            # HALF_OPEN: one probe at a time.
+            if self._probe_in_flight:
+                return False
+            self._probe_in_flight = True
+            return True
+
+    # ------------------------------------------------------------------
+    # Outcome feedback
+    # ------------------------------------------------------------------
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+            self._state = CLOSED
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            self._probe_in_flight = False
+            if self._state == HALF_OPEN or \
+                    self._consecutive_failures >= self.failure_threshold:
+                if self._state != OPEN:
+                    self._times_opened += 1
+                self._state = OPEN
+                self._opened_at = self._clock()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def as_dict(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "cooldown_s": self.cooldown_s,
+                "times_opened": self._times_opened,
+            }

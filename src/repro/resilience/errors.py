@@ -1,0 +1,90 @@
+"""Serving error taxonomy: every failure is retryable, permanent, or shed.
+
+The taxonomy is the contract between the supervised pool, the gateway, the
+wire protocol and the client:
+
+* **retryable** — the request itself is fine; serving infrastructure failed
+  (a worker crashed, a deadline expired, the pool was shutting down).  A
+  client may safely resubmit the identical request.
+* **permanent** — the request cannot succeed as posed (malformed payload,
+  the compile itself raised); resubmitting the same request will fail the
+  same way.
+* **shed** — the gateway refused the work to protect itself (admission
+  bound, open circuit breaker with no degraded capacity, draining for
+  shutdown).  The request is fine; retry after backing off.
+
+The class is carried on the wire as the ``error_class`` response field so
+clients never have to parse error strings.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "RETRYABLE",
+    "PERMANENT",
+    "SHED",
+    "ServingFault",
+    "WorkerCrashed",
+    "DeadlineExceeded",
+    "PoolUnavailable",
+    "LoadShed",
+    "CompileFailed",
+    "classify_error",
+]
+
+RETRYABLE = "retryable"
+PERMANENT = "permanent"
+SHED = "shed"
+
+
+class ServingFault(Exception):
+    """Base of all structured serving failures; carries its error class."""
+
+    error_class = RETRYABLE
+
+
+class WorkerCrashed(ServingFault):
+    """A worker process died (or a fault-injected crash fired) mid-task.
+
+    Raised to the caller only after the supervisor's bounded re-dispatch
+    budget is exhausted; the request never executed to completion, so a
+    retry is always safe.
+    """
+
+    error_class = RETRYABLE
+
+
+class DeadlineExceeded(ServingFault):
+    """A task overran its wall-clock deadline; its worker was recycled."""
+
+    error_class = RETRYABLE
+
+
+class PoolUnavailable(ServingFault):
+    """The pool is shut down (or rebuilding) and cannot accept the task."""
+
+    error_class = RETRYABLE
+
+
+class LoadShed(ServingFault):
+    """The gateway refused the request to protect itself (breaker/drain)."""
+
+    error_class = SHED
+
+
+class CompileFailed(ServingFault):
+    """The task itself raised — resubmitting the same request cannot help."""
+
+    error_class = PERMANENT
+
+
+def classify_error(exc: BaseException) -> str:
+    """The taxonomy class of an arbitrary exception (default: permanent).
+
+    Unknown exceptions are *permanent*: an error we cannot attribute to the
+    serving infrastructure must not trigger automatic retries, or a
+    deterministically-failing request would be recompiled forever.
+    """
+    if isinstance(exc, ServingFault):
+        return exc.error_class
+    return PERMANENT

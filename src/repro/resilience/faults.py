@@ -1,0 +1,167 @@
+"""Deterministic fault injection for the serving stack's chaos tests.
+
+A :class:`FaultPlan` is a picklable description of faults to inject at
+named *points* in the serving path:
+
+=================  ===========================================================
+point              fired by
+=================  ===========================================================
+``worker``         the compile wrapper on a pool worker, labelled by task id
+``store-put``      :meth:`repro.store.ResultStore.put`, labelled by key digest
+``tcp-response``   :class:`repro.server.tcp.ServingServer` before a response,
+                   labelled by the request op
+=================  ===========================================================
+
+Determinism across threads *and* processes comes from a filesystem
+**ledger**: each fault arms a fixed number of one-shot charges, and a
+charge fires only for the actor that atomically claims its marker file
+(``O_CREAT | O_EXCL``).  A crash fault armed once therefore kills exactly
+one execution of the matching task — the supervised retry of that same
+task finds the charge spent and completes, which is precisely the recovery
+semantics the chaos suite asserts.
+
+Fault kinds:
+
+* ``crash`` — raise :class:`~repro.resilience.errors.WorkerCrashed` (the
+  supervisor treats it exactly like a dead worker; works for thread *and*
+  process workers),
+* ``exit``  — ``os._exit(66)``: a genuine process death (process workers),
+* ``hang``  — sleep ``hang_s`` seconds (exercises deadline kills),
+* ``corrupt`` — garble the just-written store payload on disk,
+* ``sever`` — abort the TCP connection midway through writing a response.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Tuple
+
+from .errors import WorkerCrashed
+
+__all__ = ["FaultSpec", "FaultPlan", "FaultyCompile"]
+
+KINDS = ("crash", "exit", "hang", "corrupt", "sever")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One armed fault: where it fires, what it does, how often."""
+
+    kind: str                 # see KINDS
+    point: str                # "worker" | "store-put" | "tcp-response"
+    match: str = "*"          # label substring filter ("*" matches all)
+    times: int = 1            # number of one-shot charges
+    hang_s: float = 30.0      # sleep length for kind="hang"
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.times < 1:
+            raise ValueError("times must be at least 1")
+
+    def matches(self, label: str) -> bool:
+        return self.match == "*" or self.match in label
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A ledger directory plus the faults armed against it (picklable)."""
+
+    ledger_dir: str
+    faults: Tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        Path(self.ledger_dir).mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Ledger primitives
+    # ------------------------------------------------------------------
+    def _claim(self, marker: str) -> bool:
+        """Atomically claim ``marker``; exactly one claimant ever wins."""
+        path = os.path.join(self.ledger_dir, marker)
+        try:
+            os.close(os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+            return True
+        except FileExistsError:
+            return False
+        except OSError:
+            return False
+
+    def fired(self) -> int:
+        """Total charges spent so far (all points, all processes)."""
+        try:
+            return sum(1 for name in os.listdir(self.ledger_dir)
+                       if name.startswith("charge-"))
+        except OSError:
+            return 0
+
+    # ------------------------------------------------------------------
+    # Firing
+    # ------------------------------------------------------------------
+    def draw(self, point: str, label: str) -> Optional[FaultSpec]:
+        """Claim-and-return the first armed fault matching this event.
+
+        Returns ``None`` when nothing (or nothing *left*) matches; the
+        caller executes whatever spec comes back.  Safe to call from any
+        process sharing the ledger directory.
+        """
+        for index, spec in enumerate(self.faults):
+            if spec.point != point or not spec.matches(label):
+                continue
+            for charge in range(spec.times):
+                if self._claim(f"charge-{index}-{charge}"):
+                    return spec
+        return None
+
+    def fire_worker_fault(self, task_id: str) -> None:
+        """Worker-side hook: crash / exit / hang if a charge matches."""
+        spec = self.draw("worker", task_id)
+        if spec is None:
+            return
+        if spec.kind == "hang":
+            time.sleep(spec.hang_s)
+        elif spec.kind == "exit":
+            os._exit(66)
+        elif spec.kind == "crash":
+            raise WorkerCrashed(f"fault-injected crash while compiling "
+                                f"{task_id!r}")
+
+    def fire_store_fault(self, path, key_digest: str) -> None:
+        """Store-side hook: corrupt the freshly-written payload at ``path``."""
+        spec = self.draw("store-put", key_digest)
+        if spec is None or spec.kind != "corrupt":
+            return
+        try:
+            text = Path(path).read_text()
+            Path(path).write_text(text[: max(1, len(text) // 2)]
+                                  + '"GARBLED-BY-FAULT-PLAN')
+        except OSError:
+            pass
+
+    def draw_sever(self, label: str) -> bool:
+        """TCP-side hook: True when this response must be severed."""
+        spec = self.draw("tcp-response", label)
+        return spec is not None and spec.kind == "sever"
+
+
+class FaultyCompile:
+    """Picklable gateway ``compile_fn`` wrapper: fault hook + real compile.
+
+    Keeps fault injection in a test seam — the production
+    :func:`~repro.server.gateway.compile_task_artifact` stays untouched —
+    while running the genuine pipeline underneath, so chaos runs still
+    produce real artifacts whose digests must match a clean run.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+
+    def __call__(self, task, store_spec, evaluate):
+        from ..server.gateway import compile_task_artifact
+
+        self.plan.fire_worker_fault(task.task_id)
+        return compile_task_artifact(task, store_spec, evaluate)

@@ -1,0 +1,518 @@
+"""Supervised worker pool: self-healing workers, deadlines, crash retry.
+
+``concurrent.futures.ProcessPoolExecutor`` treats one dead worker as fatal:
+every queued future collapses with ``BrokenProcessPool`` and the pool is
+unusable until rebuilt, and a *hung* worker is worse — it silently pins its
+task forever.  :class:`SupervisedPool` replaces it for the serving path with
+the supervision model of long-running production workers (Pioreactor-style
+cluster supervision, see ROADMAP item 1):
+
+* every worker is monitored; a dead worker is **reaped and replaced**
+  without disturbing its siblings,
+* a task whose worker died mid-flight is **re-dispatched** under a bounded
+  :class:`~repro.resilience.policy.RetryPolicy` with exponential backoff
+  and deterministic jitter; once the budget is exhausted its future fails
+  with :class:`~repro.resilience.errors.WorkerCrashed` (retryable),
+* a task that overruns its **wall-clock deadline** has its worker killed
+  and recycled and fails with
+  :class:`~repro.resilience.errors.DeadlineExceeded` (retryable) — a hung
+  compile can never wedge the pool,
+* catastrophic supervision failures (e.g. a result queue corrupted by a
+  kill) trigger a **full pool rebuild**; in-flight tasks re-enter the
+  crash/retry path instead of being lost.
+
+Two worker kinds share the same supervisor: ``process`` workers (real
+isolation — crashes are genuine SIGKILL-able processes) and ``thread``
+workers for 1-core smoke runs and deterministic tests, where a "crash" is a
+raised :class:`WorkerCrashed` and a deadline kill *condemns* the worker (its
+eventual result is discarded, a replacement thread takes over its slot).
+
+Task functions and arguments must be picklable for process workers — the
+same contract the previous executor had.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .errors import DeadlineExceeded, PoolUnavailable, WorkerCrashed
+from .policy import RetryPolicy
+
+__all__ = ["SupervisedPool", "PoolStats"]
+
+#: Result wire format between workers and the supervisor.
+_OK = "ok"
+_ERR = "error"
+
+
+def _worker_loop(task_source, result_sink, condemned=None) -> None:
+    """Shared worker body: pull ``(job_id, fn, args)``, run, report.
+
+    Used verbatim by process workers (queues are multiprocessing queues)
+    and thread workers (queues are ``queue.Queue``; ``condemned`` is the
+    thread's discard flag, checked *after* the task so a condemned worker
+    never reports a stale result).
+    """
+    while True:
+        item = task_source.get()
+        if item is None:
+            return
+        job_id, fn, args = item
+        try:
+            result = fn(*args)
+            outcome = (job_id, _OK, result)
+        except BaseException as exc:  # noqa: BLE001 - reported, not raised
+            outcome = (job_id, _ERR, (type(exc).__name__, str(exc)))
+        if condemned is not None and condemned.is_set():
+            return
+        try:
+            result_sink.put(outcome)
+        except Exception:  # noqa: BLE001 - unpicklable result etc.
+            try:
+                result_sink.put((job_id, _ERR,
+                                 ("RuntimeError", "worker could not report "
+                                                  "its result")))
+            except Exception:  # noqa: BLE001 - queue gone: supervisor reaps us
+                return
+
+
+class _ProcessWorker:
+    """One supervised worker process with a private task queue."""
+
+    kind = "process"
+
+    def __init__(self, ctx, result_queue) -> None:
+        self._ctx = ctx
+        self.task_queue = ctx.SimpleQueue()
+        self.process = ctx.Process(
+            target=_worker_loop, args=(self.task_queue, result_queue),
+            daemon=True, name="repro-supervised-worker")
+        self.process.start()
+        self.job_id: Optional[int] = None
+        self.started_at: float = 0.0
+
+    @property
+    def ident(self) -> str:
+        return f"pid={self.process.pid}"
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def send(self, item) -> None:
+        self.task_queue.put(item)
+
+    def stop(self) -> None:
+        """Ask an idle worker to exit after draining its queue."""
+        try:
+            self.task_queue.put(None)
+        except Exception:  # noqa: BLE001 - already gone
+            pass
+
+    def kill(self) -> None:
+        """Forcibly terminate (deadline kill / shutdown of a busy worker)."""
+        try:
+            self.process.terminate()
+            self.process.join(timeout=2.0)
+            if self.process.is_alive():  # pragma: no cover - stubborn child
+                self.process.kill()
+                self.process.join(timeout=2.0)
+        except Exception:  # noqa: BLE001 - best-effort teardown
+            pass
+
+
+class _ThreadWorker:
+    """Thread-backed worker; a 'kill' condemns it instead of terminating."""
+
+    kind = "thread"
+
+    def __init__(self, _ctx, result_queue) -> None:
+        self.task_queue: "queue.Queue" = queue.Queue()
+        self.condemned = threading.Event()
+        self.thread = threading.Thread(
+            target=_worker_loop,
+            args=(self.task_queue, result_queue, self.condemned),
+            daemon=True, name="repro-supervised-worker")
+        self.thread.start()
+        self.job_id: Optional[int] = None
+        self.started_at: float = 0.0
+
+    @property
+    def ident(self) -> str:
+        return f"tid={self.thread.ident}"
+
+    def alive(self) -> bool:
+        return self.thread.is_alive() and not self.condemned.is_set()
+
+    def send(self, item) -> None:
+        self.task_queue.put(item)
+
+    def stop(self) -> None:
+        self.task_queue.put(None)
+
+    def kill(self) -> None:
+        # Python threads cannot be killed; the condemned flag makes the
+        # worker discard whatever it eventually produces and exit.  The
+        # supervisor forgets it immediately and spawns a replacement, so
+        # pool capacity recovers even though the OS thread lingers until
+        # the hung call returns.
+        self.condemned.set()
+
+
+class _Job:
+    __slots__ = ("job_id", "fn", "args", "future", "deadline_s", "label",
+                 "token", "attempts", "not_before", "started")
+
+    def __init__(self, job_id: int, fn: Callable, args: Tuple,
+                 future: "Future", deadline_s: Optional[float],
+                 label: str, token: str) -> None:
+        self.job_id = job_id
+        self.fn = fn
+        self.args = args
+        self.future = future
+        self.deadline_s = deadline_s
+        self.label = label
+        self.token = token
+        self.attempts = 0          # dispatches so far
+        self.not_before = 0.0      # backoff gate for the next dispatch
+        self.started = False       # set_running_or_notify_cancel done
+
+
+class PoolStats:
+    """Monotonic supervision counters (exported via ``stats()``)."""
+
+    FIELDS = ("submitted", "completed", "failed", "crashes", "deadline_kills",
+              "retries", "workers_recycled", "pool_rebuilds", "queue_errors")
+
+    def __init__(self) -> None:
+        for name in self.FIELDS:
+            setattr(self, name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+
+class SupervisedPool:
+    """Self-healing task pool with per-task deadlines and bounded retry.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker count (default: CPU count, floor 2 for thread workers).
+    kind:
+        ``"process"`` (real isolation) or ``"thread"`` (tests, 1-core runs).
+    deadline_s:
+        Default per-task wall-clock budget; ``None`` disables deadlines.
+        :meth:`submit` can override per task.
+    retry_policy:
+        Crash re-dispatch budget + backoff (deadline overruns are *not*
+        retried here: a hung task would very likely hang again, so the
+        caller decides).
+    mp_context:
+        Multiprocessing context for process workers (default: ``fork``
+        where available, matching the prewarmed architecture-cache
+        contract of :mod:`repro.service.batch`).
+    """
+
+    _TICK_S = 0.02
+
+    def __init__(self, max_workers: Optional[int] = None, *,
+                 kind: str = "process",
+                 deadline_s: Optional[float] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 mp_context=None) -> None:
+        if kind not in ("process", "thread"):
+            raise ValueError("kind must be 'process' or 'thread'")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or None)")
+        self.kind = kind
+        cpu = os.cpu_count() or 1
+        self.max_workers = max_workers or (max(2, cpu) if kind == "thread"
+                                           else cpu)
+        self.deadline_s = deadline_s
+        self.retry_policy = retry_policy or RetryPolicy()
+        if kind == "process":
+            self._ctx = mp_context or _default_context()
+        else:
+            self._ctx = None
+        self.stats = PoolStats()
+        self._lock = threading.Lock()
+        self._closed = False
+        self._job_ids = itertools.count(1)
+        self._pending: List[_Job] = []
+        self._running: Dict[int, Tuple[_Job, object]] = {}
+        self._workers: List[object] = []
+        self._result_queue = self._make_result_queue()
+        for _ in range(self.max_workers):
+            self._workers.append(self._spawn_worker())
+        self._supervisor = threading.Thread(
+            target=self._supervise, daemon=True, name="repro-pool-supervisor")
+        self._supervisor.start()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def submit(self, fn: Callable, *args: Any,
+               deadline_s: Optional[float] = -1.0,
+               label: str = "", token: Optional[str] = None) -> "Future":
+        """Schedule ``fn(*args)``; returns a ``concurrent.futures.Future``.
+
+        ``deadline_s`` overrides the pool default (``None`` = unbounded;
+        leave unset to inherit).  ``label`` decorates error messages;
+        ``token`` seeds the retry jitter (defaults to the label).
+        """
+        future: "Future" = Future()
+        effective = self.deadline_s if deadline_s == -1.0 else deadline_s
+        with self._lock:
+            if self._closed:
+                raise PoolUnavailable("pool is shut down")
+            job = _Job(next(self._job_ids), fn, args, future, effective,
+                       label or fn.__class__.__name__, token or label)
+            self._pending.append(job)
+            self.stats.submitted += 1
+        return future
+
+    def stats_dict(self) -> Dict[str, object]:
+        with self._lock:
+            payload: Dict[str, object] = {
+                "kind": self.kind,
+                "max_workers": self.max_workers,
+                "workers_alive": sum(1 for worker in self._workers
+                                     if worker.alive()),
+                "pending": len(self._pending),
+                "running": len(self._running),
+                "deadline_s": self.deadline_s,
+                "retry_max_attempts": self.retry_policy.max_attempts,
+            }
+            payload.update(self.stats.as_dict())
+        return payload
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the supervisor, fail unfinished work, reap every worker."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pending = list(self._pending)
+            running = list(self._running.values())
+            self._pending.clear()
+            self._running.clear()
+            workers = list(self._workers)
+            self._workers = []
+        for job in pending:
+            _fail(job.future, PoolUnavailable(
+                f"pool shut down before {job.label!r} ran"))
+        for job, _worker in running:
+            _fail(job.future, PoolUnavailable(
+                f"pool shut down while {job.label!r} was running"))
+        for worker in workers:
+            if worker.job_id is None:
+                worker.stop()
+            else:
+                worker.kill()
+        if wait:
+            self._supervisor.join(timeout=5.0)
+            for worker in workers:
+                if isinstance(worker, _ProcessWorker):
+                    worker.process.join(timeout=2.0)
+
+    def __enter__(self) -> "SupervisedPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Supervisor loop
+    # ------------------------------------------------------------------
+    def _supervise(self) -> None:
+        while True:
+            with self._lock:
+                if self._closed:
+                    return
+            try:
+                self._drain_results()
+                now = time.monotonic()
+                with self._lock:
+                    if self._closed:
+                        return
+                    self._reap_dead_workers(now)
+                    self._enforce_deadlines(now)
+                    self._dispatch(now)
+            except Exception:  # noqa: BLE001 - supervision must survive
+                with self._lock:
+                    self.stats.queue_errors += 1
+                    broken = self.stats.queue_errors
+                if broken % 3 == 0:
+                    self._rebuild("supervision error")
+
+    def _drain_results(self) -> None:
+        while True:
+            try:
+                job_id, kind, payload = self._result_queue.get(
+                    timeout=self._TICK_S)
+            except queue.Empty:
+                return
+            except (EOFError, OSError):
+                # The queue itself broke (a kill mid-put): rebuild wholesale.
+                with self._lock:
+                    self.stats.queue_errors += 1
+                self._rebuild("result queue broken")
+                return
+            with self._lock:
+                entry = self._running.pop(job_id, None)
+                if entry is None:
+                    continue  # late result of a deadline-killed/rebuilt job
+                job, worker = entry
+                worker.job_id = None
+                if kind == _OK:
+                    self.stats.completed += 1
+                    _resolve(job.future, payload)
+                    continue
+                type_name, message = payload
+                if type_name == WorkerCrashed.__name__:
+                    # Fault-injected (or in-process-detected) crash: same
+                    # re-dispatch path as a genuinely dead worker.
+                    self._handle_crash(job, f"{message}")
+                else:
+                    self.stats.failed += 1
+                    _fail(job.future, _task_error(type_name, message))
+
+    def _reap_dead_workers(self, now: float) -> None:
+        for index, worker in enumerate(list(self._workers)):
+            if worker.alive():
+                continue
+            self.stats.workers_recycled += 1
+            if worker.job_id is not None:
+                entry = self._running.pop(worker.job_id, None)
+                if entry is not None:
+                    job, _ = entry
+                    self._handle_crash(
+                        job, f"worker ({worker.ident}) died while running "
+                             f"{job.label!r}")
+            self._workers[index] = self._spawn_worker()
+
+    def _enforce_deadlines(self, now: float) -> None:
+        for job_id, (job, worker) in list(self._running.items()):
+            if job.deadline_s is None:
+                continue
+            if now - worker.started_at <= job.deadline_s:
+                continue
+            self.stats.deadline_kills += 1
+            self._running.pop(job_id, None)
+            worker.job_id = None
+            worker.kill()
+            self.stats.workers_recycled += 1
+            try:
+                self._workers.remove(worker)
+            except ValueError:  # pragma: no cover - already replaced
+                pass
+            self._workers.append(self._spawn_worker())
+            _fail(job.future, DeadlineExceeded(
+                f"{job.label!r} exceeded its {job.deadline_s:.3g}s deadline; "
+                f"worker recycled"))
+
+    def _dispatch(self, now: float) -> None:
+        if not self._pending:
+            return
+        idle = [worker for worker in self._workers
+                if worker.job_id is None and worker.alive()]
+        if not idle:
+            return
+        remaining: List[_Job] = []
+        for job in self._pending:
+            if not idle:
+                remaining.append(job)
+                continue
+            if job.not_before > now:
+                remaining.append(job)
+                continue
+            if not job.started:
+                if not job.future.set_running_or_notify_cancel():
+                    continue  # cancelled while queued
+                job.started = True
+            elif job.future.done():
+                continue  # resolved elsewhere (e.g. rebuild raced)
+            worker = idle.pop()
+            job.attempts += 1
+            worker.job_id = job.job_id
+            worker.started_at = now
+            self._running[job.job_id] = (job, worker)
+            worker.send((job.job_id, job.fn, job.args))
+        self._pending = remaining
+
+    def _handle_crash(self, job: _Job, detail: str) -> None:
+        """Crash outcome for a dispatched job: bounded re-dispatch or fail."""
+        self.stats.crashes += 1
+        if self.retry_policy.allows_retry(job.attempts):
+            self.stats.retries += 1
+            job.not_before = time.monotonic() + self.retry_policy.backoff_s(
+                job.attempts + 1, token=job.token)
+            self._pending.append(job)
+            return
+        self.stats.failed += 1
+        _fail(job.future, WorkerCrashed(
+            f"{detail} (gave up after {job.attempts} attempts)"))
+
+    def _rebuild(self, reason: str) -> None:
+        """Replace queue + every worker; in-flight jobs re-enter retry."""
+        with self._lock:
+            if self._closed:
+                return
+            self.stats.pool_rebuilds += 1
+            workers = list(self._workers)
+            running = list(self._running.values())
+            self._workers = []
+            self._running.clear()
+            self._result_queue = self._make_result_queue()
+            for job, _worker in running:
+                self._handle_crash(job, f"pool rebuilt ({reason}) while "
+                                        f"{job.label!r} was running")
+            for _ in range(self.max_workers):
+                self._workers.append(self._spawn_worker())
+        for worker in workers:
+            worker.kill()
+
+    # ------------------------------------------------------------------
+    # Worker plumbing
+    # ------------------------------------------------------------------
+    def _make_result_queue(self):
+        if self.kind == "thread":
+            return queue.Queue()
+        return self._ctx.Queue()
+
+    def _spawn_worker(self):
+        factory = _ThreadWorker if self.kind == "thread" else _ProcessWorker
+        return factory(self._ctx, self._result_queue)
+
+
+def _default_context():
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform without fork
+        return multiprocessing.get_context()
+
+
+def _task_error(type_name: str, message: str) -> Exception:
+    from .errors import CompileFailed
+
+    return CompileFailed(f"{type_name}: {message}")
+
+
+def _resolve(future: "Future", result) -> None:
+    if not future.done():
+        future.set_result(result)
+
+
+def _fail(future: "Future", exc: Exception) -> None:
+    if not future.done():
+        future.set_exception(exc)

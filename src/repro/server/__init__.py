@@ -4,8 +4,14 @@ The long-running front-end of the reproduction: an asyncio gateway that
 serves compile requests from the persistent :mod:`repro.store`, coalesces
 identical in-flight requests into one compile, and runs misses on a bounded
 worker pool — plus a newline-delimited-JSON TCP server, a synchronous
-client, and a ``python -m repro.server`` CLI (with a ``--self-test`` mode
-used by CI).
+client, and a ``python -m repro.server`` CLI (with ``--self-test`` and
+``--self-test --chaos`` modes used by CI).
+
+The pool is **supervised** (:mod:`repro.resilience`): dead workers are
+reaped and replaced, crashed tasks re-dispatched under a bounded retry
+budget, hung tasks deadline-killed; a circuit breaker diverts traffic to a
+bounded in-process degraded lane when the pool is unhealthy, and the
+``health`` protocol verb exposes the whole supervision surface.
 
 Quickstart::
 
@@ -30,12 +36,13 @@ from .protocol import (
     task_from_wire,
     task_to_wire,
 )
-from .tcp import ServingServer
+from .tcp import ServerStats, ServingServer
 
 __all__ = [
     "ServingGateway",
     "GatewayStats",
     "ServingServer",
+    "ServerStats",
     "ServingClient",
     "ServingUnavailable",
     "ServeResponse",

@@ -14,6 +14,17 @@ and exits non-zero on any failed check::
 
     PYTHONPATH=src python -m repro.server --self-test \
         --stats-out serving-stats.json
+
+Chaos self-test mode (used by the CI chaos-smoke job): same end-to-end
+stack, but driven under a deterministic
+:class:`~repro.resilience.FaultPlan` — an injected worker crash, a hung
+compile (deadline-killed), a corrupted store entry and a severed
+connection — asserting that every request still completes with consistent
+digests, the corrupted entry is quarantined (never served), and the
+``health`` verb reports the whole story::
+
+    PYTHONPATH=src python -m repro.server --self-test --chaos \
+        --stats-out chaos-stats.json
 """
 
 from __future__ import annotations
@@ -65,6 +76,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write gateway+store stats JSON here on exit")
     parser.add_argument("--self-test", action="store_true",
                         help="run the end-to-end serving smoke (CI mode)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="with --self-test: run the fault-injection "
+                             "smoke (worker crash, hang, corrupt store "
+                             "entry, severed connection)")
     parser.add_argument("--scale", type=float, default=0.08,
                         help="workload scale of the self-test (default 0.08)")
     return parser
@@ -117,7 +132,8 @@ def run_server(args) -> int:
 # ----------------------------------------------------------------------
 # Self-test mode
 # ----------------------------------------------------------------------
-def _start_background_server(gateway: ServingGateway, host: str
+def _start_background_server(gateway: ServingGateway, host: str,
+                             fault_plan=None
                              ) -> "tuple[threading.Thread, int]":
     """Run the asyncio server on a daemon thread; returns its bound port."""
     ready = threading.Event()
@@ -125,7 +141,7 @@ def _start_background_server(gateway: ServingGateway, host: str
 
     def runner() -> None:
         async def main() -> None:
-            server = ServingServer(gateway, host, 0)
+            server = ServingServer(gateway, host, 0, fault_plan=fault_plan)
             await server.start()
             box["port"] = server.port
             ready.set()
@@ -256,12 +272,117 @@ def run_self_test(args) -> int:
     return 0 if ok else 1
 
 
+# ----------------------------------------------------------------------
+# Chaos self-test mode
+# ----------------------------------------------------------------------
+def run_chaos_self_test(args) -> int:
+    """End-to-end fault-injection smoke (the CI chaos job).
+
+    Arms one worker crash, one hung compile, one corrupted store entry and
+    one severed connection against a duplicate-heavy request stream, then
+    asserts the robustness contract: every request completes (the harness
+    resubmits on ``error_class == "retryable"`` exactly as a production
+    client would), duplicates share digests, the corrupted entry is
+    quarantined instead of served, and the ``health`` verb accounts for
+    every injected fault.
+    """
+    from ..resilience import FaultPlan, FaultSpec, FaultyCompile, RetryPolicy
+
+    scale = args.scale
+    spec = ArchitectureSpec.scaled("mixed", scale)
+    sizes = {name: scaled_register_size(name, scale)
+             for name in ("qft", "graph", "qpe")}
+    plan = FaultPlan(tempfile.mkdtemp(prefix="repro-chaos-ledger-"), (
+        FaultSpec("crash", "worker", match="graph-r0"),
+        FaultSpec("hang", "worker", match="qpe-r0", hang_s=6.0),
+        FaultSpec("corrupt", "store-put"),
+        FaultSpec("sever", "tcp-response", match="compile"),
+    ))
+    store_dir = args.store_dir or tempfile.mkdtemp(prefix="repro-chaos-store-")
+    store = ResultStore(store_dir, fault_plan=plan)
+    gateway = ServingGateway(
+        store, max_workers=args.workers, max_pending=args.max_pending,
+        pool="thread", evaluate=not args.no_evaluate,
+        deadline_s=3.0,
+        retry_policy=RetryPolicy(max_attempts=3, base_delay_s=0.05),
+        compile_fn=FaultyCompile(plan))
+    thread, port = _start_background_server(gateway, args.host,
+                                            fault_plan=plan)
+
+    checks: List[Dict[str, object]] = []
+    ok = True
+
+    def check(name: str, passed: bool, detail: str = "") -> None:
+        nonlocal ok
+        ok &= passed
+        checks.append({"check": name, "passed": passed, "detail": detail})
+        print(f"[{'ok' if passed else 'FAIL'}] {name}"
+              + (f" — {detail}" if detail and not passed else ""))
+
+    structures = ("qft", "graph", "qpe")
+    rounds = 4
+    digests: Dict[str, set] = {name: set() for name in structures}
+    failures: List[str] = []
+    resubmits = 0
+    with ServingClient(args.host, port) as client:
+        for round_index in range(rounds):
+            for name in structures:
+                task = CompilationTask(f"{name}-r{round_index}", spec,
+                                       circuit_name=name,
+                                       num_qubits=sizes[name])
+                response = None
+                for _attempt in range(4):
+                    response = client.compile_task(task)
+                    if response.ok or response.error_class != "retryable":
+                        break
+                    resubmits += 1
+                if response is None or not response.ok:
+                    failures.append(f"{task.task_id}: {response.error}")
+                else:
+                    digests[name].add(response.digest["sha256"])
+        health = client.health()
+        client.shutdown()
+    thread.join(timeout=10)
+
+    check("every request completed under faults", not failures,
+          "; ".join(failures))
+    check("deadline-killed request needed exactly one resubmission",
+          resubmits == 1, f"resubmits={resubmits}")
+    check("duplicates share one digest per structure",
+          all(len(shas) == 1 for shas in digests.values()),
+          str({name: len(shas) for name, shas in digests.items()}))
+    check("every armed fault fired", plan.fired() == 4,
+          f"fired={plan.fired()}")
+    check("corrupted entry quarantined, never served",
+          store.stats.corruptions == 1 and len(store.quarantined()) == 1,
+          f"corruptions={store.stats.corruptions} "
+          f"quarantined={len(store.quarantined())}")
+    pool_stats = health.get("pool") or {}
+    check("supervision observed the crash and the deadline kill",
+          pool_stats.get("crashes", 0) >= 1
+          and pool_stats.get("deadline_kills", 0) == 1,
+          f"pool={pool_stats}")
+    check("breaker closed, gateway healthy after recovery",
+          health.get("status") == "ok"
+          and (health.get("breaker") or {}).get("state") == "closed",
+          f"status={health.get('status')} breaker={health.get('breaker')}")
+
+    _write_stats(gateway, args.stats_out,
+                 extra={"checks": checks, "health": health,
+                        "faults_fired": plan.fired()})
+    print(f"chaos self-test: {sum(1 for c in checks if c['passed'])}"
+          f"/{len(checks)} checks passed")
+    return 0 if ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.workers is not None and args.workers < 1:
         raise SystemExit("--workers must be at least 1")
+    if args.chaos and not args.self_test:
+        raise SystemExit("--chaos requires --self-test")
     if args.self_test:
-        return run_self_test(args)
+        return run_chaos_self_test(args) if args.chaos else run_self_test(args)
     return run_server(args)
 
 

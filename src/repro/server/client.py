@@ -7,14 +7,25 @@ the load generator, CI smoke jobs — need no asyncio of their own::
     with ServingClient(port=7421) as client:
         response = client.compile_task(task)       # ServeResponse
         print(response.source, response.digest["sha256"])
+
+Compile requests are **retried across reconnects**: a compile is idempotent
+on the server (store + coalescing make a resubmitted request a cheap hit or
+a join onto the in-flight compile), so when the connection drops mid-round
+trip the client reconnects under a bounded
+:class:`~repro.resilience.RetryPolicy` and resubmits the identical request.
+Each attempt carries the same client-assigned ``request_id``, which the
+server echoes verbatim — a response that answers a different request than
+the one just sent is discarded instead of mis-paired.
 """
 
 from __future__ import annotations
 
 import socket
 import time
+import uuid
 from typing import Any, Dict, Optional
 
+from ..resilience import RetryPolicy
 from ..service.batch import CompilationTask
 from .protocol import (
     ProtocolError,
@@ -32,19 +43,40 @@ class ServingUnavailable(ConnectionError):
 
 
 class ServingClient:
-    """One blocking connection to a :class:`~repro.server.ServingServer`."""
+    """One blocking connection to a :class:`~repro.server.ServingServer`.
+
+    ``retry_policy`` bounds reconnect-and-resubmit for idempotent compile
+    requests (default: 3 attempts with exponential backoff).  Passing
+    ``RetryPolicy(max_attempts=1)`` restores fail-fast behaviour.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7421, *,
-                 timeout: float = 300.0) -> None:
+                 timeout: float = 300.0,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry_policy = retry_policy or RetryPolicy()
+        #: Successful reconnects performed by the retry loop.
+        self.reconnects = 0
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._connect()
+
+    def _connect(self) -> None:
         try:
-            self._sock = socket.create_connection((host, port), timeout=timeout)
+            self._sock = socket.create_connection((self.host, self.port),
+                                                  timeout=self.timeout)
         except OSError as exc:
             raise ServingUnavailable(
-                f"cannot connect to gateway at {host}:{port}: {exc}") from None
+                f"cannot connect to gateway at {self.host}:{self.port}: "
+                f"{exc}") from None
         self._file = self._sock.makefile("rwb")
+
+    def _reconnect(self) -> None:
+        self.close()
+        self._connect()
+        self.reconnects += 1
 
     # ------------------------------------------------------------------
     # Transport
@@ -58,20 +90,65 @@ class ServingClient:
             raise ServingUnavailable(f"gateway connection lost: {exc}") from None
         if not line:
             raise ServingUnavailable("gateway closed the connection")
+        if not line.endswith(b"\n"):
+            # A severed connection mid-response leaves a truncated line.
+            raise ServingUnavailable("gateway connection severed mid-response")
         return decode_line(line)
 
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
-    def compile_task(self, task: CompilationTask) -> ServeResponse:
-        """Submit one compile request and return its :class:`ServeResponse`."""
-        payload = self._roundtrip({"op": "compile", "task": task_to_wire(task)})
-        if payload.get("op") == "error":
-            raise ProtocolError(payload.get("error", "unknown protocol error"))
-        return ServeResponse.from_wire(payload)
+    def compile_task(self, task: CompilationTask, *,
+                     timeout_s: Optional[float] = None,
+                     request_id: Optional[str] = None) -> ServeResponse:
+        """Submit one compile request and return its :class:`ServeResponse`.
+
+        Retries across reconnects under :attr:`retry_policy`; every attempt
+        resubmits the identical payload with the same ``request_id``, so
+        the server side coalesces or store-hits rather than recompiling.
+        """
+        request_id = request_id or uuid.uuid4().hex
+        payload: Dict[str, Any] = {"op": "compile",
+                                   "task": task_to_wire(task),
+                                   "request_id": request_id}
+        if timeout_s is not None:
+            payload["timeout_s"] = timeout_s
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                answer = self._request_once(payload, request_id)
+            except ServingUnavailable:
+                if not self.retry_policy.allows_retry(attempts):
+                    raise
+                time.sleep(self.retry_policy.backoff_s(attempts,
+                                                       token=request_id))
+                self._reconnect()
+                continue
+            if answer.get("op") == "error":
+                raise ProtocolError(answer.get("error",
+                                               "unknown protocol error"))
+            return ServeResponse.from_wire(answer)
+
+    def _request_once(self, payload: Dict[str, Any],
+                      request_id: str) -> Dict[str, Any]:
+        answer = self._roundtrip(payload)
+        echoed = answer.get("request_id")
+        if echoed is not None and echoed != request_id:
+            # A response for some other request on this connection (e.g. a
+            # stale answer after a partial failure): the pairing is broken,
+            # treat the connection as unusable rather than mis-attribute.
+            raise ServingUnavailable(
+                f"response pairing broken: expected request_id "
+                f"{request_id!r}, got {echoed!r}")
+        return answer
 
     def stats(self) -> Dict[str, Any]:
         return self._roundtrip({"op": "stats"})
+
+    def health(self) -> Dict[str, Any]:
+        """Supervision snapshot (pool / breaker / retry / store counters)."""
+        return self._roundtrip({"op": "health"})
 
     def ping(self) -> bool:
         return bool(self._roundtrip({"op": "ping"}).get("ok"))
@@ -84,14 +161,18 @@ class ServingClient:
             pass
 
     def close(self) -> None:
-        try:
-            self._file.close()
-        except OSError:
-            pass
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
 
     def __enter__(self) -> "ServingClient":
         return self

@@ -9,28 +9,57 @@ compile request it
 3. **coalesces** identical in-flight requests: the first miss for a key
    starts exactly one compile; requests for the same key arriving while it
    runs await the same future instead of compiling again,
-4. runs misses on a bounded worker pool (process pool by default — mapping
-   is CPU-bound pure Python — or a thread pool for tests/1-core smoke runs)
-   behind an **admission limit**: beyond ``max_pending`` concurrent compiles
-   new keys are rejected with a structured error instead of queueing
-   unboundedly, and
+4. runs misses on a **supervised** worker pool
+   (:class:`~repro.resilience.SupervisedPool`: dead workers reaped and
+   replaced, crashed tasks re-dispatched with bounded retry + backoff, hung
+   tasks deadline-killed) behind an **admission limit**: beyond
+   ``max_pending`` concurrent compiles new keys are rejected with a
+   structured error instead of queueing unboundedly, and
 5. isolates failures per request: a failing compile fails its own waiters,
    is *not* cached, and leaves the gateway serving.
 
+Robustness layers on top (:mod:`repro.resilience`):
+
+* every failure response carries an ``error_class`` from the
+  retryable / permanent / shed taxonomy so clients know whether to retry;
+* per-request deadlines are the tightest of the gateway's default budget
+  and the client's ``timeout_s``, enforced by the pool (the worker is
+  killed and recycled, the request fails retryable);
+* a :class:`~repro.resilience.CircuitBreaker` watches *pool-level*
+  failures (worker crash budgets exhausted, pool gone) — task-level
+  compile errors never trip it.  While open, requests bypass the pool;
+* **graceful degradation**: when the pool is unusable the gateway falls
+  back to a bounded in-process serial compile lane, so correct answers
+  keep flowing (slowly) instead of erroring; beyond the lane's bound
+  requests are shed;
+* **drain-based shutdown**: :meth:`drain` stops admissions and waits for
+  in-flight compiles, so an operator stop never abandons accepted work.
+
 Correctness rests on the repo's bit-identity contract (differential + golden
-harnesses): a store/coalesced artifact is byte-identical to what a fresh
-compile of the same request would emit, which the serving tests assert
-digest-for-digest.
+harnesses): a store/coalesced/degraded artifact is byte-identical to what a
+fresh compile of the same request would emit, which the serving and chaos
+tests assert digest-for-digest.
 """
 
 from __future__ import annotations
 
 import asyncio
-import functools
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass
 from typing import Callable, Dict, Optional, Tuple
 
+from ..resilience import (
+    PERMANENT,
+    SHED,
+    CircuitBreaker,
+    DeadlineExceeded,
+    PoolUnavailable,
+    RetryPolicy,
+    SupervisedPool,
+    WorkerCrashed,
+    classify_error,
+    tightest,
+)
 from ..service.batch import (
     CompilationTask,
     _fork_context,
@@ -52,6 +81,10 @@ class GatewayStats:
     compiles: int = 0
     failures: int = 0
     rejected: int = 0
+    #: Requests served by the in-process serial fallback lane.
+    degraded: int = 0
+    #: Requests shed (breaker open + fallback lane full, or draining).
+    shed: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return asdict(self)
@@ -98,6 +131,19 @@ class ServingGateway:
     compile_fn:
         Injection point for tests: ``(task, store_spec, evaluate) ->
         CompiledArtifact``, executed on the pool.
+    deadline_s:
+        Default per-compile wall-clock budget enforced by the supervised
+        pool (``None`` = unbounded).  A client ``timeout_s`` tightens it
+        per request, never loosens it.
+    retry_policy:
+        Crash re-dispatch budget for the pool (default
+        :class:`~repro.resilience.RetryPolicy`).
+    breaker:
+        Circuit breaker over pool-level failures; a default 5-failure /
+        5-second breaker is built when not given.
+    max_degraded:
+        Bound on concurrent in-process fallback compiles while the breaker
+        is open (beyond it requests are shed).
     """
 
     def __init__(self, store: Optional[ResultStore] = None, *,
@@ -105,22 +151,35 @@ class ServingGateway:
                  max_pending: int = 32,
                  pool: str = "process",
                  evaluate: bool = True,
-                 compile_fn: Optional[Callable] = None) -> None:
+                 compile_fn: Optional[Callable] = None,
+                 deadline_s: Optional[float] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 max_degraded: int = 2) -> None:
         if pool not in ("process", "thread"):
             raise ValueError("pool must be 'process' or 'thread'")
         if max_pending < 1:
             raise ValueError("max_pending must be at least 1")
+        if max_degraded < 1:
+            raise ValueError("max_degraded must be at least 1")
         self.store = store
         self.max_workers = max_workers
         self.max_pending = max_pending
         self.pool_kind = pool
         self.evaluate = evaluate
         self.compile_fn = compile_fn or compile_task_artifact
+        self.deadline_s = deadline_s
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.breaker = breaker or CircuitBreaker()
+        self.max_degraded = max_degraded
         self.stats = GatewayStats()
-        self._executor: Optional[Executor] = None
+        self._pool: Optional[SupervisedPool] = None
         self._prep_executor: Optional[ThreadPoolExecutor] = None
+        self._degraded_executor: Optional[ThreadPoolExecutor] = None
         self._inflight: Dict[str, "asyncio.Future[CompiledArtifact]"] = {}
         self._active_compiles = 0
+        self._active_degraded = 0
+        self._draining = False
         # Bumped after every finished primary compile; lets a request whose
         # async store lookup raced a completing compile re-check the store
         # instead of starting a redundant compile.
@@ -137,23 +196,40 @@ class ServingGateway:
             # stall every other connection.
             self._prep_executor = ThreadPoolExecutor(
                 max_workers=2, thread_name_prefix="repro-serve-prep")
-        if self._executor is not None:
+        if self._pool is not None:
             return
-        if self.pool_kind == "process":
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.max_workers, mp_context=_fork_context())
-        else:
-            self._executor = ThreadPoolExecutor(
-                max_workers=self.max_workers,
-                thread_name_prefix="repro-serve")
+        self._pool = SupervisedPool(
+            self.max_workers, kind=self.pool_kind,
+            deadline_s=self.deadline_s, retry_policy=self.retry_policy,
+            mp_context=_fork_context() if self.pool_kind == "process" else None)
 
     def close(self) -> None:
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
-        if self._prep_executor is not None:
-            self._prep_executor.shutdown(wait=True)
-            self._prep_executor = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        for name in ("_prep_executor", "_degraded_executor"):
+            executor = getattr(self, name)
+            if executor is not None:
+                executor.shutdown(wait=True)
+                setattr(self, name, None)
+
+    async def drain(self, timeout_s: float = 30.0) -> bool:
+        """Stop admitting work and wait for in-flight compiles to finish.
+
+        Returns ``True`` when everything landed inside the budget.  New
+        compile requests arriving during (and after) the drain are shed
+        with a structured error; ``close()`` afterwards tears the pools
+        down without abandoning accepted work.
+        """
+        self._draining = True
+        loop = asyncio.get_running_loop()
+        give_up = loop.time() + timeout_s
+        while (self._active_compiles > 0 or self._inflight
+               or self._active_degraded > 0):
+            if loop.time() >= give_up:
+                return False
+            await asyncio.sleep(0.01)
+        return True
 
     async def __aenter__(self) -> "ServingGateway":
         self.start()
@@ -165,18 +241,25 @@ class ServingGateway:
     # ------------------------------------------------------------------
     # Request path
     # ------------------------------------------------------------------
-    async def compile(self, task: CompilationTask):
+    async def compile(self, task: CompilationTask,
+                      timeout_s: Optional[float] = None):
         """Serve one compile request; never raises for request-shaped errors.
 
         Returns a :class:`~repro.server.protocol.ServeResponse` whose
         ``source`` records how it was served (``store`` / ``coalesced`` /
-        ``compiled``).
+        ``compiled`` / ``degraded``) and whose ``error_class`` (on
+        failure) tells the client whether a retry can help.
         """
         from .protocol import ServeResponse  # local: avoid import cycle
 
         loop = asyncio.get_running_loop()
         start = loop.time()
         self.stats.requests += 1
+        if self._draining:
+            self.stats.shed += 1
+            return ServeResponse.failure(
+                task.task_id, "shed: gateway is draining for shutdown",
+                loop.time() - start, error_class=SHED)
         self.start()
 
         # (1) request prep + persistent store lookup, off the event loop:
@@ -198,7 +281,7 @@ class ServingGateway:
             self.stats.failures += 1
             return ServeResponse.failure(
                 task.task_id, f"{type(exc).__name__}: {exc}",
-                loop.time() - start)
+                loop.time() - start, error_class=PERMANENT)
         if artifact is not None:
             self.stats.store_hits += 1
             return ServeResponse.from_artifact(
@@ -215,7 +298,7 @@ class ServingGateway:
                 self.stats.failures += 1
                 return ServeResponse.failure(
                     task.task_id, f"{type(exc).__name__}: {exc}",
-                    loop.time() - start)
+                    loop.time() - start, error_class=classify_error(exc))
             return ServeResponse.from_artifact(
                 task, circuit.name, artifact, "coalesced", loop.time() - start)
 
@@ -236,29 +319,59 @@ class ServingGateway:
                 f"rejected: admission queue full "
                 f"({self._active_compiles} compiles in flight, "
                 f"max_pending={self.max_pending})",
-                loop.time() - start)
+                loop.time() - start, error_class=SHED)
 
-        # (4) primary compile on the pool.
+        # (4) primary compile — supervised pool, or the degraded lane when
+        # the circuit breaker says the pool is currently unusable.
         future: "asyncio.Future[CompiledArtifact]" = loop.create_future()
         self._inflight[digest] = future
         self._active_compiles += 1
         store_spec = self.store.spec if self.store is not None else None
-        job = functools.partial(self.compile_fn, task, store_spec, self.evaluate)
+        deadline = tightest(self.deadline_s, timeout_s)
+        source = "compiled"
         try:
-            artifact = await loop.run_in_executor(self._executor, job)
+            if self.breaker.allow():
+                try:
+                    artifact = await self._pool_compile(
+                        task, store_spec, deadline)
+                    self.breaker.record_success()
+                except asyncio.CancelledError:
+                    # Never leave a half-open probe dangling.
+                    self.breaker.record_success()
+                    raise
+                except (WorkerCrashed, PoolUnavailable) as exc:
+                    # Pool-level trouble: feed the breaker, then degrade —
+                    # this request still deserves a correct (slow) answer.
+                    self.breaker.record_failure()
+                    artifact = await self._degraded_compile(
+                        loop, task, store_spec, deadline, cause=exc)
+                    source = "degraded"
+                except Exception:
+                    # Task-level failure (bad input, deadline kill): the
+                    # pool demonstrably did its job, so the breaker sees
+                    # health — only pool-level trouble may open it.
+                    self.breaker.record_success()
+                    raise
+            else:
+                artifact = await self._degraded_compile(
+                    loop, task, store_spec, deadline, cause=None)
+                source = "degraded"
         except Exception as exc:  # noqa: BLE001 - per-request isolation
             self.stats.failures += 1
             future.set_exception(exc)
             future.exception()  # waiters re-raise; silence un-awaited logging
             return ServeResponse.failure(
                 task.task_id, f"{type(exc).__name__}: {exc}",
-                loop.time() - start)
+                loop.time() - start, error_class=classify_error(exc))
         else:
-            self.stats.compiles += 1
+            if source == "degraded":
+                self.stats.degraded += 1
+            else:
+                self.stats.compiles += 1
             self._completion_epoch += 1
             future.set_result(artifact)
             return ServeResponse.from_artifact(
-                task, circuit.name, artifact, "compiled", loop.time() - start)
+                task, circuit.name, artifact, source, loop.time() - start)
         finally:
             # Failed compiles are never cached: dropping the in-flight entry
             # means the next identical request starts a fresh compile.  If
@@ -272,6 +385,54 @@ class ServingGateway:
             self._inflight.pop(digest, None)
             self._active_compiles -= 1
 
+    async def _pool_compile(self, task: CompilationTask, store_spec,
+                            deadline: Optional[float]) -> CompiledArtifact:
+        pool_future = self._pool.submit(
+            self.compile_fn, task, store_spec, self.evaluate,
+            deadline_s=deadline, label=task.task_id, token=task.task_id)
+        return await asyncio.wrap_future(pool_future)
+
+    async def _degraded_compile(self, loop, task: CompilationTask, store_spec,
+                                deadline: Optional[float],
+                                cause: Optional[Exception]) -> CompiledArtifact:
+        """Bounded in-process serial fallback compile.
+
+        Correctness first: the exact same ``compile_fn`` runs, so the
+        artifact (and its op-stream digest) is identical to a pool compile.
+        The lane is deliberately tiny — beyond ``max_degraded`` concurrent
+        fallbacks the request is shed rather than queued, because an
+        unbounded serial queue on a broken pool just converts an outage
+        into unbounded latency.
+        """
+        from ..resilience import LoadShed
+
+        if self._active_degraded >= self.max_degraded:
+            self.stats.shed += 1
+            detail = f" (pool failure: {cause})" if cause is not None else ""
+            raise LoadShed(
+                f"shed: degraded lane full "
+                f"({self._active_degraded}/{self.max_degraded}){detail}")
+        if self._degraded_executor is None:
+            self._degraded_executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-serve-degraded")
+        self._active_degraded += 1
+
+        def _job():
+            try:
+                return self.compile_fn(task, store_spec, self.evaluate)
+            finally:
+                self._active_degraded -= 1
+
+        call = loop.run_in_executor(self._degraded_executor, _job)
+        if deadline is None:
+            return await call
+        try:
+            return await asyncio.wait_for(asyncio.shield(call), deadline)
+        except asyncio.TimeoutError:
+            raise DeadlineExceeded(
+                f"{task.task_id!r} exceeded its {deadline:.3g}s deadline "
+                f"on the degraded lane") from None
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -281,7 +442,39 @@ class ServingGateway:
             "pool": self.pool_kind,
             "max_pending": self.max_pending,
             "inflight": len(self._inflight),
+            "breaker": self.breaker.as_dict(),
+            "supervision": (None if self._pool is None
+                            else self._pool.stats_dict()),
         }
         payload["store"] = (None if self.store is None
                             else self.store.stats_dict())
         return payload
+
+    def health_dict(self) -> Dict[str, object]:
+        """Operational snapshot for the ``health`` protocol verb."""
+        breaker_state = self.breaker.state
+        if self._draining:
+            status = "draining"
+        elif breaker_state != "closed":
+            status = "degraded"
+        else:
+            status = "ok"
+        pool = self._pool
+        store = self.store
+        return {
+            "status": status,
+            "draining": self._draining,
+            "breaker": self.breaker.as_dict(),
+            "pool": None if pool is None else pool.stats_dict(),
+            "retry": {
+                "max_attempts": self.retry_policy.max_attempts,
+                "base_delay_s": self.retry_policy.base_delay_s,
+                "multiplier": self.retry_policy.multiplier,
+            },
+            "deadline_s": self.deadline_s,
+            "active_compiles": self._active_compiles,
+            "active_degraded": self._active_degraded,
+            "max_degraded": self.max_degraded,
+            "gateway": self.stats.as_dict(),
+            "store": None if store is None else store.stats_dict(),
+        }

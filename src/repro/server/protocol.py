@@ -9,25 +9,40 @@ Requests
     ``task`` is a :class:`~repro.service.CompilationTask` in wire form —
     ``task_id``, ``architecture`` (an :class:`~repro.service.ArchitectureSpec`
     field dict), and either ``circuit_name``/``num_qubits``/``seed`` or a
-    ``qasm`` document, plus ``mode``/``alpha``.
+    ``qasm`` document, plus ``mode``/``alpha``.  Two optional envelope
+    fields ride outside ``task``: ``timeout_s`` (client deadline budget,
+    tightened against the server's own per-task deadline) and
+    ``request_id`` (client-assigned idempotency token, echoed verbatim in
+    the response so a reconnecting client can pair retried requests with
+    late answers).
 ``{"op": "stats"}``
     Gateway + store counters.
+``{"op": "health"}``
+    Supervision snapshot: overall ``status`` plus pool / circuit-breaker /
+    retry / store counters (the operational surface of
+    :mod:`repro.resilience`).
 ``{"op": "ping"}`` / ``{"op": "shutdown"}``
     Liveness probe / graceful stop (used by CI and the load generator).
+    Shutdown drains: in-flight compiles finish before the server exits.
 
 Responses
 ---------
 Every response carries ``ok``; compile responses add ``source``
-(``"store"`` | ``"coalesced"`` | ``"compiled"``), the op-stream ``digest``
-(same shape as :meth:`repro.mapping.MappingResult.op_stream_digest`, so
-byte-identity between a hit and a fresh compile is a straight comparison),
-the Table-1a ``metrics`` row, and ``server_seconds``.
+(``"store"`` | ``"coalesced"`` | ``"compiled"`` | ``"degraded"``), the
+op-stream ``digest`` (same shape as
+:meth:`repro.mapping.MappingResult.op_stream_digest`, so byte-identity
+between a hit and a fresh compile is a straight comparison), the Table-1a
+``metrics`` row, and ``server_seconds``.  Failures additionally carry
+``error_class`` — ``"retryable"`` / ``"permanent"`` / ``"shed"`` (see
+:mod:`repro.resilience.errors`) — so clients know whether resubmitting the
+identical request can help.  New fields are backward-compatible: old
+clients ignore them (``from_wire`` filters to known fields).
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, fields
+from dataclasses import asdict, dataclass, fields, replace
 from typing import Any, Dict, Optional
 
 from ..service.batch import CompilationTask
@@ -157,6 +172,12 @@ class ServeResponse:
     runtime_seconds: Optional[float] = None
     server_seconds: float = 0.0
     error: Optional[str] = None
+    #: Retryability of a failure ("retryable" | "permanent" | "shed");
+    #: ``None`` on success and from pre-taxonomy servers.
+    error_class: Optional[str] = None
+    #: Client-assigned idempotency token, echoed verbatim (never generated
+    #: server-side) so retrying clients can pair responses to requests.
+    request_id: Optional[str] = None
 
     @classmethod
     def from_artifact(cls, task: CompilationTask, circuit_name: str,
@@ -178,9 +199,16 @@ class ServeResponse:
 
     @classmethod
     def failure(cls, task_id: str, error: str,
-                server_seconds: float = 0.0) -> "ServeResponse":
+                server_seconds: float = 0.0,
+                error_class: Optional[str] = None) -> "ServeResponse":
         return cls(ok=False, task_id=task_id, error=error,
-                   server_seconds=server_seconds)
+                   server_seconds=server_seconds, error_class=error_class)
+
+    def with_request_id(self, request_id: Optional[str]) -> "ServeResponse":
+        """Copy with the client's idempotency token echoed back."""
+        if request_id is None:
+            return self
+        return replace(self, request_id=str(request_id))
 
     def to_wire(self) -> Dict[str, Any]:
         payload = {"op": "compile", **asdict(self)}

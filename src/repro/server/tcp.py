@@ -4,20 +4,53 @@
 port, parses one request object per line (see
 :mod:`repro.server.protocol`) and dispatches compiles to a
 :class:`~repro.server.gateway.ServingGateway`.  Connections are handled
-concurrently by the event loop; a malformed line fails only its own request,
-and a dropped connection only its own handler.
+concurrently by the event loop.
+
+Ugly input is part of the contract, not an exception path: a malformed line
+fails only its own request, an **oversized** line (beyond
+``max_line_bytes``) gets a structured error before its connection is
+dropped (line framing past an overrun is unrecoverable) while the listener
+keeps serving every other client, a client that disconnects mid-request or
+mid-response only tears down its own handler — and every such event is counted in
+:class:`ServerStats` and logged, so operators can see abuse without the
+server caring.  Shutdown drains: accepted compiles finish (bounded by the
+gateway's drain budget) before the listener goes away.
 """
 
 from __future__ import annotations
 
 import asyncio
+import logging
+from dataclasses import asdict, dataclass
 from typing import Dict, Optional
 
 from .._version import __version__
 from .gateway import ServingGateway
 from .protocol import ProtocolError, decode_line, encode_line, task_from_wire
 
-__all__ = ["ServingServer"]
+__all__ = ["ServingServer", "ServerStats"]
+
+logger = logging.getLogger("repro.server")
+
+#: Default per-line cap.  A compile request with a large QASM document fits
+#: comfortably; a runaway (or hostile) client that never sends a newline is
+#: bounded at this many bytes instead of growing the read buffer forever.
+DEFAULT_MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+@dataclass
+class ServerStats:
+    """Connection-level counters (the gateway counts request-level ones)."""
+
+    connections: int = 0
+    requests: int = 0
+    malformed_lines: int = 0
+    oversized_lines: int = 0
+    disconnects_mid_request: int = 0
+    disconnects_mid_response: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return asdict(self)
 
 
 class ServingServer:
@@ -26,12 +59,24 @@ class ServingServer:
     ``port=0`` binds an ephemeral port; read :attr:`port` after
     :meth:`start` to learn the actual one (used by tests, the self-test
     harness and the load generator).
+
+    ``fault_plan`` is the chaos-test seam: a
+    :class:`~repro.resilience.FaultPlan` with ``tcp-response`` faults makes
+    the server abort the connection midway through writing a matching
+    response, exercising client reconnect/retry.  Never set in production.
     """
 
     def __init__(self, gateway: ServingGateway, host: str = "127.0.0.1",
-                 port: int = 0) -> None:
+                 port: int = 0, *,
+                 max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
+                 drain_timeout_s: float = 30.0,
+                 fault_plan=None) -> None:
         self.gateway = gateway
         self.host = host
+        self.max_line_bytes = max_line_bytes
+        self.drain_timeout_s = drain_timeout_s
+        self.fault_plan = fault_plan
+        self.stats = ServerStats()
         self._requested_port = port
         self._server: Optional[asyncio.AbstractServer] = None
         self._shutdown = asyncio.Event()
@@ -47,8 +92,11 @@ class ServingServer:
 
     async def start(self) -> None:
         self.gateway.start()
+        # ``limit`` bounds the StreamReader buffer: a line longer than this
+        # raises LimitOverrunError instead of consuming unbounded memory.
         self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self._requested_port)
+            self._handle_connection, self.host, self._requested_port,
+            limit=self.max_line_bytes)
 
     async def serve_until_shutdown(self) -> None:
         """Block until a ``shutdown`` request (or :meth:`request_shutdown`)."""
@@ -63,6 +111,12 @@ class ServingServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        # Drain before teardown: every accepted compile finishes (or the
+        # budget expires) before the pools disappear under it.
+        drained = await self.gateway.drain(self.drain_timeout_s)
+        if not drained:  # pragma: no cover - pathological hang
+            logger.warning("drain budget (%.1fs) expired with work in flight",
+                           self.drain_timeout_s)
         self.gateway.close()
 
     async def __aenter__(self) -> "ServingServer":
@@ -77,19 +131,43 @@ class ServingServer:
     # ------------------------------------------------------------------
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        self.stats.connections += 1
         try:
             while not self._shutdown.is_set():
                 try:
                     line = await reader.readline()
-                except (ConnectionError, asyncio.IncompleteReadError):
+                except (asyncio.LimitOverrunError, ValueError):
+                    # Line longer than the read buffer (readline surfaces
+                    # the overrun as ValueError).  Framing on this
+                    # connection cannot be recovered cheaply, so answer
+                    # with a structured error and drop the connection; the
+                    # listener keeps serving everyone else.
+                    self.stats.oversized_lines += 1
+                    logger.warning("oversized request line "
+                                   "(> %d bytes); closing connection",
+                                   self.max_line_bytes)
+                    await self._send(writer, {
+                        "ok": False, "op": "error",
+                        "error": f"request line exceeds "
+                                 f"{self.max_line_bytes} bytes"},
+                        label="error")
+                    break
+                except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                    self.stats.disconnects_mid_request += 1
+                    logger.info("client disconnected mid-request")
                     break
                 if not line:
                     break
+                if not line.endswith(b"\n"):
+                    # EOF without a trailing newline: a disconnect mid-line.
+                    self.stats.disconnects_mid_request += 1
+                    logger.info("client disconnected mid-request "
+                                "(partial line, %d bytes)", len(line))
+                    break
+                self.stats.requests += 1
                 response = await self._dispatch(line)
-                writer.write(encode_line(response))
-                try:
-                    await writer.drain()
-                except ConnectionError:
+                if not await self._send(writer, response,
+                                        label=str(response.get("op", ""))):
                     break
         finally:
             try:
@@ -98,26 +176,86 @@ class ServingServer:
             except (ConnectionError, OSError):
                 pass
 
+    async def _send(self, writer: asyncio.StreamWriter,
+                    response: Dict[str, object], label: str) -> bool:
+        """Write one response line; False when the connection is gone."""
+        data = encode_line(response)
+        if self.fault_plan is not None and self.fault_plan.draw_sever(label):
+            # Chaos seam: write half the response, then abort the transport
+            # — the client sees a truncated line and a dropped connection.
+            writer.write(data[: max(1, len(data) // 2)])
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            writer.transport.abort()
+            self.stats.disconnects_mid_response += 1
+            logger.warning("fault injection severed connection mid-response")
+            return False
+        writer.write(data)
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):
+            self.stats.disconnects_mid_response += 1
+            logger.info("client disconnected mid-response")
+            return False
+        return True
+
     async def _dispatch(self, line: bytes) -> Dict[str, object]:
         """One request line → one response object; errors stay per-request."""
+        request_id: Optional[str] = None
         try:
             payload = decode_line(line)
+            raw_request_id = payload.get("request_id")
+            request_id = None if raw_request_id is None else str(raw_request_id)
             op = payload.get("op")
             if op == "compile":
+                timeout_s = _parse_timeout(payload.get("timeout_s"))
                 task = task_from_wire(payload.get("task"))
-                response = await self.gateway.compile(task)
-                return response.to_wire()
+                response = await self.gateway.compile(task, timeout_s=timeout_s)
+                return response.with_request_id(request_id).to_wire()
             if op == "stats":
-                return {"ok": True, "op": "stats", "version": __version__,
-                        **self.gateway.stats_dict()}
+                return self._echo(request_id, {
+                    "ok": True, "op": "stats", "version": __version__,
+                    "server": self.stats.as_dict(),
+                    **self.gateway.stats_dict()})
+            if op == "health":
+                return self._echo(request_id, {
+                    "ok": True, "op": "health", "version": __version__,
+                    "server": self.stats.as_dict(),
+                    **self.gateway.health_dict()})
             if op == "ping":
-                return {"ok": True, "op": "pong", "version": __version__}
+                return self._echo(request_id, {
+                    "ok": True, "op": "pong", "version": __version__})
             if op == "shutdown":
                 self._shutdown.set()
-                return {"ok": True, "op": "shutdown"}
+                return self._echo(request_id, {"ok": True, "op": "shutdown"})
             raise ProtocolError(f"unknown op {op!r}")
         except ProtocolError as exc:
-            return {"ok": False, "op": "error", "error": str(exc)}
+            self.stats.malformed_lines += 1
+            logger.info("malformed request: %s", exc)
+            return self._echo(request_id,
+                              {"ok": False, "op": "error", "error": str(exc)})
         except Exception as exc:  # noqa: BLE001 - isolate per request
-            return {"ok": False, "op": "error",
-                    "error": f"{type(exc).__name__}: {exc}"}
+            return self._echo(request_id, {
+                "ok": False, "op": "error",
+                "error": f"{type(exc).__name__}: {exc}"})
+
+    @staticmethod
+    def _echo(request_id: Optional[str],
+              response: Dict[str, object]) -> Dict[str, object]:
+        if request_id is not None:
+            response["request_id"] = request_id
+        return response
+
+
+def _parse_timeout(raw) -> Optional[float]:
+    if raw is None:
+        return None
+    try:
+        value = float(raw)
+    except (TypeError, ValueError):
+        raise ProtocolError(f"timeout_s must be a number, got {raw!r}") from None
+    if value <= 0:
+        raise ProtocolError("timeout_s must be positive")
+    return value

@@ -2,8 +2,11 @@
 
 The service workload of the roadmap: many independent circuits compiled
 against a handful of device configurations.  :class:`BatchCompiler` fans
-:class:`CompilationTask`s out over a process pool (mapping is pure-Python
-CPU work, so threads would serialise on the GIL), shares the immutable
+:class:`CompilationTask`s out over a **supervised** process pool
+(:class:`~repro.resilience.SupervisedPool` — a dead worker is replaced and
+its task re-dispatched under a bounded retry budget instead of poisoning
+the whole batch; mapping is pure-Python CPU work, so threads would
+serialise on the GIL), shares the immutable
 per-architecture artifacts through the keyed
 :data:`~repro.service.cache.ARCHITECTURE_CACHE` — pre-warmed in the parent so
 forked workers inherit them copy-on-write — and collects a structured
@@ -19,9 +22,10 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
+
+from ..resilience import RetryPolicy, ServingFault, SupervisedPool
 
 from ..circuit.circuit import QuantumCircuit
 from ..circuit.library import get_benchmark
@@ -252,17 +256,37 @@ class BatchCompiler:
         metrics equal compiled metrics) and fresh compiles are persisted.
         Worker processes open their own handle onto the same directory, so
         the pool path populates and consults the identical store.
+    deadline_s:
+        Per-task wall-clock budget enforced by the supervised pool: a task
+        whose worker hangs past it is killed, its worker recycled, and the
+        task recorded as a failed :class:`TaskResult` (``None`` disables).
+    retry_policy:
+        Bounded crash re-dispatch budget (see
+        :class:`~repro.resilience.RetryPolicy`).  A worker that dies
+        mid-task no longer fails the batch — the task is retried on a
+        replacement worker with exponential backoff.
+    fault_plan:
+        Chaos-test seam (:class:`~repro.resilience.FaultPlan`): faults at
+        the ``worker`` point fire *before* the task executes, so injected
+        crashes hit the supervision machinery instead of being swallowed
+        into a failed :class:`TaskResult`.  Never set in production.
     """
 
     def __init__(self, max_workers: Optional[int] = None, *,
                  keep_results: bool = False, evaluate: bool = True,
-                 store: Optional[ResultStore] = None) -> None:
+                 store: Optional[ResultStore] = None,
+                 deadline_s: Optional[float] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 fault_plan=None) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be at least 1")
         self.max_workers = max_workers
         self.keep_results = keep_results
         self.evaluate = evaluate
         self.store = store
+        self.deadline_s = deadline_s
+        self.retry_policy = retry_policy
+        self.fault_plan = fault_plan
 
     def resolved_workers(self, num_tasks: int) -> int:
         workers = self.max_workers or os.cpu_count() or 1
@@ -286,15 +310,38 @@ class BatchCompiler:
         if workers == 1:
             results = [self._run_one(task) for task in tasks]
         else:
-            store_spec = self.store.spec if self.store is not None else None
-            with ProcessPoolExecutor(max_workers=workers,
-                                     mp_context=_fork_context()) as pool:
-                results = list(pool.map(_BoundExecute(self.keep_results,
-                                                      self.evaluate,
-                                                      store_spec), tasks))
+            results = self._run_pool(tasks, workers)
         wall = time.perf_counter() - start
         return BatchResult(results=results, wall_seconds=wall,
                            num_workers=workers)
+
+    def _run_pool(self, tasks: Sequence[CompilationTask],
+                  workers: int) -> List[TaskResult]:
+        """Fan tasks over a supervised process pool, keeping task order.
+
+        Pool-level failures (crash budget exhausted, deadline kill, pool
+        shut down) become failed :class:`TaskResult`s — same shape as a
+        task that raised on its own input — so the batch always returns
+        one result per task.
+        """
+        store_spec = self.store.spec if self.store is not None else None
+        job = _BoundExecute(self.keep_results, self.evaluate, store_spec,
+                            self.fault_plan)
+        results: List[Optional[TaskResult]] = [None] * len(tasks)
+        with SupervisedPool(workers, kind="process",
+                            deadline_s=self.deadline_s,
+                            retry_policy=self.retry_policy,
+                            mp_context=_fork_context()) as pool:
+            futures = [pool.submit(job, task, label=task.task_id,
+                                   token=task.task_id) for task in tasks]
+            for index, (task, future) in enumerate(zip(tasks, futures)):
+                try:
+                    results[index] = future.result()
+                except ServingFault as exc:
+                    results[index] = TaskResult(
+                        task=task, ok=False,
+                        error=f"{type(exc).__name__}: {exc}")
+        return results
 
     def _run_one(self, task: CompilationTask) -> TaskResult:
         return _execute_task(task, keep_result=self.keep_results,
@@ -323,23 +370,33 @@ class _BoundExecute:
     Carries the store as its picklable ``(root, max_bytes)`` spec and opens
     one process-local handle lazily — counters are per worker, but the
     directory (and therefore hits) is shared with the parent.
+
+    An attached fault plan fires *before* :func:`_execute_task` runs:
+    ``_execute_task`` converts every exception into a failed
+    :class:`TaskResult`, so an injected crash raised inside it would never
+    reach the supervision machinery the chaos suite is exercising.
     """
 
     def __init__(self, keep_result: bool, evaluate: bool,
-                 store_spec=None) -> None:
+                 store_spec=None, fault_plan=None) -> None:
         self.keep_result = keep_result
         self.evaluate = evaluate
         self.store_spec = store_spec
+        self.fault_plan = fault_plan
         self._store: Optional[ResultStore] = None
 
     def __getstate__(self):
-        return (self.keep_result, self.evaluate, self.store_spec)
+        return (self.keep_result, self.evaluate, self.store_spec,
+                self.fault_plan)
 
     def __setstate__(self, state) -> None:
-        self.keep_result, self.evaluate, self.store_spec = state
+        (self.keep_result, self.evaluate, self.store_spec,
+         self.fault_plan) = state
         self._store = None
 
     def __call__(self, task: CompilationTask) -> TaskResult:
+        if self.fault_plan is not None:
+            self.fault_plan.fire_worker_fault(task.task_id)
         if self.store_spec is not None and self._store is None:
             self._store = ResultStore.from_spec(self.store_spec)
         return _execute_task(task, keep_result=self.keep_result,

@@ -16,7 +16,8 @@ via fork, between workers) is safe.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+import hashlib
+from dataclasses import dataclass
 from threading import Lock
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
@@ -27,6 +28,43 @@ from ..hardware.presets import preset
 from ..workloads import lattice_rows_for, scaled_atom_count, scaled_register_size
 
 __all__ = ["ArchitectureSpec", "ArchitectureCache", "ARCHITECTURE_CACHE"]
+
+
+def _built_device_identity(architecture: NeutralAtomArchitecture) -> str:
+    """Canonical digest of the physical device an architecture represents.
+
+    Covers everything compilation can observe: the topology's own
+    ``cache_key()`` (family, dimensions, spacings, zones, corridor penalty),
+    atom count, radii, every fidelity and duration, shuttling speed and
+    coherence times.  Deliberately excludes the display ``name`` — two
+    presets that build byte-identical physics are the same device.
+    """
+    parts = [
+        f"topology={architecture.lattice.cache_key()!r}",
+        f"num_atoms={architecture.num_atoms!r}",
+        f"interaction_radius={architecture.interaction_radius!r}",
+        f"restriction_radius={architecture.restriction_radius!r}",
+        f"fidelities=({architecture.fidelities.cz!r},"
+        f"{architecture.fidelities.single_qubit!r},"
+        f"{architecture.fidelities.shuttling!r})",
+        f"durations=({architecture.durations.single_qubit!r},"
+        f"{architecture.durations.cz!r},"
+        f"{architecture.durations.ccz!r},"
+        f"{architecture.durations.cccz!r},"
+        f"{architecture.durations.aod_activation!r},"
+        f"{architecture.durations.aod_deactivation!r})",
+        f"shuttling_speed={architecture.shuttling_speed!r}",
+        f"t1={architecture.t1!r}",
+        f"t2={architecture.t2!r}",
+    ]
+    canonical = "|".join(parts)
+    return "sha256:" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# store_key() builds the device to derive its identity; memoise per spec so
+# repeated key lookups (every store get/put) pay the construction once.
+_BUILT_KEY_MEMO: Dict["ArchitectureSpec", str] = {}
+_BUILT_KEY_LOCK = Lock()
 
 
 @dataclass(frozen=True)
@@ -95,18 +133,31 @@ class ArchitectureSpec:
                     object.__setattr__(self, "zone_layout", None)
 
     def store_key(self) -> str:
-        """Canonical ``field=value`` string identifying this device spec.
+        """Canonical string identifying the *built* device this spec yields.
 
         The persistent result store (:mod:`repro.store`) keys compiled
-        artifacts on this string, so it must be stable across processes:
-        fields are enumerated from the dataclass definition sorted by name
-        (never from ``__dict__`` order), values are rendered with ``repr``
-        after ``__post_init__`` normalisation, so two specs built from equal
-        kwargs — in any order, in any process — produce the identical key.
+        artifacts on this string.  Since v2 (repro 1.2.0) the key is derived
+        from the **built device identity** — topology ``cache_key()``, atom
+        count, radii, fidelities, durations, speeds and coherence times —
+        rather than the raw spec fields, so distinct spellings of one
+        physical device (e.g. ``num_atoms=None`` versus spelling out the
+        preset's computed default) normalise to a single key and share
+        store entries.  Presets with different physics still differ in the
+        identity string, and the emitted op stream is untouched — only the
+        addressing changed, which is why the schema bump rode the 1.2.0
+        version bump (old-version entries simply become unreachable).
+
+        Stable across processes: the identity is built from normalised
+        field values rendered with ``repr`` in a fixed order, never from
+        dict order or hashes of live objects.
         """
-        parts = [f"{spec.name}={getattr(self, spec.name)!r}"
-                 for spec in sorted(fields(self), key=lambda spec: spec.name)]
-        return "architecture/v1|" + "|".join(parts)
+        memo = _BUILT_KEY_MEMO.get(self)
+        if memo is not None:
+            return memo
+        key = "architecture/v2|" + _built_device_identity(self.build())
+        with _BUILT_KEY_LOCK:
+            _BUILT_KEY_MEMO[self] = key
+        return key
 
     def build(self) -> NeutralAtomArchitecture:
         """Instantiate the described preset (uncached)."""

@@ -40,6 +40,10 @@ class StoreStats:
     corruptions: int = 0
     puts: int = 0
     evictions: int = 0
+    #: Durability counters: fsyncs issued before atomic renames, and
+    #: orphaned ``*.tmp`` crash leftovers swept at startup.
+    fsyncs: int = 0
+    orphans_swept: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return asdict(self)
@@ -58,29 +62,42 @@ class ResultStore:
         ``None`` disables eviction.
     """
 
-    def __init__(self, root, max_bytes: Optional[int] = None) -> None:
+    def __init__(self, root, max_bytes: Optional[int] = None, *,
+                 fault_plan=None) -> None:
         if max_bytes is not None and max_bytes <= 0:
             raise ValueError("max_bytes must be positive (or None for unbounded)")
         self.root = Path(root)
         self.max_bytes = max_bytes
+        #: Test seam: a :class:`repro.resilience.FaultPlan` may corrupt a
+        #: freshly-written entry (chaos suite); never set in production.
+        self.fault_plan = fault_plan
         self.stats = StoreStats()
         self._lock = Lock()
         # Strictly increasing recency clock: consecutive touches within one
         # process always order correctly even on coarse-mtime filesystems.
         self._clock = time.time()
+        self._sweep_orphans()
 
     # ------------------------------------------------------------------
     # Worker-handle plumbing
     # ------------------------------------------------------------------
     @property
-    def spec(self) -> Tuple[str, Optional[int]]:
-        """Picklable ``(root, max_bytes)`` pair for worker processes."""
+    def spec(self):
+        """Picklable handle spec for worker processes.
+
+        ``(root, max_bytes)`` normally; an attached fault plan rides along
+        as a third element so chaos-test workers rebuild handles with the
+        same injection seam (the plan itself is picklable).
+        """
+        if self.fault_plan is not None:
+            return (str(self.root), self.max_bytes, self.fault_plan)
         return (str(self.root), self.max_bytes)
 
     @classmethod
-    def from_spec(cls, spec: Tuple[str, Optional[int]]) -> "ResultStore":
-        root, max_bytes = spec
-        return cls(root, max_bytes=max_bytes)
+    def from_spec(cls, spec) -> "ResultStore":
+        root, max_bytes, *rest = spec
+        return cls(root, max_bytes=max_bytes,
+                   fault_plan=rest[0] if rest else None)
 
     # ------------------------------------------------------------------
     # Paths
@@ -137,18 +154,41 @@ class ResultStore:
 
         Concurrent writers of the same key are safe: each writes a private
         temp file and the last ``os.replace`` wins wholesale — readers never
-        observe a torn payload.
+        observe a torn payload.  The temp file is fsynced before the rename
+        (and the directory after it, best effort) so a host crash can leave
+        an *old* complete entry or a ``*.tmp`` orphan, but never a renamed
+        file with unflushed content.
         """
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(key)
         temp = path.with_name(
             f".{path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}")
-        temp.write_text(artifact.to_json(key))
+        with open(temp, "w") as handle:
+            handle.write(artifact.to_json(key))
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._bump("fsyncs")
         os.replace(temp, path)
+        self._fsync_dir()
+        if self.fault_plan is not None:
+            self.fault_plan.fire_store_fault(path, key.digest())
         self._touch(path)
         self._bump("puts")
         self._evict_if_needed(protect=path.name)
         return path
+
+    def _fsync_dir(self) -> None:
+        """Flush the rename itself (directory entry) to disk, best effort."""
+        try:
+            dir_fd = os.open(self.root, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(dir_fd)
+        except OSError:
+            pass
+        finally:
+            os.close(dir_fd)
 
     # ------------------------------------------------------------------
     # Eviction
@@ -198,6 +238,31 @@ class ResultStore:
             os.utime(path, (stamp, stamp))
         except OSError:
             pass
+
+    #: A live writer holds its temp file for well under a minute; anything
+    #: older is a crash leftover (the write never reached its rename).
+    _ORPHAN_AGE_S = 60.0
+
+    def _sweep_orphans(self) -> None:
+        """Delete stale ``*.tmp`` files left behind by crashed writers.
+
+        Only files older than :attr:`_ORPHAN_AGE_S` are swept so a handle
+        constructed while another process is mid-write never yanks a live
+        temp file out from under its rename.
+        """
+        try:
+            candidates = list(self.root.glob(".*.tmp-*"))
+        except OSError:
+            return
+        cutoff = time.time() - self._ORPHAN_AGE_S
+        for path in candidates:
+            try:
+                if path.stat().st_mtime > cutoff:
+                    continue
+                path.unlink()
+            except OSError:
+                continue
+            self._bump("orphans_swept")
 
     def _quarantine(self, path: Path) -> None:
         """Move a corrupted payload aside so it is never read again.

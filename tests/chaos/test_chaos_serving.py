@@ -1,0 +1,283 @@
+"""Fault-injection (chaos) suite for the supervised serving runtime.
+
+Drives a real TCP serving stack — gateway, supervised pool, persistent
+store, wire protocol, synchronous client — under a deterministic
+:class:`~repro.resilience.FaultPlan`:
+
+* worker **crashes** on two designated first-occurrence compiles
+  (re-dispatched transparently by the supervised pool),
+* one worker **hang** (deadline-killed; the client resubmits on the
+  structured *retryable* error),
+* one **corrupted** store entry (quarantined and recompiled transparently
+  on its next lookup),
+* one **severed** TCP connection mid-response (the client's bounded
+  reconnect/retry resubmits; the answer comes from the store).
+
+Invariants asserted (ISSUE acceptance criteria):
+
+* every one of the 25 requests eventually completes successfully,
+* no request is doubly compiled beyond the two *legitimate* recompiles
+  (post-corruption, post-deadline-kill) — compile counts are exact,
+* no failure is ever cached: the store ends with exactly one quarantined
+  file and every surviving entry verifies,
+* op-stream digests under faults are byte-identical to a fault-free run.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.resilience import FaultPlan, FaultSpec, FaultyCompile, RetryPolicy
+from repro.server import (
+    ServingClient,
+    ServingGateway,
+    wait_until_ready,
+)
+from repro.server.tcp import ServingServer
+from repro.service import ArchitectureSpec, CompilationTask
+from repro.store import ResultStore
+
+pytestmark = pytest.mark.chaos
+
+SPEC = ArchitectureSpec("mixed", lattice_rows=7, num_atoms=30)
+
+#: 4 distinct circuit structures; first occurrences get the faults.
+STRUCTURES = [
+    ("qft", 8),
+    ("graph", 8),
+    ("qpe", 8),
+    ("qft", 10),
+]
+
+
+def _workload():
+    """25 requests cycling over the 4 structures, unique task ids."""
+    tasks = []
+    for index in range(25):
+        name, qubits = STRUCTURES[index % len(STRUCTURES)]
+        tasks.append(CompilationTask(
+            f"{name}{qubits}-r{index:02d}", SPEC,
+            circuit_name=name, num_qubits=qubits))
+    return tasks
+
+
+def _start_server(gateway, fault_plan=None):
+    box = {}
+    ready = threading.Event()
+
+    def runner():
+        async def main():
+            server = ServingServer(gateway, "127.0.0.1", 0,
+                                   fault_plan=fault_plan)
+            await server.start()
+            box["server"] = server
+            box["port"] = server.port
+            ready.set()
+            await server.serve_until_shutdown()
+        asyncio.run(main())
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    assert ready.wait(timeout=30)
+    assert wait_until_ready("127.0.0.1", box["port"], timeout=15)
+    return thread, box["server"], box["port"]
+
+
+def _run_workload(port, tasks):
+    """Submit every task sequentially; resubmit on *retryable* failures.
+
+    Connection-level failures (the severed response) are retried inside
+    :class:`ServingClient`; request-level retryable failures (the deadline
+    kill) are the caller's decision — this harness resubmits up to 3 times,
+    exactly what the ``error_class`` taxonomy tells a production client to
+    do.
+    """
+    digests = {}
+    retryable_resubmits = 0
+    with ServingClient("127.0.0.1", port,
+                       retry_policy=RetryPolicy(max_attempts=4,
+                                                base_delay_s=0.02)) as client:
+        for task in tasks:
+            response = None
+            for _attempt in range(4):
+                response = client.compile_task(task)
+                if response.ok or response.error_class != "retryable":
+                    break
+                retryable_resubmits += 1
+            assert response is not None and response.ok, \
+                f"{task.task_id} never completed: {response.error!r} " \
+                f"({response.error_class})"
+            digests[task.task_id] = response.digest["sha256"]
+    return digests, retryable_resubmits
+
+
+def _clean_run(tmp_path, tasks):
+    """The fault-free reference: same workload, pristine stack."""
+    gateway = ServingGateway(ResultStore(tmp_path / "clean-store"),
+                             pool="thread", max_workers=2)
+    thread, _server, port = _start_server(gateway)
+    try:
+        digests, resubmits = _run_workload(port, tasks)
+        assert resubmits == 0
+    finally:
+        with ServingClient("127.0.0.1", port) as client:
+            client.shutdown()
+        thread.join(timeout=10)
+    assert gateway.stats.failures == 0
+    return digests
+
+
+def test_25_request_load_under_faults(tmp_path):
+    tasks = _workload()
+    clean_digests = _clean_run(tmp_path, tasks)
+
+    plan = FaultPlan(str(tmp_path / "ledger"), (
+        # Two worker crashes on first-occurrence compiles: the supervised
+        # pool re-dispatches them, no client-visible failure.
+        FaultSpec("crash", "worker", match="graph8-r01"),
+        FaultSpec("crash", "worker", match="qft10-r03"),
+        # One hang: deadline-killed by the pool; the client resubmits on
+        # the structured retryable error.
+        FaultSpec("hang", "worker", match="qpe8-r02", hang_s=6.0),
+        # One corrupted store entry (fires on the first put): quarantined
+        # and recompiled transparently on the next lookup of its key.
+        FaultSpec("corrupt", "store-put"),
+        # One severed connection mid-compile-response: the client
+        # reconnects and resubmits.
+        FaultSpec("sever", "tcp-response", match="compile"),
+    ))
+    store = ResultStore(tmp_path / "chaos-store", fault_plan=plan)
+    gateway = ServingGateway(
+        store, pool="thread", max_workers=2,
+        deadline_s=3.0,
+        retry_policy=RetryPolicy(max_attempts=3, base_delay_s=0.02),
+        compile_fn=FaultyCompile(plan))
+    thread, server, port = _start_server(gateway, fault_plan=plan)
+    try:
+        digests, resubmits = _run_workload(port, tasks)
+
+        # Every injected fault actually fired.
+        assert plan.fired() == 5
+
+        # Byte-identity: op streams under faults equal the fault-free run.
+        assert digests == clean_digests
+
+        # The deadline-killed request needed exactly one resubmission.
+        assert resubmits == 1
+
+        # No request doubly compiled: 4 structure-first compiles + 1
+        # post-corruption recompile (the killed hang attempt never counts —
+        # it produced no result).
+        assert gateway.stats.compiles == 5
+        assert gateway.stats.failures == 1          # the deadline kill
+        # r00..r03 compiled (first occurrences); r04..r24 are store hits.
+        assert gateway.stats.store_hits == len(tasks) - 4
+
+        # Supervision observed what the plan injected.
+        pool_stats = gateway.stats_dict()["supervision"]
+        assert pool_stats["crashes"] == 2
+        assert pool_stats["retries"] == 2
+        assert pool_stats["deadline_kills"] == 1
+        # Thread "crashes" are in-band (the worker survives); only the
+        # deadline kill condemns and replaces a worker.
+        assert pool_stats["workers_recycled"] == 1
+
+        # Failures are never cached: exactly the one corrupted entry is
+        # quarantined, and everything still stored verifies on read.
+        assert store.stats.corruptions == 1
+        assert len(store.quarantined()) == 1
+
+        # The severed response was counted and the client recovered.
+        assert server.stats.disconnects_mid_response == 1
+
+        # Fresh duplicate requests are all served from the (healthy) store
+        # with the reference digests.
+        with ServingClient("127.0.0.1", port) as client:
+            for name, qubits in STRUCTURES:
+                response = client.compile_task(CompilationTask(
+                    f"{name}{qubits}-verify", SPEC,
+                    circuit_name=name, num_qubits=qubits))
+                assert response.ok and response.source == "store"
+                assert response.digest["sha256"] == \
+                    clean_digests[f"{name}{qubits}-r0{STRUCTURES.index((name, qubits))}"]
+
+            # The health verb reports the whole story over the wire.
+            health = client.health()
+            assert health["ok"] and health["status"] == "ok"
+            assert health["pool"]["crashes"] == 2
+            assert health["pool"]["deadline_kills"] == 1
+            assert health["breaker"]["state"] == "closed"
+            assert health["store"]["corruptions"] == 1
+    finally:
+        with ServingClient("127.0.0.1", port) as client:
+            client.shutdown()
+        thread.join(timeout=10)
+
+
+def test_degraded_lane_serves_when_breaker_is_open(tmp_path):
+    """With the breaker forced open, requests flow through the bounded
+    in-process lane — correct digests, ``source == "degraded"``."""
+
+    async def main():
+        store = ResultStore(tmp_path / "degraded-store")
+        gateway = ServingGateway(store, pool="thread", max_workers=2)
+        async with gateway:
+            # Trip the breaker as if the pool had been failing.
+            for _ in range(gateway.breaker.failure_threshold):
+                gateway.breaker.record_failure()
+            assert gateway.breaker.state == "open"
+            task = CompilationTask("deg-1", SPEC, circuit_name="qft",
+                                   num_qubits=8)
+            degraded = await gateway.compile(task)
+            assert degraded.ok and degraded.source == "degraded"
+            assert gateway.stats.degraded == 1
+            # Identical follow-up: the degraded compile was persisted, so
+            # the store serves it (degradation never poisons the cache).
+            hit = await gateway.compile(CompilationTask(
+                "deg-2", SPEC, circuit_name="qft", num_qubits=8))
+            assert hit.ok and hit.source == "store"
+            assert hit.digest == degraded.digest
+            assert gateway.health_dict()["status"] == "degraded"
+
+    asyncio.run(main())
+
+
+@pytest.mark.slow
+def test_batch_compiler_survives_process_worker_death(tmp_path):
+    """A real worker process dying mid-batch (``os._exit``) no longer
+    poisons the batch: the supervised pool re-dispatches the task."""
+    plan = FaultPlan(str(tmp_path / "ledger"),
+                     (FaultSpec("exit", "worker", match="b-2"),))
+    from repro.service import BatchCompiler
+
+    tasks = [CompilationTask(f"b-{index}", SPEC, circuit_name="qft",
+                             num_qubits=8, seed=index) for index in range(4)]
+    compiler = BatchCompiler(
+        max_workers=2, store=ResultStore(tmp_path / "batch-store"),
+        retry_policy=RetryPolicy(max_attempts=3, base_delay_s=0.02),
+        fault_plan=plan)
+    batch = compiler.compile(tasks)
+    assert batch.ok, batch.summary()
+    assert len(batch.results) == 4
+    assert plan.fired() == 1
+
+
+@pytest.mark.slow
+def test_batch_compiler_deadline_fails_only_the_hung_task(tmp_path):
+    """A hung worker is deadline-killed: its task fails with a structured
+    error while every other task completes."""
+    plan = FaultPlan(str(tmp_path / "ledger"),
+                     (FaultSpec("hang", "worker", match="h-1", hang_s=30.0),))
+    from repro.service import BatchCompiler
+
+    tasks = [CompilationTask(f"h-{index}", SPEC, circuit_name="qft",
+                             num_qubits=8, seed=index) for index in range(3)]
+    compiler = BatchCompiler(max_workers=2, deadline_s=3.0, fault_plan=plan)
+    batch = compiler.compile(tasks)
+    assert len(batch.results) == 3
+    failed = {entry.task.task_id for entry in batch.failed}
+    assert failed == {"h-1"}
+    assert "DeadlineExceeded" in batch.failed[0].error
+    assert all(entry.ok for entry in batch.results
+               if entry.task.task_id != "h-1")

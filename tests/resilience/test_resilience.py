@@ -1,0 +1,280 @@
+"""Unit tests for :mod:`repro.resilience` — taxonomy, policy, breaker, pool.
+
+The supervised pool is exercised mostly with thread workers (fast and
+deterministic on a 1-core CI host); one test uses genuine process workers
+with a real ``os._exit`` death to prove the reap-and-redispatch path works
+across a process boundary.  Chaos-style end-to-end runs live in
+``tests/chaos/``.
+"""
+
+import time
+
+import pytest
+
+from repro.resilience import (
+    PERMANENT,
+    RETRYABLE,
+    SHED,
+    CircuitBreaker,
+    CompileFailed,
+    DeadlineExceeded,
+    FaultPlan,
+    FaultSpec,
+    LoadShed,
+    PoolUnavailable,
+    RetryPolicy,
+    SupervisedPool,
+    WorkerCrashed,
+    classify_error,
+    tightest,
+)
+
+
+# ----------------------------------------------------------------------
+# Error taxonomy
+# ----------------------------------------------------------------------
+class TestTaxonomy:
+    def test_classes(self):
+        assert classify_error(WorkerCrashed("x")) == RETRYABLE
+        assert classify_error(DeadlineExceeded("x")) == RETRYABLE
+        assert classify_error(PoolUnavailable("x")) == RETRYABLE
+        assert classify_error(LoadShed("x")) == SHED
+        assert classify_error(CompileFailed("x")) == PERMANENT
+
+    def test_unknown_errors_are_permanent(self):
+        # An error the taxonomy has never seen must not be auto-retried.
+        assert classify_error(ValueError("surprise")) == PERMANENT
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_budget(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.allows_retry(1)
+        assert policy.allows_retry(2)
+        assert not policy.allows_retry(3)
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_delay_s=0.1, multiplier=2.0,
+                             max_delay_s=0.3, jitter=0.0)
+        assert policy.backoff_s(1) == 0.0
+        assert policy.backoff_s(2) == pytest.approx(0.1)
+        assert policy.backoff_s(3) == pytest.approx(0.2)
+        assert policy.backoff_s(4) == pytest.approx(0.3)  # capped
+        assert policy.backoff_s(9) == pytest.approx(0.3)
+
+    def test_jitter_is_deterministic_per_token(self):
+        policy = RetryPolicy(base_delay_s=0.1, jitter=0.5)
+        assert policy.backoff_s(2, token="a") == policy.backoff_s(2, token="a")
+        assert policy.backoff_s(2, token="a") != policy.backoff_s(2, token="b")
+        # Jitter only shrinks, never grows, the delay.
+        assert policy.backoff_s(2, token="a") <= 0.1
+
+    def test_tightest(self):
+        assert tightest(None, None) is None
+        assert tightest(5.0, None, 2.0) == 2.0
+        assert tightest(None, 3.0) == 3.0
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_recovers(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=10.0,
+                                 clock=lambda: clock[0])
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        clock[0] = 11.0                      # cooldown elapsed
+        assert breaker.allow()               # half-open probe
+        assert not breaker.allow()           # only one probe at a time
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_half_open_failure_reopens(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=5.0,
+                                 clock=lambda: clock[0])
+        breaker.record_failure()
+        clock[0] = 6.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.as_dict()["times_opened"] == 2
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+
+# ----------------------------------------------------------------------
+# Fault plan ledger
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_charge_fires_exactly_once(self, tmp_path):
+        plan = FaultPlan(str(tmp_path / "ledger"),
+                         (FaultSpec("crash", "worker", match="t-1"),))
+        with pytest.raises(WorkerCrashed):
+            plan.fire_worker_fault("t-1")
+        plan.fire_worker_fault("t-1")        # charge spent: no-op
+        assert plan.fired() == 1
+
+    def test_match_filters_by_substring(self, tmp_path):
+        plan = FaultPlan(str(tmp_path / "ledger"),
+                         (FaultSpec("crash", "worker", match="qft"),))
+        plan.fire_worker_fault("graph-1")    # no match, charge unspent
+        with pytest.raises(WorkerCrashed):
+            plan.fire_worker_fault("qft-1")
+
+    def test_multiple_charges(self, tmp_path):
+        plan = FaultPlan(str(tmp_path / "ledger"),
+                         (FaultSpec("crash", "worker", times=2),))
+        for _ in range(2):
+            with pytest.raises(WorkerCrashed):
+                plan.fire_worker_fault("any")
+        plan.fire_worker_fault("any")
+        assert plan.fired() == 2
+
+    def test_plan_is_picklable(self, tmp_path):
+        import pickle
+
+        plan = FaultPlan(str(tmp_path / "ledger"),
+                         (FaultSpec("hang", "worker", hang_s=0.01),))
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan
+
+
+# ----------------------------------------------------------------------
+# Supervised pool (thread workers)
+# ----------------------------------------------------------------------
+def _double(value):
+    return value * 2
+
+
+def _boom(message):
+    raise ValueError(message)
+
+
+def _sleep_then(value, seconds):
+    time.sleep(seconds)
+    return value
+
+
+class TestSupervisedPoolThreads:
+    def test_results_in_order(self):
+        with SupervisedPool(2, kind="thread") as pool:
+            futures = [pool.submit(_double, index) for index in range(8)]
+            assert [future.result(timeout=10) for future in futures] == \
+                [index * 2 for index in range(8)]
+            stats = pool.stats_dict()
+        assert stats["completed"] == 8
+        assert stats["crashes"] == 0
+
+    def test_task_error_becomes_compile_failed(self):
+        with SupervisedPool(1, kind="thread") as pool:
+            future = pool.submit(_boom, "broken input")
+            with pytest.raises(CompileFailed, match="broken input"):
+                future.result(timeout=10)
+
+    def test_injected_crash_is_retried_to_success(self, tmp_path):
+        plan = FaultPlan(str(tmp_path / "ledger"),
+                         (FaultSpec("crash", "worker", match="job"),))
+
+        with SupervisedPool(1, kind="thread",
+                            retry_policy=RetryPolicy(
+                                max_attempts=3, base_delay_s=0.01)) as pool:
+            future = pool.submit(_crash_once_then_double, plan, "job", 21,
+                                 label="job", token="job")
+            assert future.result(timeout=10) == 42
+            stats = pool.stats_dict()
+        assert stats["crashes"] == 1
+        assert stats["retries"] == 1
+
+    def test_crash_budget_exhausted_fails_retryable(self, tmp_path):
+        plan = FaultPlan(str(tmp_path / "ledger"),
+                         (FaultSpec("crash", "worker", times=5),))
+        with SupervisedPool(1, kind="thread",
+                            retry_policy=RetryPolicy(
+                                max_attempts=2, base_delay_s=0.01)) as pool:
+            future = pool.submit(_crash_once_then_double, plan, "doomed", 1,
+                                 label="doomed", token="doomed")
+            with pytest.raises(WorkerCrashed, match="gave up after 2 attempts"):
+                future.result(timeout=10)
+
+    def test_deadline_kill_recycles_worker(self):
+        with SupervisedPool(1, kind="thread", deadline_s=0.15) as pool:
+            hung = pool.submit(_sleep_then, "late", 5.0, label="hung")
+            with pytest.raises(DeadlineExceeded, match="deadline"):
+                hung.result(timeout=10)
+            # The replacement worker serves new tasks immediately.
+            assert pool.submit(_double, 3,
+                               deadline_s=None).result(timeout=10) == 6
+            stats = pool.stats_dict()
+        assert stats["deadline_kills"] == 1
+        assert stats["workers_recycled"] >= 1
+
+    def test_submit_after_shutdown_raises(self):
+        pool = SupervisedPool(1, kind="thread")
+        pool.shutdown()
+        with pytest.raises(PoolUnavailable):
+            pool.submit(_double, 1)
+
+    def test_shutdown_fails_pending_futures(self):
+        pool = SupervisedPool(1, kind="thread")
+        blocker = pool.submit(_sleep_then, "x", 0.5)
+        queued = [pool.submit(_double, index) for index in range(4)]
+        pool.shutdown(wait=False)
+        failed = 0
+        for future in [blocker, *queued]:
+            if future.cancelled():
+                failed += 1
+                continue
+            try:
+                future.result(timeout=5)
+            except PoolUnavailable:
+                failed += 1
+            except Exception:  # pragma: no cover - unexpected class
+                raise
+        assert failed >= len(queued)
+
+
+def _crash_once_then_double(plan, label, value):
+    plan.fire_worker_fault(label)
+    return value * 2
+
+
+def _exit_once_then_pid(plan, label):
+    import os
+
+    plan.fire_worker_fault(label)
+    return os.getpid()
+
+
+@pytest.mark.slow
+class TestSupervisedPoolProcesses:
+    def test_real_process_death_is_survived(self, tmp_path):
+        plan = FaultPlan(str(tmp_path / "ledger"),
+                         (FaultSpec("exit", "worker", match="victim"),))
+        with SupervisedPool(1, kind="process",
+                            retry_policy=RetryPolicy(
+                                max_attempts=3, base_delay_s=0.01)) as pool:
+            future = pool.submit(_exit_once_then_pid, plan, "victim",
+                                 label="victim", token="victim")
+            pid = future.result(timeout=30)
+            assert isinstance(pid, int)
+            stats = pool.stats_dict()
+        assert stats["crashes"] >= 1
+        assert stats["workers_recycled"] >= 1
+        assert stats["completed"] == 1

@@ -1,0 +1,217 @@
+"""Ugly-input robustness of the TCP front-end (ISSUE satellite coverage).
+
+Malformed JSON lines, oversized lines, clients that vanish mid-request or
+mid-response: the server must log, count, and keep serving *other*
+connections.  Also covers the new ``health`` verb, ``request_id`` echo and
+client-side reconnect/retry.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.resilience import RetryPolicy
+from repro.server import (
+    ServingClient,
+    ServingGateway,
+    ServingUnavailable,
+    wait_until_ready,
+)
+from repro.server.tcp import ServingServer
+from repro.service import ArchitectureSpec, CompilationTask
+from repro.store import ResultStore
+
+SPEC = ArchitectureSpec("mixed", lattice_rows=7, num_atoms=30)
+
+
+@pytest.fixture(scope="module")
+def robust_server(tmp_path_factory):
+    """A live server whose ServerStats the tests can inspect directly."""
+    gateway = ServingGateway(
+        ResultStore(tmp_path_factory.mktemp("robust-store")),
+        pool="thread", max_workers=2)
+    box = {}
+    ready = threading.Event()
+
+    def runner():
+        import asyncio
+
+        async def main():
+            server = ServingServer(gateway, "127.0.0.1", 0,
+                                   max_line_bytes=64 * 1024)
+            await server.start()
+            box["server"] = server
+            box["port"] = server.port
+            ready.set()
+            await server.serve_until_shutdown()
+        asyncio.run(main())
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    assert ready.wait(timeout=30)
+    assert wait_until_ready("127.0.0.1", box["port"], timeout=15)
+    yield box["server"], box["port"]
+    with ServingClient("127.0.0.1", box["port"]) as client:
+        client.shutdown()
+    thread.join(timeout=10)
+
+
+def _raw_lines(port, payload_bytes):
+    """Send raw bytes, return every response line before the server closes.
+
+    Tolerates the server resetting the connection first (e.g. right after
+    rejecting an oversized line): whatever was received is returned.
+    """
+    with socket.create_connection(("127.0.0.1", port), timeout=30) as sock:
+        data = b""
+        try:
+            sock.sendall(payload_bytes)
+            sock.shutdown(socket.SHUT_WR)
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+        except OSError:
+            pass
+    return data.splitlines()
+
+
+def _poll_until(predicate, timeout_s=5.0):
+    import time
+
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+class TestUglyInput:
+    def test_malformed_json_line_gets_error_and_connection_survives(
+            self, robust_server):
+        server, port = robust_server
+        before = server.stats.malformed_lines
+        lines = _raw_lines(port, b"this is not json\n"
+                                 b'{"op": "ping"}\n')
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["ok"] is False and "JSON" in first["error"]
+        assert second["ok"] is True and second["op"] == "pong"
+        assert server.stats.malformed_lines == before + 1
+
+    def test_non_object_json_and_unknown_op_are_counted(self, robust_server):
+        server, port = robust_server
+        before = server.stats.malformed_lines
+        lines = _raw_lines(port, b'[1, 2, 3]\n{"op": "frobnicate"}\n')
+        assert all(not json.loads(line)["ok"] for line in lines)
+        assert server.stats.malformed_lines == before + 2
+
+    def test_oversized_line_rejected_and_listener_keeps_serving(
+            self, robust_server):
+        server, port = robust_server
+        before = server.stats.oversized_lines
+        huge = b'{"op": "compile", "task": "' + b"x" * (128 * 1024) + b'"}\n'
+        lines = _raw_lines(port, huge)
+        if lines:  # response can be lost to the connection reset
+            payload = json.loads(lines[0])
+            assert payload["ok"] is False
+            assert "exceeds" in payload["error"]
+        assert _poll_until(
+            lambda: server.stats.oversized_lines == before + 1)
+        # The listener is unharmed: a fresh connection works.
+        with ServingClient("127.0.0.1", port) as client:
+            assert client.ping()
+
+    def test_disconnect_mid_request_only_kills_its_handler(self, robust_server):
+        server, port = robust_server
+        before = server.stats.disconnects_mid_request
+        with socket.create_connection(("127.0.0.1", port), timeout=30) as sock:
+            sock.sendall(b'{"op": "ping"')   # no newline: mid-request
+        # Closing without the newline registers as a mid-request disconnect
+        # (poll briefly: the handler notices asynchronously).
+        assert _poll_until(
+            lambda: server.stats.disconnects_mid_request == before + 1)
+        with ServingClient("127.0.0.1", port) as client:
+            assert client.ping()
+
+    def test_bad_timeout_is_a_request_error(self, robust_server):
+        _, port = robust_server
+        lines = _raw_lines(
+            port, b'{"op": "compile", "task": {}, "timeout_s": -3}\n')
+        payload = json.loads(lines[0])
+        assert payload["ok"] is False
+        assert "timeout_s" in payload["error"]
+
+
+class TestHealthVerb:
+    def test_health_reports_supervision_surface(self, robust_server):
+        _, port = robust_server
+        with ServingClient("127.0.0.1", port) as client:
+            health = client.health()
+        assert health["ok"] is True
+        assert health["status"] in ("ok", "degraded", "draining")
+        assert health["breaker"]["state"] in ("closed", "open", "half_open")
+        assert health["pool"]["kind"] == "thread"
+        assert "workers_alive" in health["pool"]
+        assert health["retry"]["max_attempts"] >= 1
+        assert "fsyncs" in health["store"]
+        assert "orphans_swept" in health["store"]
+
+    def test_stats_include_server_counters(self, robust_server):
+        _, port = robust_server
+        with ServingClient("127.0.0.1", port) as client:
+            stats = client.stats()
+        assert "server" in stats
+        for counter in ("connections", "malformed_lines", "oversized_lines",
+                        "disconnects_mid_request", "disconnects_mid_response"):
+            assert counter in stats["server"]
+
+
+class TestRequestIdEcho:
+    def test_compile_echoes_request_id(self, robust_server):
+        _, port = robust_server
+        task = CompilationTask("echo-1", SPEC, circuit_name="qft",
+                               num_qubits=8)
+        with ServingClient("127.0.0.1", port) as client:
+            response = client.compile_task(task, request_id="my-token-17")
+        assert response.ok
+        assert response.request_id == "my-token-17"
+
+    def test_non_compile_ops_echo_too(self, robust_server):
+        _, port = robust_server
+        lines = _raw_lines(
+            port, b'{"op": "ping", "request_id": "abc"}\n')
+        assert json.loads(lines[0])["request_id"] == "abc"
+
+
+class TestClientRetry:
+    def test_client_reconnects_after_server_drops_connection(
+            self, robust_server):
+        server, port = robust_server
+        task = CompilationTask("retry-1", SPEC, circuit_name="graph",
+                               num_qubits=8)
+        client = ServingClient(
+            "127.0.0.1", port,
+            retry_policy=RetryPolicy(max_attempts=3, base_delay_s=0.01))
+        try:
+            # Sabotage the client's socket so the next round trip fails and
+            # the bounded retry loop reconnects + resubmits.  (shutdown, not
+            # close: the makefile handle keeps the fd alive through close.)
+            client._sock.shutdown(socket.SHUT_RDWR)
+            response = client.compile_task(task)
+        finally:
+            client.close()
+        assert response.ok
+        assert client.reconnects == 1
+
+    def test_retry_budget_exhausts_to_serving_unavailable(self):
+        # Nothing listens on this port: connect itself fails.
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            dead_port = probe.getsockname()[1]
+        with pytest.raises(ServingUnavailable):
+            ServingClient("127.0.0.1", dead_port, timeout=1.0)

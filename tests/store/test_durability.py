@@ -1,0 +1,88 @@
+"""Durability guarantees of the result store (ISSUE satellite coverage).
+
+The write path fsyncs the temp file before its atomic rename (counted in
+``stats.fsyncs``), and a fresh handle sweeps ``*.tmp`` orphans left behind
+by crashed writers — but only *stale* ones, so a concurrent live writer is
+never disturbed.
+"""
+
+import os
+import time
+
+from repro.circuit.library import get_benchmark
+from repro.mapping.config import MapperConfig
+from repro.pipeline.manager import compile_circuit
+from repro.store import CompiledArtifact, ResultStore, compute_store_key
+from repro.service import ArchitectureSpec
+from repro.service.cache import ARCHITECTURE_CACHE
+
+SPEC = ArchitectureSpec("mixed", lattice_rows=7, num_atoms=30)
+
+
+def _compiled_artifact_and_key(num_qubits=8):
+    circuit = get_benchmark("qft", num_qubits=num_qubits)
+    config = MapperConfig.for_mode("hybrid", 1.0)
+    architecture, connectivity = ARCHITECTURE_CACHE.get(SPEC)
+    context = compile_circuit(circuit, architecture, config,
+                              connectivity=connectivity, alpha_ratio=1.0)
+    return (CompiledArtifact.from_context(context),
+            compute_store_key(circuit, SPEC, config))
+
+
+class TestFsync:
+    def test_put_counts_one_fsync_per_write(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        artifact, key = _compiled_artifact_and_key()
+        assert store.stats.fsyncs == 0
+        store.put(key, artifact)
+        assert store.stats.fsyncs == 1
+        store.put(key, artifact)
+        assert store.stats.fsyncs == 2
+        assert "fsyncs" in store.stats_dict()
+
+    def test_no_tmp_files_survive_a_put(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        artifact, key = _compiled_artifact_and_key()
+        store.put(key, artifact)
+        assert list((tmp_path / "store").glob(".*.tmp-*")) == []
+
+
+class TestOrphanSweep:
+    def test_stale_orphan_swept_on_startup(self, tmp_path):
+        root = tmp_path / "store"
+        root.mkdir()
+        orphan = root / ".deadbeef.json.tmp-999-abcdef01"
+        orphan.write_text('{"partial": ')
+        stale = time.time() - 3600
+        os.utime(orphan, (stale, stale))
+        store = ResultStore(root)
+        assert not orphan.exists()
+        assert store.stats.orphans_swept == 1
+        assert store.stats_dict()["orphans_swept"] == 1
+
+    def test_fresh_tmp_file_survives_startup(self, tmp_path):
+        # A live writer's temp file (recent mtime) must never be yanked out
+        # from under its upcoming rename.
+        root = tmp_path / "store"
+        root.mkdir()
+        live = root / ".cafecafe.json.tmp-1000-12345678"
+        live.write_text('{"partial": ')
+        store = ResultStore(root)
+        assert live.exists()
+        assert store.stats.orphans_swept == 0
+
+    def test_swept_orphans_do_not_affect_entries_or_reads(self, tmp_path):
+        root = tmp_path / "store"
+        store = ResultStore(root)
+        artifact, key = _compiled_artifact_and_key()
+        store.put(key, artifact)
+        orphan = root / ".feedface.json.tmp-7-00000000"
+        orphan.write_text("junk")
+        stale = time.time() - 3600
+        os.utime(orphan, (stale, stale))
+        reopened = ResultStore(root)
+        assert reopened.stats.orphans_swept == 1
+        assert reopened.num_entries() == 1
+        hit = reopened.get(key)
+        assert hit is not None
+        assert hit.op_stream_digest() == artifact.op_stream_digest()

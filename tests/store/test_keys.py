@@ -122,9 +122,25 @@ class TestArchitectureSpecKey:
         b = ArchitectureSpec("mixed", lattice_rows=9, spacing=3.0)
         assert a == b
         assert a.store_key() == b.store_key()
-        c = ArchitectureSpec("mixed", lattice_rows=9, spacing_y=2)
-        d = ArchitectureSpec("mixed", lattice_rows=9, spacing_y=2.0)
+        c = ArchitectureSpec("mixed", lattice_rows=9,
+                             topology="rectangular", spacing_y=2)
+        d = ArchitectureSpec("mixed", lattice_rows=9,
+                             topology="rectangular", spacing_y=2.0)
         assert c.store_key() == d.store_key()
+
+    def test_v2_built_device_identity(self):
+        """v2 keys address the *built* device: spelling out a preset's
+        computed default aliases with leaving it unset, while different
+        physics still produce different keys."""
+        implicit = ArchitectureSpec("mixed", lattice_rows=9)
+        explicit = ArchitectureSpec("mixed", lattice_rows=9,
+                                    num_atoms=implicit.build().num_atoms)
+        assert implicit.store_key().startswith("architecture/v2|")
+        assert implicit.store_key() == explicit.store_key()
+        assert (ArchitectureSpec("mixed", lattice_rows=9).store_key()
+                != ArchitectureSpec("gate", lattice_rows=9).store_key())
+        assert (ArchitectureSpec("mixed", lattice_rows=9).store_key()
+                != ArchitectureSpec("mixed", lattice_rows=11).store_key())
 
 
 class TestStoreKey:
