@@ -38,6 +38,18 @@ recorded from PR 1 onward (schema ``repro-bench-scaling/v1``):
           // plus "cpu_caveat" when available_cpus cannot exercise the workers
         },
         {
+          "kind": "shard_routing",      // serial-vs-sharded comparison (--shard)
+          "hardware": "mixed", "circuit": "qft", "mode": "hybrid",
+          "scale": 0.3, "num_qubits": 60, "available_cpus": 1,
+          "shard_workers": 1, "scheduler": "chained", "num_slices": 28,
+          "serial_seconds": 3.2, "sharded_seconds": 0.61,
+          "shard_speedup": 5.2, "shard_overhead_pct": -80.6,
+          "serial_moves": 493, "sharded_moves": 651
+          // plus "cpu_caveat" on single-core hosts: the chained scheduler's
+          // speedup is real but the speculative multi-core figure is not
+          // measurable there
+        },
+        {
           "kind": "serving_throughput",  // gateway case (benchmarks/bench_serving.py)
           "hardware": "mixed", "circuit": "qft+graph", "mode": "hybrid",
           "scale": 0.3, "num_requests": 10, "distinct_requests": 2,
@@ -56,6 +68,10 @@ Usage::
         --scale 0.3 --out BENCH_scaling.json   # append a throughput case
     PYTHONPATH=src python benchmarks/perf_report.py --topology zoned \
         --hardware mixed --scale 0.3           # zoned-topology matrix
+    PYTHONPATH=src python benchmarks/perf_report.py --shard \
+        --hardware mixed --circuits qft --scale 0.3  # shard-routing case
+    PYTHONPATH=src python benchmarks/perf_report.py --profile \
+        --hardware mixed --circuits qft --scale 0.12 # cProfile the routing
 
 ``--baseline`` points at a previous report (e.g. the committed seed
 baseline); matching cases gain a ``speedup_vs_baseline`` field computed from
@@ -112,7 +128,7 @@ def run_case(hardware: str, circuit_name: str, mode: str, scale: float,
     wall = time.perf_counter() - start
     result = context.require_result()
     metrics = context.require_metrics()
-    return {
+    case = {
         "hardware": hardware,
         "circuit": circuit_name,
         "mode": mode,
@@ -120,6 +136,7 @@ def run_case(hardware: str, circuit_name: str, mode: str, scale: float,
         "cross_round_cache": config.cross_round_cache,
         "scale": scale,
         "num_qubits": scaled_size(circuit_name, scale),
+        "available_cpus": os.cpu_count(),
         "wall_seconds": round(wall, 4),
         "mapper_seconds": round(result.runtime_seconds, 4),
         "stage_seconds": {stage: round(seconds, 4)
@@ -131,6 +148,75 @@ def run_case(hardware: str, circuit_name: str, mode: str, scale: float,
         "delta_cz": metrics.delta_cz,
         "delta_t_us": round(metrics.delta_t_us, 2),
     }
+    caveat = cpu_caveat(case)
+    if caveat:
+        case["cpu_caveat"] = caveat
+    return case
+
+
+def run_shard_case(hardware: str, circuit_name: str, mode: str, scale: float,
+                   *, alpha: float = 1.0, topology: str = "square",
+                   workers: Optional[int] = None) -> Dict:
+    """Route one circuit serially and sharded; record the comparison.
+
+    ``workers=None`` auto-sizes: ``min(available_cpus, 4)`` on a multi-core
+    host (speculative scheduler, real parallelism), ``1`` on a single core
+    (chained scheduler — exact, no seams, and still typically *faster* than
+    serial because each slice is a much smaller routing subproblem).
+    """
+    architecture, connectivity = _architecture(hardware, scale, topology)
+    circuit = build_circuit(circuit_name, scale)
+    cpus = os.cpu_count() or 1
+    if workers is None:
+        workers = min(cpus, 4) if cpus >= 2 else 1
+    serial_config = config_for_mode(mode, alpha)
+    sharded_config = serial_config.with_overrides(shard_routing=True,
+                                                 shard_workers=workers)
+    alpha_ratio = alpha if mode == "hybrid" else None
+
+    start = time.perf_counter()
+    serial = compile_circuit(circuit, architecture, serial_config,
+                             connectivity=connectivity, alpha_ratio=alpha_ratio)
+    serial_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    sharded = compile_circuit(circuit, architecture, sharded_config,
+                              connectivity=connectivity,
+                              alpha_ratio=alpha_ratio)
+    sharded_wall = time.perf_counter() - start
+
+    serial_result = serial.require_result()
+    sharded_result = sharded.require_result()
+    shard_stats = sharded_result.shard_stats
+    speedup = serial_wall / sharded_wall if sharded_wall > 0 else 0.0
+    case = {
+        "kind": "shard_routing",
+        "hardware": hardware,
+        "circuit": circuit_name,
+        "mode": mode,
+        "topology": architecture.topology.kind,
+        "scale": scale,
+        "num_qubits": scaled_size(circuit_name, scale),
+        "available_cpus": cpus,
+        "shard_workers": workers,
+        "scheduler": shard_stats.get("scheduler", "serial-fallback"),
+        "num_slices": shard_stats.get("num_slices", 1),
+        "serial_seconds": round(serial_wall, 4),
+        "sharded_seconds": round(sharded_wall, 4),
+        "shard_speedup": round(speedup, 2),
+        "shard_overhead_pct": round((sharded_wall - serial_wall)
+                                    / serial_wall * 100.0, 1)
+        if serial_wall > 0 else 0.0,
+        "serial_swaps": serial_result.num_swaps,
+        "sharded_swaps": sharded_result.num_swaps,
+        "serial_moves": serial_result.num_moves,
+        "sharded_moves": sharded_result.num_moves,
+        "serial_delta_cz": serial.require_metrics().delta_cz,
+        "sharded_delta_cz": sharded.require_metrics().delta_cz,
+    }
+    caveat = cpu_caveat(case)
+    if caveat:
+        case["cpu_caveat"] = caveat
+    return case
 
 
 def batch_tasks(scale: float,
@@ -303,12 +389,83 @@ def cpu_caveat(case: Dict) -> Optional[str]:
     must say so instead of presenting the speedup as a property of the code.
     """
     cpus = case.get("available_cpus")
+    if cpus is None:
+        return None
+    kind = case.get("kind", "single")
+    if kind == "shard_routing":
+        workers = case.get("shard_workers") or 1
+        if cpus < max(2, workers):
+            return (f"only {cpus} CPU(s) available — the speculative "
+                    f"scheduler's multi-core speedup cannot manifest here; "
+                    f"recorded numbers reflect the chained scheduler "
+                    f"(exact, single-core), whose speedup comes from "
+                    f"smaller per-slice routing subproblems, not "
+                    f"parallelism.  Re-record on a host with >= "
+                    f"{max(2, workers)} cores for the parallel figure "
+                    f"(ROADMAP caveat)")
+        return None
+    if kind == "single":
+        if cpus < 2:
+            return (f"only {cpus} CPU(s) available — intra-circuit sharded "
+                    f"routing (shard_routing=True, speculative scheduler) "
+                    f"cannot show a multi-core speedup on this host "
+                    f"(ROADMAP caveat)")
+        return None
     workers = case.get("num_workers") or 1
-    if cpus is not None and cpus < max(2, workers):
+    if cpus < max(2, workers):
         return (f"only {cpus} CPU(s) available — CPU-bound workers cannot "
                 f"beat serial at {workers} workers; re-record this case on "
                 f"a host with >= {max(2, workers)} cores (ROADMAP caveat)")
     return None
+
+
+def profile_matrix(scale: float,
+                   circuits: Sequence[str] = DEFAULT_CIRCUITS,
+                   hardware_presets: Sequence[str] = DEFAULT_HARDWARE,
+                   modes: Sequence[str] = DEFAULT_MODES,
+                   topology: str = "square", top: int = 20,
+                   stream=None) -> None:
+    """Profile the routing pass per matrix case (``--profile``).
+
+    For each (hardware, circuit, mode) the full pipeline compile runs under
+    ``cProfile``; the dump shows the per-stage wall-clock split recorded by
+    the mapper, the top-``top`` functions by cumulative time, and the same
+    view restricted to ``repro/mapping`` so the routing hot spots are not
+    drowned out by evaluation/scheduling frames.
+    """
+    import cProfile
+    import pstats
+
+    stream = stream or sys.stdout
+    for hardware in hardware_presets:
+        for circuit_name in circuits:
+            for mode in modes:
+                architecture, connectivity = _architecture(
+                    hardware, scale, topology)
+                circuit = build_circuit(circuit_name, scale)
+                config = config_for_mode(mode, 1.0)
+                profiler = cProfile.Profile()
+                profiler.enable()
+                context = compile_circuit(
+                    circuit, architecture, config,
+                    connectivity=connectivity,
+                    alpha_ratio=1.0 if mode == "hybrid" else None)
+                profiler.disable()
+                result = context.require_result()
+                header = (f"{hardware}/{circuit_name}/{mode} "
+                          f"@ scale {scale} ({topology})")
+                print(f"\n=== profile: {header} ===", file=stream)
+                print("stage_seconds: "
+                      + ", ".join(f"{stage}={seconds:.4f}s"
+                                  for stage, seconds
+                                  in sorted(result.stage_seconds.items())),
+                      file=stream)
+                stats = pstats.Stats(profiler, stream=stream)
+                stats.sort_stats("cumulative")
+                print(f"-- top {top} by cumulative time --", file=stream)
+                stats.print_stats(top)
+                print(f"-- top {top} within repro/mapping --", file=stream)
+                stats.print_stats(r"repro[/\\]mapping", top)
 
 
 def _print_case(case: Dict) -> None:
@@ -319,6 +476,19 @@ def _print_case(case: Dict) -> None:
               f"batch={case['batch_seconds']:7.2f}s "
               f"throughput={case['batch_circuits_per_second']:5.2f}/s "
               f"speedup={case['throughput_speedup']:4.2f}x")
+        caveat = cpu_caveat(case)
+        if caveat:
+            print(f"            note: {caveat}")
+        return
+    if case.get("kind") == "shard_routing":
+        print(f"[shard    ] {case['circuit']:>12s} x {case['hardware']} "
+              f"workers={case['shard_workers']} "
+              f"scheduler={case['scheduler']} slices={case['num_slices']} "
+              f"serial={case['serial_seconds']:7.2f}s "
+              f"sharded={case['sharded_seconds']:7.2f}s "
+              f"speedup={case['shard_speedup']:4.2f}x "
+              f"moves={case['serial_moves']}->{case['sharded_moves']} "
+              f"swaps={case['serial_swaps']}->{case['sharded_swaps']}")
         caveat = cpu_caveat(case)
         if caveat:
             print(f"            note: {caveat}")
@@ -360,6 +530,18 @@ def build_parser(description: str) -> argparse.ArgumentParser:
                              "workers vs serial) and append the case")
     parser.add_argument("--workers", type=int, default=4,
                         help="worker processes for --batch (default 4)")
+    parser.add_argument("--shard", action="store_true",
+                        help="record serial-vs-sharded routing cases "
+                             "(kind shard_routing) for the selected matrix; "
+                             "worker count auto-sizes to the host unless "
+                             "--shard-workers is given")
+    parser.add_argument("--shard-workers", type=int, default=None,
+                        help="shard_workers for --shard (default: "
+                             "min(cpus, 4) on multi-core hosts, else 1)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run the selected matrix under cProfile and "
+                             "dump a per-stage summary plus the top-20 "
+                             "functions by cumulative time (no report write)")
     parser.add_argument("--circuits", nargs="*", default=list(DEFAULT_CIRCUITS))
     parser.add_argument("--hardware", nargs="*", default=list(DEFAULT_HARDWARE))
     parser.add_argument("--modes", nargs="*", default=list(DEFAULT_MODES))
@@ -388,6 +570,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--workers must be at least 1")
     if args.baseline and not Path(args.baseline).exists():
         parser.error(f"baseline report not found: {args.baseline}")
+
+    if args.shard_workers is not None and args.shard_workers < 1:
+        parser.error("--shard-workers must be at least 1")
+
+    if args.profile:
+        profile_matrix(args.scale, args.circuits, args.hardware, args.modes,
+                       topology=args.topology)
+        return 0
+
+    if args.shard:
+        if len(args.modes) != 1:
+            parser.error("--shard records comparison cases; pass exactly "
+                         "one --modes value")
+        report = None
+        for hardware in args.hardware:
+            for circuit_name in args.circuits:
+                case = run_shard_case(hardware, circuit_name, args.modes[0],
+                                      args.scale, topology=args.topology,
+                                      workers=args.shard_workers)
+                report = merge_case(args.out, case, args.scale)
+                write_report(report, args.out)
+                _print_case(case)
+        print(f"wrote {args.out}")
+        return 0
 
     if args.batch:
         if len(args.modes) != 1:

@@ -6,4 +6,4 @@ compiled by an older routing engine), and importing it from
 ``repro/__init__`` there would be circular.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"  # 1.3.0: MapperConfig canonical key v2 (sharding knobs)

@@ -13,7 +13,15 @@ from .initial_layout import (
 )
 from .layers import LayerManager
 from .multiqubit import GatePosition, find_gate_position
+from .partition import (
+    CircuitSlice,
+    PartitionPlan,
+    crossing_counts,
+    partition_circuit,
+    slice_subcircuit,
+)
 from .regioncache import CrossRoundCache
+from .replay import assert_stream_valid, validate_stream
 from .result import (
     CircuitGateOp,
     MappedOperation,
@@ -21,6 +29,7 @@ from .result import (
     ShuttleOp,
     SwapOp,
 )
+from .shard import ShardedRouter
 from .shuttling_router import ShuttlingRouter
 from .state import MappingState
 
@@ -43,6 +52,14 @@ __all__ = [
     "SwapCostCache",
     "ShuttlingRouter",
     "CrossRoundCache",
+    "CircuitSlice",
+    "PartitionPlan",
+    "ShardedRouter",
+    "partition_circuit",
+    "crossing_counts",
+    "slice_subcircuit",
+    "validate_stream",
+    "assert_stream_valid",
     "GatePosition",
     "find_gate_position",
     "identity_layout",

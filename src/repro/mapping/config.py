@@ -52,6 +52,37 @@ class MapperConfig:
     max_routing_steps:
         Hard safety bound on the total number of routing operations; mapping
         aborts with an error beyond it (should never trigger in practice).
+    shard_routing:
+        Enable sharded intra-circuit routing (``repro.mapping.shard``): the
+        circuit DAG is partitioned into weakly-coupled slices at
+        low-crossing frontiers, slices are routed on worker processes
+        against snapshotted mapping states, and the seams are stitched by
+        re-routing boundary gates against the merged state.  The emitted
+        stream is **not** bit-identical to serial routing — the contract is
+        *metrics parity* (ΔCZ/Δmove counts within bounds) plus full replay
+        validity, enforced by ``tests/differential/test_differential_shard``.
+        ``False`` (the default) leaves the serial path byte-identical to the
+        committed goldens.
+    shard_workers:
+        Worker count for sharded routing.  ``1`` selects the *chained*
+        scheduler (each slice routes from the true predecessor state —
+        deterministic, no speculation, the honest configuration for 1-CPU
+        hosts); ``>= 2`` selects the *speculative* scheduler (all slices
+        route in parallel from the initial-state snapshot and diverged ops
+        are re-routed at the seams).  The operation stream depends only on
+        this chained/speculative distinction, never on how many workers
+        actually ran, so the fingerprint stays an honest result identity.
+    shard_min_slice:
+        Minimum gates per slice; circuits with fewer than two minimum-size
+        slices silently take the serial path (bit-identical to goldens).
+    shard_max_slice:
+        Soft upper bound on slice size (``None`` = ``4 * shard_min_slice``);
+        a slice may exceed it only when no cut under ``shard_max_cut_qubits``
+        exists inside the window.
+    shard_max_cut_qubits:
+        Hard bound on the number of qubits crossing any slice cut; the
+        partitioner extends slices rather than cut above it.  ``None``
+        places cuts at the locally minimal crossing without a bound.
     """
 
     alpha_gate: float = 1.0
@@ -65,6 +96,11 @@ class MapperConfig:
     cross_round_cache: bool = True
     stall_threshold: Optional[int] = None
     max_routing_steps: Optional[int] = None
+    shard_routing: bool = False
+    shard_workers: int = 2
+    shard_min_slice: int = 24
+    shard_max_slice: Optional[int] = None
+    shard_max_cut_qubits: Optional[int] = None
 
     def __post_init__(self) -> None:
         # Normalise numeric field types so equal-valued configs are identical
@@ -74,13 +110,15 @@ class MapperConfig:
         for name in ("alpha_gate", "alpha_shuttling", "lookahead_weight",
                      "decay_rate", "time_weight"):
             object.__setattr__(self, name, float(getattr(self, name)))
-        for name in ("lookahead_depth", "history_window"):
+        for name in ("lookahead_depth", "history_window", "shard_workers",
+                     "shard_min_slice"):
             object.__setattr__(self, name, int(getattr(self, name)))
-        for name in ("stall_threshold", "max_routing_steps"):
+        for name in ("stall_threshold", "max_routing_steps", "shard_max_slice",
+                     "shard_max_cut_qubits"):
             value = getattr(self, name)
             if value is not None:
                 object.__setattr__(self, name, int(value))
-        for name in ("use_commutation", "cross_round_cache"):
+        for name in ("use_commutation", "cross_round_cache", "shard_routing"):
             object.__setattr__(self, name, bool(getattr(self, name)))
         if self.alpha_gate < 0 or self.alpha_shuttling < 0:
             raise ValueError("alpha weights must be non-negative")
@@ -92,6 +130,15 @@ class MapperConfig:
             raise ValueError("cost weights must be non-negative")
         if self.history_window < 0:
             raise ValueError("history window cannot be negative")
+        if self.shard_workers < 1:
+            raise ValueError("shard_workers must be at least 1")
+        if self.shard_min_slice < 1:
+            raise ValueError("shard_min_slice must be at least 1")
+        if self.shard_max_slice is not None and \
+                self.shard_max_slice < self.shard_min_slice:
+            raise ValueError("shard_max_slice cannot be below shard_min_slice")
+        if self.shard_max_cut_qubits is not None and self.shard_max_cut_qubits < 0:
+            raise ValueError("shard_max_cut_qubits cannot be negative")
 
     # ------------------------------------------------------------------
     # Mode helpers
@@ -141,9 +188,21 @@ class MapperConfig:
         raise ValueError(f"unknown mapper mode {mode!r}; choose from "
                          "('shuttling_only', 'gate_only', 'hybrid')")
 
+    @classmethod
+    def sharded(cls, workers: int = 2, **kwargs) -> "MapperConfig":
+        """Hybrid configuration with sharded intra-circuit routing enabled."""
+        return cls(shard_routing=True, shard_workers=workers, **kwargs)
+
     def with_overrides(self, **kwargs) -> "MapperConfig":
         """Return a copy with selected fields replaced."""
         return replace(self, **kwargs)
+
+    @property
+    def resolved_shard_max_slice(self) -> int:
+        """Soft slice-size ceiling (``shard_max_slice`` or 4x the minimum)."""
+        if self.shard_max_slice is not None:
+            return self.shard_max_slice
+        return 4 * self.shard_min_slice
 
     # ------------------------------------------------------------------
     # Persistent identity
@@ -159,7 +218,12 @@ class MapperConfig:
         """
         parts = [f"{spec.name}={getattr(self, spec.name)!r}"
                  for spec in sorted(fields(self), key=lambda spec: spec.name)]
-        return "mapper-config/v1|" + "|".join(parts)
+        # v2: the sharding knobs (shard_routing/shard_workers/shard_min_slice/
+        # shard_max_slice/shard_max_cut_qubits) joined the field set, so every
+        # fingerprint shifted; the schema tag makes the break explicit (and
+        # repro 1.3.0 rides along so store keys of both components move
+        # together — see repro/_version.py).
+        return "mapper-config/v2|" + "|".join(parts)
 
     def fingerprint(self) -> str:
         """SHA-256 of :meth:`canonical_key` — the config component of

@@ -111,6 +111,18 @@ class HybridMapper:
                 f"circuit needs {circuit.num_qubits} qubits but the architecture "
                 f"provides only {self.architecture.num_atoms} atoms")
 
+        if self.config.shard_routing:
+            from .shard import ShardedRouter
+
+            sharded = ShardedRouter(self.architecture, self.config,
+                                    self.connectivity)
+            result = sharded.map(circuit, initial_state=initial_state)
+            if result is not None:
+                return result
+            # Fewer than two slices: fall through to the serial path below,
+            # which stays bit-identical to the shard_routing=False stream
+            # (the serial-fallback guard of the sharding contract).
+
         state = initial_state or MappingState(
             self.architecture, circuit.num_qubits, connectivity=self.connectivity)
         layers = LayerManager(circuit, lookahead_depth=self.config.lookahead_depth,

@@ -1,0 +1,144 @@
+"""Operation-stream validity replay.
+
+Sharded routing (:mod:`repro.mapping.shard`) trades bit-identity with the
+serial mapper for a weaker but honest contract: *every emitted op stream
+must replay legally*.  :func:`validate_stream` is that contract's checker —
+it rebuilds a fresh :class:`~repro.mapping.state.MappingState` from the
+result's recorded initial maps and walks the stream op by op, verifying
+each operation's preconditions before applying it:
+
+* a **circuit gate** must be recorded with the atoms/sites the state
+  actually has its qubits on, and must be executable there (all qubit pairs
+  within the interaction radius),
+* a **SWAP** must name the atoms currently in its recorded traps (with the
+  named qubit on atom A) and the two traps must be adjacent,
+* a **move** must start from the atom's current trap and end on a free one.
+
+After the walk the final maps must match the recorded ones and every
+non-barrier circuit gate must have been emitted exactly once.  The checker
+is deliberately independent of the mapper — it shares only ``MappingState``
+— so a routing bug cannot hide behind its own bookkeeping.  The serial
+mapper's streams pass by construction; the differential harness runs it
+over every sharded stream.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..hardware.architecture import NeutralAtomArchitecture
+from ..hardware.connectivity import SiteConnectivity
+from .result import CircuitGateOp, MappingResult, ShuttleOp, SwapOp
+from .state import MappingState
+
+__all__ = ["validate_stream", "assert_stream_valid"]
+
+
+def validate_stream(result: MappingResult,
+                    architecture: NeutralAtomArchitecture,
+                    connectivity: Optional[SiteConnectivity] = None,
+                    max_violations: int = 25) -> List[str]:
+    """Replay ``result``'s op stream from its initial maps; return violations.
+
+    An empty list means the stream is legal end to end.  Collection stops
+    after ``max_violations`` entries (a broken stream tends to cascade).
+    """
+    violations: List[str] = []
+
+    def report(position: int, message: str) -> bool:
+        violations.append(f"op[{position}]: {message}")
+        return len(violations) >= max_violations
+
+    num_qubits = result.circuit.num_qubits
+    initial_sites = [result.initial_atom_map[atom]
+                     for atom in range(architecture.num_atoms)]
+    initial_qubit_map = [result.initial_qubit_map[qubit]
+                         for qubit in range(num_qubits)]
+    state = MappingState(architecture, num_qubits,
+                         connectivity=connectivity,
+                         initial_sites=initial_sites,
+                         initial_qubit_map=initial_qubit_map)
+
+    for position, op in enumerate(result.operations):
+        if isinstance(op, CircuitGateOp):
+            gate = op.gate
+            actual_atoms = tuple(state.atom_of_qubit(q) for q in gate.qubits)
+            if actual_atoms != op.atoms:
+                if report(position, f"gate {op.gate_index} recorded atoms "
+                                    f"{op.atoms} but qubits sit on "
+                                    f"{actual_atoms}"):
+                    return violations
+                continue
+            actual_sites = tuple(state.site_of_atom(a) for a in actual_atoms)
+            if actual_sites != op.sites:
+                if report(position, f"gate {op.gate_index} recorded sites "
+                                    f"{op.sites} but atoms sit at "
+                                    f"{actual_sites}"):
+                    return violations
+                continue
+            if not state.gate_executable(gate):
+                if report(position, f"gate {op.gate_index} ({gate.name}) not "
+                                    f"executable at sites {actual_sites}"):
+                    return violations
+        elif isinstance(op, SwapOp):
+            if state.atom_of_qubit(op.qubit_a) != op.atom_a:
+                if report(position, f"SWAP names qubit {op.qubit_a} on atom "
+                                    f"{op.atom_a} but it sits on "
+                                    f"{state.atom_of_qubit(op.qubit_a)}"):
+                    return violations
+                continue
+            if state.site_of_atom(op.atom_a) != op.site_a \
+                    or state.atom_at_site(op.site_b) != op.atom_b:
+                if report(position, "SWAP endpoints do not match the state: "
+                                    f"atom {op.atom_a}@"
+                                    f"{state.site_of_atom(op.atom_a)} vs "
+                                    f"recorded {op.site_a}; site {op.site_b} "
+                                    f"holds {state.atom_at_site(op.site_b)} "
+                                    f"vs recorded {op.atom_b}"):
+                    return violations
+                continue
+            try:
+                state.apply_swap_with_atom(op.qubit_a, op.atom_b)
+            except ValueError as exc:
+                if report(position, f"SWAP illegal: {exc}"):
+                    return violations
+        elif isinstance(op, ShuttleOp):
+            move = op.move
+            if state.site_of_atom(move.atom) != move.source:
+                if report(position, f"move of atom {move.atom} from "
+                                    f"{move.source} but the atom sits at "
+                                    f"{state.site_of_atom(move.atom)}"):
+                    return violations
+                continue
+            if not state.site_is_free(move.destination):
+                if report(position, f"move destination {move.destination} is "
+                                    f"occupied by "
+                                    f"{state.atom_at_site(move.destination)}"):
+                    return violations
+                continue
+            state.apply_move(move)
+        else:  # pragma: no cover - no other op kinds exist
+            if report(position, f"unknown operation {op!r}"):
+                return violations
+
+    if result.final_qubit_map and state.qubit_mapping() != result.final_qubit_map:
+        violations.append("final qubit map does not match the replayed state")
+    if result.final_atom_map and state.atom_mapping() != result.final_atom_map:
+        violations.append("final atom map does not match the replayed state")
+    try:
+        result.verify_complete()
+    except AssertionError as exc:
+        violations.append(str(exc))
+    return violations
+
+
+def assert_stream_valid(result: MappingResult,
+                        architecture: NeutralAtomArchitecture,
+                        connectivity: Optional[SiteConnectivity] = None) -> None:
+    """Raise ``AssertionError`` listing every violation found (tests helper)."""
+    violations = validate_stream(result, architecture, connectivity)
+    if violations:
+        summary = "\n  ".join(violations)
+        raise AssertionError(
+            f"op stream of {result.circuit.name!r} fails replay with "
+            f"{len(violations)} violation(s):\n  {summary}")

@@ -86,6 +86,10 @@ class MappingResult:
         The qubit mapping before and after the run.
     initial_atom_map / final_atom_map:
         The atom mapping before and after the run.
+    shard_stats:
+        Sharded-routing bookkeeping (:mod:`repro.mapping.shard`): scheduler
+        kind, slice sizes, replay/defer counts, seam rounds, slice failures.
+        Empty for serial runs.
     """
 
     circuit: QuantumCircuit
@@ -103,6 +107,7 @@ class MappingResult:
     initial_atom_map: Dict[int, int] = field(default_factory=dict)
     final_atom_map: Dict[int, int] = field(default_factory=dict)
     mode: str = "hybrid"
+    shard_stats: Dict[str, object] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Convenience accessors

@@ -1,0 +1,384 @@
+"""Sharded intra-circuit routing: parallel slice routing + seam stitching.
+
+The batch layer (:mod:`repro.service.batch`) and the serving gateway
+parallelise *across* circuits; one large circuit still routes serially.
+:class:`ShardedRouter` parallelises *within* a circuit:
+
+1. **Partition** — :func:`repro.mapping.partition.partition_circuit` cuts the
+   gate list into weakly-coupled slices at low-crossing frontiers.
+2. **Slice routing** — each slice is routed as a full-width subcircuit by an
+   ordinary serial :class:`~repro.mapping.hybrid_mapper.HybridMapper`.  With
+   ``shard_workers >= 2`` (*speculative* scheduler) all slices route
+   concurrently on a :class:`~repro.resilience.supervisor.SupervisedPool`,
+   every worker starting from a copy of the *initial* mapping-state snapshot
+   — slice ``k`` speculates that the state it inherits resembles the
+   snapshot.  With ``shard_workers == 1`` (*chained* scheduler) slices route
+   one after another from the true predecessor state; there is no
+   speculation and the result is exact — the honest configuration for 1-CPU
+   hosts, whose only overhead over plain serial routing is the partition
+   sweep plus per-slice mapper setup.
+3. **Seam stitching** — the speculative streams are *replayed* against the
+   true merged state: an operation is kept when its preconditions still hold
+   (gate executable, SWAP partners in the recorded traps, move source/
+   destination unchanged) and dropped or deferred otherwise.  Deferred
+   circuit gates accumulate into one *seam round* per slice — a small
+   boundary subcircuit re-routed serially against the true state — so every
+   emitted stream replays legally from the initial maps.
+
+Contract (ROADMAP item 2): sharded routing is **not** bit-identical to
+serial routing.  It is gated by *metrics parity* (ΔCZ / move counts within
+bounds) plus full replay validity (:mod:`repro.mapping.replay`), enforced by
+``tests/differential/test_differential_shard.py``.  The emitted stream
+depends only on the chained-vs-speculative distinction (``shard_workers``,
+part of the config fingerprint), never on how many workers actually ran or
+whether a worker crashed mid-slice — a crashed/hung slice worker is recycled
+by the supervised pool and its whole slice falls back to the seam path.
+
+The speculative scheduler ships work to process workers via a fork-inherited
+module global (:data:`_FORK_CONTEXT`) so the architecture, connectivity and
+slice subcircuits never cross a pickle boundary; only the slice index does.
+One sharded map runs per process at a time (guarded by a module lock).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import replace as dataclass_replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.gate import Gate, GateKind
+from ..hardware.architecture import NeutralAtomArchitecture
+from ..hardware.connectivity import SiteConnectivity
+from ..resilience.supervisor import SupervisedPool
+from .config import MapperConfig
+from .partition import PartitionPlan, partition_circuit, slice_subcircuit
+from .result import CircuitGateOp, MappingResult, ShuttleOp, SwapOp
+from .state import MappingState
+
+__all__ = ["ShardedRouter"]
+
+#: Pool kind override for tests (``"process"`` / ``"thread"``); ``None``
+#: auto-selects: process workers where ``fork`` is available, else threads.
+_POOL_KIND: Optional[str] = None
+
+#: Per-slice wall-clock budget handed to the supervised pool (``None`` =
+#: unbounded).  Tests shrink it to exercise the hung-worker recycle path.
+_SLICE_DEADLINE_S: Optional[float] = None
+
+#: Fork-inherited routing context for speculative slice workers: set (under
+#: :data:`_CONTEXT_LOCK`) *before* the pool is constructed so forked workers
+#: inherit it; thread workers read it directly.
+_FORK_CONTEXT: Dict[str, object] = {}
+_CONTEXT_LOCK = threading.Lock()
+
+
+def _route_slice_worker(slice_index: int) -> MappingResult:
+    """Pool task: route one slice subcircuit from the snapshot state.
+
+    Runs inside a forked worker process (or a pool thread); everything but
+    the slice index arrives through :data:`_FORK_CONTEXT`.
+    """
+    from .hybrid_mapper import HybridMapper
+
+    context = _FORK_CONTEXT
+    mapper = HybridMapper(context["architecture"], context["config"],
+                          context["connectivity"])
+    state = context["snapshot"].copy()
+    return mapper.map(context["subcircuits"][slice_index], initial_state=state)
+
+
+def _resolve_pool_kind() -> str:
+    if _POOL_KIND is not None:
+        return _POOL_KIND
+    import multiprocessing
+
+    try:
+        multiprocessing.get_context("fork")
+        return "process"
+    except ValueError:  # pragma: no cover - platform without fork
+        return "thread"
+
+
+class ShardedRouter:
+    """Partition → parallel slice routing → seam stitching.
+
+    Constructed by :meth:`HybridMapper.map` when ``config.shard_routing`` is
+    set; :meth:`map` returns ``None`` when the circuit partitions into fewer
+    than two slices, which tells the caller to take the ordinary serial path
+    (bit-identical to the committed goldens — the serial-fallback guard).
+    """
+
+    def __init__(self, architecture: NeutralAtomArchitecture,
+                 config: MapperConfig,
+                 connectivity: Optional[SiteConnectivity] = None) -> None:
+        self.architecture = architecture
+        self.config = config
+        self.connectivity = connectivity or SiteConnectivity(architecture)
+        # Slice and seam routing always runs the plain serial mapper — the
+        # override is what keeps the mutual recursion between HybridMapper
+        # and ShardedRouter one level deep.
+        self._serial_config = config.with_overrides(shard_routing=False)
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+    def map(self, circuit: QuantumCircuit,
+            initial_state: Optional[MappingState] = None
+            ) -> Optional[MappingResult]:
+        """Sharded mapping of ``circuit``; ``None`` = caller routes serially."""
+        start_time = time.perf_counter()
+        if circuit.num_entangling_gates() == 0:
+            # Nothing to route — the serial path is pure emission; slicing
+            # it would add overhead for a workload with no routing at all.
+            return None
+        tick = time.perf_counter()
+        plan = partition_circuit(
+            circuit,
+            min_slice=self.config.shard_min_slice,
+            max_slice=self.config.resolved_shard_max_slice,
+            max_cut_qubits=self.config.shard_max_cut_qubits,
+        )
+        partition_seconds = time.perf_counter() - tick
+        if plan.num_slices < 2:
+            return None
+
+        state = initial_state or MappingState(
+            self.architecture, circuit.num_qubits,
+            connectivity=self.connectivity)
+        result = MappingResult(
+            circuit=circuit,
+            mode=self._serial_config.mode,
+            initial_qubit_map=state.qubit_mapping(),
+            initial_atom_map=state.atom_mapping(),
+        )
+        stats: Dict[str, object] = {
+            "pool_kind": None,
+            "workers": 1,
+            "gates_replayed": 0,
+            "gates_deferred": 0,
+            "swaps_replayed": 0,
+            "swaps_dropped": 0,
+            "moves_replayed": 0,
+            "moves_dropped": 0,
+            "seam_rounds": 0,
+            "seam_gates": 0,
+            "slice_failures": [],
+            "stitch_seconds": 0.0,
+        }
+        stats.update(plan.summary())
+
+        if self.config.shard_workers <= 1:
+            stats["scheduler"] = "chained"
+            self._map_chained(plan, state, result, stats)
+        else:
+            stats["scheduler"] = "speculative"
+            self._map_speculative(plan, state, result, stats)
+
+        result.verify_complete()
+        result.final_qubit_map = state.qubit_mapping()
+        result.final_atom_map = state.atom_mapping()
+        stats["partition_seconds"] = partition_seconds
+        result.stage_seconds["partition"] = partition_seconds
+        result.stage_seconds["stitch"] = stats["stitch_seconds"]
+        result.shard_stats = stats
+        result.runtime_seconds = time.perf_counter() - start_time
+        return result
+
+    # ------------------------------------------------------------------
+    # Chained scheduler (shard_workers == 1)
+    # ------------------------------------------------------------------
+    def _map_chained(self, plan: PartitionPlan, state: MappingState,
+                     result: MappingResult, stats: Dict[str, object]) -> None:
+        """Route slices sequentially from the true state — exact, no seams."""
+        from .hybrid_mapper import HybridMapper
+
+        for piece in plan.slices:
+            subcircuit = slice_subcircuit(plan.circuit, piece)
+            mapper = HybridMapper(self.architecture, self._serial_config,
+                                  self.connectivity)
+            slice_result = mapper.map(subcircuit, initial_state=state)
+            for op in slice_result.operations:
+                if isinstance(op, CircuitGateOp):
+                    result.append(dataclass_replace(
+                        op, gate_index=op.gate_index + piece.start))
+                else:
+                    result.append(op)
+            self._merge_counters(result, slice_result)
+            _merge_stage_seconds(result.stage_seconds,
+                                 slice_result.stage_seconds)
+
+    # ------------------------------------------------------------------
+    # Speculative scheduler (shard_workers >= 2)
+    # ------------------------------------------------------------------
+    def _map_speculative(self, plan: PartitionPlan, state: MappingState,
+                         result: MappingResult,
+                         stats: Dict[str, object]) -> None:
+        """Route all slices concurrently from the snapshot, stitch in order.
+
+        Futures are consumed in slice order and stitched incrementally, so
+        slice ``k``'s replay overlaps slices ``k+1..`` still routing.  A
+        slice whose worker failed (crash, deadline kill, pool shutdown) is
+        deferred wholesale to its seam round — serial fallback, not fatal.
+        """
+        global _FORK_CONTEXT
+        subcircuits = [slice_subcircuit(plan.circuit, piece)
+                       for piece in plan.slices]
+        kind = _resolve_pool_kind()
+        workers = min(self.config.shard_workers, plan.num_slices)
+        stats["pool_kind"] = kind
+        stats["workers"] = workers
+        slice_stage_seconds: Dict[str, float] = {}
+
+        with _CONTEXT_LOCK:
+            _FORK_CONTEXT = {
+                "architecture": self.architecture,
+                "config": self._serial_config,
+                "connectivity": self.connectivity,
+                "subcircuits": subcircuits,
+                "snapshot": state.copy(),
+            }
+            pool = SupervisedPool(workers, kind=kind,
+                                  deadline_s=_SLICE_DEADLINE_S)
+            try:
+                futures = [
+                    pool.submit(_route_slice_worker, piece.index,
+                                label=f"slice-{piece.index}")
+                    for piece in plan.slices
+                ]
+                for piece, future in zip(plan.slices, futures):
+                    try:
+                        slice_result = future.result()
+                    except Exception as exc:  # noqa: BLE001 - any pool fault
+                        stats["slice_failures"].append(
+                            {"slice": piece.index,
+                             "error": f"{type(exc).__name__}: {exc}"})
+                        slice_result = None
+                    tick = time.perf_counter()
+                    if slice_result is None:
+                        deferred = [
+                            (piece.start + offset, gate)
+                            for offset, gate in enumerate(
+                                subcircuits[piece.index].gates)
+                            if gate.kind != GateKind.BARRIER
+                        ]
+                    else:
+                        _merge_stage_seconds(slice_stage_seconds,
+                                             slice_result.stage_seconds)
+                        deferred = self._replay_slice(
+                            result, state, slice_result, piece.start, stats)
+                    stats["stitch_seconds"] += time.perf_counter() - tick
+                    if deferred:
+                        self._seam_round(result, state, deferred, stats)
+            finally:
+                pool.shutdown(wait=False)
+                _FORK_CONTEXT = {}
+        # Worker-side stage timings overlap in wall-clock; they are reported
+        # separately so stage_seconds stays a serial-time account.
+        stats["slice_stage_seconds"] = slice_stage_seconds
+
+    def _replay_slice(self, result: MappingResult, state: MappingState,
+                      slice_result: MappingResult, offset: int,
+                      stats: Dict[str, object]) -> List[Tuple[int, Gate]]:
+        """Replay one speculative stream against the true state.
+
+        Returns the deferred gates as ``(global_gate_index, gate)`` in stream
+        order (a valid execution order of the slice, so dependencies among
+        deferred gates are preserved).  ``blocked`` tracks qubits with a
+        deferred gate pending: any later gate touching a blocked qubit is
+        deferred too, which conservatively preserves per-qubit gate order
+        (stricter than the commutation-aware DAG, never weaker).
+        """
+        blocked: Set[int] = set()
+        deferred: List[Tuple[int, Gate]] = []
+        for op in slice_result.operations:
+            if isinstance(op, CircuitGateOp):
+                gate = op.gate
+                if any(q in blocked for q in gate.qubits) \
+                        or not state.gate_executable(gate):
+                    blocked.update(gate.qubits)
+                    deferred.append((offset + op.gate_index, gate))
+                    stats["gates_deferred"] += 1
+                    continue
+                atoms = tuple(state.atom_of_qubit(q) for q in gate.qubits)
+                sites = tuple(state.site_of_atom(a) for a in atoms)
+                result.append(CircuitGateOp(
+                    gate=gate, gate_index=offset + op.gate_index,
+                    atoms=atoms, sites=sites))
+                stats["gates_replayed"] += 1
+            elif isinstance(op, SwapOp):
+                # A SWAP survives when both recorded atoms still sit in their
+                # recorded traps and the qubit is still on its recorded atom
+                # (site adjacency is geometric, so it carries over).  The
+                # partner qubit is re-read from the true state: an auxiliary
+                # atom in the speculative run may hold a real qubit now.
+                if (state.atom_of_qubit(op.qubit_a) == op.atom_a
+                        and state.site_of_atom(op.atom_a) == op.site_a
+                        and state.atom_at_site(op.site_b) == op.atom_b):
+                    partner = state.qubit_of_atom(op.atom_b)
+                    state.apply_swap_with_atom(op.qubit_a, op.atom_b)
+                    result.append(SwapOp(
+                        qubit_a=op.qubit_a,
+                        qubit_b=partner if partner is not None else -1,
+                        atom_a=op.atom_a, atom_b=op.atom_b,
+                        site_a=op.site_a, site_b=op.site_b))
+                    stats["swaps_replayed"] += 1
+                else:
+                    stats["swaps_dropped"] += 1
+            elif isinstance(op, ShuttleOp):
+                move = op.move
+                if (state.site_of_atom(move.atom) == move.source
+                        and state.site_is_free(move.destination)):
+                    state.apply_move(move)
+                    result.append(op)
+                    stats["moves_replayed"] += 1
+                else:
+                    stats["moves_dropped"] += 1
+        return deferred
+
+    def _seam_round(self, result: MappingResult, state: MappingState,
+                    deferred: Sequence[Tuple[int, Gate]],
+                    stats: Dict[str, object]) -> None:
+        """Serially re-route one slice's deferred gates against the true state."""
+        from .hybrid_mapper import HybridMapper
+
+        seam = QuantumCircuit(result.circuit.num_qubits,
+                              name=f"{result.circuit.name}[seam]")
+        for _, gate in deferred:
+            seam.append(gate)
+        mapper = HybridMapper(self.architecture, self._serial_config,
+                              self.connectivity)
+        seam_result = mapper.map(seam, initial_state=state)
+        for op in seam_result.operations:
+            if isinstance(op, CircuitGateOp):
+                result.append(dataclass_replace(
+                    op, gate_index=deferred[op.gate_index][0]))
+            else:
+                result.append(op)
+        self._merge_counters(result, seam_result)
+        _merge_stage_seconds(result.stage_seconds, seam_result.stage_seconds)
+        stats["seam_rounds"] += 1
+        stats["seam_gates"] += len(deferred)
+
+    @staticmethod
+    def _merge_counters(result: MappingResult, part: MappingResult) -> None:
+        """Aggregate capability-attribution counters from a sub-route.
+
+        Exact in chained mode (every gate routes through exactly one slice
+        mapper).  In speculative mode only seam rounds contribute — replayed
+        gates have no per-gate attribution (their routing happened in a
+        worker against a speculated state), which ``shard_stats`` documents
+        via ``gates_replayed``.  ``num_swaps``/``num_moves`` are counted by
+        ``append`` and stay exact everywhere.
+        """
+        result.num_gate_routed += part.num_gate_routed
+        result.num_shuttle_routed += part.num_shuttle_routed
+        result.num_trivially_executable += part.num_trivially_executable
+        result.num_fallback_reroutes += part.num_fallback_reroutes
+
+
+def _merge_stage_seconds(target: Dict[str, float],
+                         source: Dict[str, float]) -> None:
+    for key, value in source.items():
+        target[key] = target.get(key, 0.0) + value

@@ -1,0 +1,242 @@
+"""Sharded routing: serial fallback, schedulers, stitching, pool faults.
+
+Three contracts under test:
+
+* **Serial fallback** — any circuit that partitions into fewer than two
+  slices (1-qubit, tiny, fully-sequential) silently takes the serial path
+  and stays *bit-identical* to the ``shard_routing=False`` stream (and hence
+  to the committed goldens).
+* **Validity + determinism** — both schedulers emit streams that replay
+  legally from the initial maps, are complete, and are deterministic;
+  the speculative stream is identical under thread and process pools
+  (the stream depends on the config, never on the pool).
+* **Fault tolerance** — a slice worker that dies is not fatal: its whole
+  slice is re-routed serially at the seam and the merged stream stays valid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.circuit.library.random_circuits import (
+    local_window_circuit,
+    random_layered_circuit,
+)
+from repro.hardware import SiteConnectivity
+from repro.mapping import (
+    HybridMapper,
+    MapperConfig,
+    assert_stream_valid,
+    validate_stream,
+)
+import repro.mapping.shard as shard_module
+
+
+@pytest.fixture()
+def thread_pool(monkeypatch):
+    """Force the speculative scheduler onto thread workers (1-CPU CI box)."""
+    monkeypatch.setattr(shard_module, "_POOL_KIND", "thread")
+
+
+def _map(architecture, circuit, config, connectivity=None):
+    return HybridMapper(architecture, config,
+                        connectivity=connectivity).map(circuit)
+
+
+class TestSerialFallback:
+    """Sub-threshold circuits must be byte-identical to the serial path."""
+
+    def _assert_identical_to_serial(self, architecture, circuit):
+        connectivity = SiteConnectivity(architecture)
+        serial = _map(architecture, circuit, MapperConfig(), connectivity)
+        for workers in (1, 2):
+            sharded = _map(architecture, circuit,
+                           MapperConfig.sharded(workers=workers), connectivity)
+            assert sharded.op_stream_lines() == serial.op_stream_lines()
+            assert sharded.op_stream_digest() == serial.op_stream_digest()
+            assert not sharded.shard_stats, \
+                "fallback must not engage the sharded path"
+
+    def test_one_qubit_circuit(self, mixed_architecture):
+        circuit = QuantumCircuit(1, name="one_qubit")
+        for _ in range(30):
+            circuit.h(0).t(0)
+        self._assert_identical_to_serial(mixed_architecture, circuit)
+
+    def test_tiny_circuit(self, mixed_architecture, bell_circuit):
+        self._assert_identical_to_serial(mixed_architecture, bell_circuit)
+
+    def test_fully_sequential_circuit(self, mixed_architecture):
+        # One dependency chain on two qubits, shorter than two minimum
+        # slices: partitions into a single slice -> serial path.
+        circuit = QuantumCircuit(6, name="sequential")
+        for _ in range(15):
+            circuit.cz(0, 1)
+            circuit.h(0)
+        self._assert_identical_to_serial(mixed_architecture, circuit)
+
+    def test_below_min_slice_threshold(self, mixed_architecture):
+        circuit = random_layered_circuit(10, 2, seed=11)
+        assert len(circuit) < 2 * MapperConfig().shard_min_slice
+        self._assert_identical_to_serial(mixed_architecture, circuit)
+
+
+class TestChainedScheduler:
+    def test_stream_valid_and_complete(self, mixed_architecture):
+        circuit = random_layered_circuit(16, 10, seed=7)
+        config = MapperConfig.sharded(workers=1, shard_min_slice=12)
+        result = _map(mixed_architecture, circuit, config)
+        assert result.shard_stats["scheduler"] == "chained"
+        assert result.shard_stats["num_slices"] >= 2
+        assert result.shard_stats["seam_rounds"] == 0
+        result.verify_complete()
+        assert_stream_valid(result, mixed_architecture)
+
+    def test_deterministic(self, mixed_architecture):
+        circuit = random_layered_circuit(16, 10, seed=1234)
+        config = MapperConfig.sharded(workers=1, shard_min_slice=12)
+        first = _map(mixed_architecture, circuit, config)
+        second = _map(mixed_architecture, circuit, config)
+        assert first.op_stream_lines() == second.op_stream_lines()
+
+    def test_counters_cover_every_entangling_gate(self, mixed_architecture):
+        circuit = random_layered_circuit(16, 10, seed=7)
+        config = MapperConfig.sharded(workers=1, shard_min_slice=12)
+        result = _map(mixed_architecture, circuit, config)
+        attributed = (result.num_gate_routed + result.num_shuttle_routed
+                      + result.num_trivially_executable)
+        assert attributed == circuit.num_entangling_gates()
+
+    def test_stage_seconds_include_partition(self, mixed_architecture):
+        circuit = random_layered_circuit(16, 10, seed=7)
+        config = MapperConfig.sharded(workers=1, shard_min_slice=12)
+        result = _map(mixed_architecture, circuit, config)
+        assert "partition" in result.stage_seconds
+        assert "shuttle_route" in result.stage_seconds
+
+
+class TestSpeculativeScheduler:
+    def test_stream_valid_and_complete(self, mixed_architecture, thread_pool):
+        circuit = random_layered_circuit(16, 10, seed=7)
+        config = MapperConfig.sharded(workers=2, shard_min_slice=12)
+        result = _map(mixed_architecture, circuit, config)
+        assert result.shard_stats["scheduler"] == "speculative"
+        assert result.shard_stats["pool_kind"] == "thread"
+        assert result.shard_stats["gates_replayed"] > 0
+        result.verify_complete()
+        assert_stream_valid(result, mixed_architecture)
+
+    def test_deterministic(self, mixed_architecture, thread_pool):
+        circuit = local_window_circuit(18, 120, window=4, seed=7)
+        config = MapperConfig.sharded(workers=2, shard_min_slice=16)
+        first = _map(mixed_architecture, circuit, config)
+        second = _map(mixed_architecture, circuit, config)
+        assert first.op_stream_lines() == second.op_stream_lines()
+
+    def test_thread_and_process_pools_agree(self, mixed_architecture,
+                                            monkeypatch):
+        """The stream depends on the config, never on the pool backing."""
+        circuit = random_layered_circuit(16, 8, seed=1234)
+        config = MapperConfig.sharded(workers=2, shard_min_slice=12)
+        monkeypatch.setattr(shard_module, "_POOL_KIND", "thread")
+        threaded = _map(mixed_architecture, circuit, config)
+        monkeypatch.setattr(shard_module, "_POOL_KIND", "process")
+        forked = _map(mixed_architecture, circuit, config)
+        assert threaded.op_stream_lines() == forked.op_stream_lines()
+
+    def test_worker_count_does_not_change_stream(self, mixed_architecture,
+                                                 thread_pool):
+        """Beyond the chained/speculative split, worker count is wall-clock
+        only — 2 and 4 workers must emit the identical stream."""
+        circuit = random_layered_circuit(16, 10, seed=7)
+        two = _map(mixed_architecture, circuit,
+                   MapperConfig.sharded(workers=2, shard_min_slice=12))
+        four = _map(mixed_architecture, circuit,
+                    MapperConfig.sharded(workers=4, shard_min_slice=12))
+        assert two.op_stream_lines() == four.op_stream_lines()
+
+    def test_shuttling_heavy_workload(self, shuttling_architecture,
+                                      thread_pool):
+        circuit = local_window_circuit(18, 120, window=4, seed=7)
+        config = MapperConfig.sharded(workers=2, shard_min_slice=16)
+        result = _map(shuttling_architecture, circuit, config)
+        result.verify_complete()
+        assert_stream_valid(result, shuttling_architecture)
+
+
+class TestPoolFaultFallback:
+    def test_crashed_slice_falls_back_to_seam(self, mixed_architecture,
+                                              thread_pool, monkeypatch):
+        """A worker that dies on one slice defers that slice to the seam
+        path; the merged stream must still be complete and valid."""
+        real_worker = shard_module._route_slice_worker
+
+        def flaky_worker(slice_index):
+            if slice_index == 1:
+                raise RuntimeError("injected slice-worker fault")
+            return real_worker(slice_index)
+
+        monkeypatch.setattr(shard_module, "_route_slice_worker", flaky_worker)
+        circuit = random_layered_circuit(16, 10, seed=7)
+        config = MapperConfig.sharded(workers=2, shard_min_slice=12)
+        result = _map(mixed_architecture, circuit, config)
+        failures = result.shard_stats["slice_failures"]
+        assert [entry["slice"] for entry in failures] == [1]
+        assert "injected slice-worker fault" in failures[0]["error"]
+        result.verify_complete()
+        assert_stream_valid(result, mixed_architecture)
+
+    def test_all_slices_crashing_still_completes(self, mixed_architecture,
+                                                 thread_pool, monkeypatch):
+        def doomed_worker(slice_index):
+            raise RuntimeError("injected total pool fault")
+
+        monkeypatch.setattr(shard_module, "_route_slice_worker", doomed_worker)
+        circuit = random_layered_circuit(16, 8, seed=7)
+        config = MapperConfig.sharded(workers=2, shard_min_slice=12)
+        result = _map(mixed_architecture, circuit, config)
+        assert len(result.shard_stats["slice_failures"]) \
+            == result.shard_stats["num_slices"]
+        result.verify_complete()
+        assert_stream_valid(result, mixed_architecture)
+
+
+class TestShardConfig:
+    def test_sharded_classmethod(self):
+        config = MapperConfig.sharded(workers=3, shard_min_slice=10)
+        assert config.shard_routing is True
+        assert config.shard_workers == 3
+        assert config.shard_min_slice == 10
+
+    def test_resolved_shard_max_slice(self):
+        assert MapperConfig(shard_min_slice=10).resolved_shard_max_slice == 40
+        assert MapperConfig(shard_min_slice=10,
+                            shard_max_slice=15).resolved_shard_max_slice == 15
+
+    @pytest.mark.parametrize("kwargs", (
+        {"shard_workers": 0},
+        {"shard_min_slice": 0},
+        {"shard_min_slice": 10, "shard_max_slice": 5},
+        {"shard_max_cut_qubits": -1},
+    ))
+    def test_invalid_shard_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            MapperConfig(**kwargs)
+
+    def test_replay_validator_flags_corrupt_stream(self, mixed_architecture):
+        """The validity replayer must actually catch broken streams."""
+        from dataclasses import replace
+
+        from repro.mapping import CircuitGateOp
+
+        circuit = random_layered_circuit(16, 6, seed=7)
+        result = _map(mixed_architecture, circuit, MapperConfig())
+        assert validate_stream(result, mixed_architecture) == []
+        for index, op in enumerate(result.operations):
+            if isinstance(op, CircuitGateOp) and len(op.atoms) == 2:
+                corrupted = replace(
+                    op, atoms=(op.atoms[1], op.atoms[0]), sites=op.sites)
+                result.operations[index] = corrupted
+                break
+        assert validate_stream(result, mixed_architecture) != []

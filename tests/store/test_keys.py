@@ -71,7 +71,10 @@ class TestConfigFingerprint:
         base = MapperConfig()
         for override in ({"alpha_gate": 2.0}, {"lookahead_depth": 2},
                          {"cross_round_cache": False}, {"history_window": 5},
-                         {"use_commutation": False}, {"stall_threshold": 7}):
+                         {"use_commutation": False}, {"stall_threshold": 7},
+                         {"shard_routing": True}, {"shard_workers": 3},
+                         {"shard_min_slice": 12}, {"shard_max_slice": 96},
+                         {"shard_max_cut_qubits": 6}):
             assert base.with_overrides(**override).fingerprint() != \
                 base.fingerprint(), override
 
