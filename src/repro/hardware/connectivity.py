@@ -108,6 +108,10 @@ class SiteConnectivity:
         # single BFS on first use (see hop_row) and reused forever after.
         self._hop_rows: List[Optional[List[int]]] = [None] * self.num_sites
 
+        # Lazy per-site interaction neighbourhoods as sorted int64 arrays,
+        # for the vectorised chain kernel (numpy only).
+        self._interaction_arrays: List = [None] * self.num_sites
+
     # ------------------------------------------------------------------
     # Adjacency queries
     # ------------------------------------------------------------------
@@ -122,6 +126,22 @@ class SiteConnectivity:
     def interaction_set(self, site: int) -> FrozenSet[int]:
         """The interaction neighbourhood of ``site`` as a frozenset."""
         return self._interaction_sets[site]
+
+    def interaction_array(self, site: int):
+        """The interaction neighbourhood of ``site`` as a sorted int64 array.
+
+        Lazily built from the neighbour tuple (which the topology emits in
+        ascending site order — the scan order of ``sites_within``) and cached
+        forever; returned by reference, callers must not mutate it.  Used by
+        the vectorised chain kernel for batched occupancy gathers.  Requires
+        numpy.
+        """
+        array = self._interaction_arrays[site]
+        if array is None:
+            array = _np.asarray(self._interaction_neighbours[site],
+                                dtype=_np.int64)
+            self._interaction_arrays[site] = array
+        return array
 
     def adjacency_row(self, site: int) -> bytearray:
         """Dense boolean adjacency row of ``site`` (index by partner site).

@@ -152,6 +152,45 @@ class Topology:
         """Protocol alias of :meth:`sites_within`."""
         return self.sites_within(site, radius)
 
+    def rectangular_row_array(self, site: int):
+        """:meth:`rectangular_row` as a cached float64 numpy array.
+
+        Values are taken verbatim from the scalar row (bit-identical,
+        including zoned travel penalties via the subclass override), so
+        vectorised argmin/argsort selections over the array reproduce the
+        scalar comparisons exactly.  Returned by reference; callers must
+        not mutate it.  Requires numpy (the chain kernel is gated on it).
+        """
+        cache = getattr(self, "_rect_row_arrays", None)
+        if cache is None:
+            cache = {}
+            self._rect_row_arrays = cache
+        array = cache.get(site)
+        if array is None:
+            array = _np.asarray(self.rectangular_row(site), dtype=_np.float64)
+            cache[site] = array
+        return array
+
+    def sites_within_array(self, site: int, radius: float):
+        """:meth:`sites_within` as a cached int64 numpy array.
+
+        The scan order of :meth:`sites_within` is ascending site index, so
+        first-occurrence argmin over this array matches the scalar
+        ``min(..., key=(value, site))`` tie-break.  Returned by reference;
+        callers must not mutate it.  Requires numpy.
+        """
+        cache = getattr(self, "_sites_within_arrays", None)
+        if cache is None:
+            cache = {}
+            self._sites_within_arrays = cache
+        key = (site, radius)
+        array = cache.get(key)
+        if array is None:
+            array = _np.asarray(self.sites_within(site, radius),
+                                dtype=_np.int64)
+            cache[key] = array
+        return array
+
     def __len__(self) -> int:
         return self.num_sites
 
@@ -288,7 +327,15 @@ class GridTopology(Topology):
                 f"dx={self.spacing_x} um, dy={self.spacing_y} um)")
 
     def cache_key(self) -> Tuple:
-        return (self.kind, self.rows, self.cols, self.spacing_x, self.spacing_y)
+        kind = self.kind
+        if kind == "rectangular" and self.spacing_x == self.spacing_y:
+            # An isotropic rectangular grid is physically a square lattice:
+            # fold the family name so the two spellings of one device share
+            # cache/store identities.  Anisotropic grids keep their own kind
+            # (and both pitches are part of the key, so two grids sharing
+            # only a minimum spacing never collide).
+            kind = "square"
+        return (kind, self.rows, self.cols, self.spacing_x, self.spacing_y)
 
     # ------------------------------------------------------------------
     # Index <-> geometry conversions
@@ -853,6 +900,14 @@ def build_topology(kind: str, rows: int, *, cols: Optional[int] = None,
     constant per crossed corridor for zoned layouts.
     """
     lowered = kind.lower()
+    if lowered != "zoned" and (zone_layout is not None
+                               or corridor_transit_um is not None):
+        # Dropping these silently would let two unequal parameter sets build
+        # the same physical device (and a corridor sweep report constant
+        # results); unzoned families reject them instead.
+        raise ValueError(
+            f"topology {lowered!r} has no zones; zone_layout and "
+            f"corridor_transit_um apply to topology='zoned' only")
     if lowered in ("square", "zoned") and spacing_y is not None \
             and spacing_y != spacing:
         # Silently ignoring the pitch would let two unequal specs describe

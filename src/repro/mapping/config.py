@@ -45,6 +45,15 @@ class MapperConfig:
         bit-identical either way (enforced by the differential harness under
         ``tests/differential/``); ``False`` selects the from-scratch
         reference path the harness compares against.
+    chain_kernel:
+        Whether chain construction may use the vectorised candidate kernel
+        (numpy gathers over the interaction zone with argmin/stable-argsort
+        selection) instead of the scalar set loops.  The emitted operation
+        stream is bit-identical either way — the kernel replicates the
+        scalar tie-break order exactly and euclidean terms stay scalar
+        (``math.hypot`` parity, the PR 3 precedent) — and the kernel-on/off
+        axis of ``tests/differential/`` enforces it.  Ignored (scalar path)
+        when numpy is unavailable.
     stall_threshold:
         Number of consecutive routing operations without executing a gate
         after which the mapper switches to deterministic fallback routing.
@@ -94,6 +103,7 @@ class MapperConfig:
     history_window: int = 4
     use_commutation: bool = True
     cross_round_cache: bool = True
+    chain_kernel: bool = True
     stall_threshold: Optional[int] = None
     max_routing_steps: Optional[int] = None
     shard_routing: bool = False
@@ -118,7 +128,8 @@ class MapperConfig:
             value = getattr(self, name)
             if value is not None:
                 object.__setattr__(self, name, int(value))
-        for name in ("use_commutation", "cross_round_cache", "shard_routing"):
+        for name in ("use_commutation", "cross_round_cache", "chain_kernel",
+                     "shard_routing"):
             object.__setattr__(self, name, bool(getattr(self, name)))
         if self.alpha_gate < 0 or self.alpha_shuttling < 0:
             raise ValueError("alpha weights must be non-negative")
@@ -223,7 +234,10 @@ class MapperConfig:
         # fingerprint shifted; the schema tag makes the break explicit (and
         # repro 1.3.0 rides along so store keys of both components move
         # together — see repro/_version.py).
-        return "mapper-config/v2|" + "|".join(parts)
+        # v3: chain_kernel joined the field set.  Fingerprints shift (cached
+        # store entries recompile once) but op streams do not — the kernel is
+        # bit-identical by contract, so repro._version and the goldens stay.
+        return "mapper-config/v3|" + "|".join(parts)
 
     def fingerprint(self) -> str:
         """SHA-256 of :meth:`canonical_key` — the config component of

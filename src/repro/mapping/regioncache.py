@@ -12,7 +12,7 @@ Each round, however, mutates only a handful of sites (the sources and
 destinations of one applied move chain, or nothing at all when a SWAP was
 chosen), so the verdicts and chains of gates whose inspected lattice region
 is effectively unchanged can simply be replayed.  :class:`CrossRoundCache`
-implements exactly that, with two invalidation levels:
+implements exactly that, with three invalidation levels:
 
 * **Region stamps** (decisions, fast path): a decision inspects only the
   gate-qubit sites and the free-trap count inside each site's interaction
@@ -21,15 +21,25 @@ implements exactly that, with two invalidation levels:
   else is immutable site geometry).  While
   :meth:`~repro.mapping.state.MappingState.neighbourhoods_unchanged_since`
   holds — an O(1) stamp read per gate qubit — the cached verdict replays.
-* **Read values** (fallback): a stamped-out region does not mean the
-  *result* changed.  The decision entry keeps the per-anchor free counts it
-  was computed from and revalidates by recomputing them (one C-level set
-  intersection per anchor); the chain entry keeps the exact occupancy
-  values the construction read — which sites it saw occupied, which free
-  (:class:`ChainReads`, recorded by ``ShuttlingRouter._build_chain``), and
-  which blocking atoms it inspected — and revalidates with two C-level set
-  comparisons against the live occupancy.  A site that changed and changed
-  back, or a move that never intersects a gate's reads, costs no rebuild.
+* **Change journal** (chains, fast path): each chain entry remembers the
+  occupancy epoch it was last validated at; the state's occupancy-change
+  journal (:meth:`~repro.mapping.state.MappingState.changed_sites_since`)
+  names the few sites mutated since.  If none of them land in the entry's
+  recorded footprint the entry replays with O(changes) membership probes —
+  no set algebra over the region at all.  (Atoms never trade sites — SWAPs
+  reassign qubits, only moves change occupancy — so an occupancy-untouched
+  site also pins the atom identity read there.)
+* **Read values** (fallback): a touched region does not mean the *result*
+  changed.  The decision entry keeps the per-anchor free counts it was
+  computed from and revalidates by recomputing them (one C-level set
+  intersection per anchor); the chain entry keeps a **free-site-aware
+  encoding** of what the construction read — the region it scanned and the
+  free subset it observed inside it (:class:`ChainReads`, recorded by
+  ``ShuttlingRouter._build_chain``) — and revalidates with a single
+  intersection against the live free-site set: on a dense lattice the free
+  set is the small side, so the check is cheap exactly where chains are
+  most valuable.  A site that changed and changed back, or a move that
+  never intersects a gate's reads, costs no rebuild.
 
 Chain entries are additionally keyed on the current ``(atom, site)`` of
 each gate qubit: cached chains embed atom identities, which SWAP gates
@@ -45,7 +55,7 @@ path on every change.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, TYPE_CHECKING
 
 from ..shuttling.moves import MoveChain
 from .state import MappingState
@@ -56,23 +66,47 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 __all__ = ["ChainReads", "CrossRoundCache"]
 
+#: Journal scan budget of the back-off expiry check: one quiet probe per
+#: cooldown period covers up to this many journal entries (a 64-round
+#: cooldown churning ~4 sites per round stays within it).
+_QUIET_SCAN_LIMIT = 256
+
 
 class ChainReads:
-    """Exact record of the occupancy values one chain construction read.
+    """Free-site-aware record of the occupancy values one construction read.
 
-    ``occupied`` / ``free`` hold the sites the construction saw in that
-    state on the *live* lattice (the chain's own simulated moves are
-    excluded by the recorder — their effect is a deterministic consequence
-    of earlier reads); ``atom_reads`` maps inspected blocking-atom sites to
-    the atom found there (``None`` for an empty trap).
+    During recording, ``occupied`` / ``free`` partition the scanned sites by
+    the state the construction saw on the *live* lattice (the chain's own
+    simulated moves are excluded by the recorder — their effect is a
+    deterministic consequence of earlier reads); ``atom_reads`` maps
+    inspected blocking-atom sites to the atom found there (``None`` for an
+    empty trap).
+
+    :meth:`seal` compacts that into the validation encoding — ``region``
+    (every scanned site) and ``free_sub`` (the free subset observed inside
+    it) — under which "every read still holds" collapses to one set
+    intersection::
+
+        region & free_now == free_sub
+
+    which is equivalent to the exact per-read predicate (``occupied`` and
+    ``free`` partition ``region``, so the intersection pins both sides) but
+    intersects against the *free* set — the small side on a dense lattice.
+    ``footprint`` additionally covers the atom-read sites so the change
+    journal can clear the whole entry with membership probes alone.
     """
 
-    __slots__ = ("occupied", "free", "atom_reads")
+    __slots__ = ("occupied", "free", "atom_reads", "_pending", "region",
+                 "free_sub", "footprint")
 
     def __init__(self) -> None:
         self.occupied: Set[int] = set()
         self.free: Set[int] = set()
         self.atom_reads: Dict[int, Optional[int]] = {}
+        self._pending: List = []
+        self.region: Optional[FrozenSet[int]] = None
+        self.free_sub: Optional[FrozenSet[int]] = None
+        self.footprint: Optional[FrozenSet[int]] = None
 
     def record_batch(self, batch, occupied_now: Set[int],
                      delta: Optional[Set[int]]) -> None:
@@ -88,13 +122,56 @@ class ChainReads:
         seen_occupied = batch & occupied_now
         self.occupied |= seen_occupied
         self.free |= batch - seen_occupied
+        self.region = None
+
+    def record_region(self, sites) -> None:
+        """Record an occupancy scan of every site in the set-like ``sites``
+        against the *live* state, deferring the value partition to
+        :meth:`seal`.
+
+        The live state never mutates during one construction, so the values
+        read now equal the values at seal time — recording is one reference
+        append (the kernel passes the topology's cached frozensets), with
+        all set algebra paid once at store time instead of per scan.
+        """
+        self._pending.append(sites)
+        self.region = None
+
+    def seal(self, state: MappingState) -> "ChainReads":
+        """Freeze the recorded reads into the validation encoding.
+
+        Must be called in the same routing round as the recording (the
+        deferred :meth:`record_region` partitions against the live
+        occupancy here).
+        """
+        region = self.occupied | self.free
+        for sites in self._pending:
+            region |= sites
+        # record_batch values match the live state (its delta exclusion
+        # guarantees it), so one intersection partitions everything.
+        frozen = frozenset(region)
+        self.region = frozen
+        self.free_sub = frozenset(frozen & state.free_sites())
+        if all(site in frozen for site in self.atom_reads):
+            self.footprint = frozen
+        else:
+            self.footprint = frozen | frozenset(self.atom_reads)
+        return self
 
     def still_valid(self, state: MappingState) -> bool:
         """True if every recorded read would produce the same value now."""
-        occupied_now = state.occupied_sites()
-        if not self.occupied <= occupied_now:
-            return False
-        if not self.free.isdisjoint(occupied_now):
+        if self.region is None:
+            if self._pending:
+                # Unsealed deferred reads cannot be validated against a
+                # possibly-changed state; force a rebuild (never replays
+                # stale — this path does not occur in the cache flow, which
+                # always seals at store time).
+                return False
+            if not self.occupied <= state.occupied_sites():
+                return False
+            if not self.free.isdisjoint(state.occupied_sites()):
+                return False
+        elif self.region & state.free_sites() != self.free_sub:
             return False
         atom_at_site = state.atom_at_site
         for site, atom in self.atom_reads.items():
@@ -118,15 +195,22 @@ class CrossRoundCache:
         # gate_index -> [sites, stamp epoch, per-anchor free counts, decision];
         # a list so revalidation can advance the epoch in place.
         self._decisions: Dict[int, List] = {}
-        # gate_index -> ((atom, site) pairs, recorded reads, chains)
-        self._chains: Dict[int, Tuple[Tuple[Tuple[int, int], ...], ChainReads,
-                                      List[MoveChain]]] = {}
+        # gate_index -> [(atom, site) pairs, sealed reads, chains, epoch];
+        # a list so a validated probe can re-arm the epoch in place, keeping
+        # the journal slice of the next probe short.
+        self._chains: Dict[int, List] = {}
         # Adaptive back-off: gates whose entries keep getting invalidated
         # (their reads sit in a churning part of the lattice) stop paying
         # the recording overhead for a few rounds.  gate_index -> current
         # invalidation streak / remaining rounds without recording.
         self._chain_invalidations: Dict[int, int] = {}
         self._chain_cooldown: Dict[int, int] = {}
+        # Back-off recovery: gate_index -> (footprint of the invalidated
+        # entry, epoch the cooldown was armed at).  A footprint left
+        # untouched for the whole cooldown clears the invalidation streak at
+        # expiry, so a region that merely churned early is not penalised
+        # forever.
+        self._chain_quiet: Dict[int, Tuple] = {}
         self._state: Optional[MappingState] = None
         self.decision_hits = 0
         self.decision_misses = 0
@@ -142,6 +226,7 @@ class CrossRoundCache:
         self._chains.clear()
         self._chain_invalidations.clear()
         self._chain_cooldown.clear()
+        self._chain_quiet.clear()
         self._state = state
 
     def stats(self) -> Dict[str, int]:
@@ -213,28 +298,36 @@ class CrossRoundCache:
 
         Returns ``(chains, None)`` on a hit — valid iff every gate qubit
         still has the same ``(atom, site)`` pair as at store time and every
-        occupancy value the construction read still holds
-        (:meth:`ChainReads.still_valid`); the stored list is returned by
+        occupancy value the construction read still holds (checked via the
+        change journal when it covers the entry's epoch, else via
+        :meth:`ChainReads.still_valid`); the stored list is returned by
         reference, neither it nor the chains are mutated downstream.
 
         On a miss, returns ``(None, reads)`` where ``reads`` is a fresh
         recorder the construction should fill for :meth:`store_chains`, or
         ``(None, None)`` while the gate is backing off: gates whose entries
         keep getting invalidated skip the recording overhead for
-        exponentially growing stretches, probing occasionally in case their
-        region quietens down.
+        exponentially growing (but capped) stretches.  Every cooldown
+        expires into a fresh recording probe, and the expiry runs one
+        journal check: a footprint untouched for the whole cooldown clears
+        the invalidation streak — a region that stopped churning recovers
+        fully instead of being penalised forever, at the cost of a single
+        bounded scan per back-off period rather than per probe.
         """
         entry = self._chains.get(gate_index)
         if entry is not None and state is self._state:
-            key, reads, chains = entry
+            key, reads, chains, epoch = entry
             atom_of_qubit = state.atom_of_qubit
             site_of_atom = state.site_of_atom
             for qubit, (atom, site) in zip(gate.qubits, key):
                 if atom_of_qubit(qubit) != atom or site_of_atom(atom) != site:
-                    self._note_chain_invalidation(gate_index)
+                    self._note_chain_invalidation(state, gate_index, reads)
                     break
             else:
-                if reads.still_valid(state):
+                untouched = state.region_untouched_since(reads.footprint, epoch)
+                valid = untouched is True or reads.still_valid(state)
+                if valid:
+                    entry[3] = state.occupancy_epoch
                     # Decrement (rather than clear) the streak: gates that
                     # alternate hits and invalidations hover around
                     # break-even, so they should drift into back-off too.
@@ -243,23 +336,41 @@ class CrossRoundCache:
                         self._chain_invalidations[gate_index] = streak - 1
                     self.chain_hits += 1
                     return chains, None
-                self._note_chain_invalidation(gate_index)
+                self._note_chain_invalidation(state, gate_index, reads)
         else:
             self.chain_misses += 1
         cooldown = self._chain_cooldown.get(gate_index, 0)
-        if cooldown > 0:
-            self._chain_cooldown[gate_index] = cooldown - 1
-            return None, None
+        if cooldown:
+            if cooldown > 1:
+                self._chain_cooldown[gate_index] = cooldown - 1
+                return None, None
+            # Expiry probe: recording resumes unconditionally; the streak is
+            # cleared too when the invalidated footprint stayed untouched
+            # for the whole cooldown (the region settled), otherwise it
+            # persists and the next invalidation re-arms a longer cooldown.
+            del self._chain_cooldown[gate_index]
+            quiet = self._chain_quiet.pop(gate_index, None)
+            if quiet is not None and state.region_untouched_since(
+                    quiet[0], quiet[1], scan_limit=_QUIET_SCAN_LIMIT) is True:
+                self._chain_invalidations.pop(gate_index, None)
         return None, ChainReads()
 
-    def _note_chain_invalidation(self, gate_index: int) -> None:
+    def _note_chain_invalidation(self, state: MappingState, gate_index: int,
+                                 reads: ChainReads) -> None:
         """Count a stored-entry invalidation and arm the back-off."""
         self.chain_misses += 1
         del self._chains[gate_index]
         streak = self._chain_invalidations.get(gate_index, 0) + 1
         self._chain_invalidations[gate_index] = streak
         if streak >= 2:
-            self._chain_cooldown[gate_index] = min(4 ** (streak - 1), 256)
+            # The cap bounds the recovery latency: even a gate that churned
+            # for a long stretch gets a fresh recording probe within 64
+            # rounds of the churn stopping, and the expiry check above
+            # clears the streak as soon as a whole cooldown passes quietly.
+            self._chain_cooldown[gate_index] = min(4 ** (streak - 1), 64)
+            # Stored entries are always sealed, so the footprint is set.
+            self._chain_quiet[gate_index] = (reads.footprint,
+                                             state.occupancy_epoch)
 
     def store_chains(self, state: MappingState, gate: "Gate", gate_index: int,
                      chains: List[MoveChain],
@@ -274,4 +385,5 @@ class CrossRoundCache:
             return
         key = tuple((state.atom_of_qubit(q), state.site_of_qubit(q))
                     for q in gate.qubits)
-        self._chains[gate_index] = (key, reads, chains)
+        self._chains[gate_index] = [key, reads.seal(state), chains,
+                                    state.occupancy_epoch]

@@ -52,6 +52,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy-less fallback environments
+    _np = None
+
 from ..circuit.gate import Gate
 from ..hardware.architecture import NeutralAtomArchitecture
 from ..shuttling.aod import _ordering_preserved
@@ -86,7 +91,8 @@ class ShuttlingRouter:
 
     def __init__(self, architecture: NeutralAtomArchitecture, *,
                  lookahead_weight: float = 0.1, time_weight: float = 0.1,
-                 history_window: int = 4, incremental: bool = True) -> None:
+                 history_window: int = 4, incremental: bool = True,
+                 chain_kernel: bool = True) -> None:
         if lookahead_weight < 0 or time_weight < 0:
             raise ValueError("cost weights must be non-negative")
         if history_window < 0:
@@ -96,6 +102,14 @@ class ShuttlingRouter:
         self.time_weight = time_weight
         self.history_window = history_window
         self.incremental = incremental
+        # Vectorised chain-construction kernel (``MapperConfig.chain_kernel``):
+        # candidate zones are scored as numpy gathers with argmin /
+        # stable-argsort selection replicating the scalar ``(value, site)``
+        # tie-breaks exactly, so emitted op streams are byte-identical
+        # either way (enforced by the kernel axis of ``tests/differential``).
+        # Scalar loops remain both the fallback (no numpy) and the
+        # differential reference.
+        self._kernel = bool(chain_kernel) and _np is not None
         # Zone capability of the trap topology: on zoned devices anchors
         # stranded in storage zones are relocated into an entangling zone
         # first, and pooled moves carry the corridor-penalised travel
@@ -105,6 +119,18 @@ class ShuttlingRouter:
         self._zone_aware = not topology.all_sites_entangling
         self._has_travel_penalty = topology.has_travel_penalties
         self._gate_capable_cache: Optional[frozenset] = None
+        self._gate_capable_array = None
+        # Per-round construction memos.  best_chain scores every candidate
+        # chain against one frozen occupancy (moves are applied only after
+        # selection), so sub-results that are pure functions of the
+        # occupancy — the free candidates of an anchor's interaction zone,
+        # the nearest free site of a move-away origin — are shared across
+        # all of the round's constructions and dropped on the first
+        # construction after any occupancy change.
+        self._round_state: Optional[MappingState] = None
+        self._round_epoch = -1
+        self._round_free_zone: Dict[int, object] = {}
+        self._round_nearest: Dict[int, Tuple[Optional[int], int]] = {}
         self._recent_moves: List[Move] = []
         # move_time_penalty depends only on the move and the recent-move
         # history; memoised per move identity until the history changes.
@@ -142,6 +168,19 @@ class ShuttlingRouter:
         self._distance_parts.clear()
         self._prev_front_entries.clear()
         self._prev_lookahead_entries.clear()
+        self._round_state = None
+        self._round_epoch = -1
+        self._round_free_zone.clear()
+        self._round_nearest.clear()
+
+    def _sync_round(self, state: MappingState) -> None:
+        """Invalidate the per-round memos after any occupancy change."""
+        if state is not self._round_state \
+                or state.occupancy_epoch != self._round_epoch:
+            self._round_state = state
+            self._round_epoch = state.occupancy_epoch
+            self._round_free_zone.clear()
+            self._round_nearest.clear()
 
     def note_moves_applied(self, moves: Sequence[Move]) -> None:
         """Record executed moves for the parallelism term of the cost function."""
@@ -194,8 +233,19 @@ class ShuttlingRouter:
                     chain.validate(max_gate_width=gate.num_qubits,
                                    extra_moves=1 if relocated else 0)
                 chains.append(chain)
-        chains.sort(key=len)
-        if chains:
+        # One chain per anchor: two-qubit gates (the hot path) yield at most
+        # two, ordered and filtered without the sort/listcomp churn; wider
+        # gates keep the generic walk.  Both match ``sort(key=len)`` (it is
+        # stable) followed by the shortest+1 length filter.
+        if len(chains) == 2:
+            first, second = len(chains[0].moves), len(chains[1].moves)
+            if first > second:
+                chains.reverse()
+                first, second = second, first
+            if second > first + 1:
+                del chains[1]
+        elif len(chains) > 2:
+            chains.sort(key=len)
             shortest = len(chains[0])
             chains = [chain for chain in chains if len(chain) <= shortest + 1]
         if cache is not None:
@@ -229,6 +279,9 @@ class ShuttlingRouter:
             if (not self._zone_aware
                     or self.architecture.is_entangling_site(
                         state.site_of_qubit(anchor))):
+                if self._kernel:
+                    return self._build_chain_2q_kernel(state, gate, anchor,
+                                                       gate_index, reads)
                 return self._build_chain_2q(state, gate, anchor, gate_index, reads)
         return self._build_chain_generic(state, gate, anchor, gate_index, reads)
 
@@ -417,6 +470,91 @@ class ShuttlingRouter:
             return MoveChain(moves=[move_away, direct], gate_index=gate_index)
         return None
 
+    def _build_chain_2q_kernel(self, state: MappingState, gate: Gate,
+                               anchor: int, gate_index: int,
+                               reads: Optional[ChainReads]
+                               ) -> Optional[MoveChain]:
+        """Vectorised twin of :meth:`_build_chain_2q` (numpy candidate batch).
+
+        The whole candidate set is gathered through index arrays — the
+        anchor's interaction zone (cached sorted array), the moving qubit's
+        travel-distance row (cached float64 array) and the incremental
+        free-site mask — and the destination is selected with one argmin.
+        Bit-identity with the scalar loop holds because:
+
+        * the zone array is sorted ascending, so the *first* minimum
+          ``argmin`` returns is the smallest site — exactly the scalar
+          ``min(..., key=(row[site], site))`` tie-break;
+        * the row array holds the scalar rows' floats verbatim (no
+          recomputation, so no accumulation-order drift — the PR 3
+          euclidean pitfall cannot occur);
+        * the move-away order is a stable argsort over the same values,
+          matching ``sorted(zone, key=(row[site], site))``.
+
+        Occupancy reads are recorded by reference
+        (:meth:`ChainReads.record_region`): the zone frozenset is the
+        topology's cached object, so recording costs one append.
+        """
+        connectivity = state.connectivity
+        lattice = self.architecture.lattice
+        anchor_site = state.site_of_qubit(anchor)
+        qubit = gate.qubits[1] if gate.qubits[0] == anchor else gate.qubits[0]
+        current_site = state.site_of_qubit(qubit)
+        if connectivity.are_adjacent(current_site, anchor_site):
+            return None
+
+        # The neighbour table never contains its own site, and are_adjacent
+        # ruled out current_site, so the interaction set equals the scalar
+        # path's ``difference((current_site, anchor_site))`` without a copy.
+        if reads is not None:
+            reads.record_region(connectivity.interaction_set(anchor_site))
+        zone = connectivity.interaction_array(anchor_site)
+        if not zone.size:
+            return None
+
+        row = lattice.rectangular_row_array(current_site)
+        # ndarray methods throughout: the np.* free functions route through
+        # python dispatch (numpy's _wrapfunc), which dominates on zones this
+        # small.  The free candidates of a zone depend only on the
+        # occupancy, so they are shared across the round's constructions
+        # (both gate sites are occupied, hence never among them).
+        self._sync_round(state)
+        candidates = self._round_free_zone.get(anchor_site)
+        if candidates is None:
+            candidates = zone[state.free_mask[zone].nonzero()[0]]
+            self._round_free_zone[anchor_site] = candidates
+        if candidates.size:
+            destination = int(candidates[row[candidates].argmin()])
+            move = self._pooled_move(state.atom_of_qubit(qubit), current_site,
+                                     destination, lattice, is_move_away=False)
+            return MoveChain(moves=[move], gate_index=gate_index)
+
+        # No free site in the zone (the zone already excludes both gate
+        # sites, so every member is a blocking atom): free one with a
+        # move-away first.
+        order = row[zone].argsort(kind="stable")
+        occupied = state.occupied_sites()
+        forbidden = {anchor_site, current_site}
+        for index in order:
+            blocked = int(zone[index])
+            blocking_atom = state.atom_at_site(blocked)
+            if reads is not None:
+                reads.atom_reads[blocked] = blocking_atom
+            if blocking_atom is None:
+                continue
+            away_destination = self._nearest_free_site(
+                state, connectivity, lattice, blocked, occupied,
+                forbidden=forbidden, reads=reads, delta=None)
+            if away_destination is None:
+                continue
+            move_away = self._pooled_move(blocking_atom, blocked,
+                                          away_destination, lattice,
+                                          is_move_away=True)
+            direct = self._pooled_move(state.atom_of_qubit(qubit), current_site,
+                                       blocked, lattice, is_move_away=False)
+            return MoveChain(moves=[move_away, direct], gate_index=gate_index)
+        return None
+
     @staticmethod
     def _site_fits(connectivity, site: int, kept_sites: Sequence[int]) -> bool:
         """True if ``site`` interacts with every already-kept site."""
@@ -462,20 +600,37 @@ class ShuttlingRouter:
         are live.
         """
         candidates = self._gate_capable_sites(state.connectivity)
-        if reads is not None:
-            reads.record_batch(candidates, state.occupied_sites(), None)
-        free = candidates & state.free_sites()
-        if not free:
-            return None
         lattice = self.architecture.topology
-        row = lattice.rectangular_row(anchor_site)
-        destination = min(free, key=lambda site: (row[site], site))
+        if self._kernel:
+            # Relocation is always the chain's first move, so the scan runs
+            # against the live occupancy: one masked gather over the cached
+            # sorted candidate array replaces the set intersection, with the
+            # ascending order making argmin the scalar (row, site) tie-break.
+            if reads is not None:
+                reads.record_region(candidates)
+            array = self._gate_capable_array
+            if array is None:
+                array = _np.fromiter(sorted(candidates), dtype=_np.int64,
+                                     count=len(candidates))
+                self._gate_capable_array = array
+            free = array[state.free_mask[array].nonzero()[0]]
+            if not free.size:
+                return None
+            row = lattice.rectangular_row_array(anchor_site)
+            destination = int(free[row[free].argmin()])
+        else:
+            if reads is not None:
+                reads.record_batch(candidates, state.occupied_sites(), None)
+            free = candidates & state.free_sites()
+            if not free:
+                return None
+            row = lattice.rectangular_row(anchor_site)
+            destination = min(free, key=lambda site: (row[site], site))
         return self._pooled_move(state.atom_of_qubit(anchor), anchor_site,
                                  destination, lattice, is_move_away=False)
 
-    @staticmethod
-    def _nearest_free_site(state: MappingState, connectivity, lattice, origin: int,
-                           occupied: Set[int], forbidden: Set[int],
+    def _nearest_free_site(self, state: MappingState, connectivity, lattice,
+                           origin: int, occupied: Set[int], forbidden: Set[int],
                            max_radius: int = 4,
                            reads: Optional[ChainReads] = None,
                            delta: Optional[Set[int]] = None) -> Optional[int]:
@@ -484,11 +639,67 @@ class ShuttlingRouter:
         Scanned ring sites are recorded in ``reads`` (occupancy reads); an
         unscanned larger ring cannot influence the result, so recording only
         the scanned rings keeps the cache's invalidation reads exact.
+
+        Against the live occupancy the kernel path scans each disc as one
+        masked gather (the disc arrays are sorted ascending, so argmin
+        reproduces the scalar ``(row[site], site)`` tie-break) and records
+        the scanned disc by reference; a construction-local simulated
+        occupancy (``occupied`` is a copy, ``delta`` non-empty) takes the
+        scalar path, whose reads the recorder partitions eagerly.
         """
+        live = occupied is state.occupied_sites()
+        if self._kernel and live:
+            free_mask = state.free_mask
+            spacing = lattice.spacing
+            # Every live call site passes the gate sites as ``forbidden``
+            # and those host the gate atoms, so the forbidden sites are
+            # occupied and can never appear among the free candidates: the
+            # result is a pure function of (origin, occupancy), shared
+            # across the round's constructions.  A free forbidden site
+            # (defensive; no current caller produces one) bypasses the memo
+            # and filters explicitly.
+            memoisable = not any(free_mask[site] for site in forbidden)
+            if memoisable:
+                self._sync_round(state)
+                cached = self._round_nearest.get(origin)
+                if cached is not None:
+                    best, scanned_radius = cached
+                    if reads is not None:
+                        reads.record_region(lattice.sites_within_set(
+                            origin, scanned_radius * spacing + _EPSILON))
+                    return best
+            origin_row = lattice.rectangular_row_array(origin)
+            best = None
+            scanned_radius = max_radius
+            for radius in range(1, max_radius + 1):
+                disc = lattice.sites_within_array(
+                    origin, radius * spacing + _EPSILON)
+                if not disc.size:
+                    continue
+                candidates = disc[free_mask[disc].nonzero()[0]]
+                if candidates.size and not memoisable:
+                    keep = _np.ones(candidates.size, dtype=bool)
+                    for site in forbidden:
+                        keep &= candidates != site
+                    candidates = candidates[keep]
+                if candidates.size:
+                    best = int(candidates[origin_row[candidates].argmin()])
+                    scanned_radius = radius
+                    break
+            if memoisable:
+                self._round_nearest[origin] = (best, scanned_radius)
+            if reads is not None:
+                # Each scan covers the whole disc, so recording the largest
+                # scanned disc once captures every occupancy read; the
+                # frozenset is the topology's cached object (deferred
+                # partition — live reads only on this path).
+                reads.record_region(lattice.sites_within_set(
+                    origin, scanned_radius * spacing + _EPSILON))
+            return best
+
         best = None
         origin_row = lattice.rectangular_row(origin)
-        live_free = (state.free_sites()
-                     if occupied is state.occupied_sites() else None)
+        live_free = state.free_sites() if live else None
         scanned_radius = max_radius
         for radius in range(1, max_radius + 1):
             disc = lattice.sites_within_set(origin, radius * lattice.spacing + _EPSILON)
@@ -588,6 +799,70 @@ class ShuttlingRouter:
             if term:
                 penalty += term
         return penalty
+
+    def _batch_time_penalties(self, chains_by_node: Sequence) -> None:
+        """Vectorised twin of :meth:`move_time_penalty` for one round.
+
+        Pre-fills ``_penalty_cache`` for every distinct candidate move of
+        the round in one numpy batch instead of one scalar history walk per
+        move.  Bit-identity with :meth:`_compute_time_penalty` holds
+        because every elementwise operation mirrors the scalar term
+        exactly: the compatibility predicate and the row/column checks are
+        boolean, the durations compose left-to-right in the scalar
+        evaluation order, ``rectangular_distance`` is gathered from the
+        move objects (never recomputed), and the history accumulates in
+        order with ``x + 0.0 == x`` covering the scalar zero-term skip.
+        """
+        recents = self._recent_moves
+        cache = self._penalty_cache
+        batch: Dict[Tuple[int, int, int], Move] = {}
+        for _node, chains in chains_by_node:
+            for chain in chains:
+                for move in chain:
+                    key = (move.atom, move.source, move.destination)
+                    if key not in cache and key not in batch:
+                        batch[key] = move
+        if not batch:
+            return
+        moves = list(batch.values())
+        atom = _np.array([m.atom for m in moves], dtype=_np.int64)
+        src = _np.array([m.source for m in moves], dtype=_np.int64)
+        dst = _np.array([m.destination for m in moves], dtype=_np.int64)
+        sx = _np.array([m.source_position[0] for m in moves])
+        sy = _np.array([m.source_position[1] for m in moves])
+        ex = _np.array([m.destination_position[0] for m in moves])
+        ey = _np.array([m.destination_position[1] for m in moves])
+        full = _np.array([m.rectangular_distance for m in moves])
+        durations = self.architecture.durations
+        activation = durations.aod_activation
+        deactivation = durations.aod_deactivation
+        # Scalar order: (activation + distance / speed) + deactivation.
+        full = (activation + full / self.architecture.shuttling_speed) \
+            + deactivation
+        shared = activation + deactivation
+        penalty = _np.zeros(len(moves))
+        for recent in recents:
+            r_sx, r_sy = recent.source_position
+            r_ex, r_ey = recent.destination_position
+            sdx = sx - r_sx
+            sdy = sy - r_sy
+            edx = ex - r_ex
+            edy = ey - r_ey
+            near_sx = abs(sdx) < _EPSILON
+            near_sy = abs(sdy) < _EPSILON
+            ordering = ((near_sx | (abs(edx) < _EPSILON)
+                         | ((sdx > 0) == (edx > 0)))
+                        & (near_sy | (abs(edy) < _EPSILON)
+                           | ((sdy > 0) == (edy > 0))))
+            compatible = ((atom != recent.atom)
+                          & (dst != recent.destination)
+                          & (dst != recent.source)
+                          & (src != recent.destination)
+                          & ordering)
+            penalty += _np.where(compatible, 0.0,
+                                 _np.where(near_sy | near_sx, shared, full))
+        for index, key in enumerate(batch):
+            cache[key] = float(penalty[index])
 
     def _pair_penalty_term(self, move: Move, recent: Move) -> float:
         """``C_t_parallel`` contribution of ``move`` against one recent move.
@@ -819,7 +1094,6 @@ class ShuttlingRouter:
         same physical move appears in many candidate chains within one
         round) only avoid recomputation.
         """
-        best: Optional[_ChainProposal] = None
         if self.incremental:
             front_index = build_qubit_node_index(front_nodes)
             lookahead_index = build_qubit_node_index(lookahead_nodes)
@@ -830,16 +1104,43 @@ class ShuttlingRouter:
         else:
             front_index = lookahead_index = change_cache = None
             front_partners = lookahead_partners = distance_groups = None
-        for node in front_nodes:
-            for chain in self.candidate_chains(state, node):
-                cost = self.chain_cost(state, chain, front_nodes, lookahead_nodes,
-                                       front_index, lookahead_index, change_cache,
-                                       front_partners, lookahead_partners,
-                                       distance_groups)
-                proposal = _ChainProposal(chain=chain, gate_index=node.index, cost=cost)
-                if best is None or (proposal.cost, len(proposal.chain)) < (best.cost, len(best.chain)):
-                    best = proposal
-        return best.chain if best is not None else None
+        # Construction first, scoring second: the state is frozen across the
+        # round, so gathering every candidate chain up front lets the kernel
+        # pre-fill the per-move time penalties as one numpy batch.  Node and
+        # chain order are unchanged, so the (cost, length) running minimum
+        # selects exactly the chain the interleaved walk selected.
+        chains_by_node = [(node, self.candidate_chains(state, node))
+                          for node in front_nodes]
+        if self.incremental and self._kernel and self._recent_moves:
+            self._batch_time_penalties(chains_by_node)
+        best_chain: Optional[MoveChain] = None
+        best_rank: Optional[Tuple[float, int]] = None
+        for node, chains in chains_by_node:
+            for chain in chains:
+                moves = chain.moves
+                contribution = None
+                if change_cache is not None and len(moves) == 1:
+                    move = moves[0]
+                    contribution = change_cache.get(
+                        (move.atom, move.source, move.destination))
+                if contribution is not None:
+                    # Single-move chain with a memoised contribution — the
+                    # dominant case once the round's caches are warm.  The
+                    # sum mirrors chain_cost exactly: ``0.0 + c`` equals
+                    # ``c + 0.0`` bit-for-bit, so the fast path never
+                    # changes a cost.
+                    cost = contribution + 0.25 * chain.num_move_aways
+                else:
+                    cost = self.chain_cost(state, chain, front_nodes,
+                                           lookahead_nodes, front_index,
+                                           lookahead_index, change_cache,
+                                           front_partners, lookahead_partners,
+                                           distance_groups)
+                rank = (cost, len(moves))
+                if best_rank is None or rank < best_rank:
+                    best_chain = chain
+                    best_rank = rank
+        return best_chain
 
     # ------------------------------------------------------------------
     # Deterministic fallback

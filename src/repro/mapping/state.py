@@ -18,6 +18,11 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy-less fallback environments
+    _np = None
+
 from ..circuit.gate import Gate
 from ..hardware.architecture import NeutralAtomArchitecture
 from ..hardware.connectivity import SiteConnectivity
@@ -27,6 +32,12 @@ __all__ = ["MappingState"]
 
 _UNOCCUPIED = -1
 _UNASSIGNED = -1
+
+#: Maximum number of sites kept in the occupancy-change journal (two per
+#: move).  Once exceeded, the older half is dropped and
+#: :meth:`MappingState.changed_sites_since` answers ``None`` for epochs
+#: before the truncation point (callers fall back to a full validation).
+_JOURNAL_LIMIT = 1024
 
 
 class MappingState:
@@ -99,6 +110,23 @@ class MappingState:
         self._occupancy_epoch = 0
         self._neigh_stamp: List[int] = [0] * self.num_sites
 
+        # Occupancy-change journal: two site indices appended per move
+        # (source, destination), with ``_journal_floor`` the epoch at which
+        # the journal starts.  Lets region caches ask "which sites changed
+        # since epoch e" in O(changes) instead of O(region); bounded by
+        # truncating the older half past ``_JOURNAL_LIMIT``.
+        self._journal: List[int] = []
+        self._journal_floor = 0
+
+        # Vectorised free-site mask (1 = free), maintained alongside the
+        # incremental sets when numpy is available.  Used by the chain
+        # kernel for batched free/occupied gathers.
+        if _np is not None:
+            self._free_mask = _np.ones(self.num_sites, dtype=_np.uint8)
+            self._free_mask[initial_sites] = 0
+        else:
+            self._free_mask = None
+
         # Qubit mapping f_q: circuit qubit -> atom, and the inverse.
         if initial_qubit_map is None:
             initial_qubit_map = list(range(num_circuit_qubits))
@@ -167,6 +195,50 @@ class MappingState:
     def occupancy_epoch(self) -> int:
         """Monotonic counter of occupancy mutations (one tick per move)."""
         return self._occupancy_epoch
+
+    @property
+    def free_mask(self):
+        """Vectorised free-site mask (uint8, 1 = free), or ``None`` without numpy.
+
+        Maintained incrementally by :meth:`move_atom`; callers must treat it
+        as read-only.
+        """
+        return self._free_mask
+
+    def changed_sites_since(self, epoch: int) -> Optional[List[int]]:
+        """Sites whose occupancy changed after ``epoch`` (may repeat), oldest first.
+
+        Returns ``None`` when the journal has been truncated past ``epoch``
+        (callers must fall back to a full validation).  An up-to-date epoch
+        yields the empty list.
+        """
+        if epoch < self._journal_floor:
+            return None
+        start = (epoch - self._journal_floor) * 2
+        return self._journal[start:]
+
+    def region_untouched_since(self, region, epoch: int,
+                               scan_limit: int = 64) -> Optional[bool]:
+        """Whether no site of ``region`` changed occupancy after ``epoch``.
+
+        Scans the change journal in place (no slice copy): ``True`` /
+        ``False`` when the journal covers ``epoch`` and the answer is
+        decided within ``scan_limit`` membership probes, ``None`` when the
+        journal was truncated past ``epoch`` or the scan would exceed the
+        limit — callers fall back to a full value validation, so the check
+        is O(recent changes) with a hard ceiling.
+        """
+        if epoch < self._journal_floor:
+            return None
+        journal = self._journal
+        start = (epoch - self._journal_floor) * 2
+        end = len(journal)
+        if end - start > scan_limit:
+            return None
+        for index in range(start, end):
+            if journal[index] in region:
+                return False
+        return True
 
     def neighbourhoods_unchanged_since(self, sites: Iterable[int], epoch: int) -> bool:
         """True if the closed interaction neighbourhood of every given site is
@@ -328,6 +400,17 @@ class MappingState:
         self._occupied.add(destination)
         self._free.discard(destination)
         self._free.add(source)
+        if self._free_mask is not None:
+            self._free_mask[source] = 1
+            self._free_mask[destination] = 0
+        journal = self._journal
+        journal.append(source)
+        journal.append(destination)
+        if len(journal) > _JOURNAL_LIMIT:
+            drop = len(journal) // 2
+            drop -= drop % 2
+            del journal[:drop]
+            self._journal_floor += drop // 2
         self.num_moves_applied += 1
         # Stamp every site whose interaction neighbourhood the mutation
         # belongs to (adjacency is symmetric), so region caches can
@@ -386,6 +469,10 @@ class MappingState:
             raise AssertionError("incremental occupied-site set drifted from the maps")
         if self._free != set(range(self.num_sites)) - rebuilt_occupied:
             raise AssertionError("incremental free-site set drifted from the maps")
+        if self._free_mask is not None:
+            mask_free = {site for site in range(self.num_sites) if self._free_mask[site]}
+            if mask_free != self._free:
+                raise AssertionError("free-site mask drifted from the incremental sets")
         for qubit, atom in enumerate(self._qubit_to_atom):
             if self._atom_to_qubit[atom] != qubit:
                 raise AssertionError(f"qubit {qubit} / atom {atom} maps are inconsistent")

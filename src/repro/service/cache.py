@@ -112,8 +112,28 @@ class ArchitectureSpec:
             value = getattr(self, name)
             if value is not None:
                 object.__setattr__(self, name, float(value))
+        if self.spacing_y is not None and self.spacing_y == self.spacing:
+            # A spelled-out isotropic pitch is the same device as leaving
+            # ``spacing_y`` unset; keep one spec identity for it.  (Distinct
+            # anisotropic grids keep both pitches in the identity — sharing
+            # a *minimum* spacing never makes two specs collide.)
+            object.__setattr__(self, "spacing_y", None)
+        if self.topology == "rectangular" and self.spacing_y is None:
+            # An isotropic rectangular grid is physically a square lattice;
+            # fold the spelling so both resolve to one cache entry and one
+            # store key (the topology cache_key applies the same fold for
+            # direct build_topology callers).
+            object.__setattr__(self, "topology", "square")
         if self.hardware == "zoned" and self.topology == "square":
             object.__setattr__(self, "topology", "zoned")
+        if self.topology != "zoned" and (self.zone_layout is not None
+                                         or self.corridor_transit_um is not None):
+            # build_topology used to drop these silently for unzoned
+            # families, letting unequal specs describe one physical device
+            # (duplicate heavyweight cache entries, misleading sweeps).
+            raise ValueError(
+                f"topology {self.topology!r} has no zones; zone_layout and "
+                f"corridor_transit_um apply to topology='zoned' only")
         if self.zone_layout is not None:
             # Normalise to nested tuples so equal layouts hash equally even
             # when callers pass lists.

@@ -1,0 +1,146 @@
+"""Differential harness: vectorised chain kernel vs scalar reference path.
+
+The chain-construction kernel (``MapperConfig.chain_kernel``) promises a
+**byte-identical** operation stream: every argmin / stable-argsort
+tie-break must resolve exactly as the scalar loops it replaces.  This
+harness locks that contract down on *hostile spacings* — lattice constants
+whose float expansions accumulate differently under vectorised evaluation
+(the PR 3 pitfall axis) — across the kernel-on/off x cache-on/off grid.
+
+On a mismatch the test appends to ``kernel-digest-diff.json`` (working
+directory) so the CI differential job can upload the divergence as an
+artifact.  The same tests run in the no-numpy CI leg, where
+``chain_kernel=True`` degrades to the scalar path and the grid collapses
+to the cache axis — keeping the fallback continuously covered.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.circuit import decompose_mcx_to_mcz
+from repro.circuit.library import get_benchmark
+from repro.circuit.library.random_circuits import random_layered_circuit
+from repro.hardware import SiteConnectivity
+from repro.mapping import HybridMapper, MapperConfig
+from repro.mapping.shuttling_router import _np
+from repro.workloads import build_scaled_architecture
+
+DIFF_PATH = Path("kernel-digest-diff.json")
+
+#: Lattice constants with inexact binary expansions: scaled coordinates and
+#: travel distances hit the float-accumulation corners where a reordered
+#: vector reduction would first diverge from the scalar loops.
+HOSTILE_SPACINGS = (0.3, 1.1)
+
+#: (chain_kernel, cross_round_cache) variants compared against the
+#: all-scalar, cache-off reference.
+GRID = ((True, True), (True, False), (False, True))
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_diff_file():
+    """Drop stale divergence records so the artifact reflects this run only."""
+    if DIFF_PATH.exists():
+        DIFF_PATH.unlink()
+
+
+def _record_diff(case: str, expected: str, actual: str) -> None:
+    """Append one divergence to the diff artifact (for the CI upload)."""
+    existing = []
+    if DIFF_PATH.exists():
+        try:
+            existing = json.loads(DIFF_PATH.read_text())
+        except ValueError:
+            existing = []
+    existing.append({"case": case, "expected": expected, "actual": actual})
+    DIFF_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+
+
+def assert_kernel_grid_identical(circuit, architecture, connectivity,
+                                 case: str) -> None:
+    """Map under every grid variant and require byte-identical output."""
+    reference = HybridMapper(
+        architecture,
+        MapperConfig.hybrid(1.0).with_overrides(chain_kernel=False,
+                                                cross_round_cache=False),
+        connectivity=connectivity).map(circuit)
+    reference_bytes = "\n".join(reference.op_stream_lines()).encode()
+    for chain_kernel, cross_round_cache in GRID:
+        config = MapperConfig.hybrid(1.0).with_overrides(
+            chain_kernel=chain_kernel, cross_round_cache=cross_round_cache)
+        result = HybridMapper(architecture, config,
+                              connectivity=connectivity).map(circuit)
+        variant = f"{case}/kernel={chain_kernel}/cache={cross_round_cache}"
+        if result.op_stream_digest() != reference.op_stream_digest():
+            _record_diff(variant, reference.op_stream_digest(),
+                         result.op_stream_digest())
+        assert "\n".join(result.op_stream_lines()).encode() \
+            == reference_bytes, variant
+        assert result.op_stream_digest() == reference.op_stream_digest(), (
+            f"op stream of {variant} diverged from the scalar reference "
+            f"(see {DIFF_PATH})")
+        assert result.operations == reference.operations
+        assert result.final_qubit_map == reference.final_qubit_map
+        assert result.final_atom_map == reference.final_atom_map
+
+
+class TestKernelDifferentialHostileSpacings:
+    @pytest.mark.parametrize("hardware", ("gate", "mixed", "shuttling"))
+    @pytest.mark.parametrize("spacing", HOSTILE_SPACINGS)
+    def test_layered_stream_identical(self, hardware, spacing):
+        architecture = build_scaled_architecture(hardware, 0.12,
+                                                 spacing=spacing)
+        connectivity = SiteConnectivity(architecture)
+        circuit = random_layered_circuit(16, 6, seed=7)
+        assert_kernel_grid_identical(
+            circuit, architecture, connectivity,
+            f"layered/{hardware}/spacing={spacing}")
+
+    @pytest.mark.parametrize("spacing", HOSTILE_SPACINGS)
+    def test_qft_stream_identical(self, spacing):
+        architecture = build_scaled_architecture("mixed", 0.12,
+                                                 spacing=spacing)
+        connectivity = SiteConnectivity(architecture)
+        circuit = decompose_mcx_to_mcz(
+            get_benchmark("qft", num_qubits=14, seed=2024))
+        assert_kernel_grid_identical(circuit, architecture, connectivity,
+                                     f"qft/mixed/spacing={spacing}")
+
+    def test_anisotropic_rectangular_stream_identical(self):
+        """Distinct per-axis hostile pitches stress the x/y travel terms
+        separately — the axis where a fused vector expression would first
+        drift from the scalar two-step composition."""
+        from repro.hardware.presets import preset
+        reference = build_scaled_architecture("mixed", 0.12, spacing=0.3)
+        architecture = preset("mixed", lattice_rows=reference.lattice.rows,
+                              spacing=0.3, num_atoms=reference.num_atoms,
+                              topology="rectangular", spacing_y=0.7)
+        connectivity = SiteConnectivity(architecture)
+        circuit = random_layered_circuit(16, 6, seed=1234)
+        assert_kernel_grid_identical(circuit, architecture, connectivity,
+                                     "layered/rectangular/0.3x0.7")
+
+
+class TestKernelActuallyEngages:
+    """Guard against the kernel silently never firing (dead-code equivalence)."""
+
+    @pytest.mark.skipif(_np is None, reason="scalar-fallback environment")
+    def test_kernel_enabled_on_default_config(self):
+        architecture = build_scaled_architecture("shuttling", 0.12,
+                                                 spacing=0.3)
+        mapper = HybridMapper(architecture, MapperConfig.hybrid(1.0),
+                              connectivity=SiteConnectivity(architecture))
+        assert mapper.shuttling_router._kernel
+
+    def test_kernel_flag_off_disables_kernel(self):
+        architecture = build_scaled_architecture("shuttling", 0.12,
+                                                 spacing=0.3)
+        mapper = HybridMapper(
+            architecture,
+            MapperConfig.hybrid(1.0).with_overrides(chain_kernel=False),
+            connectivity=SiteConnectivity(architecture))
+        assert not mapper.shuttling_router._kernel

@@ -198,6 +198,67 @@ class TestChainCache:
         assert cache._chain_cooldown.get(node.index, 0) > 0
         assert cache.stats()["chain_hits"] == 0
 
+    def _churn_until_backoff(self, router, state, cache, node):
+        """Invalidate the node's entry until the back-off arms, then stop
+        mutating.  Returns the spare atoms not yet consumed by the churn."""
+        spares = [atom for atom in range(state.num_atoms)
+                  if state.qubit_of_atom(atom) is None]
+        for spare in spares[:2]:
+            chains = router.candidate_chains(state, node)
+            destination = next(
+                move.destination for move in reversed(chains[0].moves)
+                if state.site_is_free(move.destination))
+            state.move_atom(spare, destination)
+        # Third probe sees the second invalidation and arms the cooldown.
+        router.candidate_chains(state, node)
+        assert cache._chain_cooldown.get(node.index, 0) > 0
+        assert cache._chain_invalidations.get(node.index, 0) >= 2
+        assert node.index not in cache._chains
+        return spares[2:]
+
+    def test_backoff_recovers_after_quiet_stretch(self, small_architecture,
+                                                  state, cache):
+        """Churn-then-quiet: a region that stops churning serves hits again
+        once the cooldown expires, with the invalidation streak cleared."""
+        router = self._router(small_architecture, cache)
+        node = self._node(0, 11)
+        self._churn_until_backoff(router, state, cache, node)
+        # Quiet probes burn down the cooldown without recording or storing.
+        while cache._chain_cooldown.get(node.index, 0) > 1:
+            router.candidate_chains(state, node)
+            assert node.index not in cache._chains
+        # Expiry probe: the footprint stayed untouched for the whole
+        # cooldown, so the streak clears and recording resumes.
+        router.candidate_chains(state, node)
+        assert node.index not in cache._chain_cooldown
+        assert node.index not in cache._chain_invalidations
+        assert node.index in cache._chains
+        # The re-stored entry replays — and matches a fresh construction.
+        replayed = router.candidate_chains(state, node)
+        assert cache.stats()["chain_hits"] == 1
+        reference = ShuttlingRouter(small_architecture).candidate_chains(
+            state, node)
+        assert [chain.moves for chain in replayed] == \
+            [chain.moves for chain in reference]
+
+    def test_backoff_expiry_keeps_streak_when_region_still_churns(
+            self, small_architecture, state, cache):
+        """Recording always resumes at expiry, but a footprint touched
+        during the cooldown keeps the streak, so the next invalidation
+        re-arms a longer cooldown."""
+        router = self._router(small_architecture, cache)
+        node = self._node(0, 11)
+        spares = self._churn_until_backoff(router, state, cache, node)
+        streak = cache._chain_invalidations[node.index]
+        # Touch the invalidated entry's footprint mid-cooldown.
+        footprint, _ = cache._chain_quiet[node.index]
+        target = next(site for site in footprint if state.site_is_free(site))
+        state.move_atom(spares[0], target)
+        while node.index in cache._chain_cooldown:
+            router.candidate_chains(state, node)
+        assert cache._chain_invalidations.get(node.index) == streak
+        assert node.index in cache._chains  # recording resumed regardless
+
 
 class TestChainReads:
     def test_record_batch_partitions_by_occupancy(self, state):

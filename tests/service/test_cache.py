@@ -74,6 +74,48 @@ class TestTopologyIdentityInCacheKey:
         assert architecture.topology.cols == 12
         assert architecture.topology.spacing_y == 2.0
 
+    def test_isotropic_spellings_of_one_grid_share_one_entry(self):
+        # spacing_y equal to spacing, and topology="rectangular" without
+        # anisotropy, are alternate spellings of the plain square lattice;
+        # all three must normalise to one spec, one cache entry and one
+        # store key.
+        plain = ArchitectureSpec("mixed", lattice_rows=9, num_atoms=30)
+        spelled = ArchitectureSpec("mixed", lattice_rows=9, num_atoms=30,
+                                   spacing_y=3.0)
+        rect = ArchitectureSpec("mixed", lattice_rows=9, num_atoms=30,
+                                topology="rectangular", spacing_y=3.0)
+        assert plain == spelled == rect
+        assert plain.topology == rect.topology == "square"
+        assert plain.store_key() == rect.store_key()
+        cache = ArchitectureCache()
+        first, _ = cache.get(plain)
+        second, _ = cache.get(rect)
+        assert first is second and len(cache) == 1
+
+    def test_anisotropic_grids_sharing_min_spacing_never_collide(self):
+        # Both grids have min(spacing_x, spacing_y) == 2.0; folding the pair
+        # into a single spacing would collide them.
+        tall = ArchitectureSpec("mixed", lattice_rows=9, num_atoms=30,
+                                topology="rectangular", spacing=2.0,
+                                spacing_y=3.0)
+        wide = ArchitectureSpec("mixed", lattice_rows=9, num_atoms=30,
+                                topology="rectangular", spacing=3.0,
+                                spacing_y=2.0)
+        assert tall != wide
+        assert tall.store_key() != wide.store_key()
+        assert tall.build().lattice.cache_key() != wide.build().lattice.cache_key()
+
+    def test_zoned_only_params_rejected_on_unzoned_topologies(self):
+        # build_topology used to drop these silently, letting two unequal
+        # specs build one physical device.
+        with pytest.raises(ValueError, match="no zones"):
+            ArchitectureSpec("mixed", lattice_rows=9, num_atoms=30,
+                             zone_layout=(("storage", 3), ("entangling", 6)))
+        with pytest.raises(ValueError, match="no zones"):
+            ArchitectureSpec("mixed", lattice_rows=9, num_atoms=30,
+                             topology="rectangular", spacing_y=2.0,
+                             corridor_transit_um=9.0)
+
     def test_zoned_preset_spec_normalises_topology(self):
         # hardware="zoned" with the default topology and an explicit
         # topology="zoned" are the same device; they must hash equally.

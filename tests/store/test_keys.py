@@ -70,7 +70,8 @@ class TestConfigFingerprint:
     def test_any_field_changes_fingerprint(self):
         base = MapperConfig()
         for override in ({"alpha_gate": 2.0}, {"lookahead_depth": 2},
-                         {"cross_round_cache": False}, {"history_window": 5},
+                         {"cross_round_cache": False}, {"chain_kernel": False},
+                         {"history_window": 5},
                          {"use_commutation": False}, {"stall_threshold": 7},
                          {"shard_routing": True}, {"shard_workers": 3},
                          {"shard_min_slice": 12}, {"shard_max_slice": 96},
@@ -206,6 +207,20 @@ print(key.digest())
         return [spec.store_key(), config.fingerprint(),
                 circuit.canonical_digest(), key.digest()]
 
+    ANISOTROPY_SCRIPT = """
+from repro.service import ArchitectureSpec
+
+tall = ArchitectureSpec("mixed", lattice_rows=9, num_atoms=30,
+                        topology="rectangular", spacing=2.0, spacing_y=3.0)
+wide = ArchitectureSpec("mixed", lattice_rows=9, num_atoms=30,
+                        topology="rectangular", spacing=3.0, spacing_y=2.0)
+iso = ArchitectureSpec("mixed", lattice_rows=9, num_atoms=30,
+                       topology="rectangular", spacing_y=3.0)
+print(tall.store_key())
+print(wide.store_key())
+print(iso.store_key())
+"""
+
     @pytest.mark.parametrize("hash_seed", ["0", "4242"])
     def test_subprocess_reproduces_every_component(self, hash_seed):
         env = dict(os.environ)
@@ -216,3 +231,26 @@ print(key.digest())
                               timeout=120)
         assert proc.returncode == 0, proc.stderr
         assert proc.stdout.strip().splitlines() == self._compute_here()
+
+    def test_subprocess_keeps_anisotropic_grids_distinct(self):
+        """Regression: two anisotropic grids sharing only their *minimum*
+        spacing must map to distinct store keys — and the keys must match
+        across processes, so the distinction is value-derived, not an
+        accident of object identity."""
+        from repro.service import ArchitectureSpec
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        env["PYTHONHASHSEED"] = "4242"
+        proc = subprocess.run([sys.executable, "-c", self.ANISOTROPY_SCRIPT],
+                              capture_output=True, text=True, env=env,
+                              timeout=120)
+        assert proc.returncode == 0, proc.stderr
+        tall_key, wide_key, iso_key = proc.stdout.strip().splitlines()
+        assert tall_key != wide_key
+        local = ArchitectureSpec("mixed", lattice_rows=9, num_atoms=30,
+                                 topology="rectangular", spacing=2.0,
+                                 spacing_y=3.0)
+        assert local.store_key() == tall_key
+        # The isotropic spelling folds to the plain square-lattice device.
+        square = ArchitectureSpec("mixed", lattice_rows=9, num_atoms=30)
+        assert square.store_key() == iso_key
