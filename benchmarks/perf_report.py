@@ -42,9 +42,18 @@ recorded from PR 1 onward (schema ``repro-bench-scaling/v1``):
           "hardware": "mixed", "circuit": "qft", "mode": "hybrid",
           "scale": 0.3, "num_qubits": 60, "available_cpus": 1,
           "shard_workers": 1, "scheduler": "chained", "num_slices": 28,
+          "seed_snapshots": true, "hierarchical_partition": true,
           "serial_seconds": 3.2, "sharded_seconds": 0.61,
           "shard_speedup": 5.2, "shard_overhead_pct": -80.6,
-          "serial_moves": 493, "sharded_moves": 651
+          "serial_moves": 493, "sharded_moves": 651,
+          "peak_rss_mb": 182.4,         // ru_maxrss high-water after the case
+          "speculative_seam_probe": {   // seeded-vs-unseeded seam quality
+            "pool_kind": "thread", "shard_workers": 2,
+            "unseeded": { "seam_gate_ratio": 0.95, "seam_gates": 1734 },
+            "seeded":   { "seam_gate_ratio": 0.39, "seam_gates": 711,
+                          "seeded_hit_ratio": 0.61, "repair_moves": 399 },
+            "seam_ratio_drop": 2.44
+          }
           // plus "cpu_caveat" on single-core hosts: the chained scheduler's
           // speedup is real but the speculative multi-core figure is not
           // measurable there
@@ -91,6 +100,11 @@ import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+try:  # POSIX-only; absent on some platforms
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    _resource = None
+
 if __package__:
     from .common import (PAPER_SIZES, bench_spec, build_circuit,
                          config_for_mode, scaled_size)
@@ -115,6 +129,24 @@ def _architecture(hardware: str, scale: float, topology: str = "square"):
     return ARCHITECTURE_CACHE.get(bench_spec(hardware, scale, topology))
 
 
+def peak_rss_mb() -> Optional[float]:
+    """Process-wide peak resident set size in MiB.
+
+    ``ru_maxrss`` is a monotone high-water mark over the whole process
+    lifetime (kibibytes on Linux, bytes on macOS), so a case records the
+    peak *after* it ran — an upper bound on its own footprint, and across a
+    whole report the field shows which case pushed the mark up.  ``None``
+    where the ``resource`` module is unavailable; consumers (including
+    ``_preserved_cases``) must tolerate cases lacking the field, which also
+    keeps reports recorded before the field existed loadable.
+    """
+    if _resource is None:  # pragma: no cover - non-POSIX fallback
+        return None
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    divisor = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    return round(peak / divisor, 1)
+
+
 def run_case(hardware: str, circuit_name: str, mode: str, scale: float,
              *, alpha: float = 1.0, topology: str = "square") -> Dict:
     """Run one benchmark configuration and return its report case."""
@@ -135,6 +167,7 @@ def run_case(hardware: str, circuit_name: str, mode: str, scale: float,
         "topology": architecture.topology.kind,
         "cross_round_cache": config.cross_round_cache,
         "chain_kernel": config.chain_kernel,
+        "shard_routing": config.shard_routing,
         "scale": scale,
         "num_qubits": scaled_size(circuit_name, scale),
         "available_cpus": os.cpu_count(),
@@ -149,21 +182,73 @@ def run_case(hardware: str, circuit_name: str, mode: str, scale: float,
         "delta_cz": metrics.delta_cz,
         "delta_t_us": round(metrics.delta_t_us, 2),
     }
+    rss = peak_rss_mb()
+    if rss is not None:
+        case["peak_rss_mb"] = rss
     caveat = cpu_caveat(case)
     if caveat:
         case["cpu_caveat"] = caveat
     return case
 
 
+def _speculative_seam_probe(architecture, connectivity, circuit,
+                            base_config, alpha_ratio) -> Dict:
+    """Seeded-vs-unseeded seam quality of the speculative scheduler.
+
+    Runs the speculative stitcher twice over a thread pool (two workers —
+    the stream is worker-count and pool-kind independent, and threads keep
+    the probe meaningful on 1-CPU hosts where the default shard case falls
+    back to the chained scheduler): once with ``seed_snapshots=False`` (the
+    PR 7 stitching: every slice replays against the drifted merged state)
+    and once with ``seed_snapshots=True`` (forecast-seeded workers plus the
+    repair pass).  Records ``seam_gates`` / ``seam_gate_ratio`` for both so
+    the before/after of predictive seeding is committed evidence, not a
+    claim.
+    """
+    import repro.mapping.shard as shard_module
+
+    probe: Dict[str, object] = {"pool_kind": "thread", "shard_workers": 2}
+    previous = shard_module._POOL_KIND
+    shard_module._POOL_KIND = "thread"
+    try:
+        for label, seeded in (("unseeded", False), ("seeded", True)):
+            config = base_config.with_overrides(
+                shard_routing=True, shard_workers=2, seed_snapshots=seeded)
+            context = compile_circuit(circuit, architecture, config,
+                                      connectivity=connectivity,
+                                      alpha_ratio=alpha_ratio)
+            stats = context.require_result().shard_stats
+            probe[label] = {
+                "seed_snapshots": seeded,
+                "seam_gates": stats.get("seam_gates", 0),
+                "seam_gate_ratio": stats.get("seam_gate_ratio", 0.0),
+                "seeded_hit_ratio": stats.get("seeded_hit_ratio", 0.0),
+                "repair_moves": stats.get("repair_moves", 0),
+                "num_moves": context.require_result().num_moves,
+            }
+    finally:
+        shard_module._POOL_KIND = previous
+    unseeded = probe["unseeded"]["seam_gate_ratio"]  # type: ignore[index]
+    seeded = probe["seeded"]["seam_gate_ratio"]  # type: ignore[index]
+    probe["seam_ratio_drop"] = (round(unseeded / seeded, 2)
+                                if seeded > 0 else None)
+    return probe
+
+
 def run_shard_case(hardware: str, circuit_name: str, mode: str, scale: float,
                    *, alpha: float = 1.0, topology: str = "square",
-                   workers: Optional[int] = None) -> Dict:
+                   workers: Optional[int] = None,
+                   seam_probe: bool = True) -> Dict:
     """Route one circuit serially and sharded; record the comparison.
 
     ``workers=None`` auto-sizes: ``min(available_cpus, 4)`` on a multi-core
     host (speculative scheduler, real parallelism), ``1`` on a single core
     (chained scheduler — exact, no seams, and still typically *faster* than
     serial because each slice is a much smaller routing subproblem).
+
+    With ``seam_probe`` the case additionally records the speculative
+    scheduler's seeded-vs-unseeded seam quality
+    (:func:`_speculative_seam_probe`) — two extra sharded compiles.
     """
     architecture, connectivity = _architecture(hardware, scale, topology)
     circuit = build_circuit(circuit_name, scale)
@@ -200,6 +285,8 @@ def run_shard_case(hardware: str, circuit_name: str, mode: str, scale: float,
         "available_cpus": cpus,
         "shard_workers": workers,
         "scheduler": shard_stats.get("scheduler", "serial-fallback"),
+        "seed_snapshots": sharded_config.seed_snapshots,
+        "hierarchical_partition": sharded_config.hierarchical_partition,
         "num_slices": shard_stats.get("num_slices", 1),
         "serial_seconds": round(serial_wall, 4),
         "sharded_seconds": round(sharded_wall, 4),
@@ -214,6 +301,12 @@ def run_shard_case(hardware: str, circuit_name: str, mode: str, scale: float,
         "serial_delta_cz": serial.require_metrics().delta_cz,
         "sharded_delta_cz": sharded.require_metrics().delta_cz,
     }
+    if seam_probe:
+        case["speculative_seam_probe"] = _speculative_seam_probe(
+            architecture, connectivity, circuit, serial_config, alpha_ratio)
+    rss = peak_rss_mb()
+    if rss is not None:
+        case["peak_rss_mb"] = rss
     caveat = cpu_caveat(case)
     if caveat:
         case["cpu_caveat"] = caveat
@@ -276,6 +369,9 @@ def run_batch_case(scale: float, num_workers: int,
         "throughput_speedup": round(speedup, 2),
         "num_failures": failures,
     }
+    rss = peak_rss_mb()
+    if rss is not None:
+        case["peak_rss_mb"] = rss
     caveat = cpu_caveat(case)
     if caveat:
         case["cpu_caveat"] = caveat
@@ -406,11 +502,18 @@ def cpu_caveat(case: Dict) -> Optional[str]:
                     f"(ROADMAP caveat)")
         return None
     if kind == "single":
-        if cpus < 2:
+        # Only a case that actually ran with sharded routing can be starved
+        # of the speculative scheduler's parallelism; a plain serial compile
+        # carries no multi-core claim to caveat.
+        if cpus < 2 and case.get("shard_routing"):
             return (f"only {cpus} CPU(s) available — intra-circuit sharded "
                     f"routing (shard_routing=True, speculative scheduler) "
                     f"cannot show a multi-core speedup on this host "
                     f"(ROADMAP caveat)")
+        return None
+    if kind != "batch_throughput":
+        # Serving cases measure requests/sec against a latency budget, not
+        # a speedup over a serial reference — no multi-core claim to hedge.
         return None
     workers = case.get("num_workers") or 1
     if cpus < max(2, workers):
@@ -490,6 +593,13 @@ def _print_case(case: Dict) -> None:
               f"speedup={case['shard_speedup']:4.2f}x "
               f"moves={case['serial_moves']}->{case['sharded_moves']} "
               f"swaps={case['serial_swaps']}->{case['sharded_swaps']}")
+        probe = case.get("speculative_seam_probe")
+        if probe:
+            print(f"            seam (speculative, thread x2): "
+                  f"unseeded={probe['unseeded']['seam_gate_ratio']:.4f} "
+                  f"seeded={probe['seeded']['seam_gate_ratio']:.4f} "
+                  f"drop={probe['seam_ratio_drop']}x "
+                  f"repair_moves={probe['seeded']['repair_moves']}")
         caveat = cpu_caveat(case)
         if caveat:
             print(f"            note: {caveat}")

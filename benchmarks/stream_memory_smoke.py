@@ -1,0 +1,138 @@
+"""Large-circuit streaming-stitcher memory smoke.
+
+Drains a 1000+-qubit synthetic circuit (at ``--scale`` 0.6, the default)
+through the speculative streaming stitcher with ``retain=False`` while an
+incremental :class:`StreamValidator` replays every yielded operation.  The
+run fails (non-zero exit) if
+
+* the stream replays illegally or is incomplete,
+* the live slice-result window exceeds the speculation bound
+  (``workers + 1``), or
+* the process peak RSS blows ``--max-rss-mb`` — the bounded-memory claim
+  the streaming stitcher exists to make.
+
+CI runs this inside the shard-differential job; the JSON summary
+(``--out``) is uploaded as an artifact so a red run ships its numbers.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/stream_memory_smoke.py \
+        --scale 0.6 --max-rss-mb 768 --out stream-memory-smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from perf_report import peak_rss_mb
+
+from repro.circuit.library.random_circuits import local_window_circuit
+from repro.hardware import SiteConnectivity
+from repro.hardware.presets import mixed
+from repro.mapping import MapperConfig, ShardedRouter, StreamValidator
+import repro.mapping.shard as shard_module
+from repro.workloads import lattice_rows_for
+
+#: Qubit count at scale 1.0; scale 0.6 lands on ~1024 qubits, the
+#: tentpole's "1000+-qubit synthetic stream" sizing.
+FULL_SCALE_QUBITS = 1707
+#: Entangling-gate budget per qubit (local-window workload density).
+GATES_PER_QUBIT = 0.6
+
+
+def run_smoke(scale: float, workers: int) -> dict:
+    num_qubits = max(256, round(FULL_SCALE_QUBITS * scale))
+    num_gates = max(128, round(num_qubits * GATES_PER_QUBIT))
+    num_atoms = num_qubits + max(64, num_qubits // 16)
+    architecture = mixed(lattice_rows=lattice_rows_for(num_atoms),
+                         num_atoms=num_atoms)
+    connectivity = SiteConnectivity(architecture)
+    circuit = local_window_circuit(num_qubits, num_gates, window=4, seed=7)
+    config = MapperConfig.sharded(workers=workers, shard_min_slice=48)
+
+    # 1-CPU CI runners: thread workers keep the speculative scheduler
+    # exercised without fork overhead (the stream is pool-kind independent).
+    shard_module._POOL_KIND = "thread"
+    router = ShardedRouter(architecture, config, connectivity=connectivity)
+    stream = router.stream(circuit, retain=False)
+    if stream is None:
+        return {"error": "circuit did not partition into multiple slices"}
+
+    validator = StreamValidator(circuit, architecture,
+                                stream.initial_qubit_map,
+                                stream.initial_atom_map,
+                                connectivity=connectivity)
+    num_ops = 0
+    for op in stream:
+        validator.check(op)
+        num_ops += 1
+    violations = validator.finish(stream.final_qubit_map,
+                                  stream.final_atom_map)
+
+    stats = stream.stats
+    return {
+        "scale": scale,
+        "num_qubits": num_qubits,
+        "num_gates": len(circuit),
+        "num_atoms": num_atoms,
+        "num_ops": num_ops,
+        "num_slices": stats["num_slices"],
+        "tree_depth": stats["tree_depth"],
+        "scheduler": stats["scheduler"],
+        "workers": workers,
+        "max_live_results": stats["max_live_results"],
+        "seeded_slices": stats["seeded_slices"],
+        "seeded_fallbacks": stats["seeded_fallbacks"],
+        "seam_gates": stats["seam_gates"],
+        "result_retained": stream.result is not None,
+        "replay_violations": violations[:10],
+        "peak_rss_mb": peak_rss_mb(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.6,
+                        help="workload scale; 0.6 = ~1024 qubits (default)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="speculative shard workers (default 2)")
+    parser.add_argument("--max-rss-mb", type=float, default=768.0,
+                        help="peak-RSS ceiling in MiB (default 768)")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON summary to this path")
+    args = parser.parse_args(argv)
+
+    summary = run_smoke(args.scale, args.workers)
+    failures = []
+    if "error" in summary:
+        failures.append(summary["error"])
+    else:
+        if summary["replay_violations"]:
+            failures.append(
+                f"stream replay violations: {summary['replay_violations']}")
+        if summary["result_retained"]:
+            failures.append("retain=False still built a MappingResult")
+        if summary["max_live_results"] > args.workers + 1:
+            failures.append(
+                f"live results {summary['max_live_results']} exceed the "
+                f"speculation window {args.workers + 1}")
+        rss = summary["peak_rss_mb"]
+        if rss is None:
+            failures.append("resource module unavailable; peak RSS unknown")
+        elif rss > args.max_rss_mb:
+            failures.append(
+                f"peak RSS {rss} MiB exceeds the {args.max_rss_mb} MiB cap")
+    summary["failures"] = failures
+
+    text = json.dumps(summary, indent=2, sort_keys=True)
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

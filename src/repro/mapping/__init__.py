@@ -15,13 +15,15 @@ from .layers import LayerManager
 from .multiqubit import GatePosition, find_gate_position
 from .partition import (
     CircuitSlice,
+    PartitionNode,
     PartitionPlan,
     crossing_counts,
     partition_circuit,
+    partition_circuit_tree,
     slice_subcircuit,
 )
 from .regioncache import CrossRoundCache
-from .replay import assert_stream_valid, validate_stream
+from .replay import StreamValidator, assert_stream_valid, validate_stream
 from .result import (
     CircuitGateOp,
     MappedOperation,
@@ -53,12 +55,15 @@ __all__ = [
     "ShuttlingRouter",
     "CrossRoundCache",
     "CircuitSlice",
+    "PartitionNode",
     "PartitionPlan",
     "ShardedRouter",
     "partition_circuit",
+    "partition_circuit_tree",
     "crossing_counts",
     "slice_subcircuit",
     "validate_stream",
+    "StreamValidator",
     "assert_stream_valid",
     "GatePosition",
     "find_gate_position",

@@ -92,6 +92,25 @@ class MapperConfig:
         Hard bound on the number of qubits crossing any slice cut; the
         partitioner extends slices rather than cut above it.  ``None``
         places cuts at the locally minimal crossing without a bound.
+    seed_snapshots:
+        Whether speculative slice workers start from a *forecast* of their
+        slice's entry mapping state (``repro.mapping.shard`` runs a cheap
+        placement simulation over the partition plan and seeds each worker
+        with the predicted qubit→site maps) instead of the initial-state
+        snapshot.  Seeded workers speculate far closer to the truth, so the
+        stitch replays more ops and seam rounds shrink to a thin repair
+        pass.  A slice whose forecast cannot be realised as a legal state
+        falls back to the initial snapshot.  Affects speculative sharded
+        streams only (``shard_routing=True`` and ``shard_workers >= 2``);
+        the default serial path is untouched.
+    hierarchical_partition:
+        Whether the partitioner recursively re-cuts oversized slices at
+        their own minimum-crossing frontiers
+        (``repro.mapping.partition.partition_circuit_tree``), producing a
+        slice tree whose every level honours ``shard_max_cut_qubits`` and
+        whose leaves stream through the stitcher in deterministic
+        left-to-right order.  ``False`` keeps the flat greedy frontier
+        sweep.  Affects sharded streams only.
     """
 
     alpha_gate: float = 1.0
@@ -111,6 +130,8 @@ class MapperConfig:
     shard_min_slice: int = 24
     shard_max_slice: Optional[int] = None
     shard_max_cut_qubits: Optional[int] = None
+    seed_snapshots: bool = True
+    hierarchical_partition: bool = True
 
     def __post_init__(self) -> None:
         # Normalise numeric field types so equal-valued configs are identical
@@ -129,7 +150,7 @@ class MapperConfig:
             if value is not None:
                 object.__setattr__(self, name, int(value))
         for name in ("use_commutation", "cross_round_cache", "chain_kernel",
-                     "shard_routing"):
+                     "shard_routing", "seed_snapshots", "hierarchical_partition"):
             object.__setattr__(self, name, bool(getattr(self, name)))
         if self.alpha_gate < 0 or self.alpha_shuttling < 0:
             raise ValueError("alpha weights must be non-negative")
@@ -237,7 +258,11 @@ class MapperConfig:
         # v3: chain_kernel joined the field set.  Fingerprints shift (cached
         # store entries recompile once) but op streams do not — the kernel is
         # bit-identical by contract, so repro._version and the goldens stay.
-        return "mapper-config/v3|" + "|".join(parts)
+        # v4: seed_snapshots / hierarchical_partition joined the field set.
+        # They only shape *sharded* streams (metrics-parity contract);
+        # shard_routing=False output is unchanged, so again only the schema
+        # tag moves — repro._version and the goldens stay.
+        return "mapper-config/v4|" + "|".join(parts)
 
     def fingerprint(self) -> str:
         """SHA-256 of :meth:`canonical_key` — the config component of

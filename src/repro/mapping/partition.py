@@ -32,17 +32,34 @@ is *extended* past the soft maximum — the cut-qubit bound is a hard
 invariant, the maximum slice size is not.  A tail shorter than ``min_slice``
 is merged into the final slice, so every slice of a multi-slice plan holds
 at least ``min_slice`` gates.
+
+Hierarchical partitioning
+-------------------------
+
+:func:`partition_circuit_tree` replaces the linear sweep with the recursive
+min-cut shape of hierarchical workload decomposition (PWDFT-SW; separable
+workflow-nets): any segment above ``max_slice`` gates is re-cut at its own
+minimum-crossing admissible frontier (ties broken towards the balanced
+midpoint, then towards the earlier position — fully deterministic), and the
+recursion continues inside both halves.  The result is a
+:class:`PartitionNode` *tree* whose every internal cut honours the hard
+``max_cut_qubits`` bound and whose leaves — read left to right — are
+exactly the plan's slices, in the deterministic order the streaming
+stitcher consumes them.  A segment with no admissible frontier stays an
+oversized leaf: as in the sweep, the cut bound is hard, the size bound is
+soft.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..circuit.circuit import QuantumCircuit
 
-__all__ = ["CircuitSlice", "PartitionPlan", "partition_circuit",
-           "crossing_counts", "slice_subcircuit"]
+__all__ = ["CircuitSlice", "PartitionNode", "PartitionPlan",
+           "partition_circuit", "partition_circuit_tree", "crossing_counts",
+           "slice_subcircuit"]
 
 
 @dataclass(frozen=True)
@@ -69,11 +86,63 @@ class CircuitSlice:
 
 
 @dataclass(frozen=True)
+class PartitionNode:
+    """One node of the hierarchical partition tree over ``gates[start:stop]``.
+
+    Internal nodes record the cut that split them (``cut`` is an absolute
+    gate-list position, ``cut_count`` its crossing count — bounded by
+    ``max_cut_qubits`` at *every* level); leaves have no children and become
+    the plan's slices.  ``height`` is 1 for a leaf and grows towards the
+    root, so the root's height is the tree depth.
+    """
+
+    start: int
+    stop: int
+    cut: Optional[int]
+    cut_count: int
+    height: int
+    children: Tuple["PartitionNode", ...] = ()
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def num_gates(self) -> int:
+        return self.stop - self.start
+
+    def leaves(self) -> Iterator["PartitionNode"]:
+        """Leaf nodes left to right — the deterministic stitch order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield node
+            else:
+                stack.extend(reversed(node.children))
+
+    def internal_nodes(self) -> Iterator["PartitionNode"]:
+        """Every non-leaf node (pre-order)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if not node.is_leaf:
+                yield node
+                stack.extend(reversed(node.children))
+
+
+@dataclass(frozen=True)
 class PartitionPlan:
-    """Ordered, disjoint, exhaustive slicing of one circuit's gate list."""
+    """Ordered, disjoint, exhaustive slicing of one circuit's gate list.
+
+    ``tree`` is the hierarchical partition tree when the plan was built by
+    :func:`partition_circuit_tree` (its left-to-right leaves are exactly
+    ``slices``), ``None`` for the flat greedy sweep.
+    """
 
     circuit: QuantumCircuit
     slices: Tuple[CircuitSlice, ...]
+    tree: Optional[PartitionNode] = field(default=None, compare=False)
 
     @property
     def num_slices(self) -> int:
@@ -83,11 +152,17 @@ class PartitionPlan:
         """Largest crossing count over all interior cuts (0 for one slice)."""
         return max((len(s.cut_qubits) for s in self.slices[1:]), default=0)
 
+    @property
+    def tree_depth(self) -> int:
+        """Depth of the partition tree (1 = unsplit root / flat plan)."""
+        return self.tree.height if self.tree is not None else 1
+
     def summary(self) -> Dict[str, object]:
         return {
             "num_slices": self.num_slices,
             "slice_sizes": [s.num_gates for s in self.slices],
             "cut_qubits": [len(s.cut_qubits) for s in self.slices[1:]],
+            "tree_depth": self.tree_depth,
         }
 
 
@@ -158,14 +233,110 @@ def partition_circuit(circuit: QuantumCircuit, *,
         cuts.append(cut)
         start = cut
 
+    return PartitionPlan(circuit=circuit,
+                         slices=_slices_for_boundaries(circuit, cuts, num_gates))
+
+
+def partition_circuit_tree(circuit: QuantumCircuit, *,
+                           min_slice: int,
+                           max_slice: Optional[int] = None,
+                           max_cut_qubits: Optional[int] = None
+                           ) -> PartitionPlan:
+    """Hierarchical (recursive min-cut) partitioning of ``circuit``.
+
+    Any segment above ``max_slice`` gates is split at its own
+    minimum-crossing admissible frontier — crossing count first, then
+    distance to the segment midpoint, then the earlier position, so the
+    tree (and therefore the leaf order) is fully deterministic.  Both
+    halves keep at least ``min_slice`` gates and the recursion continues
+    inside them; a segment with no admissible frontier stays an oversized
+    leaf (the ``max_cut_qubits`` bound is hard at every level, the size
+    bound is soft).  Parameters match :func:`partition_circuit`.
+    """
+    if min_slice < 1:
+        raise ValueError("min_slice must be at least 1")
+    if max_slice is None:
+        max_slice = 4 * min_slice
+    if max_slice < min_slice:
+        raise ValueError("max_slice cannot be below min_slice")
+    num_gates = len(circuit)
+    counts = crossing_counts(circuit)
+
+    # Iterative post-order construction (the tree can be min_slice-deep on
+    # pathological inputs, which would blow the recursion limit).
+    nodes: Dict[Tuple[int, int], PartitionNode] = {}
+    pending_cut: Dict[Tuple[int, int], int] = {}
+    stack: List[Tuple[int, int, bool]] = [(0, num_gates, False)]
+    while stack:
+        lo, hi, expanded = stack.pop()
+        if expanded:
+            cut = pending_cut.pop((lo, hi))
+            left, right = nodes.pop((lo, cut)), nodes.pop((cut, hi))
+            nodes[(lo, hi)] = PartitionNode(
+                start=lo, stop=hi, cut=cut, cut_count=counts[cut],
+                height=1 + max(left.height, right.height),
+                children=(left, right))
+            continue
+        cut = _best_tree_cut(counts, lo, hi, min_slice, max_slice,
+                             max_cut_qubits)
+        if cut is None:
+            nodes[(lo, hi)] = PartitionNode(start=lo, stop=hi, cut=None,
+                                            cut_count=0, height=1)
+        else:
+            pending_cut[(lo, hi)] = cut
+            stack.append((lo, hi, True))
+            stack.append((cut, hi, False))
+            stack.append((lo, cut, False))
+    root = nodes[(0, num_gates)]
+
+    cuts = [leaf.start for leaf in root.leaves()][1:]
+    return PartitionPlan(circuit=circuit,
+                         slices=_slices_for_boundaries(circuit, cuts,
+                                                       num_gates),
+                         tree=root)
+
+
+def _best_tree_cut(counts: Sequence[int], lo: int, hi: int,
+                   min_slice: int, max_slice: int,
+                   max_cut_qubits: Optional[int]) -> Optional[int]:
+    """Best admissible split of segment ``[lo, hi)``; ``None`` keeps it a leaf.
+
+    A segment at or below ``max_slice`` gates never splits.  Otherwise the
+    admissible range ``[lo + min_slice, hi - min_slice]`` is scanned for the
+    minimum crossing count, ties broken by distance to the segment midpoint
+    (balance) and then by the earlier position (determinism).
+    """
+    if hi - lo <= max_slice:
+        return None
+    range_lo, range_hi = lo + min_slice, hi - min_slice
+    if range_lo > range_hi:
+        return None
+    mid2 = lo + hi  # 2 * midpoint, keeps the distance tie-break integral
+    best: Optional[int] = None
+    best_key: Optional[Tuple[int, int]] = None
+    for position in range(range_lo, range_hi + 1):
+        count = counts[position]
+        if max_cut_qubits is not None and count > max_cut_qubits:
+            continue
+        key = (count, abs(2 * position - mid2))
+        if best_key is None or key < best_key:
+            best, best_key = position, key
+    return best
+
+
+def _slices_for_boundaries(circuit: QuantumCircuit, cuts: Sequence[int],
+                           num_gates: int) -> Tuple[CircuitSlice, ...]:
+    """Materialise :class:`CircuitSlice` objects for the given interior cuts."""
+    intervals = _qubit_intervals(circuit)
     slices: List[CircuitSlice] = []
-    boundaries = [0] + cuts + [num_gates]
+    boundaries = [0] + list(cuts) + [num_gates]
     for index in range(len(boundaries) - 1):
         lo, hi = boundaries[index], boundaries[index + 1]
-        cut_qubits = (_crossing_qubits(circuit, lo) if lo > 0 else ())
+        cut_qubits = (_crossing_from_intervals(intervals, lo) if lo > 0
+                      else ())
         slices.append(CircuitSlice(index=index, start=lo, stop=hi,
                                    cut_qubits=cut_qubits))
-    return PartitionPlan(circuit=circuit, slices=tuple(slices))
+    return tuple(slices)
 
 
 def _best_cut(counts: Sequence[int], start: int, num_gates: int,
@@ -196,17 +367,31 @@ def _best_cut(counts: Sequence[int], start: int, num_gates: int,
     return None
 
 
+def _qubit_intervals(circuit: QuantumCircuit) -> Dict[int, Tuple[int, int]]:
+    """Per-qubit ``(first_use, last_use)`` gate indices."""
+    intervals: Dict[int, Tuple[int, int]] = {}
+    for index, gate in enumerate(circuit.gates):
+        for qubit in gate.qubits:
+            first = intervals.get(qubit)
+            intervals[qubit] = (index if first is None else first[0], index)
+    return intervals
+
+
+def _crossing_from_intervals(intervals: Dict[int, Tuple[int, int]],
+                             position: int) -> Tuple[int, ...]:
+    """The crossing set of cut ``position`` (sorted qubit indices).
+
+    A qubit crosses exactly when it has a gate strictly before the cut and
+    one at/after it: ``first_use < position <= last_use``.
+    """
+    return tuple(sorted(
+        qubit for qubit, (first, last) in intervals.items()
+        if first < position <= last))
+
+
 def _crossing_qubits(circuit: QuantumCircuit, position: int) -> Tuple[int, ...]:
     """The crossing set of cut ``position`` (sorted qubit indices)."""
-    before = set()
-    for gate in circuit.gates[:position]:
-        before.update(gate.qubits)
-    crossing = set()
-    for gate in circuit.gates[position:]:
-        for qubit in gate.qubits:
-            if qubit in before:
-                crossing.add(qubit)
-    return tuple(sorted(crossing))
+    return _crossing_from_intervals(_qubit_intervals(circuit), position)
 
 
 def slice_subcircuit(circuit: QuantumCircuit,

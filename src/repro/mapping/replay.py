@@ -2,10 +2,10 @@
 
 Sharded routing (:mod:`repro.mapping.shard`) trades bit-identity with the
 serial mapper for a weaker but honest contract: *every emitted op stream
-must replay legally*.  :func:`validate_stream` is that contract's checker —
+must replay legally*.  :class:`StreamValidator` is that contract's checker —
 it rebuilds a fresh :class:`~repro.mapping.state.MappingState` from the
-result's recorded initial maps and walks the stream op by op, verifying
-each operation's preconditions before applying it:
+recorded initial maps and walks the stream op by op, verifying each
+operation's preconditions before applying it:
 
 * a **circuit gate** must be recorded with the atoms/sites the state
   actually has its qubits on, and must be executable there (all qubit pairs
@@ -15,23 +15,155 @@ each operation's preconditions before applying it:
 * a **move** must start from the atom's current trap and end on a free one.
 
 After the walk the final maps must match the recorded ones and every
-non-barrier circuit gate must have been emitted exactly once.  The checker
-is deliberately independent of the mapper — it shares only ``MappingState``
-— so a routing bug cannot hide behind its own bookkeeping.  The serial
-mapper's streams pass by construction; the differential harness runs it
-over every sharded stream.
+non-barrier circuit gate must have been emitted exactly once.
+
+The validator is incremental: :meth:`StreamValidator.check` consumes one
+operation at a time, so the streaming stitcher
+(:meth:`repro.mapping.shard.ShardedRouter.stream` with ``retain=False``)
+can be validated without ever materialising the full op list —
+the validator's live memory is one ``MappingState`` plus a per-gate
+coverage array, a per-slice constant for the 1000+-qubit workloads.
+:func:`validate_stream` is the whole-result convenience wrapper the
+differential harness uses.
+
+The checker is deliberately independent of the mapper — it shares only
+``MappingState`` — so a routing bug cannot hide behind its own bookkeeping.
+The serial mapper's streams pass by construction; the differential harness
+runs it over every sharded stream.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.gate import GateKind
 from ..hardware.architecture import NeutralAtomArchitecture
 from ..hardware.connectivity import SiteConnectivity
-from .result import CircuitGateOp, MappingResult, ShuttleOp, SwapOp
+from .result import CircuitGateOp, MappedOperation, MappingResult, ShuttleOp, SwapOp
 from .state import MappingState
 
-__all__ = ["validate_stream", "assert_stream_valid"]
+__all__ = ["StreamValidator", "validate_stream", "assert_stream_valid"]
+
+
+class StreamValidator:
+    """Incremental replay checker for one mapped operation stream.
+
+    Feed every operation (in stream order) to :meth:`check`, then call
+    :meth:`finish` once with the recorded final maps.  ``violations`` holds
+    the failures found so far; collection stops growing after
+    ``max_violations`` entries (a broken stream tends to cascade) but
+    :meth:`check` stays safe to call — once saturated it applies nothing.
+    """
+
+    def __init__(self, circuit: QuantumCircuit,
+                 architecture: NeutralAtomArchitecture,
+                 initial_qubit_map: Dict[int, int],
+                 initial_atom_map: Dict[int, int],
+                 connectivity: Optional[SiteConnectivity] = None,
+                 max_violations: int = 25) -> None:
+        self.violations: List[str] = []
+        self.max_violations = max_violations
+        self._circuit = circuit
+        num_qubits = circuit.num_qubits
+        initial_sites = [initial_atom_map[atom]
+                         for atom in range(architecture.num_atoms)]
+        qubit_map = [initial_qubit_map[qubit] for qubit in range(num_qubits)]
+        self._state = MappingState(architecture, num_qubits,
+                                   connectivity=connectivity,
+                                   initial_sites=initial_sites,
+                                   initial_qubit_map=qubit_map)
+        self._position = 0
+        # Saturates at 2: "more than once" is all finish() needs to know.
+        self._coverage = bytearray(len(circuit))
+
+    @property
+    def saturated(self) -> bool:
+        return len(self.violations) >= self.max_violations
+
+    def _report(self, message: str) -> None:
+        if not self.saturated:
+            self.violations.append(f"op[{self._position}]: {message}")
+
+    # ------------------------------------------------------------------
+    def check(self, op: MappedOperation) -> None:
+        """Verify one operation's preconditions, then apply it to the state."""
+        if self.saturated:
+            return
+        state = self._state
+        if isinstance(op, CircuitGateOp):
+            gate = op.gate
+            if 0 <= op.gate_index < len(self._coverage) \
+                    and self._coverage[op.gate_index] < 2:
+                self._coverage[op.gate_index] += 1
+            actual_atoms = tuple(state.atom_of_qubit(q) for q in gate.qubits)
+            if actual_atoms != op.atoms:
+                self._report(f"gate {op.gate_index} recorded atoms "
+                             f"{op.atoms} but qubits sit on {actual_atoms}")
+            else:
+                actual_sites = tuple(state.site_of_atom(a)
+                                     for a in actual_atoms)
+                if actual_sites != op.sites:
+                    self._report(f"gate {op.gate_index} recorded sites "
+                                 f"{op.sites} but atoms sit at "
+                                 f"{actual_sites}")
+                elif not state.gate_executable(gate):
+                    self._report(f"gate {op.gate_index} ({gate.name}) not "
+                                 f"executable at sites {actual_sites}")
+        elif isinstance(op, SwapOp):
+            if state.atom_of_qubit(op.qubit_a) != op.atom_a:
+                self._report(f"SWAP names qubit {op.qubit_a} on atom "
+                             f"{op.atom_a} but it sits on "
+                             f"{state.atom_of_qubit(op.qubit_a)}")
+            elif state.site_of_atom(op.atom_a) != op.site_a \
+                    or state.atom_at_site(op.site_b) != op.atom_b:
+                self._report("SWAP endpoints do not match the state: "
+                             f"atom {op.atom_a}@"
+                             f"{state.site_of_atom(op.atom_a)} vs recorded "
+                             f"{op.site_a}; site {op.site_b} holds "
+                             f"{state.atom_at_site(op.site_b)} vs recorded "
+                             f"{op.atom_b}")
+            else:
+                try:
+                    state.apply_swap_with_atom(op.qubit_a, op.atom_b)
+                except ValueError as exc:
+                    self._report(f"SWAP illegal: {exc}")
+        elif isinstance(op, ShuttleOp):
+            move = op.move
+            if state.site_of_atom(move.atom) != move.source:
+                self._report(f"move of atom {move.atom} from {move.source} "
+                             f"but the atom sits at "
+                             f"{state.site_of_atom(move.atom)}")
+            elif not state.site_is_free(move.destination):
+                self._report(f"move destination {move.destination} is "
+                             f"occupied by "
+                             f"{state.atom_at_site(move.destination)}")
+            else:
+                state.apply_move(move)
+        else:  # pragma: no cover - no other op kinds exist
+            self._report(f"unknown operation {op!r}")
+        self._position += 1
+
+    def finish(self, final_qubit_map: Optional[Dict[int, int]] = None,
+               final_atom_map: Optional[Dict[int, int]] = None) -> List[str]:
+        """End-of-stream checks: final maps and exactly-once gate coverage."""
+        state = self._state
+        if final_qubit_map and state.qubit_mapping() != final_qubit_map:
+            self.violations.append(
+                "final qubit map does not match the replayed state")
+        if final_atom_map and state.atom_mapping() != final_atom_map:
+            self.violations.append(
+                "final atom map does not match the replayed state")
+        missing = [index for index, gate in enumerate(self._circuit)
+                   if gate.kind != GateKind.BARRIER
+                   and self._coverage[index] == 0]
+        duplicated = [index for index, count in enumerate(self._coverage)
+                      if count > 1]
+        if missing or duplicated:
+            self.violations.append(
+                f"mapped stream incomplete: missing gates {missing[:10]}, "
+                f"duplicated gates {duplicated[:10]}")
+        return self.violations
 
 
 def validate_stream(result: MappingResult,
@@ -41,95 +173,18 @@ def validate_stream(result: MappingResult,
     """Replay ``result``'s op stream from its initial maps; return violations.
 
     An empty list means the stream is legal end to end.  Collection stops
-    after ``max_violations`` entries (a broken stream tends to cascade).
+    after ``max_violations`` entries.
     """
-    violations: List[str] = []
-
-    def report(position: int, message: str) -> bool:
-        violations.append(f"op[{position}]: {message}")
-        return len(violations) >= max_violations
-
-    num_qubits = result.circuit.num_qubits
-    initial_sites = [result.initial_atom_map[atom]
-                     for atom in range(architecture.num_atoms)]
-    initial_qubit_map = [result.initial_qubit_map[qubit]
-                         for qubit in range(num_qubits)]
-    state = MappingState(architecture, num_qubits,
-                         connectivity=connectivity,
-                         initial_sites=initial_sites,
-                         initial_qubit_map=initial_qubit_map)
-
-    for position, op in enumerate(result.operations):
-        if isinstance(op, CircuitGateOp):
-            gate = op.gate
-            actual_atoms = tuple(state.atom_of_qubit(q) for q in gate.qubits)
-            if actual_atoms != op.atoms:
-                if report(position, f"gate {op.gate_index} recorded atoms "
-                                    f"{op.atoms} but qubits sit on "
-                                    f"{actual_atoms}"):
-                    return violations
-                continue
-            actual_sites = tuple(state.site_of_atom(a) for a in actual_atoms)
-            if actual_sites != op.sites:
-                if report(position, f"gate {op.gate_index} recorded sites "
-                                    f"{op.sites} but atoms sit at "
-                                    f"{actual_sites}"):
-                    return violations
-                continue
-            if not state.gate_executable(gate):
-                if report(position, f"gate {op.gate_index} ({gate.name}) not "
-                                    f"executable at sites {actual_sites}"):
-                    return violations
-        elif isinstance(op, SwapOp):
-            if state.atom_of_qubit(op.qubit_a) != op.atom_a:
-                if report(position, f"SWAP names qubit {op.qubit_a} on atom "
-                                    f"{op.atom_a} but it sits on "
-                                    f"{state.atom_of_qubit(op.qubit_a)}"):
-                    return violations
-                continue
-            if state.site_of_atom(op.atom_a) != op.site_a \
-                    or state.atom_at_site(op.site_b) != op.atom_b:
-                if report(position, "SWAP endpoints do not match the state: "
-                                    f"atom {op.atom_a}@"
-                                    f"{state.site_of_atom(op.atom_a)} vs "
-                                    f"recorded {op.site_a}; site {op.site_b} "
-                                    f"holds {state.atom_at_site(op.site_b)} "
-                                    f"vs recorded {op.atom_b}"):
-                    return violations
-                continue
-            try:
-                state.apply_swap_with_atom(op.qubit_a, op.atom_b)
-            except ValueError as exc:
-                if report(position, f"SWAP illegal: {exc}"):
-                    return violations
-        elif isinstance(op, ShuttleOp):
-            move = op.move
-            if state.site_of_atom(move.atom) != move.source:
-                if report(position, f"move of atom {move.atom} from "
-                                    f"{move.source} but the atom sits at "
-                                    f"{state.site_of_atom(move.atom)}"):
-                    return violations
-                continue
-            if not state.site_is_free(move.destination):
-                if report(position, f"move destination {move.destination} is "
-                                    f"occupied by "
-                                    f"{state.atom_at_site(move.destination)}"):
-                    return violations
-                continue
-            state.apply_move(move)
-        else:  # pragma: no cover - no other op kinds exist
-            if report(position, f"unknown operation {op!r}"):
-                return violations
-
-    if result.final_qubit_map and state.qubit_mapping() != result.final_qubit_map:
-        violations.append("final qubit map does not match the replayed state")
-    if result.final_atom_map and state.atom_mapping() != result.final_atom_map:
-        violations.append("final atom map does not match the replayed state")
-    try:
-        result.verify_complete()
-    except AssertionError as exc:
-        violations.append(str(exc))
-    return violations
+    validator = StreamValidator(result.circuit, architecture,
+                                result.initial_qubit_map,
+                                result.initial_atom_map,
+                                connectivity=connectivity,
+                                max_violations=max_violations)
+    for op in result.operations:
+        if validator.saturated:
+            return validator.violations
+        validator.check(op)
+    return validator.finish(result.final_qubit_map, result.final_atom_map)
 
 
 def assert_stream_valid(result: MappingResult,

@@ -89,7 +89,18 @@ class MappingResult:
     shard_stats:
         Sharded-routing bookkeeping (:mod:`repro.mapping.shard`): scheduler
         kind, slice sizes, replay/defer counts, seam rounds, slice failures.
-        Empty for serial runs.
+        Speculative runs additionally record the seeding and memory
+        telemetry — ``seeded_slices`` / ``seeded_fallbacks`` (how many
+        workers started from a forecast entry map vs the initial snapshot),
+        ``seeded_hit_ratio`` (fraction of speculative circuit gates that
+        replayed without deferral:
+        ``gates_replayed / (gates_replayed + gates_deferred)``),
+        ``seam_gate_ratio`` (``seam_gates`` over the circuit's non-barrier
+        gate count — the "how much fell back to serial repair" headline),
+        ``tree_depth`` (height of the hierarchical partition tree; 1 for a
+        flat plan) and ``max_live_results`` (high-water mark of slice
+        results held concurrently by the streaming stitcher).  Empty for
+        serial runs.
     """
 
     circuit: QuantumCircuit

@@ -5,59 +5,81 @@ parallelise *across* circuits; one large circuit still routes serially.
 :class:`ShardedRouter` parallelises *within* a circuit:
 
 1. **Partition** — :func:`repro.mapping.partition.partition_circuit` cuts the
-   gate list into weakly-coupled slices at low-crossing frontiers.
+   gate list into weakly-coupled slices at low-crossing frontiers; with
+   ``hierarchical_partition`` the recursive variant
+   (:func:`~repro.mapping.partition.partition_circuit_tree`) re-cuts
+   oversized slices at their own min-crossing frontiers into a slice tree
+   whose every level honours the hard cut-qubit bound.
 2. **Slice routing** — each slice is routed as a full-width subcircuit by an
    ordinary serial :class:`~repro.mapping.hybrid_mapper.HybridMapper`.  With
-   ``shard_workers >= 2`` (*speculative* scheduler) all slices route
-   concurrently on a :class:`~repro.resilience.supervisor.SupervisedPool`,
-   every worker starting from a copy of the *initial* mapping-state snapshot
-   — slice ``k`` speculates that the state it inherits resembles the
-   snapshot.  With ``shard_workers == 1`` (*chained* scheduler) slices route
-   one after another from the true predecessor state; there is no
-   speculation and the result is exact — the honest configuration for 1-CPU
-   hosts, whose only overhead over plain serial routing is the partition
-   sweep plus per-slice mapper setup.
-3. **Seam stitching** — the speculative streams are *replayed* against the
-   true merged state: an operation is kept when its preconditions still hold
-   (gate executable, SWAP partners in the recorded traps, move source/
-   destination unchanged) and dropped or deferred otherwise.  Deferred
-   circuit gates accumulate into one *seam round* per slice — a small
-   boundary subcircuit re-routed serially against the true state — so every
-   emitted stream replays legally from the initial maps.
+   ``shard_workers >= 2`` (*speculative* scheduler) slices route
+   concurrently on a :class:`~repro.resilience.supervisor.SupervisedPool`.
+   With ``seed_snapshots`` each worker starts from a **forecast entry map**:
+   a cheap placement simulation (:func:`forecast_entry_maps`) walks the
+   plan once, predicting where every qubit will sit when its slice begins,
+   so slice ``k`` speculates from (approximately) the state it will actually
+   inherit instead of the initial snapshot — replay preconditions mostly
+   hold and seam rounds shrink to a thin repair pass.  A slice whose
+   forecast is missing or infeasible falls back to the initial snapshot.
+   With ``shard_workers == 1`` (*chained* scheduler) slices route one after
+   another from the true predecessor state; there is no speculation and the
+   result is exact — the honest configuration for 1-CPU hosts.
+3. **Streaming seam stitching** — completed slice results are consumed in
+   deterministic leaf order by a *streaming* stitcher
+   (:meth:`ShardedRouter.stream`).  Before replaying a *seeded* slice the
+   stitcher emits a **repair pass**: a short deterministic move sequence
+   transforming the true merged state into exactly the forecast state the
+   worker started from (forecasts never reassign qubits, so aligning the
+   atom→site map suffices) — the worker's stream then replays verbatim by
+   construction and no seam round is needed.  Unseeded or fallback streams
+   are *replayed* against the true merged state the PR-7 way (an operation
+   is kept when its preconditions still hold; deferred gates form one
+   serial seam round per slice).  Either way the merged operations are
+   yielded incrementally.  At most
+   ``workers + 1`` slice results exist at any moment — the merged stream
+   never holds every slice's op list in memory at once, which is what
+   bounds peak RSS on 1000+-qubit circuits (``max_live_results`` in
+   ``shard_stats`` records the high-water mark).  :meth:`ShardedRouter.map`
+   is simply the stream drained into a :class:`MappingResult`.
 
 Contract (ROADMAP item 2): sharded routing is **not** bit-identical to
 serial routing.  It is gated by *metrics parity* (ΔCZ / move counts within
 bounds) plus full replay validity (:mod:`repro.mapping.replay`), enforced by
 ``tests/differential/test_differential_shard.py``.  The emitted stream
-depends only on the chained-vs-speculative distinction (``shard_workers``,
-part of the config fingerprint), never on how many workers actually ran or
-whether a worker crashed mid-slice — a crashed/hung slice worker is recycled
-by the supervised pool and its whole slice falls back to the seam path.
+depends only on the config (scheduler split, seeding, partition shape —
+all fingerprinted), never on how many workers actually ran or whether a
+worker crashed mid-slice — a crashed/hung slice worker is recycled by the
+supervised pool and its whole slice falls back to the seam path.
 
 The speculative scheduler ships work to process workers via a fork-inherited
-module global (:data:`_FORK_CONTEXT`) so the architecture, connectivity and
-slice subcircuits never cross a pickle boundary; only the slice index does.
-One sharded map runs per process at a time (guarded by a module lock).
+module global (:data:`_FORK_CONTEXT`) so the architecture, connectivity,
+slice subcircuits and forecast maps never cross a pickle boundary; only the
+slice index does.  One sharded map runs per process at a time (guarded by a
+module lock).
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from dataclasses import replace as dataclass_replace
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Deque, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..circuit.circuit import QuantumCircuit
 from ..circuit.gate import Gate, GateKind
 from ..hardware.architecture import NeutralAtomArchitecture
 from ..hardware.connectivity import SiteConnectivity
 from ..resilience.supervisor import SupervisedPool
+from ..shuttling.moves import Move
 from .config import MapperConfig
-from .partition import PartitionPlan, partition_circuit, slice_subcircuit
-from .result import CircuitGateOp, MappingResult, ShuttleOp, SwapOp
+from .partition import (PartitionPlan, partition_circuit,
+                        partition_circuit_tree, slice_subcircuit)
+from .result import (CircuitGateOp, MappedOperation, MappingResult, ShuttleOp,
+                     SwapOp)
 from .state import MappingState
 
-__all__ = ["ShardedRouter"]
+__all__ = ["ShardedRouter", "StitchStream", "forecast_entry_maps"]
 
 #: Pool kind override for tests (``"process"`` / ``"thread"``); ``None``
 #: auto-selects: process workers where ``fork`` is available, else threads.
@@ -73,20 +95,44 @@ _SLICE_DEADLINE_S: Optional[float] = None
 _FORK_CONTEXT: Dict[str, object] = {}
 _CONTEXT_LOCK = threading.Lock()
 
+#: One entry-map forecast: ``(atom_to_site, qubit_to_atom)`` as produced by
+#: :meth:`MappingState.export_maps`.
+EntryMaps = Tuple[List[int], List[int]]
 
-def _route_slice_worker(slice_index: int) -> MappingResult:
-    """Pool task: route one slice subcircuit from the snapshot state.
+
+def _route_slice_worker(slice_index: int) -> Tuple[bool, MappingResult]:
+    """Pool task: route one slice subcircuit from its seeded (or snapshot) state.
 
     Runs inside a forked worker process (or a pool thread); everything but
-    the slice index arrives through :data:`_FORK_CONTEXT`.
+    the slice index arrives through :data:`_FORK_CONTEXT`.  Returns
+    ``(seeded, result)`` — ``seeded`` reports whether the worker actually
+    started from the forecast entry map.  A missing forecast, or one the
+    :class:`MappingState` constructor rejects as infeasible, falls back to
+    the initial-state snapshot.
     """
     from .hybrid_mapper import HybridMapper
 
     context = _FORK_CONTEXT
     mapper = HybridMapper(context["architecture"], context["config"],
                           context["connectivity"])
-    state = context["snapshot"].copy()
-    return mapper.map(context["subcircuits"][slice_index], initial_state=state)
+    state: Optional[MappingState] = None
+    seeded = False
+    entry_maps = context.get("entry_maps")
+    if entry_maps is not None:
+        forecast = entry_maps[slice_index]
+        if forecast is not None:
+            try:
+                state = MappingState.from_maps(
+                    context["architecture"], forecast,
+                    connectivity=context["connectivity"])
+                seeded = True
+            except ValueError:
+                state = None
+    if state is None:
+        state = context["snapshot"].copy()
+    result = mapper.map(context["subcircuits"][slice_index],
+                        initial_state=state)
+    return seeded, result
 
 
 def _resolve_pool_kind() -> str:
@@ -101,13 +147,95 @@ def _resolve_pool_kind() -> str:
         return "thread"
 
 
+# ----------------------------------------------------------------------
+# Forecast entry maps (predictive snapshot seeding)
+# ----------------------------------------------------------------------
+def forecast_entry_maps(plan: PartitionPlan,
+                        initial_state: MappingState
+                        ) -> List[Optional[EntryMaps]]:
+    """Cheap placement simulation over the plan → per-slice entry-map forecast.
+
+    Walks every slice's gates once against a simulated state: a gate whose
+    qubits are not mutually interacting is "routed" by direct moves only —
+    each qubit is placed on the cheapest free site interacting with the
+    already-gathered ones, mirroring the shuttling router's direct-move
+    choice (``(travel, site)`` tie-break) without chain scoring, move-aways
+    or SWAP search.  The entry of slice ``k`` is the simulated state after
+    slices ``0..k-1``.  Every returned map is exported from a live
+    :class:`MappingState`, so it is legal by construction; a gate the
+    simulation cannot place is simply skipped (the forecast degrades, the
+    seam rounds absorb the error).
+    """
+    sim = initial_state.copy()
+    architecture = sim.architecture
+    lattice = architecture.lattice
+    connectivity = sim.connectivity
+    gates = plan.circuit.gates
+    entries: List[Optional[EntryMaps]] = []
+    for piece in plan.slices:
+        entries.append(sim.export_maps())
+        for index in piece.gate_indices():
+            gate = gates[index]
+            if not gate.is_entangling or sim.gate_executable(gate):
+                continue
+            _simulate_gather(sim, gate, architecture, lattice, connectivity)
+    return entries
+
+
+def _simulate_gather(sim: MappingState, gate: Gate, architecture, lattice,
+                     connectivity) -> None:
+    """Greedy direct-move placement of one gate's qubits in the simulation."""
+    anchor = gate.qubits[0]
+    anchor_site = sim.site_of_qubit(anchor)
+    if not architecture.is_entangling_site(anchor_site):
+        # Storage-stranded anchor (zoned topologies): relocate it onto the
+        # nearest free entangling site first, like the real router.
+        row = lattice.rectangular_row(anchor_site)
+        best = None
+        for site in architecture.entangling_sites():
+            if sim.site_is_free(site):
+                key = (row[site], site)
+                if best is None or key < best:
+                    best = key
+        if best is None:
+            return
+        sim.move_atom(sim.atom_of_qubit(anchor), best[1])
+        anchor_site = best[1]
+
+    kept: List[int] = [anchor_site]
+    anchor_row = lattice.euclidean_row(anchor_site)
+    others = sorted((q for q in gate.qubits if q != anchor),
+                    key=lambda q: anchor_row[sim.site_of_qubit(q)])
+    for qubit in others:
+        current = sim.site_of_qubit(qubit)
+        if all(connectivity.are_adjacent(current, site) for site in kept):
+            kept.append(current)
+            continue
+        zone: Optional[Set[int]] = None
+        for site in kept:
+            neighbours = connectivity.interaction_set(site)
+            zone = set(neighbours) if zone is None else zone & neighbours
+            if not zone:
+                return
+        free = zone & sim.free_sites()
+        free.discard(current)
+        if not free:
+            return
+        row = lattice.rectangular_row(current)
+        destination = min(free, key=lambda site: (row[site], site))
+        sim.move_atom(sim.atom_of_qubit(qubit), destination)
+        kept.append(destination)
+
+
 class ShardedRouter:
-    """Partition → parallel slice routing → seam stitching.
+    """Partition → (parallel) slice routing → streaming seam stitching.
 
     Constructed by :meth:`HybridMapper.map` when ``config.shard_routing`` is
     set; :meth:`map` returns ``None`` when the circuit partitions into fewer
     than two slices, which tells the caller to take the ordinary serial path
     (bit-identical to the committed goldens — the serial-fallback guard).
+    :meth:`stream` exposes the same pipeline as an incremental operation
+    generator with bounded slice-result memory.
     """
 
     def __init__(self, architecture: NeutralAtomArchitecture,
@@ -122,19 +250,41 @@ class ShardedRouter:
         self._serial_config = config.with_overrides(shard_routing=False)
 
     # ------------------------------------------------------------------
-    # Public entry point
+    # Public entry points
     # ------------------------------------------------------------------
     def map(self, circuit: QuantumCircuit,
             initial_state: Optional[MappingState] = None
             ) -> Optional[MappingResult]:
         """Sharded mapping of ``circuit``; ``None`` = caller routes serially."""
+        stream = self.stream(circuit, initial_state=initial_state)
+        if stream is None:
+            return None
+        for _ in stream:
+            pass
+        return stream.result
+
+    def stream(self, circuit: QuantumCircuit,
+               initial_state: Optional[MappingState] = None,
+               retain: bool = True) -> Optional["StitchStream"]:
+        """Streaming stitcher over ``circuit``; ``None`` = route serially.
+
+        The returned :class:`StitchStream` yields merged operations in
+        final stream order while slices are still being routed.  With
+        ``retain=False`` nothing is accumulated into a
+        :class:`MappingResult` — the caller owns each yielded op and the
+        stitcher's live memory stays bounded by a per-slice constant
+        (validity can be checked on the fly with
+        :class:`repro.mapping.replay.StreamValidator`).
+        """
         start_time = time.perf_counter()
         if circuit.num_entangling_gates() == 0:
             # Nothing to route — the serial path is pure emission; slicing
             # it would add overhead for a workload with no routing at all.
             return None
         tick = time.perf_counter()
-        plan = partition_circuit(
+        partition = (partition_circuit_tree if self.config.hierarchical_partition
+                     else partition_circuit)
+        plan = partition(
             circuit,
             min_slice=self.config.shard_min_slice,
             max_slice=self.config.resolved_shard_max_slice,
@@ -143,17 +293,49 @@ class ShardedRouter:
         partition_seconds = time.perf_counter() - tick
         if plan.num_slices < 2:
             return None
-
         state = initial_state or MappingState(
             self.architecture, circuit.num_qubits,
             connectivity=self.connectivity)
-        result = MappingResult(
-            circuit=circuit,
-            mode=self._serial_config.mode,
-            initial_qubit_map=state.qubit_mapping(),
-            initial_atom_map=state.atom_mapping(),
-        )
-        stats: Dict[str, object] = {
+        return StitchStream(self, plan, state, retain=retain,
+                            start_time=start_time,
+                            partition_seconds=partition_seconds)
+
+
+class StitchStream:
+    """One in-flight sharded mapping, consumed as an operation iterator.
+
+    Iterate to drain; ``stats`` (and with ``retain=True`` the filled
+    ``result``) are complete once exhaustion finishes the bookkeeping.
+    ``final_qubit_map`` / ``final_atom_map`` hold the end-of-stream mapping
+    state either way.  Single use: iterating twice raises.
+    """
+
+    def __init__(self, router: ShardedRouter, plan: PartitionPlan,
+                 state: MappingState, *, retain: bool, start_time: float,
+                 partition_seconds: float) -> None:
+        self._router = router
+        self._plan = plan
+        self._state = state
+        self._start_time = start_time
+        self._started = False
+        self.initial_qubit_map = state.qubit_mapping()
+        self.initial_atom_map = state.atom_mapping()
+        self.final_qubit_map: Optional[Dict[int, int]] = None
+        self.final_atom_map: Optional[Dict[int, int]] = None
+        self.result: Optional[MappingResult] = None
+        if retain:
+            self.result = MappingResult(
+                circuit=plan.circuit,
+                mode=router._serial_config.mode,
+                initial_qubit_map=self.initial_qubit_map,
+                initial_atom_map=self.initial_atom_map,
+            )
+            self.stage_seconds = self.result.stage_seconds
+            self._coverage: Optional[bytearray] = None
+        else:
+            self.stage_seconds: Dict[str, float] = {}
+            self._coverage = bytearray(len(plan.circuit))
+        self.stats: Dict[str, object] = {
             "pool_kind": None,
             "workers": 1,
             "gates_replayed": 0,
@@ -164,97 +346,137 @@ class ShardedRouter:
             "moves_dropped": 0,
             "seam_rounds": 0,
             "seam_gates": 0,
+            "seeded_slices": 0,
+            "seeded_fallbacks": 0,
+            "repair_moves": 0,
+            "max_live_results": 0,
             "slice_failures": [],
             "stitch_seconds": 0.0,
+            "partition_seconds": partition_seconds,
+            "seed_snapshots": router.config.seed_snapshots,
+            "hierarchical_partition": router.config.hierarchical_partition,
         }
-        stats.update(plan.summary())
+        self.stats.update(plan.summary())
 
-        if self.config.shard_workers <= 1:
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[MappedOperation]:
+        if self._started:
+            raise RuntimeError("a StitchStream can only be consumed once")
+        self._started = True
+        return self._run()
+
+    def _run(self) -> Iterator[MappedOperation]:
+        stats = self.stats
+        if self._router.config.shard_workers <= 1:
             stats["scheduler"] = "chained"
-            self._map_chained(plan, state, result, stats)
+            yield from self._chained()
         else:
             stats["scheduler"] = "speculative"
-            self._map_speculative(plan, state, result, stats)
+            yield from self._speculative()
+        self._finalise()
 
-        result.verify_complete()
-        result.final_qubit_map = state.qubit_mapping()
-        result.final_atom_map = state.atom_mapping()
-        stats["partition_seconds"] = partition_seconds
-        result.stage_seconds["partition"] = partition_seconds
-        result.stage_seconds["stitch"] = stats["stitch_seconds"]
-        result.shard_stats = stats
-        result.runtime_seconds = time.perf_counter() - start_time
-        return result
+    def _emit(self, op: MappedOperation) -> MappedOperation:
+        if self.result is not None:
+            self.result.append(op)
+        elif isinstance(op, CircuitGateOp) and self._coverage[op.gate_index] < 2:
+            self._coverage[op.gate_index] += 1
+        return op
 
     # ------------------------------------------------------------------
     # Chained scheduler (shard_workers == 1)
     # ------------------------------------------------------------------
-    def _map_chained(self, plan: PartitionPlan, state: MappingState,
-                     result: MappingResult, stats: Dict[str, object]) -> None:
-        """Route slices sequentially from the true state — exact, no seams."""
+    def _chained(self) -> Iterator[MappedOperation]:
+        """Route slices sequentially from the true state — exact, no seams.
+
+        Each slice result is fully drained (and dropped) before the next
+        slice routes, so exactly one lives at any moment.
+        """
         from .hybrid_mapper import HybridMapper
 
-        for piece in plan.slices:
-            subcircuit = slice_subcircuit(plan.circuit, piece)
-            mapper = HybridMapper(self.architecture, self._serial_config,
-                                  self.connectivity)
+        router, state = self._router, self._state
+        self.stats["max_live_results"] = 1
+        for piece in self._plan.slices:
+            subcircuit = slice_subcircuit(self._plan.circuit, piece)
+            mapper = HybridMapper(router.architecture, router._serial_config,
+                                  router.connectivity)
             slice_result = mapper.map(subcircuit, initial_state=state)
             for op in slice_result.operations:
                 if isinstance(op, CircuitGateOp):
-                    result.append(dataclass_replace(
-                        op, gate_index=op.gate_index + piece.start))
-                else:
-                    result.append(op)
-            self._merge_counters(result, slice_result)
-            _merge_stage_seconds(result.stage_seconds,
+                    op = dataclass_replace(
+                        op, gate_index=op.gate_index + piece.start)
+                yield self._emit(op)
+            if self.result is not None:
+                _merge_counters(self.result, slice_result)
+            _merge_stage_seconds(self.stage_seconds,
                                  slice_result.stage_seconds)
 
     # ------------------------------------------------------------------
     # Speculative scheduler (shard_workers >= 2)
     # ------------------------------------------------------------------
-    def _map_speculative(self, plan: PartitionPlan, state: MappingState,
-                         result: MappingResult,
-                         stats: Dict[str, object]) -> None:
-        """Route all slices concurrently from the snapshot, stitch in order.
+    def _speculative(self) -> Iterator[MappedOperation]:
+        """Route slices concurrently from seeded snapshots, stitch in order.
 
-        Futures are consumed in slice order and stitched incrementally, so
-        slice ``k``'s replay overlaps slices ``k+1..`` still routing.  A
-        slice whose worker failed (crash, deadline kill, pool shutdown) is
-        deferred wholesale to its seam round — serial fallback, not fatal.
+        At most ``workers + 1`` slices are in flight: completed results are
+        consumed (replayed and dropped) in leaf order while later slices
+        still route, and a new slice is only submitted as one is consumed —
+        the memory bound behind ``max_live_results``.  A slice whose worker
+        failed (crash, deadline kill, pool shutdown) is deferred wholesale
+        to its seam round — serial fallback, not fatal.
         """
         global _FORK_CONTEXT
+        router, plan, state = self._router, self._plan, self._state
+        stats = self.stats
         subcircuits = [slice_subcircuit(plan.circuit, piece)
                        for piece in plan.slices]
         kind = _resolve_pool_kind()
-        workers = min(self.config.shard_workers, plan.num_slices)
+        workers = min(router.config.shard_workers, plan.num_slices)
         stats["pool_kind"] = kind
         stats["workers"] = workers
+        entry_maps: Optional[List[Optional[EntryMaps]]] = None
+        if router.config.seed_snapshots:
+            tick = time.perf_counter()
+            entry_maps = forecast_entry_maps(plan, state)
+            stats["forecast_seconds"] = time.perf_counter() - tick
         slice_stage_seconds: Dict[str, float] = {}
+        window = workers + 1
 
         with _CONTEXT_LOCK:
             _FORK_CONTEXT = {
-                "architecture": self.architecture,
-                "config": self._serial_config,
-                "connectivity": self.connectivity,
+                "architecture": router.architecture,
+                "config": router._serial_config,
+                "connectivity": router.connectivity,
                 "subcircuits": subcircuits,
                 "snapshot": state.copy(),
+                "entry_maps": entry_maps,
             }
             pool = SupervisedPool(workers, kind=kind,
                                   deadline_s=_SLICE_DEADLINE_S)
             try:
-                futures = [
-                    pool.submit(_route_slice_worker, piece.index,
-                                label=f"slice-{piece.index}")
-                    for piece in plan.slices
-                ]
-                for piece, future in zip(plan.slices, futures):
+                pending: Deque[Tuple[int, object]] = deque()
+                next_index = 0
+                while next_index < plan.num_slices or pending:
+                    while (next_index < plan.num_slices
+                           and len(pending) < window):
+                        piece = plan.slices[next_index]
+                        pending.append((piece.index, pool.submit(
+                            _route_slice_worker, piece.index,
+                            label=f"slice-{piece.index}")))
+                        next_index += 1
+                    stats["max_live_results"] = max(
+                        stats["max_live_results"], len(pending))
+                    slice_index, future = pending.popleft()
+                    piece = plan.slices[slice_index]
+                    seeded = False
                     try:
-                        slice_result = future.result()
+                        seeded, slice_result = future.result()
                     except Exception as exc:  # noqa: BLE001 - any pool fault
                         stats["slice_failures"].append(
                             {"slice": piece.index,
                              "error": f"{type(exc).__name__}: {exc}"})
                         slice_result = None
+                    if entry_maps is not None and slice_result is not None:
+                        key = "seeded_slices" if seeded else "seeded_fallbacks"
+                        stats[key] += 1
                     tick = time.perf_counter()
                     if slice_result is None:
                         deferred = [
@@ -266,11 +488,16 @@ class ShardedRouter:
                     else:
                         _merge_stage_seconds(slice_stage_seconds,
                                              slice_result.stage_seconds)
-                        deferred = self._replay_slice(
-                            result, state, slice_result, piece.start, stats)
+                        if seeded and self._repair_pays_off(
+                                slice_result, entry_maps[piece.index]):
+                            yield from self._repair_to_forecast(
+                                entry_maps[piece.index][0], slice_result)
+                        deferred = yield from self._replay_slice(
+                            slice_result, piece.start)
+                        del slice_result
                     stats["stitch_seconds"] += time.perf_counter() - tick
                     if deferred:
-                        self._seam_round(result, state, deferred, stats)
+                        yield from self._seam_round(deferred)
             finally:
                 pool.shutdown(wait=False)
                 _FORK_CONTEXT = {}
@@ -278,18 +505,168 @@ class ShardedRouter:
         # separately so stage_seconds stays a serial-time account.
         stats["slice_stage_seconds"] = slice_stage_seconds
 
-    def _replay_slice(self, result: MappingResult, state: MappingState,
-                      slice_result: MappingResult, offset: int,
-                      stats: Dict[str, object]) -> List[Tuple[int, Gate]]:
+    def _repair_pays_off(self, slice_result: MappingResult,
+                         forecast: EntryMaps) -> bool:
+        """Decide whether to repair the true state to a slice's forecast.
+
+        Repair guarantees a verbatim replay only when the true qubit→atom
+        map still agrees with the forecast's (forecasts never model SWAPs;
+        replayed SWAPs from earlier slices void the guarantee — then the
+        plain replay-plus-seam path is both cheaper and no worse).  And when
+        a dry replay of the stream defers nothing, the drift is confined to
+        atoms this slice never touches and repair would spend moves for no
+        seam reduction.  Both checks depend only on deterministic state, so
+        the emitted stream stays independent of worker count and pool kind.
+        """
+        target_sites, target_qubit_atoms = forecast
+        state = self._state
+        if any(state.atom_of_qubit(qubit) != atom
+               for qubit, atom in enumerate(target_qubit_atoms)):
+            return False
+        misplaced = sum(1 for atom, site in enumerate(target_sites)
+                        if state.site_of_atom(atom) != site)
+        if misplaced == 0:
+            return False
+        probe = state.copy()
+        blocked: Set[int] = set()
+        would_defer = 0
+        for op in slice_result.operations:
+            if isinstance(op, CircuitGateOp):
+                gate = op.gate
+                if any(q in blocked for q in gate.qubits) \
+                        or not probe.gate_executable(gate):
+                    blocked.update(gate.qubits)
+                    would_defer += 1
+            elif isinstance(op, SwapOp):
+                if (probe.atom_of_qubit(op.qubit_a) == op.atom_a
+                        and probe.site_of_atom(op.atom_a) == op.site_a
+                        and probe.atom_at_site(op.site_b) == op.atom_b):
+                    probe.apply_swap_with_atom(op.qubit_a, op.atom_b)
+            elif isinstance(op, ShuttleOp):
+                move = op.move
+                if (probe.site_of_atom(move.atom) == move.source
+                        and probe.site_is_free(move.destination)):
+                    probe.apply_move(move)
+        # Repair costs at most ~one move per misplaced atom; every deferred
+        # gate costs a serial routing pass in the seam round.  Repair when
+        # it is the cheaper currency.
+        return 0 < misplaced <= would_defer
+
+    def _repair_to_forecast(self, target_sites: Sequence[int],
+                            slice_result: MappingResult
+                            ) -> Iterator[MappedOperation]:
+        """Emit moves aligning the true state with a seeded stream's forecast.
+
+        This is the repair pass that makes a seeded stream replay verbatim.
+        It is scoped to the stream's *footprint*: every atom the stream
+        references is placed on its forecast site, and every move
+        destination that was free in the forecast is cleared of strays.
+        That is exactly the precondition set the stream's legality depended
+        on in the worker — atoms the stream never touches may keep drifting
+        and get repaired only when a later slice actually needs them.
+        Deterministic: atoms settle in index order; a blocked atom (its
+        target still occupied) is resolved by evicting the occupant to the
+        nearest free scratch site outside the footprint, and each eviction
+        unblocks a placement, so the pass terminates.
+        """
+        state, stats = self._state, self.stats
+        architecture = self._router.architecture
+        lattice = architecture.lattice
+        penalised = architecture.topology.has_travel_penalties
+
+        footprint: Set[int] = set()
+        destinations: Set[int] = set()
+        for op in slice_result.operations:
+            if isinstance(op, CircuitGateOp):
+                footprint.update(op.atoms)
+            elif isinstance(op, SwapOp):
+                footprint.add(op.atom_a)
+                footprint.add(op.atom_b)
+            elif isinstance(op, ShuttleOp):
+                footprint.add(op.move.atom)
+                destinations.add(op.move.destination)
+        # Sites whose occupancy the stream relies on; scratch evictions must
+        # stay clear of them.
+        reserved = {target_sites[atom] for atom in footprint} | destinations
+        forecast_owner = {site: atom
+                          for atom, site in enumerate(target_sites)}
+
+        def emit_move(atom: int, destination: int,
+                      move_away: bool) -> MappedOperation:
+            source = state.site_of_atom(atom)
+            move = Move(
+                atom=atom, source=source, destination=destination,
+                source_position=lattice.position(source),
+                destination_position=lattice.position(destination),
+                is_move_away=move_away,
+                travel_distance_um=(lattice.rectangular_row(source)[destination]
+                                    if penalised else None),
+            )
+            state.apply_move(move)
+            stats["repair_moves"] += 1
+            return self._emit(ShuttleOp(move=move))
+
+        def scratch_site(near: int, pending: Set[int]) -> int:
+            row = lattice.rectangular_row(near)
+            avoid = reserved | pending
+            best = min((site for site in state.free_sites()
+                        if site not in avoid),
+                       key=lambda site: (row[site], site), default=None)
+            if best is None:
+                best = min((site for site in state.free_sites()
+                            if site not in pending),
+                           key=lambda site: (row[site], site), default=None)
+            if best is None:  # pragma: no cover - pathological density
+                best = min(state.free_sites(),
+                           key=lambda site: (row[site], site))
+            return best
+
+        movers = [atom for atom in sorted(footprint)
+                  if state.site_of_atom(atom) != target_sites[atom]]
+        while movers:
+            progress = False
+            for atom in list(movers):
+                target = target_sites[atom]
+                if state.site_is_free(target):
+                    yield emit_move(atom, target, False)
+                    movers.remove(atom)
+                    progress = True
+            if progress or not movers:
+                continue
+            # Every remaining target is occupied (permutation cycles, or a
+            # stray atom squatting on a mover's home).  Evict the occupant
+            # of the first blocked mover's target; the mover settles on the
+            # next sweep.
+            target = target_sites[movers[0]]
+            occupant = state.atom_at_site(target)
+            scratch = scratch_site(target, {target_sites[m] for m in movers})
+            yield emit_move(occupant, scratch, True)
+            if occupant in movers and target_sites[occupant] == scratch:
+                movers.remove(occupant)
+        # Clear strays off destinations the worker saw as free; a
+        # destination owned by a footprint atom in the forecast is vacated
+        # by the stream itself before its move needs it.
+        for destination in sorted(destinations):
+            if forecast_owner.get(destination) is not None:
+                continue
+            occupant = state.atom_at_site(destination)
+            if occupant is not None and occupant not in footprint:
+                yield emit_move(occupant, scratch_site(destination, set()),
+                                True)
+
+    def _replay_slice(self, slice_result: MappingResult,
+                      offset: int) -> Iterator[MappedOperation]:
         """Replay one speculative stream against the true state.
 
-        Returns the deferred gates as ``(global_gate_index, gate)`` in stream
-        order (a valid execution order of the slice, so dependencies among
-        deferred gates are preserved).  ``blocked`` tracks qubits with a
-        deferred gate pending: any later gate touching a blocked qubit is
-        deferred too, which conservatively preserves per-qubit gate order
-        (stricter than the commutation-aware DAG, never weaker).
+        Yields the surviving operations; returns the deferred gates as
+        ``(global_gate_index, gate)`` in stream order (a valid execution
+        order of the slice, so dependencies among deferred gates are
+        preserved).  ``blocked`` tracks qubits with a deferred gate
+        pending: any later gate touching a blocked qubit is deferred too,
+        which conservatively preserves per-qubit gate order (stricter than
+        the commutation-aware DAG, never weaker).
         """
+        state, stats = self._state, self.stats
         blocked: Set[int] = set()
         deferred: List[Tuple[int, Gate]] = []
         for op in slice_result.operations:
@@ -303,7 +680,7 @@ class ShardedRouter:
                     continue
                 atoms = tuple(state.atom_of_qubit(q) for q in gate.qubits)
                 sites = tuple(state.site_of_atom(a) for a in atoms)
-                result.append(CircuitGateOp(
+                yield self._emit(CircuitGateOp(
                     gate=gate, gate_index=offset + op.gate_index,
                     atoms=atoms, sites=sites))
                 stats["gates_replayed"] += 1
@@ -318,7 +695,7 @@ class ShardedRouter:
                         and state.atom_at_site(op.site_b) == op.atom_b):
                     partner = state.qubit_of_atom(op.atom_b)
                     state.apply_swap_with_atom(op.qubit_a, op.atom_b)
-                    result.append(SwapOp(
+                    yield self._emit(SwapOp(
                         qubit_a=op.qubit_a,
                         qubit_b=partner if partner is not None else -1,
                         atom_a=op.atom_a, atom_b=op.atom_b,
@@ -331,51 +708,83 @@ class ShardedRouter:
                 if (state.site_of_atom(move.atom) == move.source
                         and state.site_is_free(move.destination)):
                     state.apply_move(move)
-                    result.append(op)
+                    yield self._emit(op)
                     stats["moves_replayed"] += 1
                 else:
                     stats["moves_dropped"] += 1
         return deferred
 
-    def _seam_round(self, result: MappingResult, state: MappingState,
-                    deferred: Sequence[Tuple[int, Gate]],
-                    stats: Dict[str, object]) -> None:
+    def _seam_round(self, deferred: Sequence[Tuple[int, Gate]]
+                    ) -> Iterator[MappedOperation]:
         """Serially re-route one slice's deferred gates against the true state."""
         from .hybrid_mapper import HybridMapper
 
-        seam = QuantumCircuit(result.circuit.num_qubits,
-                              name=f"{result.circuit.name}[seam]")
+        router, state, stats = self._router, self._state, self.stats
+        seam = QuantumCircuit(self._plan.circuit.num_qubits,
+                              name=f"{self._plan.circuit.name}[seam]")
         for _, gate in deferred:
             seam.append(gate)
-        mapper = HybridMapper(self.architecture, self._serial_config,
-                              self.connectivity)
+        mapper = HybridMapper(router.architecture, router._serial_config,
+                              router.connectivity)
         seam_result = mapper.map(seam, initial_state=state)
         for op in seam_result.operations:
             if isinstance(op, CircuitGateOp):
-                result.append(dataclass_replace(
-                    op, gate_index=deferred[op.gate_index][0]))
-            else:
-                result.append(op)
-        self._merge_counters(result, seam_result)
-        _merge_stage_seconds(result.stage_seconds, seam_result.stage_seconds)
+                op = dataclass_replace(op,
+                                       gate_index=deferred[op.gate_index][0])
+            yield self._emit(op)
+        if self.result is not None:
+            _merge_counters(self.result, seam_result)
+        _merge_stage_seconds(self.stage_seconds, seam_result.stage_seconds)
         stats["seam_rounds"] += 1
         stats["seam_gates"] += len(deferred)
 
-    @staticmethod
-    def _merge_counters(result: MappingResult, part: MappingResult) -> None:
-        """Aggregate capability-attribution counters from a sub-route.
+    # ------------------------------------------------------------------
+    def _finalise(self) -> None:
+        stats = self.stats
+        replayed = stats["gates_replayed"]
+        attempted = replayed + stats["gates_deferred"]
+        if stats["scheduler"] == "speculative":
+            stats["seeded_hit_ratio"] = (replayed / attempted if attempted
+                                         else 1.0)
+        circuit = self._plan.circuit
+        routable = sum(1 for gate in circuit
+                       if gate.kind != GateKind.BARRIER)
+        stats["seam_gate_ratio"] = (stats["seam_gates"] / routable
+                                    if routable else 0.0)
+        self.final_qubit_map = self._state.qubit_mapping()
+        self.final_atom_map = self._state.atom_mapping()
+        self.stage_seconds["partition"] = stats["partition_seconds"]
+        self.stage_seconds["stitch"] = stats["stitch_seconds"]
+        if self.result is not None:
+            self.result.verify_complete()
+            self.result.final_qubit_map = self.final_qubit_map
+            self.result.final_atom_map = self.final_atom_map
+            self.result.shard_stats = stats
+            self.result.runtime_seconds = time.perf_counter() - self._start_time
+        else:
+            missing = [index for index, gate in enumerate(circuit)
+                       if gate.kind != GateKind.BARRIER
+                       and self._coverage[index] != 1]
+            if missing:
+                raise AssertionError(
+                    f"streamed stitch incomplete: gates {missing[:10]} not "
+                    "emitted exactly once")
 
-        Exact in chained mode (every gate routes through exactly one slice
-        mapper).  In speculative mode only seam rounds contribute — replayed
-        gates have no per-gate attribution (their routing happened in a
-        worker against a speculated state), which ``shard_stats`` documents
-        via ``gates_replayed``.  ``num_swaps``/``num_moves`` are counted by
-        ``append`` and stay exact everywhere.
-        """
-        result.num_gate_routed += part.num_gate_routed
-        result.num_shuttle_routed += part.num_shuttle_routed
-        result.num_trivially_executable += part.num_trivially_executable
-        result.num_fallback_reroutes += part.num_fallback_reroutes
+
+def _merge_counters(result: MappingResult, part: MappingResult) -> None:
+    """Aggregate capability-attribution counters from a sub-route.
+
+    Exact in chained mode (every gate routes through exactly one slice
+    mapper).  In speculative mode only seam rounds contribute — replayed
+    gates have no per-gate attribution (their routing happened in a
+    worker against a speculated state), which ``shard_stats`` documents
+    via ``gates_replayed``.  ``num_swaps``/``num_moves`` are counted by
+    ``append`` and stay exact everywhere.
+    """
+    result.num_gate_routed += part.num_gate_routed
+    result.num_shuttle_routed += part.num_shuttle_routed
+    result.num_trivially_executable += part.num_trivially_executable
+    result.num_fallback_reroutes += part.num_fallback_reroutes
 
 
 def _merge_stage_seconds(target: Dict[str, float],

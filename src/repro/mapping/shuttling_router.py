@@ -283,13 +283,21 @@ class ShuttlingRouter:
                     return self._build_chain_2q_kernel(state, gate, anchor,
                                                        gate_index, reads)
                 return self._build_chain_2q(state, gate, anchor, gate_index, reads)
+        if self._kernel:
+            return self._build_chain_generic_kernel(state, gate, anchor,
+                                                    gate_index, reads)
         return self._build_chain_generic(state, gate, anchor, gate_index, reads)
 
     def _build_chain_generic(self, state: MappingState, gate: Gate, anchor: int,
                              gate_index: int,
                              reads: Optional[ChainReads] = None
                              ) -> Optional[MoveChain]:
-        """Anchor-gathering chain construction for any gate width."""
+        """Anchor-gathering chain construction for any gate width.
+
+        Scalar reference implementation; the vectorised twin is
+        :meth:`_build_chain_generic_kernel` and the kernel axis of
+        ``tests/differential`` holds the two byte-identical.
+        """
         connectivity = state.connectivity
         lattice = self.architecture.lattice
         anchor_site = state.site_of_qubit(anchor)
@@ -373,6 +381,165 @@ class ShuttlingRouter:
             move_away = None
             freed_site = None
             for blocked in blocked_candidates:
+                blocking_atom = state.atom_at_site(blocked)
+                if reads is not None:
+                    reads.atom_reads[blocked] = blocking_atom
+                if blocking_atom is None:
+                    continue
+                away_destination = self._nearest_free_site(
+                    state, connectivity, lattice, blocked, occupied,
+                    forbidden=set(kept_sites) | {current_site},
+                    reads=reads, delta=delta)
+                if away_destination is None:
+                    continue
+                move_away = self._pooled_move(blocking_atom, blocked,
+                                              away_destination, lattice,
+                                              is_move_away=True)
+                freed_site = blocked
+                break
+            if move_away is None or freed_site is None:
+                return None
+            moves.append(move_away)
+            if not owns_occupied:
+                occupied = set(occupied)
+                owns_occupied = True
+            occupied.discard(freed_site)
+            occupied.add(move_away.destination)
+            delta.update((freed_site, move_away.destination))
+            moves.append(self._make_move(state, qubit, current_site, freed_site,
+                                         lattice, is_move_away=False))
+            occupied.discard(current_site)
+            occupied.add(freed_site)
+            delta.add(current_site)
+            kept_sites.append(freed_site)
+
+        if not moves:
+            return None
+        return MoveChain(moves=moves, gate_index=gate_index)
+
+    def _build_chain_generic_kernel(self, state: MappingState, gate: Gate,
+                                    anchor: int, gate_index: int,
+                                    reads: Optional[ChainReads] = None
+                                    ) -> Optional[MoveChain]:
+        """Vectorised twin of :meth:`_build_chain_generic` (any gate width).
+
+        The per-qubit candidate zone — the intersection of every kept
+        site's interaction neighbourhood — is reduced as a chain of
+        ``intersect1d`` gathers over the cached sorted neighbour arrays,
+        and the destination falls out of one argmin.  Bit-identity with
+        the scalar walk holds by the same arguments as
+        :meth:`_build_chain_2q_kernel` (``intersect1d`` keeps the arrays
+        sorted ascending, so argmin's first minimum is the scalar
+        ``(row[site], site)`` tie-break; the row arrays hold the scalar
+        rows' floats verbatim; the move-away order is a stable argsort
+        over the same values).  The extra ingredient is the *simulated*
+        occupancy of multi-move chains: the simulation only ever flips
+        sites in ``delta``, so the kernel corrects the live free-mask
+        gather with one vectorised equality mask per delta site instead
+        of re-materialising an occupancy array.
+
+        Occupancy reads are recorded by reference per kept site
+        (:meth:`ChainReads.record_region` with the topology's cached
+        frozensets) — a superset of the scalar path's intersected
+        post-discard zone.  Superset recording is sound for the chain
+        cache (replay requires strictly more sites to be unchanged) and
+        costs one list append per kept site.
+        """
+        connectivity = state.connectivity
+        lattice = self.architecture.lattice
+        anchor_site = state.site_of_qubit(anchor)
+
+        # Simulated occupancy, copy-on-write — exactly the scalar
+        # bookkeeping: the set view feeds _nearest_free_site (which gates
+        # its own kernel path on whether the view is still the live one)
+        # and the membership probes of the delta corrections.
+        occupied: Set[int] = state.occupied_sites()
+        owns_occupied = False
+        delta: Set[int] = set()
+        kept_sites: List[int] = [anchor_site]
+        moves: List[Move] = []
+        gate_atom_sites = {state.site_of_qubit(q) for q in gate.qubits}
+
+        if self._zone_aware and not self.architecture.is_entangling_site(anchor_site):
+            relocation = self._anchor_relocation(state, anchor, anchor_site, reads)
+            if relocation is None:
+                return None
+            moves.append(relocation)
+            occupied = set(occupied)
+            owns_occupied = True
+            occupied.discard(anchor_site)
+            occupied.add(relocation.destination)
+            delta.update((anchor_site, relocation.destination))
+            anchor_site = relocation.destination
+            kept_sites[0] = anchor_site
+
+        anchor_row = lattice.euclidean_row(anchor_site)
+        others = sorted(
+            (q for q in gate.qubits if q != anchor),
+            key=lambda q: anchor_row[state.site_of_qubit(q)])
+
+        for qubit in others:
+            current_site = state.site_of_qubit(qubit)
+            if self._site_fits(connectivity, current_site, kept_sites):
+                kept_sites.append(current_site)
+                continue
+
+            # Candidate destinations: the intersection of every kept
+            # site's neighbourhood, minus the kept sites and the moving
+            # qubit's current site.
+            zone = connectivity.interaction_array(kept_sites[0])
+            if reads is not None:
+                reads.record_region(connectivity.interaction_set(kept_sites[0]))
+            for kept in kept_sites[1:]:
+                if reads is not None:
+                    reads.record_region(connectivity.interaction_set(kept))
+                if zone.size:
+                    zone = _np.intersect1d(
+                        zone, connectivity.interaction_array(kept),
+                        assume_unique=True)
+            keep = zone != current_site
+            for site in kept_sites:
+                keep &= zone != site
+            zone = zone[keep]
+            if not zone.size:
+                return None
+
+            row = lattice.rectangular_row_array(current_site)
+            free = state.free_mask[zone] != 0
+            if owns_occupied:
+                # The simulation differs from the live occupancy only on
+                # delta sites; patch those entries of the gathered mask.
+                for site in delta:
+                    if site in occupied:
+                        free &= zone != site
+                    else:
+                        free |= zone == site
+            free_candidates = zone[free]
+            if free_candidates.size:
+                destination = int(
+                    free_candidates[row[free_candidates].argmin()])
+                moves.append(self._make_move(state, qubit, current_site,
+                                             destination, lattice,
+                                             is_move_away=False))
+                if not owns_occupied:
+                    occupied = set(occupied)
+                    owns_occupied = True
+                occupied.discard(current_site)
+                occupied.add(destination)
+                delta.update((current_site, destination))
+                kept_sites.append(destination)
+                continue
+
+            # No free site in the zone: free one with a move-away first.
+            blocked_keep = ~free
+            for site in gate_atom_sites:
+                blocked_keep &= zone != site
+            blocked_candidates = zone[blocked_keep]
+            order = row[blocked_candidates].argsort(kind="stable")
+            move_away = None
+            freed_site = None
+            for index in order:
+                blocked = int(blocked_candidates[index])
                 blocking_atom = state.atom_at_site(blocked)
                 if reads is not None:
                     reads.atom_reads[blocked] = blocking_atom

@@ -110,6 +110,34 @@ class TestKernelDifferentialHostileSpacings:
         assert_kernel_grid_identical(circuit, architecture, connectivity,
                                      f"qft/mixed/spacing={spacing}")
 
+    @pytest.mark.parametrize("hardware", ("mixed", "shuttling"))
+    @pytest.mark.parametrize("spacing", HOSTILE_SPACINGS)
+    def test_multi_qubit_stream_identical(self, hardware, spacing):
+        """CCZ-promoted layers exercise the *generic* chain kernel — the
+        any-width gathering walk with its simulated-occupancy delta
+        corrections — which two-qubit-only workloads never reach."""
+        architecture = build_scaled_architecture(hardware, 0.12,
+                                                 spacing=spacing)
+        connectivity = SiteConnectivity(architecture)
+        circuit = random_layered_circuit(16, 6, seed=7,
+                                         multi_qubit_fraction=0.35)
+        assert_kernel_grid_identical(
+            circuit, architecture, connectivity,
+            f"multiq/{hardware}/spacing={spacing}")
+
+    @pytest.mark.parametrize("spacing", HOSTILE_SPACINGS)
+    def test_zoned_multi_qubit_stream_identical(self, spacing):
+        """Zoned topology + wide gates drive the generic kernel through the
+        anchor-relocation prefix and travel-penalised pooled moves."""
+        architecture = build_scaled_architecture("zoned", 0.12,
+                                                 spacing=spacing)
+        connectivity = SiteConnectivity(architecture)
+        circuit = random_layered_circuit(14, 5, seed=11,
+                                         multi_qubit_fraction=0.3)
+        assert_kernel_grid_identical(
+            circuit, architecture, connectivity,
+            f"multiq/zoned/spacing={spacing}")
+
     def test_anisotropic_rectangular_stream_identical(self):
         """Distinct per-axis hostile pitches stress the x/y travel terms
         separately — the axis where a fused vector expression would first

@@ -30,9 +30,11 @@ from repro.mapping import (
     MapperConfig,
     crossing_counts,
     partition_circuit,
+    partition_circuit_tree,
     slice_subcircuit,
     validate_stream,
 )
+import repro.mapping.shard as shard_module
 
 WORKLOADS = {
     "layered": lambda seed: random_layered_circuit(16, 10, seed=seed),
@@ -170,6 +172,127 @@ class TestPartitionInvariants:
             partition_circuit(circuit, min_slice=8, max_slice=4)
 
 
+class TestHierarchicalPartitionInvariants:
+    """Property suite for the recursive min-cut tree partitioner.
+
+    The streaming stitcher consumes the tree's leaves left to right, so the
+    hierarchical plan must satisfy every flat-plan invariant *plus* the
+    tree-shape ones: children partition their parent exactly, the cut bound
+    holds at every level (not just at the leaf boundaries), and the leaf
+    order is deterministic.
+    """
+
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("min_slice", (8, 24))
+    def test_leaves_cover_circuit_exactly(self, workload, seed, min_slice):
+        circuit = WORKLOADS[workload](seed)
+        plan = partition_circuit_tree(circuit, min_slice=min_slice)
+        assert plan.tree is not None
+        leaves = list(plan.tree.leaves())
+        # Leaves left to right are exactly the plan's slices.
+        assert [(leaf.start, leaf.stop) for leaf in leaves] \
+            == [(piece.start, piece.stop) for piece in plan.slices]
+        covered = [index for piece in plan.slices
+                   for index in piece.gate_indices()]
+        assert covered == list(range(len(circuit)))
+
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_per_qubit_gate_order_preserved(self, workload, seed):
+        circuit = WORKLOADS[workload](seed)
+        plan = partition_circuit_tree(circuit, min_slice=8)
+        rebuilt = []
+        for piece in plan.slices:
+            rebuilt.extend(slice_subcircuit(circuit, piece).gates)
+        assert rebuilt == list(circuit.gates)
+        per_qubit_original = {}
+        per_qubit_rebuilt = {}
+        for gate in circuit.gates:
+            for qubit in gate.qubits:
+                per_qubit_original.setdefault(qubit, []).append(gate)
+        for gate in rebuilt:
+            for qubit in gate.qubits:
+                per_qubit_rebuilt.setdefault(qubit, []).append(gate)
+        assert per_qubit_rebuilt == per_qubit_original
+
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("bound", (4, 8))
+    def test_cut_bound_holds_at_every_tree_level(self, workload, seed, bound):
+        circuit = WORKLOADS[workload](seed)
+        plan = partition_circuit_tree(circuit, min_slice=8,
+                                      max_cut_qubits=bound)
+        counts = crossing_counts(circuit)
+        assert plan.tree is not None
+        for node in plan.tree.internal_nodes():
+            assert node.cut is not None
+            assert node.cut_count == counts[node.cut]
+            assert node.cut_count <= bound
+        for piece in plan.slices[1:]:
+            assert len(piece.cut_qubits) <= bound
+            assert counts[piece.start] == len(piece.cut_qubits)
+        assert plan.max_cut_qubits() <= bound
+
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_tree_shape_invariants(self, workload, seed):
+        """Children partition their parent; only oversized segments split;
+        every leaf of a multi-leaf plan keeps ``min_slice`` gates (tail
+        absorption included); reported depth is the root height."""
+        circuit = WORKLOADS[workload](seed)
+        min_slice, max_slice = 8, 32
+        plan = partition_circuit_tree(circuit, min_slice=min_slice,
+                                      max_slice=max_slice)
+        tree = plan.tree
+        assert tree is not None
+        assert tree.start == 0 and tree.stop == len(circuit)
+        for node in tree.internal_nodes():
+            left, right = node.children
+            assert (left.start, left.stop) == (node.start, node.cut)
+            assert (right.start, right.stop) == (node.cut, node.stop)
+            # Only segments above the soft ceiling are ever split, and both
+            # halves keep the minimum slice size.
+            assert node.num_gates > max_slice
+            assert left.num_gates >= min_slice
+            assert right.num_gates >= min_slice
+            assert node.height == 1 + max(left.height, right.height)
+        if plan.num_slices >= 2:
+            for piece in plan.slices:
+                assert piece.num_gates >= min_slice
+        assert plan.tree_depth == tree.height
+        if plan.num_slices >= 2:
+            assert plan.tree_depth >= 2
+
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_leaf_order_deterministic(self, workload, seed):
+        circuit = WORKLOADS[workload](seed)
+        first = partition_circuit_tree(circuit, min_slice=8,
+                                       max_cut_qubits=8)
+        second = partition_circuit_tree(circuit, min_slice=8,
+                                        max_cut_qubits=8)
+        assert first.slices == second.slices
+        assert [(n.start, n.stop, n.cut) for n in first.tree.internal_nodes()] \
+            == [(n.start, n.stop, n.cut) for n in second.tree.internal_nodes()]
+        starts = [piece.start for piece in first.slices]
+        assert starts == sorted(starts)
+
+    def test_unsatisfiable_cut_bound_keeps_single_leaf(self):
+        circuit = qaoa_maxcut_circuit(12, edge_probability=0.9, seed=7)
+        plan = partition_circuit_tree(circuit, min_slice=4, max_cut_qubits=0)
+        assert plan.num_slices == 1
+        assert plan.tree is not None and plan.tree.is_leaf
+        assert plan.tree_depth == 1
+
+    def test_invalid_parameters_rejected(self):
+        circuit = WORKLOADS["layered"](7)
+        with pytest.raises(ValueError):
+            partition_circuit_tree(circuit, min_slice=0)
+        with pytest.raises(ValueError):
+            partition_circuit_tree(circuit, min_slice=8, max_slice=4)
+
+
 class TestPartitionAcrossTopologies:
     """End-to-end sharded routing on one architecture per registered family."""
 
@@ -193,5 +316,34 @@ class TestPartitionAcrossTopologies:
         result = HybridMapper(architecture, config).map(circuit)
         assert result.shard_stats, "expected the sharded path to engage"
         assert result.shard_stats["num_slices"] >= 2
+        result.verify_complete()
+        assert validate_stream(result, architecture) == []
+
+    @pytest.mark.parametrize("kind", sorted(TOPOLOGY_REGISTRY))
+    def test_seeded_hierarchical_stream_valid_on_topology(self, kind,
+                                                          monkeypatch):
+        """The predictive-seeding pipeline end to end per topology family:
+        hierarchical tree partition, forecast-seeded speculative workers
+        (thread pool — 1-CPU CI), repair-pass stitching."""
+        monkeypatch.setattr(shard_module, "_POOL_KIND", "thread")
+        builder = self.ARCHITECTURES.get(kind)
+        assert builder is not None, (
+            f"topology family {kind!r} is registered but has no architecture "
+            "builder in this suite — extend ARCHITECTURES so the sharding "
+            "invariants cover it")
+        architecture = builder()
+        circuit = random_layered_circuit(16, 10, seed=7)
+        config = MapperConfig.sharded(workers=2, shard_min_slice=12,
+                                      seed_snapshots=True,
+                                      hierarchical_partition=True)
+        result = HybridMapper(architecture, config).map(circuit)
+        assert result.shard_stats, "expected the sharded path to engage"
+        assert result.shard_stats["num_slices"] >= 2
+        assert result.shard_stats["scheduler"] == "speculative"
+        assert result.shard_stats["seed_snapshots"] is True
+        assert result.shard_stats["hierarchical_partition"] is True
+        assert result.shard_stats["seeded_slices"] \
+            + result.shard_stats["seeded_fallbacks"] \
+            == result.shard_stats["num_slices"]
         result.verify_complete()
         assert validate_stream(result, architecture) == []
