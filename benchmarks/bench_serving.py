@@ -52,18 +52,10 @@ from repro.server import ServingClient, ServingGateway  # noqa: E402
 from repro.server.__main__ import _start_background_server  # noqa: E402
 from repro.service import CompilationTask  # noqa: E402
 from repro.store import ResultStore  # noqa: E402
+from repro.telemetry import percentile  # noqa: E402
 
 DEFAULT_CIRCUITS = ("qft", "graph")
 DEFAULT_HARDWARE = ("mixed",)
-
-
-def percentile(samples: Sequence[float], fraction: float) -> float:
-    """Nearest-rank percentile (no numpy dependency)."""
-    if not samples:
-        return 0.0
-    ordered = sorted(samples)
-    rank = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
-    return ordered[rank]
 
 
 def build_request_stream(scale: float, repeats: int,
@@ -190,7 +182,11 @@ def run_serving_case(scale: float, *, repeats: int = 5, clients: int = 4,
         "store_hits": gateway_stats["store_hits"],
         "coalesced": gateway_stats["coalesced"],
         "num_compiles": gateway_stats["compiles"],
-        "num_failures": len(failures) + gateway_stats["failures"],
+        # Client-observed failures only: every gateway-side failure already
+        # surfaces as a failed client response, so also adding
+        # ``gateway_stats["failures"]`` double-counted each one.
+        "num_failures": len(failures),
+        "gateway_failures": gateway_stats["failures"],
         "p50_ms": round(percentile(latencies, 0.50) * 1000, 2),
         "p95_ms": round(percentile(latencies, 0.95) * 1000, 2),
     }

@@ -313,6 +313,65 @@ def run_shard_case(hardware: str, circuit_name: str, mode: str, scale: float,
     return case
 
 
+def run_telemetry_overhead_case(scale: float, *, hardware: str = "shuttling",
+                                circuit_name: str = "qft",
+                                mode: str = "shuttling_only",
+                                topology: str = "square",
+                                rounds: int = 3) -> Dict:
+    """Measure the cost of the telemetry registry on the compile hot path.
+
+    Compiles the shuttle_route-dominated configuration (``qft`` in
+    shuttling mode — the hottest instrumented loop) ``rounds`` times with
+    the process-global registry disabled and ``rounds`` times enabled,
+    recording the best wall time of each leg (best-of-N discards scheduler
+    noise).  The legs are interleaved round by round — running one leg to
+    completion before the other lets heap growth and CPU-frequency drift
+    within the process bias whichever leg runs second.  The case also
+    asserts the telemetry-never-decides contract operationally: both legs
+    must produce byte-identical op-stream digests.
+    """
+    from repro.telemetry import get_registry
+
+    architecture, connectivity = _architecture(hardware, scale, topology)
+    circuit = build_circuit(circuit_name, scale)
+    config = config_for_mode(mode, 1.0)
+    alpha_ratio = 1.0 if mode == "hybrid" else None
+    registry = get_registry()
+    best: Dict[str, float] = {}
+    digests: Dict[str, str] = {}
+    previous = registry.enabled
+    try:
+        for _ in range(rounds):
+            for label, enabled in (("disabled", False), ("enabled", True)):
+                registry.enabled = enabled
+                start = time.perf_counter()
+                context = compile_circuit(circuit, architecture, config,
+                                          connectivity=connectivity,
+                                          alpha_ratio=alpha_ratio)
+                wall = time.perf_counter() - start
+                best[label] = min(best.get(label, wall), wall)
+                digests[label] = (context.require_result()
+                                  .op_stream_digest()["sha256"])
+    finally:
+        registry.enabled = previous
+    overhead_pct = ((best["enabled"] - best["disabled"])
+                    / best["disabled"] * 100.0 if best["disabled"] > 0 else 0.0)
+    return {
+        "kind": "telemetry_overhead",
+        "hardware": hardware,
+        "circuit": circuit_name,
+        "mode": mode,
+        "topology": architecture.topology.kind,
+        "scale": scale,
+        "num_qubits": scaled_size(circuit_name, scale),
+        "rounds": rounds,
+        "disabled_seconds": round(best["disabled"], 4),
+        "enabled_seconds": round(best["enabled"], 4),
+        "telemetry_overhead_pct": round(overhead_pct, 2),
+        "digests_identical": digests["enabled"] == digests["disabled"],
+    }
+
+
 def batch_tasks(scale: float,
                 circuits: Sequence[str] = DEFAULT_CIRCUITS,
                 hardware_presets: Sequence[str] = DEFAULT_HARDWARE,
@@ -604,6 +663,14 @@ def _print_case(case: Dict) -> None:
         if caveat:
             print(f"            note: {caveat}")
         return
+    if case.get("kind") == "telemetry_overhead":
+        print(f"[telemetry] {case['circuit']:>12s} x {case['hardware']} "
+              f"{case['mode']} "
+              f"disabled={case['disabled_seconds']:7.3f}s "
+              f"enabled={case['enabled_seconds']:7.3f}s "
+              f"overhead={case['telemetry_overhead_pct']:+5.2f}% "
+              f"digests_identical={case['digests_identical']}")
+        return
     if case.get("kind") in ("serving_throughput", "serving_degraded"):
         tag = ("degraded " if case["kind"] == "serving_degraded"
                else "serving  ")
@@ -653,6 +720,16 @@ def build_parser(description: str) -> argparse.ArgumentParser:
                         help="run the selected matrix under cProfile and "
                              "dump a per-stage summary plus the top-20 "
                              "functions by cumulative time (no report write)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="run the selected matrix under structured "
+                             "tracing and write the span timeline as Chrome "
+                             "trace-event JSON (open in Perfetto or "
+                             "chrome://tracing)")
+    parser.add_argument("--telemetry-overhead", action="store_true",
+                        help="record the telemetry_overhead probe (qft in "
+                             "shuttling mode, registry enabled vs disabled, "
+                             "best of 3) and append the case; ignores the "
+                             "matrix flags")
     parser.add_argument("--circuits", nargs="*", default=list(DEFAULT_CIRCUITS))
     parser.add_argument("--hardware", nargs="*", default=list(DEFAULT_HARDWARE))
     parser.add_argument("--modes", nargs="*", default=list(DEFAULT_MODES))
@@ -685,10 +762,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.shard_workers is not None and args.shard_workers < 1:
         parser.error("--shard-workers must be at least 1")
 
+    if args.trace and (args.profile or args.shard or args.batch
+                       or args.telemetry_overhead):
+        parser.error("--trace applies to the default single-circuit matrix")
+
     if args.profile:
         profile_matrix(args.scale, args.circuits, args.hardware, args.modes,
                        topology=args.topology)
         return 0
+
+    if args.telemetry_overhead:
+        case = run_telemetry_overhead_case(args.scale)
+        report = merge_case(args.out, case, args.scale)
+        write_report(report, args.out)
+        _print_case(case)
+        print(f"wrote {args.out}")
+        return 0 if case["digests_identical"] else 1
 
     if args.shard:
         if len(args.modes) != 1:
@@ -718,8 +807,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"wrote {args.out}")
         return 0 if case["num_failures"] == 0 else 1
 
-    report = collect_report(args.scale, args.circuits, args.hardware, args.modes,
-                            topology=args.topology)
+    if args.trace:
+        from repro.telemetry import tracing
+
+        spans = []
+        traced_cases = []
+        for hardware in args.hardware:
+            for circuit_name in args.circuits:
+                for mode in args.modes:
+                    with tracing.start_trace(
+                            "perf_report.case", hardware=hardware,
+                            circuit=circuit_name, mode=mode) as handle:
+                        traced_cases.append(run_case(
+                            hardware, circuit_name, mode, args.scale,
+                            topology=args.topology))
+                    spans.extend(handle.spans)
+                    spans.extend(tracing.TRACER.drain(handle.trace_id))
+        report = collect_report(args.scale, args.circuits, args.hardware,
+                                args.modes, cases=traced_cases,
+                                topology=args.topology)
+        Path(args.trace).write_text(
+            json.dumps(tracing.chrome_trace_events(spans), indent=2) + "\n")
+        print(f"wrote {args.trace}")
+    else:
+        report = collect_report(args.scale, args.circuits, args.hardware,
+                                args.modes, topology=args.topology)
     report["cases"].extend(_preserved_cases(args.out, report["cases"],
                                             topology=args.topology))
     if args.baseline:

@@ -38,6 +38,8 @@ from ..circuit.dag import DAGNode
 from ..circuit.gate import GateKind
 from ..hardware.architecture import NeutralAtomArchitecture
 from ..hardware.connectivity import SiteConnectivity
+from ..telemetry import tracing
+from ..telemetry.registry import get_registry
 from .config import MapperConfig
 from .decision import CapabilityDecider
 from .gate_router import GateRouter, SwapCandidate
@@ -106,6 +108,13 @@ class HybridMapper:
     def map(self, circuit: QuantumCircuit,
             initial_state: Optional[MappingState] = None) -> MappingResult:
         """Map ``circuit`` onto the architecture and return the operation stream."""
+        with tracing.span("mapper.map", circuit=circuit.name,
+                          mode=self.config.mode,
+                          num_qubits=circuit.num_qubits):
+            return self._map_impl(circuit, initial_state)
+
+    def _map_impl(self, circuit: QuantumCircuit,
+                  initial_state: Optional[MappingState]) -> MappingResult:
         start_time = time.perf_counter()
         if circuit.num_qubits > self.architecture.num_atoms:
             raise ValueError(
@@ -243,6 +252,12 @@ class HybridMapper:
         result.final_atom_map = state.atom_mapping()
         result.stage_seconds = stage_seconds
         result.runtime_seconds = time.perf_counter() - start_time
+        registry = get_registry()
+        for stage, seconds in stage_seconds.items():
+            registry.histogram(
+                "repro_mapper_stage_seconds",
+                help="Wall time per hybrid-mapper stage, accumulated per run",
+                labels={"stage": stage}).observe(seconds)
         return result
 
     # ------------------------------------------------------------------

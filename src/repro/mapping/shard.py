@@ -72,6 +72,8 @@ from ..hardware.architecture import NeutralAtomArchitecture
 from ..hardware.connectivity import SiteConnectivity
 from ..resilience.supervisor import SupervisedPool
 from ..shuttling.moves import Move
+from ..telemetry import tracing
+from ..telemetry.registry import get_registry
 from .config import MapperConfig
 from .partition import (PartitionPlan, partition_circuit,
                         partition_circuit_tree, slice_subcircuit)
@@ -112,27 +114,29 @@ def _route_slice_worker(slice_index: int) -> Tuple[bool, MappingResult]:
     """
     from .hybrid_mapper import HybridMapper
 
-    context = _FORK_CONTEXT
-    mapper = HybridMapper(context["architecture"], context["config"],
-                          context["connectivity"])
-    state: Optional[MappingState] = None
-    seeded = False
-    entry_maps = context.get("entry_maps")
-    if entry_maps is not None:
-        forecast = entry_maps[slice_index]
-        if forecast is not None:
-            try:
-                state = MappingState.from_maps(
-                    context["architecture"], forecast,
-                    connectivity=context["connectivity"])
-                seeded = True
-            except ValueError:
-                state = None
-    if state is None:
-        state = context["snapshot"].copy()
-    result = mapper.map(context["subcircuits"][slice_index],
-                        initial_state=state)
-    return seeded, result
+    with tracing.span("shard.slice", slice=slice_index) as trace_span:
+        context = _FORK_CONTEXT
+        mapper = HybridMapper(context["architecture"], context["config"],
+                              context["connectivity"])
+        state: Optional[MappingState] = None
+        seeded = False
+        entry_maps = context.get("entry_maps")
+        if entry_maps is not None:
+            forecast = entry_maps[slice_index]
+            if forecast is not None:
+                try:
+                    state = MappingState.from_maps(
+                        context["architecture"], forecast,
+                        connectivity=context["connectivity"])
+                    seeded = True
+                except ValueError:
+                    state = None
+        if state is None:
+            state = context["snapshot"].copy()
+        trace_span.set(seeded=seeded)
+        result = mapper.map(context["subcircuits"][slice_index],
+                            initial_state=state)
+        return seeded, result
 
 
 def _resolve_pool_kind() -> str:
@@ -259,8 +263,10 @@ class ShardedRouter:
         stream = self.stream(circuit, initial_state=initial_state)
         if stream is None:
             return None
-        for _ in stream:
-            pass
+        with tracing.span("shard.map", circuit=circuit.name,
+                          num_slices=stream.stats.get("num_slices")):
+            for _ in stream:
+                pass
         return stream.result
 
     def stream(self, circuit: QuantumCircuit,
@@ -726,7 +732,8 @@ class StitchStream:
             seam.append(gate)
         mapper = HybridMapper(router.architecture, router._serial_config,
                               router.connectivity)
-        seam_result = mapper.map(seam, initial_state=state)
+        with tracing.span("shard.seam_round", num_gates=len(deferred)):
+            seam_result = mapper.map(seam, initial_state=state)
         for op in seam_result.operations:
             if isinstance(op, CircuitGateOp):
                 op = dataclass_replace(op,
@@ -755,6 +762,25 @@ class StitchStream:
         self.final_atom_map = self._state.atom_mapping()
         self.stage_seconds["partition"] = stats["partition_seconds"]
         self.stage_seconds["stitch"] = stats["stitch_seconds"]
+        registry = get_registry()
+        registry.counter(
+            "repro_shard_runs_total",
+            help="Sharded mapping runs completed").inc()
+        for counter in ("gates_replayed", "gates_deferred", "seam_rounds",
+                        "seam_gates", "seeded_slices", "seeded_fallbacks",
+                        "repair_moves"):
+            amount = int(stats[counter])
+            if amount:
+                registry.counter(
+                    f"repro_shard_{counter}_total",
+                    help=f"Sharded stitcher: {counter.replace('_', ' ')}"
+                ).inc(amount)
+        for stage in ("partition", "stitch"):
+            registry.histogram(
+                "repro_shard_stage_seconds",
+                help="Wall time per sharded-routing stage",
+                labels={"stage": stage}).observe(
+                    float(stats[f"{stage}_seconds"]))
         if self.result is not None:
             self.result.verify_complete()
             self.result.final_qubit_map = self.final_qubit_map

@@ -15,6 +15,8 @@ from ..circuit.circuit import QuantumCircuit
 from ..hardware.architecture import NeutralAtomArchitecture
 from ..hardware.connectivity import SiteConnectivity
 from ..mapping.config import MapperConfig
+from ..telemetry import tracing
+from ..telemetry.registry import get_registry
 from .context import CompilationContext
 from .passes import (
     CompilationPass,
@@ -45,15 +47,27 @@ class PassManager:
         books its own elapsed time under its own name — otherwise the time
         spent in a failing ``evaluate`` pass would be invisible and harness
         reports would mis-attribute it to the preceding stages.
+
+        Each pass additionally records into the telemetry substrate: a
+        ``pass.<name>`` span when a trace is active, and an observation in
+        the ``repro_pass_seconds`` histogram (labelled by pass name).
+        Telemetry reads the clock and nothing else — it cannot influence
+        the passes, so op streams are identical with it on or off.
         """
+        registry = get_registry()
         for pipeline_pass in self.passes:
             tick = time.perf_counter()
             try:
-                pipeline_pass.run(context)
+                with tracing.span(f"pass.{pipeline_pass.name}"):
+                    pipeline_pass.run(context)
             finally:
                 elapsed = time.perf_counter() - tick
                 context.pass_seconds[pipeline_pass.name] = (
                     context.pass_seconds.get(pipeline_pass.name, 0.0) + elapsed)
+                registry.histogram(
+                    "repro_pass_seconds",
+                    help="Wall time per compilation pass",
+                    labels={"pass": pipeline_pass.name}).observe(elapsed)
         return context
 
     def pass_names(self) -> List[str]:

@@ -18,15 +18,23 @@ push the gateway into degraded mode.
 
 from __future__ import annotations
 
+import itertools
 import time
 from threading import Lock
 from typing import Callable, Dict
+
+from ..telemetry.registry import get_registry
 
 __all__ = ["CircuitBreaker"]
 
 CLOSED = "closed"
 OPEN = "open"
 HALF_OPEN = "half_open"
+
+#: Gauge encoding of the state (ordered by severity for dashboards).
+_STATE_VALUE = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+_BREAKER_IDS = itertools.count(1)
 
 
 class CircuitBreaker:
@@ -52,6 +60,27 @@ class CircuitBreaker:
         self._opened_at = 0.0
         self._times_opened = 0
         self._probe_in_flight = False
+        registry = get_registry()
+        labels = {"instance": f"breaker-{next(_BREAKER_IDS)}"}
+        self._transitions = registry.counter(
+            "repro_breaker_transitions_total",
+            help="Circuit-breaker state transitions", labels=labels)
+        self._opened_counter = registry.counter(
+            "repro_breaker_opened_total",
+            help="Times the circuit breaker opened", labels=labels)
+        self._state_gauge = registry.gauge(
+            "repro_breaker_state",
+            help="Breaker state (0=closed, 1=half_open, 2=open)",
+            labels=labels)
+
+    def _set_state(self, state: str) -> None:
+        """Record a state change in the registry (call under the lock)."""
+        if state != self._state:
+            self._transitions.inc()
+            if state == OPEN:
+                self._opened_counter.inc()
+        self._state = state
+        self._state_gauge.set(_STATE_VALUE[state])
 
     # ------------------------------------------------------------------
     # Decision point
@@ -69,7 +98,7 @@ class CircuitBreaker:
             if self._state == OPEN:
                 if self._clock() - self._opened_at < self.cooldown_s:
                     return False
-                self._state = HALF_OPEN
+                self._set_state(HALF_OPEN)
                 self._probe_in_flight = True
                 return True
             # HALF_OPEN: one probe at a time.
@@ -85,7 +114,7 @@ class CircuitBreaker:
         with self._lock:
             self._consecutive_failures = 0
             self._probe_in_flight = False
-            self._state = CLOSED
+            self._set_state(CLOSED)
 
     def record_failure(self) -> None:
         with self._lock:
@@ -95,7 +124,7 @@ class CircuitBreaker:
                     self._consecutive_failures >= self.failure_threshold:
                 if self._state != OPEN:
                     self._times_opened += 1
-                self._state = OPEN
+                self._set_state(OPEN)
                 self._opened_at = self._clock()
 
     # ------------------------------------------------------------------

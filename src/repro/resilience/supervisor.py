@@ -41,6 +41,8 @@ import time
 from concurrent.futures import Future
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..telemetry import tracing
+from ..telemetry.registry import CounterSet
 from .errors import DeadlineExceeded, PoolUnavailable, WorkerCrashed
 from .policy import RetryPolicy
 
@@ -52,23 +54,35 @@ _ERR = "error"
 
 
 def _worker_loop(task_source, result_sink, condemned=None) -> None:
-    """Shared worker body: pull ``(job_id, fn, args)``, run, report.
+    """Shared worker body: pull ``(job_id, fn, args, trace, label)``, run,
+    report ``(job_id, kind, payload, spans)``.
 
     Used verbatim by process workers (queues are multiprocessing queues)
     and thread workers (queues are ``queue.Queue``; ``condemned`` is the
     thread's discard flag, checked *after* the task so a condemned worker
     never reports a stale result).
+
+    When the item carries a :class:`~repro.telemetry.TraceContext`, the
+    worker activates it and runs the task under a ``pool.task`` span, then
+    ships every locally-finished span back alongside the outcome — on
+    success *and* on error, because the spans sink fills as spans close,
+    not at the end.  A worker that dies mid-task reports nothing; the
+    supervisor records the crash as an instant event instead.
     """
     while True:
         item = task_source.get()
         if item is None:
             return
-        job_id, fn, args = item
+        job_id, fn, args, trace_ctx, label = item
+        spans = []
         try:
-            result = fn(*args)
-            outcome = (job_id, _OK, result)
+            with tracing.activate(trace_ctx, sink=spans):
+                with tracing.span("pool.task", label=label,
+                                  worker_pid=os.getpid()):
+                    result = fn(*args)
+            outcome = (job_id, _OK, result, spans)
         except BaseException as exc:  # noqa: BLE001 - reported, not raised
-            outcome = (job_id, _ERR, (type(exc).__name__, str(exc)))
+            outcome = (job_id, _ERR, (type(exc).__name__, str(exc)), spans)
         if condemned is not None and condemned.is_set():
             return
         try:
@@ -77,7 +91,7 @@ def _worker_loop(task_source, result_sink, condemned=None) -> None:
             try:
                 result_sink.put((job_id, _ERR,
                                  ("RuntimeError", "worker could not report "
-                                                  "its result")))
+                                                  "its result"), []))
             except Exception:  # noqa: BLE001 - queue gone: supervisor reaps us
                 return
 
@@ -166,11 +180,12 @@ class _ThreadWorker:
 
 class _Job:
     __slots__ = ("job_id", "fn", "args", "future", "deadline_s", "label",
-                 "token", "attempts", "not_before", "started")
+                 "token", "trace", "attempts", "not_before", "started")
 
     def __init__(self, job_id: int, fn: Callable, args: Tuple,
                  future: "Future", deadline_s: Optional[float],
-                 label: str, token: str) -> None:
+                 label: str, token: str,
+                 trace: Optional[tracing.TraceContext] = None) -> None:
         self.job_id = job_id
         self.fn = fn
         self.args = args
@@ -178,23 +193,34 @@ class _Job:
         self.deadline_s = deadline_s
         self.label = label
         self.token = token
+        self.trace = trace
         self.attempts = 0          # dispatches so far
         self.not_before = 0.0      # backoff gate for the next dispatch
         self.started = False       # set_running_or_notify_cancel done
 
 
-class PoolStats:
-    """Monotonic supervision counters (exported via ``stats()``)."""
+class PoolStats(CounterSet):
+    """Monotonic supervision counters (exported via ``stats()``).
 
+    Registry-backed (``repro_pool_*_total`` series, one ``instance`` label
+    per pool) while keeping the attribute read/``+=`` semantics the
+    supervisor and its tests use.
+    """
+
+    PREFIX = "repro_pool"
     FIELDS = ("submitted", "completed", "failed", "crashes", "deadline_kills",
               "retries", "workers_recycled", "pool_rebuilds", "queue_errors")
-
-    def __init__(self) -> None:
-        for name in self.FIELDS:
-            setattr(self, name, 0)
-
-    def as_dict(self) -> Dict[str, int]:
-        return {name: getattr(self, name) for name in self.FIELDS}
+    HELP = {
+        "submitted": "Tasks accepted by SupervisedPool.submit",
+        "completed": "Tasks whose future resolved with a result",
+        "failed": "Tasks whose future resolved with an error",
+        "crashes": "Worker crashes observed while a task was running",
+        "deadline_kills": "Workers killed for overrunning a task deadline",
+        "retries": "Crash re-dispatches granted by the retry policy",
+        "workers_recycled": "Workers reaped and replaced",
+        "pool_rebuilds": "Wholesale pool rebuilds after supervision faults",
+        "queue_errors": "Supervision loop errors (broken result queue etc.)",
+    }
 
 
 class SupervisedPool:
@@ -261,20 +287,29 @@ class SupervisedPool:
     # ------------------------------------------------------------------
     def submit(self, fn: Callable, *args: Any,
                deadline_s: Optional[float] = -1.0,
-               label: str = "", token: Optional[str] = None) -> "Future":
+               label: str = "", token: Optional[str] = None,
+               trace: Optional[tracing.TraceContext] = None) -> "Future":
         """Schedule ``fn(*args)``; returns a ``concurrent.futures.Future``.
 
         ``deadline_s`` overrides the pool default (``None`` = unbounded;
         leave unset to inherit).  ``label`` decorates error messages;
         ``token`` seeds the retry jitter (defaults to the label).
+
+        ``trace`` carries a :class:`~repro.telemetry.TraceContext` to the
+        worker; when omitted the caller's active context (if any) is
+        captured automatically, so submitting from inside a traced request
+        links the worker's spans to it with no extra plumbing.
         """
         future: "Future" = Future()
         effective = self.deadline_s if deadline_s == -1.0 else deadline_s
+        if trace is None:
+            trace = tracing.current_context()
         with self._lock:
             if self._closed:
                 raise PoolUnavailable("pool is shut down")
             job = _Job(next(self._job_ids), fn, args, future, effective,
-                       label or fn.__class__.__name__, token or label)
+                       label or fn.__class__.__name__, token or label,
+                       trace=trace)
             self._pending.append(job)
             self.stats.submitted += 1
         return future
@@ -356,7 +391,7 @@ class SupervisedPool:
     def _drain_results(self) -> None:
         while True:
             try:
-                job_id, kind, payload = self._result_queue.get(
+                job_id, kind, payload, spans = self._result_queue.get(
                     timeout=self._TICK_S)
             except queue.Empty:
                 return
@@ -366,6 +401,10 @@ class SupervisedPool:
                     self.stats.queue_errors += 1
                 self._rebuild("result queue broken")
                 return
+            if spans:
+                # Worker-recorded spans surface through the global tracer;
+                # the trace owner (e.g. the gateway) drains them by id.
+                tracing.TRACER.ingest(spans)
             with self._lock:
                 entry = self._running.pop(job_id, None)
                 if entry is None:
@@ -406,6 +445,9 @@ class SupervisedPool:
             if now - worker.started_at <= job.deadline_s:
                 continue
             self.stats.deadline_kills += 1
+            tracing.record_instant(job.trace, "pool.deadline_kill",
+                                   label=job.label,
+                                   deadline_s=job.deadline_s)
             self._running.pop(job_id, None)
             worker.job_id = None
             worker.kill()
@@ -445,14 +487,18 @@ class SupervisedPool:
             worker.job_id = job.job_id
             worker.started_at = now
             self._running[job.job_id] = (job, worker)
-            worker.send((job.job_id, job.fn, job.args))
+            worker.send((job.job_id, job.fn, job.args, job.trace, job.label))
         self._pending = remaining
 
     def _handle_crash(self, job: _Job, detail: str) -> None:
         """Crash outcome for a dispatched job: bounded re-dispatch or fail."""
         self.stats.crashes += 1
+        tracing.record_instant(job.trace, "pool.crash", label=job.label,
+                               attempt=job.attempts, detail=detail)
         if self.retry_policy.allows_retry(job.attempts):
             self.stats.retries += 1
+            tracing.record_instant(job.trace, "pool.retry", label=job.label,
+                                   attempt=job.attempts)
             job.not_before = time.monotonic() + self.retry_policy.backoff_s(
                 job.attempts + 1, token=job.token)
             self._pending.append(job)

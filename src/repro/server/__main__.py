@@ -46,6 +46,7 @@ from ..pipeline.manager import compile_circuit
 from ..service.batch import CompilationTask
 from ..service.cache import ARCHITECTURE_CACHE, ArchitectureSpec
 from ..store import ResultStore
+from ..telemetry.registry import get_registry, validate_prometheus_text
 from ..workloads import scaled_register_size
 from .client import ServingClient, wait_until_ready
 from .gateway import ServingGateway
@@ -74,6 +75,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip schedule+evaluate (responses carry no metrics)")
     parser.add_argument("--stats-out", default=None,
                         help="write gateway+store stats JSON here on exit")
+    parser.add_argument("--metrics-dump", default=None,
+                        help="write the telemetry registry snapshot JSON "
+                             "here on exit")
+    parser.add_argument("--trace-out", default=None,
+                        help="with --self-test: write the sample request's "
+                             "Chrome trace JSON here (load in Perfetto / "
+                             "chrome://tracing)")
     parser.add_argument("--self-test", action="store_true",
                         help="run the end-to-end serving smoke (CI mode)")
     parser.add_argument("--chaos", action="store_true",
@@ -107,6 +115,15 @@ def _write_stats(gateway: ServingGateway, path: Optional[str],
     print(f"wrote {path}")
 
 
+def _write_metrics(path: Optional[str]) -> None:
+    """Dump the process-global telemetry registry snapshot as JSON."""
+    if not path:
+        return
+    Path(path).write_text(
+        json.dumps(get_registry().snapshot(), indent=2) + "\n")
+    print(f"wrote {path}")
+
+
 # ----------------------------------------------------------------------
 # Serve mode
 # ----------------------------------------------------------------------
@@ -126,6 +143,7 @@ def run_server(args) -> int:
         pass
     finally:
         _write_stats(gateway, args.stats_out)
+        _write_metrics(args.metrics_dump)
     return 0
 
 
@@ -227,6 +245,66 @@ def run_self_test(args) -> int:
               and qasm_2.digest == qasm_1.digest,
               f"source={qasm_2.source}")
 
+        # Traced request: a fresh key (distinct seed) compiled under
+        # trace=true must come back with one rooted Chrome-trace span tree
+        # covering gateway -> pool worker -> pipeline passes -> store.
+        traced = client.compile_task(
+            CompilationTask("trace-probe", spec, circuit_name="graph",
+                            num_qubits=sizes["graph"], seed=7),
+            trace=True)
+        trace_payload = traced.trace or {}
+        events = trace_payload.get("traceEvents") or []
+        durations = [event for event in events if event.get("ph") == "X"]
+        span_ids = {event["args"]["span_id"] for event in durations}
+        roots = [event for event in durations
+                 if event["args"].get("parent_id") is None]
+        orphans = [event for event in events
+                   if event["args"].get("parent_id") not in span_ids
+                   and event["args"].get("parent_id") is not None]
+        names = {event.get("name") for event in durations}
+        check("traced compile returns trace events",
+              traced.ok and traced.source == "compiled" and bool(events),
+              f"source={traced.source} events={len(events)}")
+        check("trace has exactly one root span (gateway.request)",
+              len(roots) == 1 and roots[0]["name"] == "gateway.request",
+              f"roots={[event['name'] for event in roots]}")
+        check("every trace event's parent resolves (single tree)",
+              not orphans, f"orphans={[e['name'] for e in orphans]}")
+        check("trace spans cover pool, pipeline and store layers",
+              {"pool.task", "compile_task", "store.put"} <= names
+              and any(name.startswith("pass.") for name in names),
+              f"names={sorted(names)}")
+        check("trace is valid Chrome trace JSON",
+              bool(json.dumps(trace_payload)) and all(
+                  isinstance(event.get("ts"), (int, float))
+                  and isinstance(event.get("pid"), int)
+                  for event in events))
+        if args.trace_out:
+            Path(args.trace_out).write_text(
+                json.dumps(trace_payload, indent=2) + "\n")
+            print(f"wrote {args.trace_out}")
+
+        # Metrics verb: JSON snapshot and Prometheus text exposition.
+        gateway_requests = client.stats()["gateway"]["requests"]
+        metrics = client.metrics()
+        snapshot = metrics.get("metrics") or {}
+        counters = snapshot.get("counters") or {}
+        observed_requests = sum(
+            value for series, value in counters.items()
+            if series.startswith("repro_gateway_requests_total"))
+        check("metrics verb returns a JSON snapshot",
+              metrics.get("ok") is True
+              and {"counters", "gauges", "histograms"} <= set(snapshot),
+              f"keys={sorted(snapshot)}")
+        check("metrics snapshot agrees with the stats verb",
+              observed_requests == gateway_requests > 0,
+              f"registry={observed_requests} stats={gateway_requests}")
+        prometheus = client.metrics(format="prometheus")
+        problems = validate_prometheus_text(prometheus.get("text", ""))
+        check("prometheus exposition is well-formed",
+              prometheus.get("ok") is True and not problems,
+              "; ".join(problems[:3]))
+
         before = client.stats()["gateway"]
 
     # Concurrent identical requests (fresh key) must trigger exactly 1 compile.
@@ -267,6 +345,7 @@ def run_self_test(args) -> int:
     thread.join(timeout=10)
     _write_stats(gateway, args.stats_out,
                  extra={"checks": checks, "store_final": store_stats})
+    _write_metrics(args.metrics_dump)
     print(f"self-test: {sum(1 for c in checks if c['passed'])}/{len(checks)} "
           f"checks passed")
     return 0 if ok else 1
@@ -370,6 +449,7 @@ def run_chaos_self_test(args) -> int:
     _write_stats(gateway, args.stats_out,
                  extra={"checks": checks, "health": health,
                         "faults_fired": plan.fired()})
+    _write_metrics(args.metrics_dump)
     print(f"chaos self-test: {sum(1 for c in checks if c['passed'])}"
           f"/{len(checks)} checks passed")
     return 0 if ok else 1

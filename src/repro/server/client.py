@@ -100,12 +100,17 @@ class ServingClient:
     # ------------------------------------------------------------------
     def compile_task(self, task: CompilationTask, *,
                      timeout_s: Optional[float] = None,
-                     request_id: Optional[str] = None) -> ServeResponse:
+                     request_id: Optional[str] = None,
+                     trace: bool = False) -> ServeResponse:
         """Submit one compile request and return its :class:`ServeResponse`.
 
         Retries across reconnects under :attr:`retry_policy`; every attempt
         resubmits the identical payload with the same ``request_id``, so
         the server side coalesces or store-hits rather than recompiling.
+
+        ``trace=True`` asks the server to record a span tree for this
+        request; the response then carries it as Chrome trace events under
+        ``response.trace``.
         """
         request_id = request_id or uuid.uuid4().hex
         payload: Dict[str, Any] = {"op": "compile",
@@ -113,6 +118,8 @@ class ServingClient:
                                    "request_id": request_id}
         if timeout_s is not None:
             payload["timeout_s"] = timeout_s
+        if trace:
+            payload["trace"] = True
         attempts = 0
         while True:
             attempts += 1
@@ -145,6 +152,13 @@ class ServingClient:
 
     def stats(self) -> Dict[str, Any]:
         return self._roundtrip({"op": "stats"})
+
+    def metrics(self, format: str = "json") -> Dict[str, Any]:
+        """Telemetry registry snapshot (``format="prometheus"`` for text)."""
+        payload: Dict[str, Any] = {"op": "metrics"}
+        if format != "json":
+            payload["format"] = format
+        return self._roundtrip(payload)
 
     def health(self) -> Dict[str, Any]:
         """Supervision snapshot (pool / breaker / retry / store counters)."""

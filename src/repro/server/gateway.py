@@ -44,11 +44,12 @@ tests assert digest-for-digest.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import asdict, dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from ..resilience import (
+    LoadShed,
     PERMANENT,
     SHED,
     CircuitBreaker,
@@ -67,27 +68,36 @@ from ..service.batch import (
     task_store_key,
 )
 from ..store import CompiledArtifact, ResultStore
+from ..telemetry import tracing
+from ..telemetry.registry import CounterSet, get_registry
 
 __all__ = ["GatewayStats", "ServingGateway", "compile_task_artifact"]
 
 
-@dataclass
-class GatewayStats:
-    """Request-path counters of one gateway instance."""
+class GatewayStats(CounterSet):
+    """Request-path counters of one gateway instance.
 
-    requests: int = 0
-    store_hits: int = 0
-    coalesced: int = 0
-    compiles: int = 0
-    failures: int = 0
-    rejected: int = 0
-    #: Requests served by the in-process serial fallback lane.
-    degraded: int = 0
-    #: Requests shed (breaker open + fallback lane full, or draining).
-    shed: int = 0
+    Registry-backed (``repro_gateway_*_total`` series, one ``instance``
+    label per gateway); attribute reads and ``+=`` writes keep working.
+    Every admitted request lands in exactly one outcome bucket:
+    ``store_hits + coalesced + compiles + degraded + failures + rejected +
+    shed == requests`` once the request path has quiesced (asserted by
+    ``tests/server/test_gateway_counters.py``).
+    """
 
-    def as_dict(self) -> Dict[str, int]:
-        return asdict(self)
+    PREFIX = "repro_gateway"
+    FIELDS = ("requests", "store_hits", "coalesced", "compiles", "failures",
+              "rejected", "degraded", "shed")
+    HELP = {
+        "requests": "Compile requests received",
+        "store_hits": "Requests served from the persistent result store",
+        "coalesced": "Requests that joined an identical in-flight compile",
+        "compiles": "Requests served by a fresh pool compile",
+        "failures": "Requests that failed (task error or deadline)",
+        "rejected": "Requests rejected by the admission limit",
+        "degraded": "Requests served by the in-process fallback lane",
+        "shed": "Requests shed (draining, or fallback lane full)",
+    }
 
 
 def compile_task_artifact(task: CompilationTask,
@@ -173,6 +183,10 @@ class ServingGateway:
         self.breaker = breaker or CircuitBreaker()
         self.max_degraded = max_degraded
         self.stats = GatewayStats()
+        self._request_seconds = get_registry().histogram(
+            "repro_gateway_request_seconds",
+            help="End-to-end gateway request latency",
+            labels={"instance": self.stats.instance})
         self._pool: Optional[SupervisedPool] = None
         self._prep_executor: Optional[ThreadPoolExecutor] = None
         self._degraded_executor: Optional[ThreadPoolExecutor] = None
@@ -242,14 +256,40 @@ class ServingGateway:
     # Request path
     # ------------------------------------------------------------------
     async def compile(self, task: CompilationTask,
-                      timeout_s: Optional[float] = None):
+                      timeout_s: Optional[float] = None, *,
+                      trace: bool = False):
         """Serve one compile request; never raises for request-shaped errors.
 
         Returns a :class:`~repro.server.protocol.ServeResponse` whose
         ``source`` records how it was served (``store`` / ``coalesced`` /
         ``compiled`` / ``degraded``) and whose ``error_class`` (on
         failure) tells the client whether a retry can help.
+
+        With ``trace=True`` the request runs under a ``gateway.request``
+        root span; every span produced on its behalf — request prep, pool
+        dispatch, pipeline passes, shard slices/seams, store access — is
+        collected into one tree and attached to the response as Chrome
+        trace events (``response.trace``).  Tracing observes timestamps
+        only, so the artifact is byte-identical with it on or off.
         """
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        try:
+            if not trace:
+                return await self._compile(task, timeout_s)
+            with tracing.start_trace("gateway.request",
+                                     task_id=task.task_id) as handle:
+                response = await self._compile(task, timeout_s)
+            spans = list(handle.spans)
+            spans.extend(tracing.TRACER.drain(handle.trace_id))
+            chrome = tracing.chrome_trace_events(spans)
+            chrome["trace_id"] = handle.trace_id
+            return dataclasses.replace(response, trace=chrome)
+        finally:
+            self._request_seconds.observe(loop.time() - start)
+
+    async def _compile(self, task: CompilationTask,
+                       timeout_s: Optional[float]):
         from .protocol import ServeResponse  # local: avoid import cycle
 
         loop = asyncio.get_running_loop()
@@ -266,13 +306,26 @@ class ServingGateway:
         # QASM parsing, digest hashing and store file reads are per-request
         # CPU/IO that must not stall other connections.
         epoch_before = self._completion_epoch
+        # run_in_executor does not propagate contextvars, so an active
+        # trace must be re-activated explicitly inside executor closures;
+        # their spans reach the request tree through the global TRACER.
+        trace_ctx = tracing.current_context()
 
         def _prepare():
-            prepared_circuit = task.build_circuit()
-            prepared_key = task_store_key(task, prepared_circuit)
-            hit = (self.store.get(prepared_key, require_metrics=self.evaluate)
-                   if self.store is not None else None)
-            return prepared_circuit, prepared_key, hit
+            sink = []
+            try:
+                with tracing.activate(trace_ctx, sink=sink):
+                    with tracing.span("gateway.prepare",
+                                      task_id=task.task_id):
+                        prepared_circuit = task.build_circuit()
+                        prepared_key = task_store_key(task, prepared_circuit)
+                        hit = (self.store.get(prepared_key,
+                                              require_metrics=self.evaluate)
+                               if self.store is not None else None)
+                        return prepared_circuit, prepared_key, hit
+            finally:
+                if sink:
+                    tracing.TRACER.ingest(sink)
 
         try:
             circuit, key, artifact = await loop.run_in_executor(
@@ -357,7 +410,15 @@ class ServingGateway:
                     loop, task, store_spec, deadline, cause=None)
                 source = "degraded"
         except Exception as exc:  # noqa: BLE001 - per-request isolation
-            self.stats.failures += 1
+            # Exactly one outcome counter per request: a shed (degraded
+            # lane full) is classified here and nowhere else — bumping at
+            # the raise site *and* counting the exception as a failure
+            # double-counted shed requests (observable as stats drift
+            # under mixed load).
+            if isinstance(exc, LoadShed):
+                self.stats.shed += 1
+            else:
+                self.stats.failures += 1
             future.set_exception(exc)
             future.exception()  # waiters re-raise; silence un-awaited logging
             return ServeResponse.failure(
@@ -404,10 +465,9 @@ class ServingGateway:
         unbounded serial queue on a broken pool just converts an outage
         into unbounded latency.
         """
-        from ..resilience import LoadShed
-
         if self._active_degraded >= self.max_degraded:
-            self.stats.shed += 1
+            # Counted by the caller's outcome classification (LoadShed →
+            # ``shed``), not here — see the except arm in :meth:`_compile`.
             detail = f" (pool failure: {cause})" if cause is not None else ""
             raise LoadShed(
                 f"shed: degraded lane full "
@@ -416,12 +476,19 @@ class ServingGateway:
             self._degraded_executor = ThreadPoolExecutor(
                 max_workers=1, thread_name_prefix="repro-serve-degraded")
         self._active_degraded += 1
+        trace_ctx = tracing.current_context()
 
         def _job():
+            sink = []
             try:
-                return self.compile_fn(task, store_spec, self.evaluate)
+                with tracing.activate(trace_ctx, sink=sink):
+                    with tracing.span("gateway.degraded_compile",
+                                      task_id=task.task_id):
+                        return self.compile_fn(task, store_spec, self.evaluate)
             finally:
                 self._active_degraded -= 1
+                if sink:
+                    tracing.TRACER.ingest(sink)
 
         call = loop.run_in_executor(self._degraded_executor, _job)
         if deadline is None:

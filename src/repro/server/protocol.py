@@ -9,14 +9,19 @@ Requests
     ``task`` is a :class:`~repro.service.CompilationTask` in wire form —
     ``task_id``, ``architecture`` (an :class:`~repro.service.ArchitectureSpec`
     field dict), and either ``circuit_name``/``num_qubits``/``seed`` or a
-    ``qasm`` document, plus ``mode``/``alpha``.  Two optional envelope
+    ``qasm`` document, plus ``mode``/``alpha``.  Three optional envelope
     fields ride outside ``task``: ``timeout_s`` (client deadline budget,
-    tightened against the server's own per-task deadline) and
-    ``request_id`` (client-assigned idempotency token, echoed verbatim in
-    the response so a reconnecting client can pair retried requests with
-    late answers).
+    tightened against the server's own per-task deadline), ``request_id``
+    (client-assigned idempotency token, echoed verbatim in the response so
+    a reconnecting client can pair retried requests with late answers),
+    and ``trace`` (truthy → the response carries a Chrome-trace span tree
+    of this request under its ``trace`` field).
 ``{"op": "stats"}``
     Gateway + store counters.
+``{"op": "metrics"}``
+    Telemetry registry snapshot (:mod:`repro.telemetry`).  Default is the
+    JSON snapshot; ``{"op": "metrics", "format": "prometheus"}`` returns
+    the Prometheus text exposition under a ``"text"`` key instead.
 ``{"op": "health"}``
     Supervision snapshot: overall ``status`` plus pool / circuit-breaker /
     retry / store counters (the operational surface of
@@ -178,6 +183,9 @@ class ServeResponse:
     #: Client-assigned idempotency token, echoed verbatim (never generated
     #: server-side) so retrying clients can pair responses to requests.
     request_id: Optional[str] = None
+    #: Chrome-trace payload (``trace_id`` + ``traceEvents``) attached when
+    #: the request asked for ``"trace": true``; ``None`` otherwise.
+    trace: Optional[Dict[str, Any]] = None
 
     @classmethod
     def from_artifact(cls, task: CompilationTask, circuit_name: str,

@@ -21,10 +21,10 @@ from __future__ import annotations
 
 import asyncio
 import logging
-from dataclasses import asdict, dataclass
 from typing import Dict, Optional
 
 from .._version import __version__
+from ..telemetry.registry import CounterSet, get_registry
 from .gateway import ServingGateway
 from .protocol import ProtocolError, decode_line, encode_line, task_from_wire
 
@@ -38,19 +38,25 @@ logger = logging.getLogger("repro.server")
 DEFAULT_MAX_LINE_BYTES = 8 * 1024 * 1024
 
 
-@dataclass
-class ServerStats:
-    """Connection-level counters (the gateway counts request-level ones)."""
+class ServerStats(CounterSet):
+    """Connection-level counters (the gateway counts request-level ones).
 
-    connections: int = 0
-    requests: int = 0
-    malformed_lines: int = 0
-    oversized_lines: int = 0
-    disconnects_mid_request: int = 0
-    disconnects_mid_response: int = 0
+    Registry-backed (``repro_server_*_total``); attribute reads and ``+=``
+    writes keep working for handlers and tests.
+    """
 
-    def as_dict(self) -> Dict[str, int]:
-        return asdict(self)
+    PREFIX = "repro_server"
+    FIELDS = ("connections", "requests", "malformed_lines",
+              "oversized_lines", "disconnects_mid_request",
+              "disconnects_mid_response")
+    HELP = {
+        "connections": "TCP connections accepted",
+        "requests": "Request lines received",
+        "malformed_lines": "Lines rejected by the protocol decoder",
+        "oversized_lines": "Lines dropped for exceeding max_line_bytes",
+        "disconnects_mid_request": "Clients gone while sending a request",
+        "disconnects_mid_response": "Clients gone while receiving a response",
+    }
 
 
 class ServingServer:
@@ -212,8 +218,20 @@ class ServingServer:
             if op == "compile":
                 timeout_s = _parse_timeout(payload.get("timeout_s"))
                 task = task_from_wire(payload.get("task"))
-                response = await self.gateway.compile(task, timeout_s=timeout_s)
+                response = await self.gateway.compile(
+                    task, timeout_s=timeout_s,
+                    trace=bool(payload.get("trace", False)))
                 return response.with_request_id(request_id).to_wire()
+            if op == "metrics":
+                registry = get_registry()
+                if payload.get("format") == "prometheus":
+                    return self._echo(request_id, {
+                        "ok": True, "op": "metrics",
+                        "format": "prometheus",
+                        "text": registry.render_prometheus()})
+                return self._echo(request_id, {
+                    "ok": True, "op": "metrics", "format": "json",
+                    "metrics": registry.snapshot()})
             if op == "stats":
                 return self._echo(request_id, {
                     "ok": True, "op": "stats", "version": __version__,

@@ -35,6 +35,7 @@ from ..mapping.config import MapperConfig
 from ..mapping.result import MappingResult
 from ..pipeline.manager import compile_circuit
 from ..store import CompiledArtifact, ResultStore, StoreKey, compute_store_key
+from ..telemetry import tracing
 from .cache import ARCHITECTURE_CACHE, ArchitectureSpec
 
 __all__ = ["CompilationTask", "TaskResult", "BatchResult", "BatchCompiler",
@@ -69,26 +70,27 @@ def compile_task_to_artifact(task: "CompilationTask", *,
     when no store asked for one (the batch path skips op-stream
     serialisation it would only throw away).
     """
-    if circuit is None:
-        circuit = task.build_circuit()
-    key = task_store_key(task, circuit) if store is not None else None
-    if store is not None and read_store:
-        artifact = store.get(key, require_metrics=evaluate)
-        if artifact is not None:
-            return artifact, None, True
-    architecture, connectivity = ARCHITECTURE_CACHE.get(task.architecture)
-    context = compile_circuit(
-        circuit, architecture, task.build_config(),
-        connectivity=connectivity, alpha_ratio=task.alpha_ratio,
-        evaluate=evaluate)
-    artifact: Optional[CompiledArtifact] = None
-    if store is not None:
-        artifact = CompiledArtifact.from_context(context)
-        try:
-            store.put(key, artifact)
-        except OSError:
-            pass
-    return artifact, context, False
+    with tracing.span("compile_task", task_id=task.task_id):
+        if circuit is None:
+            circuit = task.build_circuit()
+        key = task_store_key(task, circuit) if store is not None else None
+        if store is not None and read_store:
+            artifact = store.get(key, require_metrics=evaluate)
+            if artifact is not None:
+                return artifact, None, True
+        architecture, connectivity = ARCHITECTURE_CACHE.get(task.architecture)
+        context = compile_circuit(
+            circuit, architecture, task.build_config(),
+            connectivity=connectivity, alpha_ratio=task.alpha_ratio,
+            evaluate=evaluate)
+        artifact: Optional[CompiledArtifact] = None
+        if store is not None:
+            artifact = CompiledArtifact.from_context(context)
+            try:
+                store.put(key, artifact)
+            except OSError:
+                pass
+        return artifact, context, False
 
 
 @dataclass(frozen=True)

@@ -20,33 +20,38 @@ from __future__ import annotations
 import os
 import time
 import uuid
-from dataclasses import asdict, dataclass
 from pathlib import Path
 from threading import Lock
 from typing import Dict, List, Optional, Tuple
 
+from ..telemetry import tracing
+from ..telemetry.registry import CounterSet
 from .artifact import ArtifactError, CompiledArtifact
 from .keys import StoreKey
 
 __all__ = ["ResultStore", "StoreStats"]
 
 
-@dataclass
-class StoreStats:
-    """Per-handle operation counters (hits / misses / corruption / churn)."""
+class StoreStats(CounterSet):
+    """Per-handle operation counters (hits / misses / corruption / churn).
 
-    hits: int = 0
-    misses: int = 0
-    corruptions: int = 0
-    puts: int = 0
-    evictions: int = 0
-    #: Durability counters: fsyncs issued before atomic renames, and
-    #: orphaned ``*.tmp`` crash leftovers swept at startup.
-    fsyncs: int = 0
-    orphans_swept: int = 0
+    Registry-backed (``repro_store_*_total``, one ``instance`` label per
+    handle); attribute reads and ``+=`` keep working for callers and tests.
+    """
 
-    def as_dict(self) -> Dict[str, int]:
-        return asdict(self)
+    PREFIX = "repro_store"
+    FIELDS = ("hits", "misses", "corruptions", "puts", "evictions",
+              "fsyncs", "orphans_swept")
+    HELP = {
+        "hits": "Store lookups served from a verified on-disk artifact",
+        "misses": "Store lookups that found no usable artifact",
+        "corruptions": "Artifacts that failed verification and were "
+                       "quarantined",
+        "puts": "Artifacts persisted",
+        "evictions": "Artifacts evicted by the LRU size budget",
+        "fsyncs": "fsyncs issued before atomic renames (durability)",
+        "orphans_swept": "Stale *.tmp crash leftovers swept at startup",
+    }
 
 
 class ResultStore:
@@ -123,25 +128,30 @@ class ResultStore:
         by an ``evaluate=False`` compile) is also treated as a miss, so a
         metrics-expecting caller recompiles and upgrades the entry in place.
         """
-        path = self.path_for(key)
-        try:
-            text = path.read_text()
-        except (FileNotFoundError, OSError):
-            self._bump("misses")
-            return None
-        try:
-            artifact = CompiledArtifact.from_json(text, expected_key=key)
-        except ArtifactError:
-            self._quarantine(path)
-            self._bump("corruptions")
-            self._bump("misses")
-            return None
-        if require_metrics and artifact.metrics is None:
-            self._bump("misses")
-            return None
-        self._touch(path)
-        self._bump("hits")
-        return artifact
+        with tracing.span("store.get", digest=key.digest()) as trace_span:
+            path = self.path_for(key)
+            try:
+                text = path.read_text()
+            except (FileNotFoundError, OSError):
+                self._bump("misses")
+                trace_span.set(outcome="miss")
+                return None
+            try:
+                artifact = CompiledArtifact.from_json(text, expected_key=key)
+            except ArtifactError:
+                self._quarantine(path)
+                self._bump("corruptions")
+                self._bump("misses")
+                trace_span.set(outcome="corrupt")
+                return None
+            if require_metrics and artifact.metrics is None:
+                self._bump("misses")
+                trace_span.set(outcome="metrics-miss")
+                return None
+            self._touch(path)
+            self._bump("hits")
+            trace_span.set(outcome="hit")
+            return artifact
 
     def __contains__(self, key: StoreKey) -> bool:
         return self.path_for(key).exists()
@@ -159,23 +169,24 @@ class ResultStore:
         an *old* complete entry or a ``*.tmp`` orphan, but never a renamed
         file with unflushed content.
         """
-        self.root.mkdir(parents=True, exist_ok=True)
-        path = self.path_for(key)
-        temp = path.with_name(
-            f".{path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}")
-        with open(temp, "w") as handle:
-            handle.write(artifact.to_json(key))
-            handle.flush()
-            os.fsync(handle.fileno())
-        self._bump("fsyncs")
-        os.replace(temp, path)
-        self._fsync_dir()
-        if self.fault_plan is not None:
-            self.fault_plan.fire_store_fault(path, key.digest())
-        self._touch(path)
-        self._bump("puts")
-        self._evict_if_needed(protect=path.name)
-        return path
+        with tracing.span("store.put", digest=key.digest()):
+            self.root.mkdir(parents=True, exist_ok=True)
+            path = self.path_for(key)
+            temp = path.with_name(
+                f".{path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}")
+            with open(temp, "w") as handle:
+                handle.write(artifact.to_json(key))
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._bump("fsyncs")
+            os.replace(temp, path)
+            self._fsync_dir()
+            if self.fault_plan is not None:
+                self.fault_plan.fire_store_fault(path, key.digest())
+            self._touch(path)
+            self._bump("puts")
+            self._evict_if_needed(protect=path.name)
+            return path
 
     def _fsync_dir(self) -> None:
         """Flush the rename itself (directory entry) to disk, best effort."""

@@ -1,0 +1,244 @@
+"""Metrics registry semantics: instruments, exporters, CounterSet.
+
+Every test builds a private :class:`MetricsRegistry` — the process-global
+one is shared with the production components, and test isolation is
+exactly what private registries exist for.
+"""
+
+import json
+import statistics
+import threading
+
+import pytest
+
+from repro.telemetry.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    CounterSet,
+    MetricsRegistry,
+    percentile,
+    validate_prometheus_text,
+)
+
+
+class TestInstruments:
+    def test_counter_increments_and_is_get_or_create(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_events_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert registry.counter("repro_events_total") is counter
+
+    def test_counter_rejects_negative_increment(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="monotonic"):
+            registry.counter("repro_events_total").inc(-1)
+
+    def test_labels_create_independent_series(self):
+        registry = MetricsRegistry()
+        alpha = registry.counter("repro_events_total", labels={"kind": "a"})
+        beta = registry.counter("repro_events_total", labels={"kind": "b"})
+        assert alpha is not beta
+        alpha.inc(3)
+        assert beta.value == 0
+        # Label order does not matter: normalised to the same series.
+        assert registry.counter(
+            "repro_events_total", labels={"kind": "a"}) is alpha
+
+    def test_gauge_holds_last_written_value(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("repro_state")
+        gauge.set(2)
+        gauge.set(1)
+        assert gauge.value == 1
+
+    def test_histogram_counts_sum_and_quantile(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_latency_seconds",
+                                       buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(6.05)
+        # All mass at or below the last bucket that reaches the fraction.
+        assert 0.0 < histogram.quantile(0.5) <= 1.0
+        assert histogram.quantile(1.0) <= 10.0
+        assert histogram.quantile(0.0) == pytest.approx(0.0, abs=0.11)
+
+    def test_histogram_rejects_conflicting_buckets(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_latency_seconds", buckets=(0.1, 1.0))
+        with pytest.raises(ValueError, match="buckets"):
+            registry.histogram("repro_latency_seconds", buckets=(0.5, 2.0))
+
+    def test_kind_conflict_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_thing")
+        with pytest.raises(ValueError, match="counter"):
+            registry.gauge("repro_thing")
+
+    def test_disabled_registry_records_nothing(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_events_total")
+        histogram = registry.histogram("repro_latency_seconds")
+        gauge = registry.gauge("repro_state")
+        registry.enabled = False
+        counter.inc()
+        histogram.observe(1.0)
+        gauge.set(7)
+        assert counter.value == 0
+        assert histogram.count == 0 and histogram.sum == 0.0
+        assert gauge.value == 0.0
+        registry.enabled = True
+        counter.inc()
+        assert counter.value == 1
+
+    def test_concurrent_increments_do_not_lose_counts(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_events_total")
+
+        def bump():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+
+class TestExporters:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("repro_events_total", help="Events seen",
+                         labels={"kind": "a"}).inc(2)
+        registry.counter("repro_events_total", labels={"kind": "b"}).inc(1)
+        registry.gauge("repro_state", help="Breaker state").set(1)
+        histogram = registry.histogram("repro_latency_seconds",
+                                       help="Latency", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(5.0)
+        return registry
+
+    def test_snapshot_is_json_safe_and_complete(self):
+        snapshot = self._populated().snapshot()
+        json.dumps(snapshot)  # must not raise
+        assert snapshot["counters"]['repro_events_total{kind="a"}'] == 2
+        assert snapshot["counters"]['repro_events_total{kind="b"}'] == 1
+        assert snapshot["gauges"]["repro_state"] == 1
+        histogram = snapshot["histograms"]["repro_latency_seconds"]
+        assert histogram["count"] == 2
+        assert histogram["sum"] == pytest.approx(5.05)
+        # Bucket counts are cumulative, ending at the +Inf total.
+        assert histogram["buckets"]["+Inf"] == 2
+
+    def test_prometheus_text_validates_and_carries_every_series(self):
+        text = self._populated().render_prometheus()
+        assert validate_prometheus_text(text) == []
+        assert "# TYPE repro_events_total counter" in text
+        assert "# HELP repro_events_total Events seen" in text
+        assert 'repro_events_total{kind="a"} 2' in text
+        assert "# TYPE repro_latency_seconds histogram" in text
+        assert "repro_latency_seconds_count 2" in text
+        assert 'repro_latency_seconds_bucket{le="+Inf"} 2' in text
+
+    def test_validator_flags_malformed_lines(self):
+        problems = validate_prometheus_text(
+            "good_metric 1\n"
+            "bad metric with spaces 1\n"
+            "# BOGUS comment\n"
+            "dangling_value\n")
+        assert len(problems) == 3
+        assert all(problem.startswith("line ") for problem in problems)
+
+    def test_empty_registry_renders_empty(self):
+        registry = MetricsRegistry()
+        assert registry.render_prometheus() == ""
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_reset_drops_instruments(self):
+        registry = self._populated()
+        registry.reset()
+        assert registry.snapshot()["counters"] == {}
+
+
+class TestPercentile:
+    """The shared percentile helper must match the stdlib's inclusive
+    quantiles — bench_serving and the gateway report through it."""
+
+    @pytest.mark.parametrize("samples", [
+        [3.0, 1.0, 2.0, 5.0, 4.0],
+        [0.001 * index for index in range(100)],
+        [7.0, 7.0, 7.0, 7.0],
+        [2.5, 9.1],
+    ])
+    def test_matches_statistics_quantiles_inclusive(self, samples):
+        cuts = statistics.quantiles(samples, n=100, method="inclusive")
+        for k in (25, 50, 75, 90, 95, 99):
+            assert percentile(samples, k / 100) == pytest.approx(cuts[k - 1])
+
+    def test_edge_fractions_and_degenerate_inputs(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([42.0], 0.95) == 42.0
+        assert percentile([1.0, 2.0, 3.0], 0.0) == 1.0
+        assert percentile([1.0, 2.0, 3.0], 1.0) == 3.0
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    def test_input_order_is_irrelevant(self):
+        assert percentile([9.0, 1.0, 5.0], 0.5) == \
+            percentile([1.0, 5.0, 9.0], 0.5) == 5.0
+
+
+class _DemoStats(CounterSet):
+    PREFIX = "repro_demo"
+    FIELDS = ("hits", "misses")
+    HELP = {"hits": "Demo hits"}
+
+
+class TestCounterSet:
+    def test_attribute_reads_and_augmented_assignment(self):
+        registry = MetricsRegistry()
+        stats = _DemoStats(registry)
+        assert stats.hits == 0
+        stats.hits += 1
+        stats.hits += 2
+        stats.misses += 1
+        assert stats.hits == 3 and stats.misses == 1
+        assert stats.as_dict() == {"hits": 3, "misses": 1}
+
+    def test_state_lives_in_registry_series(self):
+        registry = MetricsRegistry()
+        stats = _DemoStats(registry)
+        stats.hits += 2
+        snapshot = registry.snapshot()["counters"]
+        series = f'repro_demo_hits_total{{instance="{stats.instance}"}}'
+        assert snapshot[series] == 2
+
+    def test_instances_are_independent_series(self):
+        registry = MetricsRegistry()
+        first = _DemoStats(registry)
+        second = _DemoStats(registry)
+        assert first.instance != second.instance
+        first.hits += 5
+        assert second.hits == 0
+
+    def test_decrement_is_rejected(self):
+        stats = _DemoStats(MetricsRegistry())
+        stats.hits += 2
+        with pytest.raises(ValueError, match="monotonic"):
+            stats.hits = 1
+
+    def test_unknown_attribute_raises(self):
+        stats = _DemoStats(MetricsRegistry())
+        with pytest.raises(AttributeError):
+            stats.nonexistent  # noqa: B018 - attribute access is the test
+
+
+def test_default_latency_buckets_are_sorted_and_span_compile_scales():
+    assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+    assert DEFAULT_LATENCY_BUCKETS[0] <= 0.001   # store touches
+    assert DEFAULT_LATENCY_BUCKETS[-1] >= 60.0   # full compiles

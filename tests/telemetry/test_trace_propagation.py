@@ -1,0 +1,183 @@
+"""Cross-process/thread trace propagation under chaos (ISSUE satellite).
+
+A traced gateway request must yield ONE rooted span tree even when the
+supervised pool crashes workers, retries tasks, or deadline-kills a hung
+compile — and concurrent traced requests must never leak spans into each
+other's trees.
+"""
+
+import asyncio
+import hashlib
+import os
+
+import pytest
+
+from repro.resilience import FaultPlan, FaultSpec, FaultyCompile, RetryPolicy
+from repro.server import ServingGateway
+from repro.service import ArchitectureSpec, CompilationTask
+from repro.store import CompiledArtifact
+
+SPEC = ArchitectureSpec("mixed", lattice_rows=7, num_atoms=30)
+
+
+def _task(task_id: str, circuit: str = "qft", qubits: int = 8,
+          seed: int = 7) -> CompilationTask:
+    return CompilationTask(task_id, SPEC, circuit_name=circuit,
+                          num_qubits=qubits, seed=seed)
+
+
+def _events(response):
+    assert response.trace is not None, "traced request must attach a trace"
+    return response.trace["traceEvents"]
+
+
+def _assert_single_rooted_tree(events):
+    """Every event resolves to exactly one root through parent links."""
+    roots = [event for event in events
+             if event["args"]["parent_id"] is None]
+    assert len(roots) == 1, \
+        f"expected one root, got {[event['name'] for event in roots]}"
+    assert roots[0]["name"] == "gateway.request"
+    span_ids = {event["args"]["span_id"] for event in events}
+    orphans = [event["name"] for event in events
+               if event["args"]["parent_id"] is not None
+               and event["args"]["parent_id"] not in span_ids]
+    assert orphans == [], f"orphaned spans: {orphans}"
+    return roots[0]
+
+
+def fake_artifact(label: str) -> CompiledArtifact:
+    lines = ("G 0 h/single q=(0,) p=[] a=(0,) s=(0,)", f"# {label}")
+    return CompiledArtifact(
+        circuit_name=label, mode="hybrid", num_qubits=2,
+        op_stream=lines,
+        op_stream_sha256=hashlib.sha256("\n".join(lines).encode()).hexdigest(),
+        num_operations=2, num_swaps=0, num_moves=0, runtime_seconds=0.0)
+
+
+def _fake_compile(task, store_spec, evaluate):
+    return fake_artifact(task.task_id)
+
+
+def test_crash_and_retry_become_siblings_in_one_tree(tmp_path):
+    """A worker crash + re-dispatch yields one tree: the failed pool.task,
+    the crash/retry instants and the successful pool.task are siblings
+    under the same gateway.request root."""
+    plan = FaultPlan(str(tmp_path / "ledger"),
+                     (FaultSpec("crash", "worker", match="chaos-1"),))
+
+    async def scenario():
+        async with ServingGateway(
+                pool="thread", max_workers=2, evaluate=False,
+                retry_policy=RetryPolicy(max_attempts=3, base_delay_s=0.01),
+                compile_fn=FaultyCompile(plan)) as gateway:
+            return await gateway.compile(_task("chaos-1"), trace=True)
+
+    response = asyncio.run(scenario())
+    assert response.ok
+    assert plan.fired() == 1
+    events = _events(response)
+    root = _assert_single_rooted_tree(events)
+
+    pool_tasks = [event for event in events if event["name"] == "pool.task"]
+    assert len(pool_tasks) == 2, "crashed attempt and retry both recorded"
+    assert all(event["args"]["parent_id"] == root["args"]["span_id"]
+               for event in pool_tasks), "attempts are siblings under root"
+    statuses = sorted(event["args"]["status"] for event in pool_tasks)
+    assert statuses == ["error", "ok"]
+
+    instants = {event["name"] for event in events if event["ph"] == "i"}
+    assert {"pool.crash", "pool.retry"} <= instants
+    assert all(event["args"]["trace_id"] == response.trace["trace_id"]
+               for event in events)
+
+
+def test_deadline_kill_is_recorded_as_an_instant(tmp_path):
+    """A hung worker cannot report its own spans; the supervisor-side
+    pool.deadline_kill instant still lands in the request's tree."""
+    plan = FaultPlan(str(tmp_path / "ledger"),
+                     (FaultSpec("hang", "worker", match="hung-1",
+                                hang_s=3.0),))
+
+    async def scenario():
+        async with ServingGateway(
+                pool="thread", max_workers=2, evaluate=False,
+                deadline_s=0.3,
+                retry_policy=RetryPolicy(max_attempts=2, base_delay_s=0.01),
+                compile_fn=FaultyCompile(plan)) as gateway:
+            return await gateway.compile(_task("hung-1"), trace=True)
+
+    response = asyncio.run(scenario())
+    assert not response.ok and response.error_class == "retryable"
+    events = _events(response)
+    root = _assert_single_rooted_tree(events)
+    kills = [event for event in events
+             if event["name"] == "pool.deadline_kill"]
+    assert len(kills) == 1 and kills[0]["ph"] == "i"
+    assert kills[0]["args"]["parent_id"] == root["args"]["span_id"]
+    # The killed worker's pool.task span never shipped.
+    assert not any(event["name"] == "pool.task" for event in events)
+
+
+def test_concurrent_traced_requests_do_not_leak_spans():
+    """Two traced requests in flight at once: disjoint trace ids, disjoint
+    span ids, and each tree only contains its own task's work."""
+
+    async def scenario():
+        async with ServingGateway(pool="thread", max_workers=2,
+                                  evaluate=False,
+                                  compile_fn=_fake_compile) as gateway:
+            return await asyncio.gather(
+                gateway.compile(_task("left", circuit="qft"), trace=True),
+                gateway.compile(_task("right", circuit="graph"), trace=True),
+                gateway.compile(_task("plain", qubits=10)))
+
+    left, right, plain = asyncio.run(scenario())
+    assert left.ok and right.ok and plain.ok
+    assert plain.trace is None, "untraced request must not carry a trace"
+
+    left_events, right_events = _events(left), _events(right)
+    _assert_single_rooted_tree(left_events)
+    _assert_single_rooted_tree(right_events)
+
+    assert left.trace["trace_id"] != right.trace["trace_id"]
+    left_ids = {event["args"]["span_id"] for event in left_events}
+    right_ids = {event["args"]["span_id"] for event in right_events}
+    assert not left_ids & right_ids
+
+    for events, task_id in ((left_events, "left"), (right_events, "right")):
+        assert all(event["args"]["trace_id"] == events[0]["args"]["trace_id"]
+                   for event in events)
+        labelled = {event["args"].get("task_id") or event["args"].get("label")
+                    for event in events} - {None}
+        assert labelled == {task_id}, \
+            f"foreign spans in {task_id}'s tree: {labelled}"
+
+
+@pytest.mark.slow
+def test_process_pool_spans_cross_the_process_boundary(tmp_path):
+    """With real process workers the pool.task span is recorded in another
+    pid and still links into the gateway-side tree."""
+    from repro.store import ResultStore
+
+    async def scenario():
+        async with ServingGateway(ResultStore(tmp_path / "store"),
+                                  pool="process", max_workers=1,
+                                  evaluate=False) as gateway:
+            return await gateway.compile(_task("xproc-1"), trace=True)
+
+    response = asyncio.run(scenario())
+    assert response.ok and response.source == "compiled"
+    events = _events(response)
+    root = _assert_single_rooted_tree(events)
+
+    pool_tasks = [event for event in events if event["name"] == "pool.task"]
+    assert len(pool_tasks) == 1
+    assert pool_tasks[0]["pid"] != os.getpid(), \
+        "pool.task must have run in a worker process"
+    assert root["pid"] == os.getpid()
+    # The worker-side compile ran under the shipped context: the pipeline
+    # spans it recorded are descendants of pool.task.
+    names = {event["name"] for event in events}
+    assert "compile_task" in names
+    assert any(name.startswith("pass.") for name in names)

@@ -1,0 +1,185 @@
+"""Tracing primitives: span trees, context activation, Chrome export."""
+
+import json
+import threading
+
+from repro.telemetry import tracing
+from repro.telemetry.tracing import (
+    Span,
+    TraceContext,
+    Tracer,
+    chrome_trace_events,
+    span_tree,
+)
+
+
+class TestSpanRecording:
+    def test_span_without_active_trace_is_shared_noop(self):
+        assert tracing.current_context() is None
+        handle = tracing.span("anything")
+        assert handle is tracing.span("anything else")
+        with handle as inner:
+            inner.set(ignored=True)  # must not raise
+
+    def test_start_trace_collects_a_rooted_tree(self):
+        with tracing.start_trace("request", task="t-1") as handle:
+            with tracing.span("outer"):
+                with tracing.span("inner", depth=2):
+                    pass
+            with tracing.span("sibling"):
+                pass
+        spans = {record.name: record for record in handle.spans}
+        assert set(spans) == {"request", "outer", "inner", "sibling"}
+        root = spans["request"]
+        assert root.parent_id is None
+        assert root.attrs == {"task": "t-1"}
+        assert spans["outer"].parent_id == root.span_id
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["sibling"].parent_id == root.span_id
+        assert len({record.trace_id for record in handle.spans}) == 1
+        # No context bleeds past the with-block.
+        assert tracing.current_context() is None
+
+    def test_exception_marks_span_as_error_but_still_records_it(self):
+        try:
+            with tracing.start_trace("request") as handle:
+                with tracing.span("failing"):
+                    raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        failing = next(record for record in handle.spans
+                       if record.name == "failing")
+        assert failing.status == "error"
+        assert failing.attrs["error"] == "RuntimeError"
+
+    def test_set_adds_attributes_mid_span(self):
+        with tracing.start_trace("request") as handle:
+            with tracing.span("op") as op:
+                op.set(outcome="hit", size=3)
+        op_span = next(record for record in handle.spans
+                       if record.name == "op")
+        assert op_span.attrs == {"outcome": "hit", "size": 3}
+
+    def test_durations_are_nonnegative_and_ordered(self):
+        with tracing.start_trace("request") as handle:
+            with tracing.span("op"):
+                pass
+        for record in handle.spans:
+            assert record.end_s >= record.start_s
+            assert record.duration_s >= 0.0
+
+
+class TestActivation:
+    def test_activate_adopts_a_propagated_context(self):
+        ctx = TraceContext("trace-1", "root-span")
+        with tracing.activate(ctx) as sink:
+            with tracing.span("remote.op"):
+                pass
+        assert len(sink) == 1
+        assert sink[0].trace_id == "trace-1"
+        assert sink[0].parent_id == "root-span"
+
+    def test_activate_none_is_a_noop(self):
+        with tracing.activate(None) as sink:
+            assert tracing.span("ignored") is tracing.span("also ignored")
+        assert sink == []
+
+    def test_sink_fills_even_when_the_body_raises(self):
+        ctx = TraceContext("trace-1", "root-span")
+        captured = []
+        try:
+            with tracing.activate(ctx, sink=captured):
+                with tracing.span("op"):
+                    pass
+                raise RuntimeError("after the span closed")
+        except RuntimeError:
+            pass
+        assert [record.name for record in captured] == ["op"]
+
+    def test_threads_do_not_inherit_the_context(self):
+        observed = []
+        with tracing.start_trace("request"):
+            thread = threading.Thread(
+                target=lambda: observed.append(tracing.current_context()))
+            thread.start()
+            thread.join()
+        assert observed == [None]
+
+
+class TestTracer:
+    def test_ingest_and_drain_by_trace_id(self):
+        tracer = Tracer()
+        tracer.ingest([_span("a", "t1"), _span("b", "t2"), _span("c", "t1")])
+        assert [record.name for record in tracer.drain("t1")] == ["a", "c"]
+        assert tracer.drain("t1") == []          # drained means gone
+        assert [record.name for record in tracer.peek("t2")] == ["b"]
+        assert [record.name for record in tracer.drain("t2")] == ["b"]
+
+    def test_trace_eviction_is_bounded_and_counted(self):
+        tracer = Tracer(max_traces=2)
+        tracer.ingest([_span("a", "t1"), _span("b", "t2"), _span("c", "t3")])
+        assert tracer.drain("t1") == []          # oldest trace evicted
+        assert tracer.dropped == 1
+
+    def test_per_trace_span_cap_drops_overflow(self):
+        tracer = Tracer(max_spans_per_trace=2)
+        tracer.ingest([_span(f"s{i}", "t1") for i in range(5)])
+        assert len(tracer.drain("t1")) == 2
+        assert tracer.dropped == 3
+
+    def test_record_instant_lands_in_the_global_tracer(self):
+        ctx = TraceContext("instant-trace", "parent-span")
+        tracing.record_instant(ctx, "pool.crash", attempt=1)
+        tracing.record_instant(None, "ignored")  # no context: no-op
+        records = tracing.TRACER.drain("instant-trace")
+        assert len(records) == 1
+        assert records[0].kind == "instant"
+        assert records[0].parent_id == "parent-span"
+        assert records[0].attrs == {"attempt": 1}
+
+
+class TestExport:
+    def test_chrome_trace_events_shape(self):
+        with tracing.start_trace("request") as handle:
+            with tracing.span("op", detail="x"):
+                pass
+        tracing.record_instant(handle.context, "pool.retry")
+        spans = handle.spans + tracing.TRACER.drain(handle.trace_id)
+        payload = chrome_trace_events(spans)
+        json.dumps(payload)  # must not raise
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        assert len(events) == 3
+        by_name = {event["name"]: event for event in events}
+        assert by_name["request"]["ph"] == "X"
+        assert by_name["request"]["dur"] >= 0
+        assert by_name["pool.retry"]["ph"] == "i"
+        assert by_name["op"]["args"]["detail"] == "x"
+        assert by_name["op"]["args"]["parent_id"] == \
+            by_name["request"]["args"]["span_id"]
+        # Timestamps are rebased: the earliest event starts at 0.
+        assert min(event["ts"] for event in events) == 0.0
+
+    def test_chrome_trace_events_empty_input(self):
+        assert chrome_trace_events([]) == {
+            "traceEvents": [], "displayTimeUnit": "ms"}
+
+    def test_span_tree_indexes_children_and_exposes_orphans(self):
+        with tracing.start_trace("request") as handle:
+            with tracing.span("child"):
+                pass
+        tree = span_tree(handle.spans)
+        assert [record.name for record in tree[None]] == ["request"]
+        root_id = tree[None][0].span_id
+        assert [record.name for record in tree[root_id]] == ["child"]
+        # An orphan shows up as a parent key no span id resolves to.
+        orphan = _span("lost", handle.trace_id, parent="no-such-span")
+        tree = span_tree(handle.spans + [orphan])
+        span_ids = {record.span_id for record in handle.spans}
+        unresolved = set(tree) - span_ids - {None}
+        assert unresolved == {"no-such-span"}
+
+
+def _span(name: str, trace_id: str, parent: str = "p") -> Span:
+    return Span(trace_id=trace_id, span_id=f"id-{name}", parent_id=parent,
+                name=name, start_s=1.0, end_s=2.0)
